@@ -1,0 +1,31 @@
+//! Ablation bench: output- vs weight- vs input-stationary dataflows
+//! (the design choice of paper §IV-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e3_inax::synthetic::synthetic_population;
+use e3_inax::{schedule_inference, Dataflow, InaxConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let nets = synthetic_population(20, 8, 4, 30, 0.2, 11);
+    let mut group = c.benchmark_group("ablation_dataflow");
+    group.sample_size(20);
+    for (name, dataflow) in [
+        ("output_stationary", Dataflow::OutputStationary),
+        ("weight_stationary", Dataflow::WeightStationary),
+        ("input_stationary", Dataflow::InputStationary),
+    ] {
+        let config = InaxConfig::builder().num_pe(4).dataflow(dataflow).build();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                nets.iter()
+                    .map(|n| schedule_inference(black_box(config), n).wall_cycles)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

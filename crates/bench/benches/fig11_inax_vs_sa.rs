@@ -1,0 +1,35 @@
+//! Fig. 11 bench: INAX scheduling vs systolic-array lowering + timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e3_inax::synthetic::synthetic_population;
+use e3_inax::{schedule_inference, InaxConfig};
+use e3_systolic::{DensePaddedNet, SystolicArray, SystolicConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let nets = synthetic_population(20, 8, 4, 30, 0.2, 5);
+    let padded: Vec<DensePaddedNet> = nets.iter().map(DensePaddedNet::from_irregular).collect();
+    let mut group = c.benchmark_group("fig11_inax_vs_sa");
+    group.sample_size(20);
+    group.bench_function("inax_schedule_16pe", |b| {
+        let config = InaxConfig::builder().num_pe(16).build();
+        b.iter(|| {
+            nets.iter()
+                .map(|n| schedule_inference(black_box(&config), n).wall_cycles)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("sa_cycles_16pe", |b| {
+        let sa = SystolicArray::new(SystolicConfig::builder().num_pe(16).build());
+        b.iter(|| padded.iter().map(|p| sa.inference_cycles(black_box(p))).sum::<u64>())
+    });
+    group.bench_function("sa_lowering", |b| {
+        b.iter(|| {
+            nets.iter().map(|n| DensePaddedNet::from_irregular(black_box(n)).dense_connections()).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 1(b) bench: one NEAT evaluate+evolve generation on E3-CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e3_envs::EnvId;
+use e3_platform::{BackendKind, E3Config, E3Platform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b_neat_profile");
+    group.sample_size(10);
+    group.bench_function("cartpole_generation_cpu", |b| {
+        b.iter(|| {
+            let config = E3Config::builder(EnvId::CartPole)
+                .population_size(48)
+                .max_generations(1)
+                .target_fitness(f64::INFINITY)
+                .build();
+            let outcome = E3Platform::new(config, BackendKind::Cpu, 7).run();
+            black_box(outcome.profile)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

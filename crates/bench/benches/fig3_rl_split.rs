@@ -1,0 +1,29 @@
+//! Fig. 3 bench: RL rollout + update cost (the Forward/Training split).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e3_envs::EnvId;
+use e3_rl::{A2c, A2cConfig, NetworkSize, Ppo, PpoConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_rl_split");
+    group.sample_size(10);
+    group.bench_function("a2c_small_64_steps", |b| {
+        b.iter(|| {
+            let mut agent = A2c::new(A2cConfig::new(EnvId::CartPole, NetworkSize::Small), 3);
+            agent.train_steps(64);
+            black_box(agent.profile())
+        })
+    });
+    group.bench_function("ppo_small_128_steps", |b| {
+        b.iter(|| {
+            let mut agent = Ppo::new(PpoConfig::new(EnvId::CartPole, NetworkSize::Small), 3);
+            agent.train_steps(128);
+            black_box(agent.profile())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 6 bench: INAX inference scheduling across PE counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e3_inax::synthetic::synthetic_population_with_mutations;
+use e3_inax::{schedule_inference, InaxConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let population = synthetic_population_with_mutations(40, 8, 10, 30, 0.2, 0, 70);
+    let mut group = c.benchmark_group("fig6_pe_parallelism");
+    group.sample_size(20);
+    for num_pe in [1usize, 5, 10, 15, 20] {
+        let config = InaxConfig::builder().num_pe(num_pe).build();
+        group.bench_with_input(BenchmarkId::from_parameter(num_pe), &config, |b, config| {
+            b.iter(|| {
+                let mut cycles = 0u64;
+                for net in &population {
+                    cycles += schedule_inference(black_box(config), black_box(net)).wall_cycles;
+                }
+                cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 9(a) bench: closed-loop INAX stepping across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e3_inax::synthetic::synthetic_population;
+use e3_inax::{InaxAccelerator, InaxConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_inax_breakdown");
+    group.sample_size(20);
+    for hidden in [10usize, 30, 60] {
+        let nets = synthetic_population(4, 8, 4, hidden, 0.2, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &nets, |b, nets| {
+            b.iter(|| {
+                let mut acc = InaxAccelerator::new(InaxConfig::builder().num_pu(4).num_pe(4).build());
+                acc.load_batch(nets.clone());
+                let inputs = vec![Some(vec![0.3f64; 8]); nets.len()];
+                for _ in 0..50 {
+                    black_box(acc.step(&inputs));
+                }
+                acc.report()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table IV bench: the genome operations behind the overhead numbers
+//! (decode, mutate, crossover, distance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e3_neat::{Genome, InnovationTracker, NeatConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = NeatConfig::builder(8, 4)
+        .initial_hidden_nodes(30)
+        .initial_connection_density(0.2)
+        .build();
+    let mut tracker = InnovationTracker::with_reserved_nodes(12);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut a = Genome::initial(&config, &mut tracker, &mut rng);
+    let mut b = a.clone();
+    for _ in 0..20 {
+        a.mutate(&config, &mut tracker, &mut rng);
+        b.mutate(&config, &mut tracker, &mut rng);
+    }
+    let mut group = c.benchmark_group("table4_overhead");
+    group.bench_function("decode", |bch| bch.iter(|| black_box(&a).decode().unwrap()));
+    group.bench_function("mutate", |bch| {
+        bch.iter(|| {
+            let mut g = a.clone();
+            g.mutate(&config, &mut tracker, &mut rng);
+            g
+        })
+    });
+    group.bench_function("crossover", |bch| {
+        bch.iter(|| black_box(&a).crossover(black_box(&b), false, &config, &mut rng))
+    });
+    group.bench_function("compatibility_distance", |bch| {
+        bch.iter(|| black_box(&a).compatibility_distance(black_box(&b), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

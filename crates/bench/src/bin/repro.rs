@@ -1,0 +1,210 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [--full] [--json] [--seed N]
+//! ```
+//!
+//! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
+//! fig9b fig10a fig10b fig11 ablation. `--full` uses paper-scale
+//! parameters (population 200, full step budgets); the default quick
+//! scale finishes in seconds per experiment. `--svg DIR` additionally
+//! writes figure images for the sweep experiments.
+
+use e3_bench::svg::{LineChart, Series};
+use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
+use e3_platform::experiments::{
+    ablation, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale,
+};
+use e3_platform::PowerModel;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut scale = Scale::Quick;
+    let mut json = false;
+    let mut seed = DEFAULT_SEED;
+    let mut svg_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--json" => json = true,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--svg" => {
+                svg_dir = Some(PathBuf::from(
+                    iter.next().unwrap_or_else(|| usage("--svg needs a directory")),
+                ));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && name.is_none() => {
+                name = Some(other.to_string());
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(name) = name else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    let targets: Vec<&str> = if name == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&name.as_str()) {
+        vec![Box::leak(name.into_boxed_str()) as &str]
+    } else {
+        usage(&format!("unknown experiment: {name}"));
+    };
+
+    if let Some(dir) = &svg_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| usage(&format!("--svg dir: {e}")));
+    }
+    for target in targets {
+        run_experiment(target, scale, seed, json, svg_dir.as_deref());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_experiment(name: &str, scale: Scale, seed: u64, json: bool, svg_dir: Option<&Path>) {
+    macro_rules! emit {
+        ($result:expr) => {{
+            let result = $result;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&result).expect("results serialize")
+                );
+            } else {
+                println!("{result}");
+            }
+        }};
+    }
+    match name {
+        "table4" => emit!(table4::run(scale, seed)),
+        "table5" => emit!(table5::run(scale, seed)),
+        "fig1b" => emit!(fig1b::run(scale, seed)),
+        "fig2" => emit!(fig2::run(scale, seed)),
+        "fig3" => emit!(fig3::run(scale, seed)),
+        "fig4" => emit!(fig4::run(scale, seed)),
+        "fig6" => {
+            let result = fig6::run();
+            if let Some(dir) = svg_dir {
+                for panel in &result.panels {
+                    let utilization = Series::new(
+                        "U(PE)",
+                        panel.points.iter().map(|p| (p.num_pe as f64, p.utilization)).collect(),
+                    );
+                    let chart =
+                        LineChart::new(format!("Fig. 6 — U(PE), k = {}", panel.num_outputs), "#PE", "U(PE)")
+                            .series(utilization);
+                    write_svg(dir, &format!("fig6_k{}.svg", panel.num_outputs), &chart.render());
+                    let runtime = Series::new(
+                        "cycles/infer",
+                        panel.points.iter().map(|p| (p.num_pe as f64, p.mean_cycles)).collect(),
+                    );
+                    let chart = LineChart::new(
+                        format!("Fig. 6 — runtime, k = {}", panel.num_outputs),
+                        "#PE",
+                        "cycles per inference",
+                    )
+                    .series(runtime);
+                    write_svg(dir, &format!("fig6_runtime_k{}.svg", panel.num_outputs), &chart.render());
+                }
+            }
+            emit!(result);
+        }
+        "fig7" => {
+            let result = fig7::run();
+            if let Some(dir) = svg_dir {
+                for panel in &result.panels {
+                    let chart = LineChart::new(
+                        format!("Fig. 7 — U(PU), p = {}", panel.num_individuals),
+                        "#PU",
+                        "U(PU)",
+                    )
+                    .series(Series::new(
+                        "U(PU)",
+                        panel.points.iter().map(|p| (p.num_pu as f64, p.utilization)).collect(),
+                    ));
+                    write_svg(dir, &format!("fig7_p{}.svg", panel.num_individuals), &chart.render());
+                }
+            }
+            emit!(result);
+        }
+        "fig9a" => emit!(fig9::run_fig9a()),
+        "fig9b" => {
+            let result = fig9::run_fig9b(scale, seed);
+            if let Some(dir) = svg_dir {
+                let mut cpu = Vec::new();
+                let mut gpu = Vec::new();
+                let mut inax = Vec::new();
+                for row in &result.rows {
+                    let x = row.env.paper_index() as f64;
+                    cpu.push((x, row.runtime_seconds[0]));
+                    gpu.push((x, row.runtime_seconds[1]));
+                    inax.push((x, row.runtime_seconds[2]));
+                }
+                let chart = LineChart::new("Fig. 9(b) — runtime (log)", "Env#", "seconds")
+                    .log_y()
+                    .series(Series::new("E3-CPU", cpu))
+                    .series(Series::new("E3-GPU", gpu))
+                    .series(Series::new("E3-INAX", inax));
+                write_svg(dir, "fig9b_runtime.svg", &chart.render());
+            }
+            emit!(result);
+        }
+        "fig10a" => {
+            let fig9b = fig9::run_fig9b(scale, seed);
+            emit!(fig10::run_fig10a(&fig9b, &PowerModel::default()));
+        }
+        "fig10b" => emit!(fig10::run_fig10b()),
+        "fig11" => {
+            let result = fig11::run();
+            if let Some(dir) = svg_dir {
+                let chart = LineChart::new("Fig. 11 — HW cycles (log)", "#PE", "cycles per inference")
+                    .log_y()
+                    .series(Series::new(
+                        "INAX",
+                        result.points.iter().map(|p| (p.num_pe as f64, p.inax_cycles)).collect(),
+                    ))
+                    .series(Series::new(
+                        "SA",
+                        result.points.iter().map(|p| (p.num_pe as f64, p.sa_cycles)).collect(),
+                    ));
+                write_svg(dir, "fig11_cycles.svg", &chart.render());
+            }
+            emit!(result);
+        }
+        "ablation" => emit!(ablation::run()),
+        other => usage(&format!("unknown experiment: {other}")),
+    }
+}
+
+fn write_svg(dir: &Path, file: &str, svg: &str) {
+    let path = dir.join(file);
+    if let Err(e) = std::fs::write(&path, svg) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: repro <experiment|all> [--full] [--json] [--seed N] [--svg DIR]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    print_usage();
+    std::process::exit(2);
+}

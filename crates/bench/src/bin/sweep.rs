@@ -1,0 +1,137 @@
+//! `sweep` — explore the INAX (PU, PE) design space for a workload.
+//!
+//! ```text
+//! sweep [--inputs N] [--outputs N] [--hidden N] [--population N]
+//!       [--steps N] [--csv PATH]
+//! ```
+//!
+//! Prints the Pareto frontier over {total cycles, LUTs} on the ZCU104
+//! and the paper's heuristic point for comparison; `--csv` dumps every
+//! evaluated point.
+
+use e3_inax::synthetic::synthetic_population;
+use e3_platform::design_space::sweep_design_space;
+use e3_platform::FpgaBudget;
+use std::process::ExitCode;
+
+struct Args {
+    inputs: usize,
+    outputs: usize,
+    hidden: usize,
+    population: usize,
+    steps: u64,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        inputs: 8,
+        outputs: 4,
+        hidden: 30,
+        population: 200,
+        steps: 100,
+        csv: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--inputs" => args.inputs = take("--inputs")?.parse().map_err(|e| format!("{e}"))?,
+            "--outputs" => args.outputs = take("--outputs")?.parse().map_err(|e| format!("{e}"))?,
+            "--hidden" => args.hidden = take("--hidden")?.parse().map_err(|e| format!("{e}"))?,
+            "--population" => {
+                args.population = take("--population")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--csv" => args.csv = Some(take("--csv")?),
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: sweep [--inputs N] [--outputs N] [--hidden N] [--population N] [--steps N] [--csv PATH]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    let nets = synthetic_population(
+        args.population,
+        args.inputs,
+        args.outputs,
+        args.hidden,
+        0.2,
+        42,
+    );
+    let pu_options: Vec<usize> = [5usize, 10, 20, 25, 40, 50, 67, 100, 150, 200]
+        .into_iter()
+        .filter(|&p| p <= args.population)
+        .collect();
+    let pe_options: Vec<usize> = (1..=2 * args.outputs.max(4)).collect();
+    let budget = FpgaBudget::zcu104();
+    let sweep = sweep_design_space(&nets, args.steps, &pu_options, &pe_options, &budget);
+
+    println!(
+        "design space: {} points ({} feasible on ZCU104), workload {}x{}->{} pop {}",
+        sweep.points.len(),
+        sweep.feasible().count(),
+        args.inputs,
+        args.hidden,
+        args.outputs,
+        args.population
+    );
+    println!("\nPareto frontier (cycles vs LUTs):");
+    println!(
+        "  {:>4} {:>4} {:>14} {:>8} {:>9} {:>6}",
+        "PU", "PE", "cycles", "U(PU)", "LUT", "DSP"
+    );
+    for p in sweep.pareto_frontier() {
+        println!(
+            "  {:>4} {:>4} {:>14} {:>7.1}% {:>9} {:>6}",
+            p.num_pu,
+            p.num_pe,
+            p.total_cycles,
+            100.0 * p.pu_utilization,
+            p.resources.lut,
+            p.resources.dsp
+        );
+    }
+    // The paper's heuristic point for reference.
+    let heuristic = sweep
+        .points
+        .iter()
+        .find(|p| p.num_pu == 50.min(args.population) && p.num_pe == args.outputs);
+    if let Some(p) = heuristic {
+        println!(
+            "\npaper heuristic (PU=50, PE=outputs): {} cycles, U(PU) {:.1}%, LUT {} — fits: {}",
+            p.total_cycles,
+            100.0 * p.pu_utilization,
+            p.resources.lut,
+            p.fits
+        );
+    }
+    if let Some(path) = args.csv {
+        match std::fs::write(&path, sweep.to_csv()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

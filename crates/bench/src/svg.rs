@@ -1,0 +1,290 @@
+//! Minimal SVG chart writer (no dependencies) so `repro --svg` can
+//! regenerate the paper's figures as actual images: line charts for
+//! the sweeps (Figs. 6, 7, 11), grouped bars for the comparisons
+//! (Figs. 9(b), 10(a)).
+//!
+//! Deliberately small: fixed 640×400 canvas, linear or log-y axes,
+//! automatic ticks, a simple legend. Enough to eyeball the shapes
+//! against the paper's plots.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 50.0;
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// A line chart with shared axes.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_y: bool,
+}
+
+impl LineChart {
+    /// Starts a chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Switches the y axis to log scale (values must be positive).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has any points, or if `log_y` is set and a
+    /// y value is not positive.
+    pub fn render(&self) -> String {
+        let points: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        assert!(!points.is_empty(), "chart needs at least one point");
+        let map_y = |y: f64| -> f64 {
+            if self.log_y {
+                assert!(y > 0.0, "log axis requires positive values, got {y}");
+                y.log10()
+            } else {
+                y
+            }
+        };
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(map_y(y));
+            y_max = y_max.max(map_y(y));
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = move |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = move |y: f64| MARGIN_TOP + plot_h - (map_y(y) - y_min) / (y_max - y_min) * plot_h;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/><line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/>"#,
+            l = MARGIN_LEFT,
+            t = MARGIN_TOP,
+            b = MARGIN_TOP + plot_h,
+            r = MARGIN_LEFT + plot_w
+        );
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{px}" y1="{b}" x2="{px}" y2="{b2}" stroke="black"/><text x="{px}" y="{ty}" text-anchor="middle" font-size="11">{}</text>"#,
+                format_tick(fx),
+                b = MARGIN_TOP + plot_h,
+                b2 = MARGIN_TOP + plot_h + 5.0,
+                ty = MARGIN_TOP + plot_h + 18.0,
+            );
+            let fy_mapped = y_min + (y_max - y_min) * i as f64 / 4.0;
+            let fy = if self.log_y { 10f64.powf(fy_mapped) } else { fy_mapped };
+            let py = MARGIN_TOP + plot_h - (fy_mapped - y_min) / (y_max - y_min) * plot_h;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x2}" y1="{py}" x2="{l}" y2="{py}" stroke="black"/><text x="{tx}" y="{tyy}" text-anchor="end" font-size="11">{}</text>"#,
+                format_tick(fy),
+                l = MARGIN_LEFT,
+                x2 = MARGIN_LEFT - 5.0,
+                tx = MARGIN_LEFT - 8.0,
+                tyy = py + 4.0,
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                pts.join(" ")
+            );
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_TOP + 6.0 + 16.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{lx2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}" font-size="11">{}</text>"#,
+                escape(&series.label),
+                lx = MARGIN_LEFT + plot_w - 130.0,
+                lx2 = MARGIN_LEFT + plot_w - 110.0,
+                tx = MARGIN_LEFT + plot_w - 105.0,
+                ty = ly + 4.0,
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let magnitude = v.abs();
+    if !(0.01..10_000.0).contains(&magnitude) {
+        format!("{v:.1e}")
+    } else if magnitude >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("title", "x", "y")
+            .series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0), (3.0, 15.0)]))
+            .series(Series::new("b", vec![(1.0, 5.0), (3.0, 25.0)]))
+    }
+
+    #[test]
+    fn renders_wellformed_svg_with_all_series() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains(">a</text>") && svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn points_stay_inside_the_canvas() {
+        let svg = chart().render();
+        for part in svg.split("cx=\"").skip(1) {
+            let x: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x));
+        }
+    }
+
+    #[test]
+    fn log_axis_renders_positive_data() {
+        let svg = LineChart::new("t", "x", "y")
+            .log_y()
+            .series(Series::new("s", vec![(1.0, 1.0), (2.0, 1000.0)]))
+            .render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_axis_rejects_nonpositive() {
+        let _ = LineChart::new("t", "x", "y")
+            .log_y()
+            .series(Series::new("s", vec![(1.0, 0.0)]))
+            .render();
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = LineChart::new("a < b & c", "x", "y")
+            .series(Series::new("s", vec![(0.0, 1.0)]))
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn ticks_format_sanely() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(12.0), "12");
+        assert_eq!(format_tick(0.5), "0.50");
+        assert!(format_tick(123456.0).contains('e'));
+    }
+}

@@ -1,0 +1,214 @@
+//! CartPole (Gym `CartPole-v1`): balance a pole on a force-controlled
+//! cart. This is the paper's **Env1**.
+
+use crate::env::{expect_discrete, Action, ActionSpace, Environment, Step};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRAVITY: f64 = 9.8;
+const MASS_CART: f64 = 1.0;
+const MASS_POLE: f64 = 0.1;
+const TOTAL_MASS: f64 = MASS_CART + MASS_POLE;
+const HALF_POLE_LENGTH: f64 = 0.5;
+const POLE_MASS_LENGTH: f64 = MASS_POLE * HALF_POLE_LENGTH;
+const FORCE_MAG: f64 = 10.0;
+const TAU: f64 = 0.02;
+const THETA_THRESHOLD: f64 = 12.0 * std::f64::consts::PI / 180.0;
+const X_THRESHOLD: f64 = 2.4;
+
+/// The CartPole balancing task.
+///
+/// Observation: `[x, x_dot, theta, theta_dot]`. Actions: 0 push left,
+/// 1 push right. Reward: +1 per surviving step. Terminates when the
+/// pole tips past ±12° or the cart leaves ±2.4.
+///
+/// # Example
+///
+/// ```
+/// use e3_envs::{CartPole, Environment, Action};
+///
+/// let mut env = CartPole::new();
+/// env.reset(0);
+/// let step = env.step(&Action::Discrete(0));
+/// assert!(!step.truncated);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CartPole {
+    state: [f64; 4],
+    steps: usize,
+    done: bool,
+    max_steps: usize,
+}
+
+impl CartPole {
+    /// Creates the environment with the Gym v1 step limit (500).
+    pub fn new() -> Self {
+        Self::with_max_steps(500)
+    }
+
+    /// Creates the environment with a custom step limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        CartPole { state: [0.0; 4], steps: 0, done: true, max_steps }
+    }
+
+    /// Raw state `[x, x_dot, theta, theta_dot]` (for tests/tools).
+    pub fn state(&self) -> [f64; 4] {
+        self.state
+    }
+}
+
+impl Default for CartPole {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Environment for CartPole {
+    fn observation_size(&self) -> usize {
+        4
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(2)
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in &mut self.state {
+            *s = rng.gen_range(-0.05..0.05);
+        }
+        self.steps = 0;
+        self.done = false;
+        self.state.to_vec()
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        assert!(!self.done, "cartpole: step() called on a finished episode");
+        let a = expect_discrete(action, 2, "cartpole");
+        let force = if a == 1 { FORCE_MAG } else { -FORCE_MAG };
+        let [x, x_dot, theta, theta_dot] = self.state;
+        let (sin_t, cos_t) = theta.sin_cos();
+        let temp = (force + POLE_MASS_LENGTH * theta_dot * theta_dot * sin_t) / TOTAL_MASS;
+        let theta_acc = (GRAVITY * sin_t - cos_t * temp)
+            / (HALF_POLE_LENGTH * (4.0 / 3.0 - MASS_POLE * cos_t * cos_t / TOTAL_MASS));
+        let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_t / TOTAL_MASS;
+        self.state = [
+            x + TAU * x_dot,
+            x_dot + TAU * x_acc,
+            theta + TAU * theta_dot,
+            theta_dot + TAU * theta_acc,
+        ];
+        self.steps += 1;
+        let terminated = self.state[0].abs() > X_THRESHOLD || self.state[2].abs() > THETA_THRESHOLD;
+        let truncated = !terminated && self.steps >= self.max_steps;
+        self.done = terminated || truncated;
+        Step { observation: self.state.to_vec(), reward: 1.0, terminated, truncated }
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn name(&self) -> &'static str {
+        "cartpole"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_starts_near_upright() {
+        let mut env = CartPole::new();
+        let obs = env.reset(1);
+        for v in obs {
+            assert!(v.abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn constant_push_terminates_quickly() {
+        let mut env = CartPole::new();
+        env.reset(1);
+        let mut steps = 0;
+        loop {
+            let s = env.step(&Action::Discrete(1));
+            steps += 1;
+            if s.done() {
+                assert!(s.terminated, "constant force must tip the pole, not time out");
+                break;
+            }
+            assert!(steps < 500);
+        }
+        assert!(steps < 150, "pole tipped in {steps} steps");
+    }
+
+    #[test]
+    fn bang_bang_controller_balances_longer_than_random() {
+        // Simple feedback: push in the direction the pole is falling.
+        let run = |controller: &dyn Fn(&[f64], usize) -> usize| {
+            let mut env = CartPole::new();
+            let mut obs = env.reset(3);
+            let mut steps = 0usize;
+            loop {
+                let a = controller(&obs, steps);
+                let s = env.step(&Action::Discrete(a));
+                obs = s.observation.clone();
+                steps += 1;
+                if s.done() {
+                    break;
+                }
+            }
+            steps
+        };
+        let feedback = run(&|obs, _| usize::from(obs[2] + obs[3] > 0.0));
+        let alternating = run(&|_, t| t % 2);
+        assert!(feedback >= 400, "feedback controller lasted {feedback}");
+        assert!(feedback > alternating);
+    }
+
+    #[test]
+    fn truncates_at_step_limit() {
+        let mut env = CartPole::with_max_steps(10);
+        let mut obs = env.reset(3);
+        for i in 0..10 {
+            let a = usize::from(obs[2] + obs[3] > 0.0);
+            let s = env.step(&Action::Discrete(a));
+            obs = s.observation.clone();
+            if i == 9 {
+                assert!(s.truncated);
+            } else {
+                assert!(!s.done());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = CartPole::new();
+        let mut b = CartPole::new();
+        assert_eq!(a.reset(42), b.reset(42));
+        for _ in 0..50 {
+            let sa = a.step(&Action::Discrete(1));
+            let sb = b.step(&Action::Discrete(1));
+            assert_eq!(sa, sb);
+            if sa.done() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn step_after_done_panics() {
+        let mut env = CartPole::new();
+        env.reset(1);
+        loop {
+            if env.step(&Action::Discrete(1)).done() {
+                break;
+            }
+        }
+        let _ = env.step(&Action::Discrete(1));
+    }
+}

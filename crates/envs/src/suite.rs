@@ -1,0 +1,216 @@
+//! The paper's environment suite: the six control benchmarks of
+//! footnote 4 (Env1–Env6) plus the Atari-class Env7 used by Fig. 11,
+//! with their observation/action dimensions and required-fitness
+//! thresholds.
+
+use crate::env::Environment;
+use crate::{Acrobot, BipedalWalker, CartPole, LunarLander, MountainCar, Pendulum, Pong};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for the benchmark environments, numbered as in the
+/// paper (footnote 4 plus the Fig. 11 Env7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvId {
+    /// Env1: CartPole.
+    CartPole,
+    /// Env2: Acrobot.
+    Acrobot,
+    /// Env3: MountainCar.
+    MountainCar,
+    /// Env4: BipedalWalker.
+    Bipedal,
+    /// Env5: LunarLander.
+    LunarLander,
+    /// Env6: Pendulum.
+    Pendulum,
+    /// Env7: Pong (the Atari-class game; used by the paper's Fig. 11
+    /// "Env1–Env7" average).
+    Pong,
+}
+
+impl EnvId {
+    /// The six control environments in paper order (Env1..Env6) —
+    /// the suite of Figs. 2, 9 and 10.
+    pub const ALL: [EnvId; 6] = [
+        EnvId::CartPole,
+        EnvId::Acrobot,
+        EnvId::MountainCar,
+        EnvId::Bipedal,
+        EnvId::LunarLander,
+        EnvId::Pendulum,
+    ];
+
+    /// The extended suite including the Atari-class Env7 (the paper's
+    /// Fig. 11 averages over Env1–Env7).
+    pub const ALL_WITH_ATARI: [EnvId; 7] = [
+        EnvId::CartPole,
+        EnvId::Acrobot,
+        EnvId::MountainCar,
+        EnvId::Bipedal,
+        EnvId::LunarLander,
+        EnvId::Pendulum,
+        EnvId::Pong,
+    ];
+
+    /// Instantiates the environment.
+    pub fn make(self) -> Box<dyn Environment> {
+        match self {
+            EnvId::CartPole => Box::new(CartPole::new()),
+            EnvId::Acrobot => Box::new(Acrobot::new()),
+            EnvId::MountainCar => Box::new(MountainCar::new()),
+            EnvId::Bipedal => Box::new(BipedalWalker::new()),
+            EnvId::LunarLander => Box::new(LunarLander::new()),
+            EnvId::Pendulum => Box::new(Pendulum::new()),
+            EnvId::Pong => Box::new(Pong::new()),
+        }
+    }
+
+    /// The paper's env index (1-based, per footnote 4).
+    pub fn paper_index(self) -> usize {
+        match self {
+            EnvId::CartPole => 1,
+            EnvId::Acrobot => 2,
+            EnvId::MountainCar => 3,
+            EnvId::Bipedal => 4,
+            EnvId::LunarLander => 5,
+            EnvId::Pendulum => 6,
+            EnvId::Pong => 7,
+        }
+    }
+
+    /// Observation size (network input count).
+    pub fn observation_size(self) -> usize {
+        match self {
+            EnvId::CartPole => 4,
+            EnvId::Acrobot => 6,
+            EnvId::MountainCar => 2,
+            EnvId::Bipedal => 24,
+            EnvId::LunarLander => 8,
+            EnvId::Pendulum => 3,
+            EnvId::Pong => 6,
+        }
+    }
+
+    /// Policy output count (action logits / dims). These match the
+    /// per-env PE counts used in the paper's Fig. 10(b) footnote
+    /// (cartpole 3 includes Gym's historical 3-logit encoding; we use
+    /// the true action-space sizes).
+    pub fn policy_outputs(self) -> usize {
+        match self {
+            EnvId::CartPole => 2,
+            EnvId::Acrobot => 3,
+            EnvId::MountainCar => 3,
+            EnvId::Bipedal => 4,
+            EnvId::LunarLander => 4,
+            EnvId::Pendulum => 1,
+            EnvId::Pong => 3,
+        }
+    }
+
+    /// The "required fitness" used as the stop criterion (per-episode
+    /// reward): Gym's solved thresholds where defined, conventional
+    /// values otherwise.
+    pub fn required_fitness(self) -> f64 {
+        match self {
+            EnvId::CartPole => 475.0,
+            EnvId::Acrobot => -100.0,
+            EnvId::MountainCar => -110.0,
+            EnvId::Bipedal => 300.0,
+            EnvId::LunarLander => 200.0,
+            EnvId::Pendulum => -300.0,
+            EnvId::Pong => 3.0,
+        }
+    }
+
+    /// A fitness floor used to normalize achieved fitness into
+    /// `[0, 1]` for Fig. 2 (normalized = (f - floor) / (required -
+    /// floor), clamped).
+    pub fn fitness_floor(self) -> f64 {
+        match self {
+            EnvId::CartPole => 0.0,
+            EnvId::Acrobot => -500.0,
+            EnvId::MountainCar => -200.0,
+            EnvId::Bipedal => -100.0,
+            EnvId::LunarLander => -250.0,
+            EnvId::Pendulum => -1600.0,
+            EnvId::Pong => -5.0,
+        }
+    }
+
+    /// Normalizes a raw fitness into `[0, 1]` (1.0 = task finished).
+    pub fn normalized_fitness(self, fitness: f64) -> f64 {
+        let (floor, goal) = (self.fitness_floor(), self.required_fitness());
+        ((fitness - floor) / (goal - floor)).clamp(0.0, 1.0)
+    }
+
+    /// Short name (e.g. `"cartpole"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvId::CartPole => "cartpole",
+            EnvId::Acrobot => "acrobot",
+            EnvId::MountainCar => "mountain_car",
+            EnvId::Bipedal => "bipedal",
+            EnvId::LunarLander => "lunar_lander",
+            EnvId::Pendulum => "pendulum",
+            EnvId::Pong => "pong",
+        }
+    }
+}
+
+impl fmt::Display for EnvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Env{} ({})", self.paper_index(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_declared_dimensions() {
+        for id in EnvId::ALL {
+            let mut env = id.make();
+            let obs = env.reset(0);
+            assert_eq!(obs.len(), id.observation_size(), "{id} observation size");
+            assert_eq!(
+                env.action_space().policy_outputs(),
+                id.policy_outputs(),
+                "{id} policy outputs"
+            );
+            assert_eq!(env.observation_size(), id.observation_size());
+        }
+    }
+
+    #[test]
+    fn paper_indices_are_1_through_7() {
+        let mut seen: Vec<usize> =
+            EnvId::ALL_WITH_ATARI.iter().map(|e| e.paper_index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(&EnvId::ALL_WITH_ATARI[..6], &EnvId::ALL, "Env7 extends the suite");
+    }
+
+    #[test]
+    fn env7_matches_declared_dimensions() {
+        let mut env = EnvId::Pong.make();
+        assert_eq!(env.reset(0).len(), EnvId::Pong.observation_size());
+        assert_eq!(env.action_space().policy_outputs(), EnvId::Pong.policy_outputs());
+        assert_eq!(EnvId::Pong.to_string(), "Env7 (pong)");
+    }
+
+    #[test]
+    fn normalized_fitness_is_clamped() {
+        assert_eq!(EnvId::CartPole.normalized_fitness(1e9), 1.0);
+        assert_eq!(EnvId::CartPole.normalized_fitness(-1e9), 0.0);
+        let mid = EnvId::CartPole.normalized_fitness(237.5);
+        assert!((mid - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_paper_numbering() {
+        assert_eq!(EnvId::CartPole.to_string(), "Env1 (cartpole)");
+        assert_eq!(EnvId::Pendulum.to_string(), "Env6 (pendulum)");
+    }
+}

@@ -1,0 +1,267 @@
+//! Environment wrappers: composable modifiers for deployment studies.
+//!
+//! The paper's *model-tuning* use case is an agent meeting a shifted
+//! version of its training environment ("a robot trained to walk on
+//! grass but now encounters sand"). These wrappers produce such shifts
+//! deterministically: sensor noise, action repetition (slower control
+//! loops), and tighter time limits — without touching the underlying
+//! physics implementations.
+
+use crate::env::{Action, ActionSpace, Environment, Step};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Adds deterministic Gaussian noise to every observation.
+///
+/// The noise stream is seeded from the episode seed, so wrapped
+/// environments remain fully reproducible.
+///
+/// # Example
+///
+/// ```
+/// use e3_envs::{CartPole, Environment};
+/// use e3_envs::wrappers::ObservationNoise;
+///
+/// let mut clean = CartPole::new();
+/// let mut noisy = ObservationNoise::new(CartPole::new(), 0.05);
+/// let a = clean.reset(3);
+/// let b = noisy.reset(3);
+/// assert_ne!(a, b, "observations are perturbed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObservationNoise<E> {
+    inner: E,
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl<E: Environment> ObservationNoise<E> {
+    /// Wraps `inner`, adding zero-mean Gaussian noise with standard
+    /// deviation `sigma` to every observation component.
+    pub fn new(inner: E, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        ObservationNoise { inner, sigma, rng: StdRng::seed_from_u64(0) }
+    }
+
+    fn perturb(&mut self, mut obs: Vec<f64>) -> Vec<f64> {
+        for v in &mut obs {
+            let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            *v += self.sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+        obs
+    }
+}
+
+impl<E: Environment> Environment for ObservationNoise<E> {
+    fn observation_size(&self) -> usize {
+        self.inner.observation_size()
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        self.inner.action_space()
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        self.rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let obs = self.inner.reset(seed);
+        self.perturb(obs)
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let mut step = self.inner.step(action);
+        step.observation = self.perturb(std::mem::take(&mut step.observation));
+        step
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.inner.max_episode_steps()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Repeats each action for `k` physics steps (a slower control loop),
+/// summing the rewards — the standard frame-skip wrapper.
+#[derive(Debug, Clone)]
+pub struct ActionRepeat<E> {
+    inner: E,
+    repeat: usize,
+}
+
+impl<E: Environment> ActionRepeat<E> {
+    /// Wraps `inner`, repeating each submitted action `repeat` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeat == 0`.
+    pub fn new(inner: E, repeat: usize) -> Self {
+        assert!(repeat > 0, "action repeat must be at least 1");
+        ActionRepeat { inner, repeat }
+    }
+}
+
+impl<E: Environment> Environment for ActionRepeat<E> {
+    fn observation_size(&self) -> usize {
+        self.inner.observation_size()
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        self.inner.action_space()
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        self.inner.reset(seed)
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let mut total_reward = 0.0;
+        let mut last = None;
+        for _ in 0..self.repeat {
+            let step = self.inner.step(action);
+            total_reward += step.reward;
+            let done = step.done();
+            last = Some(step);
+            if done {
+                break;
+            }
+        }
+        let mut step = last.expect("repeat >= 1");
+        step.reward = total_reward;
+        step
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.inner.max_episode_steps().div_ceil(self.repeat)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Overrides the episode step limit with a tighter one.
+#[derive(Debug, Clone)]
+pub struct TimeLimit<E> {
+    inner: E,
+    limit: usize,
+    steps: usize,
+}
+
+impl<E: Environment> TimeLimit<E> {
+    /// Wraps `inner` with a (typically tighter) step limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    pub fn new(inner: E, limit: usize) -> Self {
+        assert!(limit > 0, "time limit must be positive");
+        TimeLimit { inner, limit, steps: 0 }
+    }
+}
+
+impl<E: Environment> Environment for TimeLimit<E> {
+    fn observation_size(&self) -> usize {
+        self.inner.observation_size()
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        self.inner.action_space()
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        self.steps = 0;
+        self.inner.reset(seed)
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let mut step = self.inner.step(action);
+        self.steps += 1;
+        if !step.terminated && self.steps >= self.limit {
+            step.truncated = true;
+        }
+        step
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.limit.min(self.inner.max_episode_steps())
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cartpole::CartPole;
+    use crate::pendulum::Pendulum;
+
+    #[test]
+    fn observation_noise_is_deterministic_per_seed() {
+        let mut a = ObservationNoise::new(CartPole::new(), 0.1);
+        let mut b = ObservationNoise::new(CartPole::new(), 0.1);
+        assert_eq!(a.reset(5), b.reset(5));
+        let step_a = a.step(&Action::Discrete(1));
+        let step_b = b.step(&Action::Discrete(1));
+        assert_eq!(step_a, step_b);
+    }
+
+    #[test]
+    fn zero_noise_is_transparent() {
+        let mut clean = CartPole::new();
+        let mut wrapped = ObservationNoise::new(CartPole::new(), 0.0);
+        assert_eq!(clean.reset(2), wrapped.reset(2));
+        assert_eq!(clean.step(&Action::Discrete(0)), wrapped.step(&Action::Discrete(0)));
+    }
+
+    #[test]
+    fn action_repeat_sums_rewards_and_shortens_episodes() {
+        let mut plain = Pendulum::new();
+        let mut skipped = ActionRepeat::new(Pendulum::new(), 4);
+        plain.reset(1);
+        skipped.reset(1);
+        assert_eq!(skipped.max_episode_steps(), 50);
+        // One wrapped step == 4 plain steps, rewards summed.
+        let wrapped = skipped.step(&Action::Continuous(vec![1.0]));
+        let mut total = 0.0;
+        let mut last_obs = Vec::new();
+        for _ in 0..4 {
+            let s = plain.step(&Action::Continuous(vec![1.0]));
+            total += s.reward;
+            last_obs = s.observation;
+        }
+        assert!((wrapped.reward - total).abs() < 1e-12);
+        assert_eq!(wrapped.observation, last_obs);
+    }
+
+    #[test]
+    fn action_repeat_stops_at_termination() {
+        let mut env = ActionRepeat::new(CartPole::new(), 10);
+        env.reset(1);
+        let mut steps = 0;
+        loop {
+            let s = env.step(&Action::Discrete(1));
+            steps += 1;
+            if s.done() {
+                assert!(s.terminated);
+                break;
+            }
+            assert!(steps < 100);
+        }
+    }
+
+    #[test]
+    fn time_limit_truncates_early() {
+        let mut env = TimeLimit::new(Pendulum::new(), 10);
+        env.reset(3);
+        for i in 0..10 {
+            let s = env.step(&Action::Continuous(vec![0.0]));
+            assert_eq!(s.truncated, i == 9, "truncate exactly at the new limit");
+        }
+        assert_eq!(env.max_episode_steps(), 10);
+    }
+}

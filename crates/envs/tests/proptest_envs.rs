@@ -1,0 +1,72 @@
+//! Property tests: every environment is deterministic, bounded, and
+//! episode-terminating for arbitrary action sequences.
+
+use e3_envs::{Action, ActionSpace, EnvId};
+use proptest::prelude::*;
+
+/// Builds a valid action for a space from two raw values.
+fn action_for(space: &ActionSpace, a: usize, x: f64) -> Action {
+    match space {
+        ActionSpace::Discrete(n) => Action::Discrete(a % n),
+        ActionSpace::Continuous { low, high } => Action::Continuous(
+            low.iter().zip(high).map(|(&lo, &hi)| lo + (x.clamp(0.0, 1.0)) * (hi - lo)).collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical seeds + identical actions ⇒ identical trajectories,
+    /// for every environment in the suite.
+    #[test]
+    fn trajectories_are_deterministic(
+        seed in any::<u64>(),
+        actions in proptest::collection::vec((any::<usize>(), 0.0f64..1.0), 1..60),
+    ) {
+        for id in EnvId::ALL_WITH_ATARI {
+            let mut env_a = id.make();
+            let mut env_b = id.make();
+            prop_assert_eq!(env_a.reset(seed), env_b.reset(seed));
+            let space = env_a.action_space();
+            for &(a, x) in &actions {
+                let action = action_for(&space, a, x);
+                let sa = env_a.step(&action);
+                let sb = env_b.step(&action);
+                prop_assert_eq!(&sa, &sb, "{} diverged", id);
+                if sa.done() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Observations and rewards stay finite, and episodes end within
+    /// the declared step limit.
+    #[test]
+    fn episodes_are_bounded_and_finite(
+        seed in any::<u64>(),
+        a in any::<usize>(),
+        x in 0.0f64..1.0,
+    ) {
+        for id in EnvId::ALL_WITH_ATARI {
+            let mut env = id.make();
+            let obs = env.reset(seed);
+            prop_assert_eq!(obs.len(), id.observation_size());
+            let space = env.action_space();
+            let limit = env.max_episode_steps();
+            let mut steps = 0usize;
+            loop {
+                let step = env.step(&action_for(&space, a.wrapping_add(steps), x));
+                steps += 1;
+                prop_assert!(step.reward.is_finite(), "{} reward", id);
+                prop_assert!(step.observation.iter().all(|v| v.is_finite()), "{} obs", id);
+                if step.done() {
+                    break;
+                }
+                prop_assert!(steps <= limit, "{} exceeded its step limit", id);
+            }
+            prop_assert!(steps <= limit);
+        }
+    }
+}

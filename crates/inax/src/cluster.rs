@@ -1,0 +1,337 @@
+//! The INAX PU cluster: population-level parallelism and the
+//! closed-loop batched-inference interface used by the E3 platform.
+//!
+//! The controller dispatches individuals to PUs in batches of `num_pu`
+//! (paper §IV-C). Within a batch, every environment step runs one
+//! synchronized inference wave across the resident PUs: the wave's
+//! latency is the slowest resident network (paper §V-B issue 1), and
+//! PUs whose episodes have already terminated idle until the whole
+//! batch finishes (issue 2).
+
+use crate::config::InaxConfig;
+use crate::dma::DmaModel;
+use crate::net::IrregularNet;
+use crate::profile::{CycleBreakdown, UtilizationReport};
+use crate::pu::PuSim;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate accounting for a run on the accelerator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeRunReport {
+    /// Total accelerator wall cycles (set-up + compute + DMA).
+    pub total_cycles: u64,
+    /// Phase breakdown (Fig. 9(a) categories). PE-scope accounting.
+    pub breakdown: CycleBreakdown,
+    /// PU-level utilization (paper Eq. 1 at PU scope).
+    pub pu_utilization: UtilizationReport,
+    /// PE-level utilization aggregated over all inferences.
+    pub pe_utilization: UtilizationReport,
+    /// Cycles spent on DMA transfers (input/weight/output channels).
+    pub dma_cycles: u64,
+    /// Inference waves executed.
+    pub steps: u64,
+}
+
+/// A simulated INAX instance: a cluster of PUs behind DMA channels.
+///
+/// Typical closed-loop use: [`InaxAccelerator::load_batch`] a batch of
+/// compiled networks, then call [`InaxAccelerator::step`] once per
+/// environment step with the inputs of the still-alive individuals
+/// until the batch's episodes all finish; repeat for the next batch
+/// and read [`InaxAccelerator::report`].
+///
+/// # Example
+///
+/// ```
+/// use e3_inax::{InaxAccelerator, InaxConfig};
+/// use e3_inax::synthetic::synthetic_population;
+///
+/// let config = InaxConfig::builder().num_pu(4).num_pe(4).build();
+/// let mut acc = InaxAccelerator::new(config);
+/// let nets = synthetic_population(4, 8, 4, 10, 0.3, 1);
+/// acc.load_batch(nets);
+/// let inputs = vec![Some(vec![0.5; 8]); 4];
+/// let outputs = acc.step(&inputs);
+/// assert_eq!(outputs.len(), 4);
+/// assert!(outputs[0].is_some());
+/// assert!(acc.report().total_cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct InaxAccelerator {
+    config: InaxConfig,
+    dma: DmaModel,
+    pus: Vec<PuSim>,
+    report: EpisodeRunReport,
+}
+
+impl InaxAccelerator {
+    /// Creates an empty accelerator.
+    pub fn new(config: InaxConfig) -> Self {
+        let dma = DmaModel::new(config.dma_bytes_per_cycle, config.dma_latency_cycles);
+        InaxAccelerator { config, dma, pus: Vec::new(), report: EpisodeRunReport::default() }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &InaxConfig {
+        &self.config
+    }
+
+    /// Loads a batch of individuals onto the PUs (set-up phase):
+    /// weight streams move serially over the shared weight channel,
+    /// then all PUs decode in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exceeds `num_pu`.
+    pub fn load_batch(&mut self, nets: Vec<IrregularNet>) {
+        assert!(
+            nets.len() <= self.config.num_pu,
+            "batch of {} exceeds {} PUs",
+            nets.len(),
+            self.config.num_pu
+        );
+        let mut dma_cycles = 0u64;
+        for net in &nets {
+            dma_cycles += self.dma.transfer_cycles(net.weight_stream_bytes());
+        }
+        self.pus = nets.into_iter().map(|n| PuSim::new(&self.config, n)).collect();
+        let decode = self.pus.iter().map(PuSim::setup_cycles).max().unwrap_or(0);
+        self.report.dma_cycles += dma_cycles;
+        self.report.breakdown.setup += decode + dma_cycles;
+        self.report.total_cycles += decode + dma_cycles;
+    }
+
+    /// Number of currently resident individuals.
+    pub fn resident(&self) -> usize {
+        self.pus.len()
+    }
+
+    /// Runs one synchronized inference wave. `inputs[i]` carries the
+    /// observation for resident individual `i`, or `None` if its
+    /// episode already terminated (its PU idles through the wave).
+    /// Returns one output vector per resident individual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the resident batch size.
+    pub fn step(&mut self, inputs: &[Option<Vec<f64>>]) -> Vec<Option<Vec<f64>>> {
+        assert_eq!(inputs.len(), self.pus.len(), "one input slot per resident individual");
+        // Input DMA: observations for alive individuals move serially
+        // over the input channel (8 bytes per f64 value).
+        let in_bytes: u64 = inputs
+            .iter()
+            .flatten()
+            .map(|v| 8 * v.len() as u64)
+            .sum();
+        let input_dma = self.dma.transfer_cycles(in_bytes);
+
+        let mut outputs = Vec::with_capacity(self.pus.len());
+        let mut wave_wall = 0u64;
+        let mut pu_active = 0u64;
+        let mut out_bytes = 0u64;
+        for (pu, input) in self.pus.iter_mut().zip(inputs) {
+            match input {
+                Some(obs) => {
+                    let (out, profile) = pu.infer(obs);
+                    out_bytes += 8 * out.len() as u64;
+                    outputs.push(Some(out));
+                    wave_wall = wave_wall.max(profile.wall_cycles);
+                    pu_active += profile.wall_cycles;
+                    self.report.breakdown.pe_active += profile.pe_active_cycles;
+                    self.report.breakdown.evaluate_control += profile.control_cycles();
+                    self.report.pe_utilization.merge(profile.pe_utilization());
+                }
+                None => outputs.push(None),
+            }
+        }
+        let output_dma = self.dma.transfer_cycles(out_bytes);
+        let dma = input_dma + output_dma;
+
+        // Idle PU time within the wave (slow-network lag + dead
+        // episodes across the whole provisioned cluster) is charged to
+        // evaluate-control at PU scope.
+        let provisioned = self.config.num_pu as u64 * wave_wall;
+        self.report.pu_utilization.merge(UtilizationReport { active: pu_active, total: provisioned });
+        self.report.dma_cycles += dma;
+        self.report.total_cycles += wave_wall + dma;
+        self.report.steps += 1;
+        outputs
+    }
+
+    /// Clears the resident batch (episodes done); accounting persists.
+    pub fn unload_batch(&mut self) {
+        self.pus.clear();
+    }
+
+    /// Cumulative run report.
+    pub fn report(&self) -> EpisodeRunReport {
+        self.report
+    }
+
+    /// Resets the cumulative accounting (e.g. between experiments).
+    pub fn reset_report(&mut self) {
+        self.report = EpisodeRunReport::default();
+    }
+}
+
+/// Work description of one individual's full episode, used by the
+/// analytical PU-parallelism study (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeWork {
+    /// Wall cycles of one inference for this individual's network.
+    pub inference_cycles: u64,
+    /// Environment steps the individual survives.
+    pub steps: u64,
+}
+
+impl EpisodeWork {
+    /// Total busy cycles of this individual's episode.
+    pub fn total_cycles(&self) -> u64 {
+        self.inference_cycles * self.steps
+    }
+}
+
+/// Analytical model of running `episodes` on a cluster of `num_pu`
+/// PUs: individuals are dispatched in batches; each batch occupies the
+/// cluster until its slowest episode finishes (lock-step inference
+/// waves per env step, PUs with finished episodes idle). Returns
+/// `(total_wall_cycles, pu_utilization)`.
+///
+/// This is the model behind the paper's Fig. 7: `U(PU)` has local
+/// peaks at `⌈p/2⌉, ⌈p/3⌉, …` because those divide the population into
+/// full batches.
+pub fn analyze_pu_parallelism(
+    num_pu: usize,
+    episodes: &[EpisodeWork],
+) -> (u64, UtilizationReport) {
+    assert!(num_pu > 0, "need at least one PU");
+    let mut wall = 0u64;
+    let mut util = UtilizationReport::default();
+    for batch in episodes.chunks(num_pu) {
+        let batch_wall = batch.iter().map(EpisodeWork::total_cycles).max().unwrap_or(0);
+        let active: u64 = batch.iter().map(EpisodeWork::total_cycles).sum();
+        wall += batch_wall;
+        util.merge(UtilizationReport { active, total: num_pu as u64 * batch_wall });
+    }
+    (wall, util)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::synthetic_population;
+
+    fn uniform_episodes(count: usize, cycles: u64, steps: u64) -> Vec<EpisodeWork> {
+        vec![EpisodeWork { inference_cycles: cycles, steps }; count]
+    }
+
+    #[test]
+    fn pu_divisors_of_population_have_full_utilization() {
+        let episodes = uniform_episodes(200, 100, 10);
+        for num_pu in [200, 100, 50, 25, 10] {
+            let (_, util) = analyze_pu_parallelism(num_pu, &episodes);
+            assert!(
+                (util.rate() - 1.0).abs() < 1e-12,
+                "uniform work on divisor {num_pu} must be fully utilized, got {}",
+                util.rate()
+            );
+        }
+    }
+
+    #[test]
+    fn just_below_divisor_wastes_a_batch() {
+        // Paper §V-B: with p=200, 100 PUs needs 2 batches; 99 PUs needs
+        // 3 batches with the last batch 98% idle.
+        let episodes = uniform_episodes(200, 100, 10);
+        let (wall_100, util_100) = analyze_pu_parallelism(100, &episodes);
+        let (wall_99, util_99) = analyze_pu_parallelism(99, &episodes);
+        assert!(wall_99 > wall_100);
+        assert!(util_99.rate() < util_100.rate());
+        assert!((wall_99 as f64 / wall_100 as f64 - 1.5).abs() < 1e-9, "3 batches vs 2");
+    }
+
+    #[test]
+    fn more_pus_reduce_wall_time_for_uniform_work() {
+        let episodes = uniform_episodes(150, 80, 7);
+        let mut prev = u64::MAX;
+        for num_pu in 1..=150 {
+            let (wall, _) = analyze_pu_parallelism(num_pu, &episodes);
+            assert!(wall <= prev, "uniform work is monotone at {num_pu} PUs");
+            prev = wall;
+        }
+    }
+
+    #[test]
+    fn heterogeneous_work_is_bounded_by_serial_and_full_parallel() {
+        // With variable episode lengths the trend still holds even
+        // though batch-boundary shifts make it non-strict: any PU count
+        // beats serial execution, and full parallelism is optimal.
+        let episodes: Vec<EpisodeWork> = (0..150)
+            .map(|i| EpisodeWork { inference_cycles: 50 + (i % 7) * 10, steps: 5 + (i % 13) })
+            .collect();
+        let (serial, serial_util) = analyze_pu_parallelism(1, &episodes);
+        let (full, _) = analyze_pu_parallelism(150, &episodes);
+        assert!((serial_util.rate() - 1.0).abs() < 1e-12, "one PU never idles");
+        for num_pu in 2..150 {
+            let (wall, util) = analyze_pu_parallelism(num_pu, &episodes);
+            assert!(wall <= serial, "{num_pu} PUs must beat serial");
+            assert!(wall >= full, "nothing beats full parallelism");
+            assert!(util.rate() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn closed_loop_step_accounts_cycles_and_outputs() {
+        let config = InaxConfig::builder().num_pu(3).num_pe(2).build();
+        let mut acc = InaxAccelerator::new(config);
+        let nets = synthetic_population(3, 4, 2, 6, 0.4, 9);
+        let refs: Vec<_> = nets.iter().map(|n| n.evaluate(&[0.1, 0.2, 0.3, 0.4])).collect();
+        acc.load_batch(nets);
+        let setup = acc.report().breakdown.setup;
+        assert!(setup > 0);
+        let inputs = vec![Some(vec![0.1, 0.2, 0.3, 0.4]); 3];
+        let outs = acc.step(&inputs);
+        for (out, reference) in outs.iter().zip(&refs) {
+            assert_eq!(out.as_ref().unwrap(), reference, "HW must match SW bit-for-bit");
+        }
+        let report = acc.report();
+        assert_eq!(report.steps, 1);
+        assert!(report.total_cycles > setup);
+        assert!(report.pu_utilization.rate() <= 1.0);
+    }
+
+    #[test]
+    fn dead_individuals_idle_their_pus() {
+        let config = InaxConfig::builder().num_pu(2).num_pe(1).build();
+        let mut acc = InaxAccelerator::new(config.clone());
+        let nets = synthetic_population(2, 4, 2, 6, 0.4, 5);
+        acc.load_batch(nets.clone());
+        let full = vec![Some(vec![0.0; 4]); 2];
+        acc.step(&full);
+        let util_full = acc.report().pu_utilization.rate();
+
+        let mut acc2 = InaxAccelerator::new(config);
+        acc2.load_batch(nets);
+        let half = vec![Some(vec![0.0; 4]), None];
+        acc2.step(&half);
+        let util_half = acc2.report().pu_utilization.rate();
+        assert!(util_half < util_full, "a dead episode must reduce PU utilization");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_batch_rejected() {
+        let mut acc = InaxAccelerator::new(InaxConfig::builder().num_pu(1).build());
+        acc.load_batch(synthetic_population(2, 4, 2, 4, 0.4, 1));
+    }
+
+    #[test]
+    fn unload_preserves_accounting() {
+        let mut acc = InaxAccelerator::new(InaxConfig::builder().num_pu(2).build());
+        acc.load_batch(synthetic_population(2, 4, 2, 4, 0.4, 2));
+        let before = acc.report().total_cycles;
+        acc.unload_batch();
+        assert_eq!(acc.resident(), 0);
+        assert_eq!(acc.report().total_cycles, before);
+    }
+}

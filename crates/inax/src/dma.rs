@@ -1,0 +1,73 @@
+//! DMA channel model.
+//!
+//! E3 moves data between CPU DRAM and INAX over DMA channels (input,
+//! weight, output) plus a lightweight `sig` channel for start/done
+//! handshakes (paper Fig. 5). The model is a fixed per-transaction
+//! latency plus a bandwidth term.
+
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth + latency model of one DMA channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaModel {
+    /// Payload bytes moved per accelerator cycle once streaming.
+    pub bytes_per_cycle: u64,
+    /// Fixed transaction setup latency in cycles.
+    pub latency_cycles: u64,
+}
+
+impl DmaModel {
+    /// Creates a model from the accelerator configuration's DMA fields.
+    pub fn new(bytes_per_cycle: u64, latency_cycles: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "DMA bandwidth must be positive");
+        DmaModel { bytes_per_cycle, latency_cycles }
+    }
+
+    /// Cycles to move `bytes` in one transaction (0 bytes costs
+    /// nothing — no transaction is issued).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.latency_cycles + bytes.div_ceil(self.bytes_per_cycle)
+    }
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        DmaModel::new(8, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(DmaModel::default().transfer_cycles(0), 0);
+    }
+
+    #[test]
+    fn transfer_includes_latency_and_bandwidth() {
+        let dma = DmaModel::new(8, 32);
+        assert_eq!(dma.transfer_cycles(1), 32 + 1);
+        assert_eq!(dma.transfer_cycles(8), 32 + 1);
+        assert_eq!(dma.transfer_cycles(9), 32 + 2);
+        assert_eq!(dma.transfer_cycles(800), 32 + 100);
+    }
+
+    #[test]
+    fn larger_transfers_amortize_latency() {
+        let dma = DmaModel::new(8, 32);
+        let one_big = dma.transfer_cycles(1024);
+        let many_small: u64 = (0..16).map(|_| dma.transfer_cycles(64)).sum();
+        assert!(one_big < many_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = DmaModel::new(0, 1);
+    }
+}

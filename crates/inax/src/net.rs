@@ -1,0 +1,284 @@
+//! Hardware-facing network description.
+//!
+//! [`IrregularNet`] is the form in which an evolved network is shipped
+//! to the accelerator over the weight channel: non-input nodes in
+//! level-major topological order, each with its resolved ingress list
+//! into the shared *value buffer*. Value-buffer slot `i` holds input
+//! `i` for `i < num_inputs` and the output of compute node
+//! `i - num_inputs` otherwise — exactly the layout
+//! [`e3_neat::Network`] produces, so conversion is direct.
+
+use e3_neat::{Activation, DecodeError, Genome, Network, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// One compute node as seen by the hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwNode {
+    /// Ingress edges: `(value_buffer_slot, weight)`.
+    pub ingress: Vec<(usize, f64)>,
+    /// Bias added after accumulation.
+    pub bias: f64,
+    /// Activation applied by the PE's activation unit.
+    pub activation: Activation,
+}
+
+/// An irregular feed-forward network compiled for INAX.
+///
+/// # Example
+///
+/// ```
+/// use e3_inax::IrregularNet;
+/// use e3_neat::{Genome, InnovationTracker};
+///
+/// let mut tracker = InnovationTracker::with_reserved_nodes(3);
+/// let mut genome = Genome::bare(2, 1);
+/// genome.add_connection(0, 2, 1.0, &mut tracker)?;
+/// let net = IrregularNet::try_from(&genome)?;
+/// assert_eq!(net.num_compute_nodes(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrregularNet {
+    num_inputs: usize,
+    num_outputs: usize,
+    /// Compute nodes (hidden + output) in level-major topological
+    /// order; node `i` writes value-buffer slot `num_inputs + i`.
+    nodes: Vec<HwNode>,
+    /// Per compute level: `(start, end)` index range into `nodes`.
+    levels: Vec<(usize, usize)>,
+    /// Indices (into `nodes`) of the output nodes, in genome id order.
+    output_nodes: Vec<usize>,
+}
+
+impl IrregularNet {
+    /// Compiles a decoded software network into the hardware layout.
+    pub fn from_network(network: &Network) -> Self {
+        let num_inputs = network.num_inputs();
+        let all = network.nodes();
+        // Network nodes are level-major with the inputs occupying the
+        // first `num_inputs` slots, so network index == value slot.
+        let mut nodes = Vec::with_capacity(all.len() - num_inputs);
+        let mut levels: Vec<(usize, usize)> = Vec::new();
+        let mut output_nodes = Vec::new();
+        let mut current_level = usize::MAX;
+        for (net_idx, n) in all.iter().enumerate().skip(num_inputs) {
+            debug_assert_ne!(n.kind, NodeKind::Input, "inputs occupy the leading slots");
+            let compute_idx = net_idx - num_inputs;
+            if n.kind == NodeKind::Output {
+                output_nodes.push(compute_idx);
+            }
+            if n.level != current_level {
+                levels.push((compute_idx, compute_idx + 1));
+                current_level = n.level;
+            } else {
+                levels.last_mut().expect("just pushed").1 = compute_idx + 1;
+            }
+            nodes.push(HwNode {
+                ingress: n.incoming.clone(),
+                bias: n.bias,
+                activation: n.activation,
+            });
+        }
+        // Output order must follow genome id order (like Network's).
+        let mut net = IrregularNet {
+            num_inputs,
+            num_outputs: network.num_outputs(),
+            nodes,
+            levels,
+            output_nodes,
+        };
+        let ids: Vec<usize> = all
+            .iter()
+            .skip(num_inputs)
+            .enumerate()
+            .filter(|(_, n)| n.kind == NodeKind::Output)
+            .map(|(i, _)| i)
+            .collect();
+        let mut with_ids: Vec<(usize, usize)> = ids
+            .iter()
+            .map(|&i| (all[i + num_inputs].id, i))
+            .collect();
+        with_ids.sort_unstable();
+        net.output_nodes = with_ids.into_iter().map(|(_, i)| i).collect();
+        net
+    }
+
+    /// Number of input slots.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output values.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of compute nodes (hidden + output).
+    pub fn num_compute_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Compute nodes in execution order.
+    pub fn nodes(&self) -> &[HwNode] {
+        &self.nodes
+    }
+
+    /// Compute levels as index ranges into [`IrregularNet::nodes`].
+    pub fn levels(&self) -> &[(usize, usize)] {
+        &self.levels
+    }
+
+    /// Total ingress connections (MACs per inference).
+    pub fn num_connections(&self) -> usize {
+        self.nodes.iter().map(|n| n.ingress.len()).sum()
+    }
+
+    /// Size of the value buffer (inputs + compute nodes).
+    pub fn value_buffer_slots(&self) -> usize {
+        self.num_inputs + self.nodes.len()
+    }
+
+    /// Bytes shipped over the weight channel during set-up: one 32-bit
+    /// word per connection (packed slot+weight), plus a descriptor word
+    /// per node.
+    pub fn weight_stream_bytes(&self) -> u64 {
+        4 * (self.num_connections() as u64 + self.nodes.len() as u64)
+    }
+
+    /// Indices (into [`IrregularNet::nodes`]) of the output nodes, in
+    /// genome output order.
+    pub fn output_node_indices(&self) -> &[usize] {
+        &self.output_nodes
+    }
+
+    /// Functional evaluation with a caller-provided value buffer
+    /// (reused across steps like the hardware's). Returns the outputs
+    /// in genome id order — bit-identical to
+    /// [`e3_neat::Network::activate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `value_buffer` have the wrong length.
+    pub fn evaluate_into(&self, inputs: &[f64], value_buffer: &mut [f64]) -> Vec<f64> {
+        assert_eq!(inputs.len(), self.num_inputs, "input size mismatch");
+        assert_eq!(value_buffer.len(), self.value_buffer_slots(), "value buffer size mismatch");
+        value_buffer[..self.num_inputs].copy_from_slice(inputs);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut acc = node.bias;
+            for &(slot, weight) in &node.ingress {
+                debug_assert!(slot < self.num_inputs + i, "forward-only dependency");
+                acc += value_buffer[slot] * weight;
+            }
+            value_buffer[self.num_inputs + i] = node.activation.apply(acc);
+        }
+        self.output_nodes
+            .iter()
+            .map(|&i| value_buffer[self.num_inputs + i])
+            .collect()
+    }
+
+    /// Functional evaluation with a temporary value buffer.
+    pub fn evaluate(&self, inputs: &[f64]) -> Vec<f64> {
+        let mut buffer = vec![0.0; self.value_buffer_slots()];
+        self.evaluate_into(inputs, &mut buffer)
+    }
+}
+
+impl TryFrom<&Genome> for IrregularNet {
+    type Error = DecodeError;
+
+    fn try_from(genome: &Genome) -> Result<Self, DecodeError> {
+        Ok(Self::from_network(&genome.decode()?))
+    }
+}
+
+impl From<&Network> for IrregularNet {
+    fn from(network: &Network) -> Self {
+        Self::from_network(network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_neat::{InnovationTracker, NeatConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skip_genome() -> Genome {
+        // 2 inputs, 1 output, one hidden splitting input 0's edge, plus
+        // a direct skip from input 1.
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        let innovation = g.add_connection(0, 2, 0.5, &mut tracker).unwrap();
+        g.add_connection(1, 2, 0.25, &mut tracker).unwrap();
+        g.split_connection(innovation, Activation::Relu, &mut tracker).unwrap();
+        g
+    }
+
+    #[test]
+    fn compile_preserves_structure() {
+        let g = skip_genome();
+        let net = IrregularNet::try_from(&g).unwrap();
+        assert_eq!(net.num_inputs(), 2);
+        assert_eq!(net.num_compute_nodes(), 2); // hidden + output
+        assert_eq!(net.levels().len(), 2);
+        assert_eq!(net.num_connections(), 3);
+        assert_eq!(net.value_buffer_slots(), 4);
+    }
+
+    #[test]
+    fn functional_eval_matches_software_reference() {
+        let g = skip_genome();
+        let mut sw = g.decode().unwrap();
+        let hw = IrregularNet::try_from(&g).unwrap();
+        for input in [[0.0, 0.0], [1.0, -1.0], [0.3, 0.7], [-2.0, 5.0]] {
+            assert_eq!(sw.activate(&input), hw.evaluate(&input));
+        }
+    }
+
+    #[test]
+    fn random_genomes_match_reference_bit_for_bit() {
+        let config = NeatConfig::builder(8, 4)
+            .initial_hidden_nodes(30)
+            .initial_connection_density(0.2)
+            .build();
+        let mut tracker = InnovationTracker::with_reserved_nodes(12);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let mut g = Genome::initial(&config, &mut tracker, &mut rng);
+            for _ in 0..15 {
+                g.mutate(&config, &mut tracker, &mut rng);
+            }
+            let mut sw = g.decode().unwrap();
+            let hw = IrregularNet::try_from(&g).unwrap();
+            let input: Vec<f64> = (0..8).map(|i| (i as f64 * 0.37).sin()).collect();
+            assert_eq!(sw.activate(&input), hw.evaluate(&input));
+        }
+    }
+
+    #[test]
+    fn evaluate_into_reuses_buffer() {
+        let g = skip_genome();
+        let hw = IrregularNet::try_from(&g).unwrap();
+        let mut buffer = vec![0.0; hw.value_buffer_slots()];
+        let a = hw.evaluate_into(&[1.0, 2.0], &mut buffer);
+        let b = hw.evaluate_into(&[1.0, 2.0], &mut buffer);
+        assert_eq!(a, b, "buffer reuse must not corrupt results");
+    }
+
+    #[test]
+    fn weight_stream_counts_connections_and_nodes() {
+        let g = skip_genome();
+        let hw = IrregularNet::try_from(&g).unwrap();
+        assert_eq!(hw.weight_stream_bytes(), 4 * (3 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_panics() {
+        let g = skip_genome();
+        let hw = IrregularNet::try_from(&g).unwrap();
+        let _ = hw.evaluate(&[1.0]);
+    }
+}

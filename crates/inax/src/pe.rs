@@ -1,0 +1,59 @@
+//! Processing Element cost model.
+//!
+//! A PE is a DSP MAC plus an activation unit running as a pipeline
+//! (paper §IV-E). With the output-stationary dataflow it owns one node
+//! end-to-end: it streams the node's ingress values from the value
+//! buffer, accumulates locally, adds the bias, applies the activation,
+//! and commits the result. Its busy time is therefore proportional to
+//! the node's **in-degree** — the source of PE-time variance that
+//! forces synchronization idling in irregular networks (paper §V-A
+//! issue 3).
+
+use crate::config::InaxConfig;
+use crate::net::HwNode;
+
+/// Cycles a single PE needs to compute `node` under the configured
+/// dataflow.
+///
+/// Output stationary: `in_degree × mac + activation` (the bias add is
+/// folded into the activation pipeline stage). A node with no ingress
+/// still pays the activation/commit cost.
+pub fn node_cycles(config: &InaxConfig, node: &HwNode) -> u64 {
+    node.ingress.len() as u64 * config.mac_cycles + config.activation_cycles
+}
+
+/// Cycles to compute `node` if the PE had to pad to a fixed in-degree
+/// `padded_degree` (used by the systolic-array comparison where dummy
+/// nodes force worst-case alignment).
+pub fn padded_node_cycles(config: &InaxConfig, padded_degree: usize) -> u64 {
+    padded_degree as u64 * config.mac_cycles + config.activation_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_neat::Activation;
+
+    fn node(in_degree: usize) -> HwNode {
+        HwNode {
+            ingress: (0..in_degree).map(|i| (i, 1.0)).collect(),
+            bias: 0.0,
+            activation: Activation::Relu,
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_in_degree() {
+        let c = InaxConfig::default();
+        let base = node_cycles(&c, &node(0));
+        assert_eq!(base, c.activation_cycles);
+        assert_eq!(node_cycles(&c, &node(5)), 5 * c.mac_cycles + c.activation_cycles);
+        assert!(node_cycles(&c, &node(10)) > node_cycles(&c, &node(3)));
+    }
+
+    #[test]
+    fn padding_costs_the_padded_degree() {
+        let c = InaxConfig::default();
+        assert_eq!(padded_node_cycles(&c, 8), node_cycles(&c, &node(8)));
+    }
+}

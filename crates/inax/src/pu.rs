@@ -1,0 +1,324 @@
+//! Processing Unit: one individual's network on a cluster of PEs.
+//!
+//! A PU owns the full "evaluate" of one individual (paper §IV-D): its
+//! weight buffer holds the network configuration for the whole episode
+//! (networks are reused across env steps, so weights are worth keeping
+//! local), its value buffer holds **all** intermediate activations
+//! (irregular links may read any earlier node), and its PE cluster
+//! computes each topological level in waves of `num_pe` nodes.
+//!
+//! The inference schedule is input-independent — INAX does not gate on
+//! activation values — so the cycle profile is computed once per
+//! network and reused every step.
+
+use crate::config::{Dataflow, InaxConfig};
+use crate::net::IrregularNet;
+use crate::pe::node_cycles;
+use crate::profile::{CycleBreakdown, UtilizationReport};
+use serde::{Deserialize, Serialize};
+
+/// Cycle profile of one inference pass on one PU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PuInferenceProfile {
+    /// Wall cycles the PU is busy for one inference.
+    pub wall_cycles: u64,
+    /// Useful PE cycles (summed over PEs).
+    pub pe_active_cycles: u64,
+    /// Provisioned PE cycles: `wall_cycles × num_pe`.
+    pub pe_total_cycles: u64,
+    /// Number of PE waves launched.
+    pub waves: u64,
+}
+
+impl PuInferenceProfile {
+    /// PE utilization for this inference (paper Eq. 1 at PE scope).
+    pub fn pe_utilization(&self) -> UtilizationReport {
+        UtilizationReport { active: self.pe_active_cycles, total: self.pe_total_cycles }
+    }
+
+    /// Control (non-useful) cycles: idle PEs + wave/sync overheads.
+    pub fn control_cycles(&self) -> u64 {
+        self.pe_total_cycles - self.pe_active_cycles
+    }
+
+    /// Total cycles accounted to the PU for this inference.
+    pub fn total_cycles(&self) -> u64 {
+        self.wall_cycles
+    }
+}
+
+/// A simulated Processing Unit holding one compiled network.
+///
+/// # Example
+///
+/// ```
+/// use e3_inax::{InaxConfig, IrregularNet, PuSim};
+/// use e3_neat::{Genome, InnovationTracker};
+///
+/// let mut tracker = InnovationTracker::with_reserved_nodes(4);
+/// let mut genome = Genome::bare(3, 1);
+/// genome.add_connection(0, 3, 1.0, &mut tracker)?;
+/// genome.add_connection(1, 3, 1.0, &mut tracker)?;
+/// let net = IrregularNet::try_from(&genome)?;
+/// let mut pu = PuSim::new(&InaxConfig::builder().num_pe(2).build(), net);
+/// let (out, profile) = pu.infer(&[1.0, 2.0, 3.0]);
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(profile.waves, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PuSim {
+    config: InaxConfig,
+    net: IrregularNet,
+    value_buffer: Vec<f64>,
+    profile: PuInferenceProfile,
+    setup_cycles: u64,
+}
+
+impl PuSim {
+    /// Creates a PU with `net` resident (the set-up phase cost is
+    /// recorded in [`PuSim::setup_cycles`]).
+    pub fn new(config: &InaxConfig, net: IrregularNet) -> Self {
+        let profile = schedule_inference(config, &net);
+        let setup_cycles = net.num_connections() as u64 * config.setup_cycles_per_connection
+            + net.num_compute_nodes() as u64 * config.setup_cycles_per_node;
+        PuSim {
+            config: config.clone(),
+            value_buffer: vec![0.0; net.value_buffer_slots()],
+            net,
+            profile,
+            setup_cycles,
+        }
+    }
+
+    /// The resident network.
+    pub fn net(&self) -> &IrregularNet {
+        &self.net
+    }
+
+    /// Cycles the set-up phase (weight-channel decode) took.
+    pub fn setup_cycles(&self) -> u64 {
+        self.setup_cycles
+    }
+
+    /// Cycle profile of one inference (input-independent).
+    pub fn inference_profile(&self) -> PuInferenceProfile {
+        self.profile
+    }
+
+    /// Runs one inference: returns the outputs (bit-identical to the
+    /// software reference) and the cycle profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the network's input count.
+    pub fn infer(&mut self, inputs: &[f64]) -> (Vec<f64>, PuInferenceProfile) {
+        let outputs = self.net.evaluate_into(inputs, &mut self.value_buffer);
+        (outputs, self.profile)
+    }
+
+    /// Full-phase breakdown for `steps` inferences including the
+    /// one-time set-up (Fig. 9(a) categories).
+    pub fn episode_breakdown(&self, steps: u64) -> CycleBreakdown {
+        CycleBreakdown {
+            setup: self.setup_cycles,
+            pe_active: self.profile.pe_active_cycles * steps,
+            evaluate_control: self.profile.control_cycles() * steps,
+        }
+    }
+
+    /// The configuration this PU was built with.
+    pub fn config(&self) -> &InaxConfig {
+        &self.config
+    }
+}
+
+/// Computes the inference schedule of `net` on a PE cluster (the heart
+/// of the INAX timing model).
+///
+/// For every topological level with `m` nodes and `n` PEs the level is
+/// executed in `⌈m/n⌉` waves (paper §V-A issue 2, "PEs alignment").
+/// Within a wave each PE computes one node; the wave's latency is the
+/// **maximum** node latency (issue 3, "synchronization"), so degree
+/// variance shows up as idle PE cycles. A level barrier and per-wave
+/// launch overhead are charged on top.
+pub fn schedule_inference(config: &InaxConfig, net: &IrregularNet) -> PuInferenceProfile {
+    let n = config.num_pe.max(1);
+    let mut wall = 0u64;
+    let mut active = 0u64;
+    let mut waves = 0u64;
+    match config.dataflow {
+        Dataflow::OutputStationary | Dataflow::WeightStationary => {
+            // WS differs only in the per-node cost: with zero weight
+            // reuse in an MLP, pinned weights must still be refetched
+            // every MAC, doubling the MAC occupancy.
+            let penalty = if config.dataflow == Dataflow::WeightStationary { 2 } else { 1 };
+            for &(start, end) in net.levels() {
+                for wave in net.nodes()[start..end].chunks(n) {
+                    let mut wave_max = 0u64;
+                    for node in wave {
+                        let c = node_cycles(config, node) * penalty;
+                        active += c;
+                        wave_max = wave_max.max(c);
+                    }
+                    wall += wave_max + config.wave_overhead_cycles;
+                    waves += 1;
+                }
+                wall += config.level_sync_cycles;
+            }
+        }
+        Dataflow::InputStationary => {
+            // A PE pins one value-buffer slot and walks its egress
+            // list; a final pass applies the activations. Egress lists
+            // are derived from the ingress lists.
+            let slots = net.value_buffer_slots();
+            let mut egress = vec![0u64; slots];
+            for node in net.nodes() {
+                for &(slot, _) in &node.ingress {
+                    egress[slot] += config.mac_cycles;
+                }
+            }
+            for wave in egress.chunks(n) {
+                let wave_max = wave.iter().copied().max().unwrap_or(0);
+                if wave_max == 0 {
+                    continue;
+                }
+                active += wave.iter().sum::<u64>();
+                wall += wave_max + config.wave_overhead_cycles;
+                waves += 1;
+            }
+            // Activation pass over compute nodes.
+            for wave in net.nodes().chunks(n) {
+                active += wave.len() as u64 * config.activation_cycles;
+                wall += config.activation_cycles + config.wave_overhead_cycles;
+                waves += 1;
+            }
+            wall += config.level_sync_cycles;
+        }
+    }
+    PuInferenceProfile {
+        wall_cycles: wall,
+        pe_active_cycles: active,
+        pe_total_cycles: wall * n as u64,
+        waves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::synthetic_net;
+    use e3_neat::{Genome, InnovationTracker};
+
+    fn two_level_net() -> IrregularNet {
+        // 2 inputs; hidden level of 3 nodes (via splits); output.
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        let i1 = g.add_connection(0, 2, 1.0, &mut tracker).unwrap();
+        let h1 = g.split_connection(i1, e3_neat::Activation::Relu, &mut tracker).unwrap();
+        let i2 = g.add_connection(1, 2, 1.0, &mut tracker).unwrap();
+        let h2 = g.split_connection(i2, e3_neat::Activation::Relu, &mut tracker).unwrap();
+        let i3 = g.connection_between(0, h1).unwrap().innovation;
+        let _ = i3;
+        g.add_connection(1, h1, 0.5, &mut tracker).unwrap();
+        g.add_connection(0, h2, 0.5, &mut tracker).unwrap();
+        IrregularNet::try_from(&g).unwrap()
+    }
+
+    #[test]
+    fn single_pe_has_full_utilization_modulo_overhead() {
+        let config = InaxConfig::builder().num_pe(1).wave_overhead_cycles(0).build();
+        let mut config = config;
+        config.level_sync_cycles = 0;
+        let net = two_level_net();
+        let p = schedule_inference(&config, &net);
+        assert_eq!(p.pe_active_cycles, p.pe_total_cycles, "1 PE never idles");
+        assert!((p.pe_utilization().rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_schedule_matches() {
+        // two_level_net: hidden level = [h1 (deg 2), h2 (deg 2)],
+        // output level = [out (deg 2)].
+        let net = two_level_net();
+        assert_eq!(net.levels().len(), 2);
+        let mut config = InaxConfig::builder().num_pe(2).build();
+        config.wave_overhead_cycles = 0;
+        config.level_sync_cycles = 0;
+        let p = schedule_inference(&config, &net);
+        // Wave 1: h1,h2 in parallel: max(2*1+2)=4. Wave 2: out: 4.
+        assert_eq!(p.waves, 2);
+        assert_eq!(p.wall_cycles, 8);
+        assert_eq!(p.pe_active_cycles, 12); // 4 + 4 + 4
+        assert_eq!(p.pe_total_cycles, 16);
+        assert!((p.pe_utilization().rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_pes_reduce_wall_cycles_but_not_below_critical_path() {
+        let net = synthetic_net(8, 4, 30, 0.2, 5);
+        let mut prev_wall = u64::MAX;
+        for num_pe in [1, 2, 4, 8, 16] {
+            let config = InaxConfig::builder().num_pe(num_pe).build();
+            let p = schedule_inference(&config, &net);
+            assert!(p.wall_cycles <= prev_wall, "wall time is monotone in PEs");
+            prev_wall = p.wall_cycles;
+        }
+    }
+
+    #[test]
+    fn utilization_degrades_with_overprovisioned_pes() {
+        let net = synthetic_net(8, 4, 30, 0.2, 5);
+        let u1 = schedule_inference(&InaxConfig::builder().num_pe(1).build(), &net)
+            .pe_utilization()
+            .rate();
+        let u64_ = schedule_inference(&InaxConfig::builder().num_pe(64).build(), &net)
+            .pe_utilization()
+            .rate();
+        assert!(u1 > u64_, "64 PEs must idle more than 1 PE ({u1} vs {u64_})");
+    }
+
+    #[test]
+    fn weight_stationary_is_slower_than_output_stationary() {
+        let net = synthetic_net(8, 4, 30, 0.2, 7);
+        let os = schedule_inference(
+            &InaxConfig::builder().num_pe(4).dataflow(Dataflow::OutputStationary).build(),
+            &net,
+        );
+        let ws = schedule_inference(
+            &InaxConfig::builder().num_pe(4).dataflow(Dataflow::WeightStationary).build(),
+            &net,
+        );
+        assert!(ws.wall_cycles > os.wall_cycles);
+    }
+
+    #[test]
+    fn input_stationary_schedules_all_macs() {
+        let net = two_level_net();
+        let config = InaxConfig::builder().num_pe(2).dataflow(Dataflow::InputStationary).build();
+        let p = schedule_inference(&config, &net);
+        // All 6 MAC cycles + 3 activations appear as active work.
+        assert_eq!(p.pe_active_cycles, 6 + 3 * config.activation_cycles);
+    }
+
+    #[test]
+    fn pu_inference_is_functional_and_profiled() {
+        let net = two_level_net();
+        let expected = net.evaluate(&[0.5, -0.5]);
+        let mut pu = PuSim::new(&InaxConfig::builder().num_pe(2).build(), net);
+        let (out, profile) = pu.infer(&[0.5, -0.5]);
+        assert_eq!(out, expected);
+        assert!(profile.wall_cycles > 0);
+        assert!(pu.setup_cycles() > 0);
+    }
+
+    #[test]
+    fn episode_breakdown_scales_compute_not_setup() {
+        let net = two_level_net();
+        let pu = PuSim::new(&InaxConfig::default(), net);
+        let b1 = pu.episode_breakdown(1);
+        let b10 = pu.episode_breakdown(10);
+        assert_eq!(b1.setup, b10.setup, "set-up happens once per episode");
+        assert_eq!(b10.pe_active, 10 * b1.pe_active);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: the INAX simulator is functionally identical to the
+//! software reference, and its cycle accounting is self-consistent.
+
+use e3_inax::synthetic::synthetic_genome_with_mutations;
+use e3_inax::{schedule_inference, InaxAccelerator, InaxConfig, IrregularNet, PuSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HW functional evaluation equals the SW reference bit-for-bit on
+    /// arbitrary evolved topologies and inputs.
+    #[test]
+    fn inax_matches_software_reference(
+        seed in any::<u64>(),
+        hidden in 0usize..25,
+        mutations in 0usize..8,
+        density in 0.1f64..0.9,
+        x0 in -5.0f64..5.0,
+        x1 in -5.0f64..5.0,
+    ) {
+        let genome = synthetic_genome_with_mutations(4, 3, hidden, density, mutations, seed);
+        let mut sw = genome.decode().expect("feed-forward");
+        let hw = IrregularNet::try_from(&genome).expect("compiles");
+        let inputs = [x0, x1, x0 * 0.5, x1 - x0];
+        prop_assert_eq!(sw.activate(&inputs), hw.evaluate(&inputs));
+    }
+
+    /// Cycle accounting: active ≤ total, utilization in (0, 1], and the
+    /// schedule is deterministic.
+    #[test]
+    fn schedule_accounting_is_consistent(
+        seed in any::<u64>(),
+        hidden in 0usize..30,
+        num_pe in 1usize..20,
+        density in 0.1f64..0.9,
+    ) {
+        let genome = synthetic_genome_with_mutations(6, 4, hidden, density, 2, seed);
+        let net = IrregularNet::try_from(&genome).expect("compiles");
+        let config = InaxConfig::builder().num_pe(num_pe).build();
+        let a = schedule_inference(&config, &net);
+        let b = schedule_inference(&config, &net);
+        prop_assert_eq!(a, b, "deterministic schedule");
+        prop_assert!(a.pe_active_cycles <= a.pe_total_cycles);
+        prop_assert_eq!(a.pe_total_cycles, a.wall_cycles * num_pe as u64);
+        let util = a.pe_utilization().rate();
+        prop_assert!(util > 0.0 && util <= 1.0, "U(PE) = {util}");
+        prop_assert!(a.wall_cycles > 0);
+    }
+
+    /// PE scaling obeys the sandwich bound: every PE count is at least
+    /// as fast as fully serial (1 PE) and no faster than unbounded
+    /// parallelism (one wave per level). Pointwise monotonicity does
+    /// NOT hold — greedy in-order wave chunking can regroup two heavy
+    /// nodes unfavourably — which is itself a finding about the
+    /// hardware's dispatch order (paper §V-A issue 3).
+    #[test]
+    fn pe_scaling_obeys_sandwich_bounds(
+        seed in any::<u64>(),
+        hidden in 1usize..25,
+    ) {
+        let genome = synthetic_genome_with_mutations(6, 4, hidden, 0.3, 2, seed);
+        let net = IrregularNet::try_from(&genome).expect("compiles");
+        let serial =
+            schedule_inference(&InaxConfig::builder().num_pe(1).build(), &net).wall_cycles;
+        let widest = net.levels().iter().map(|&(s, e)| e - s).max().unwrap_or(1);
+        let unbounded =
+            schedule_inference(&InaxConfig::builder().num_pe(widest).build(), &net).wall_cycles;
+        for num_pe in 1..=16 {
+            let config = InaxConfig::builder().num_pe(num_pe).build();
+            let wall = schedule_inference(&config, &net).wall_cycles;
+            prop_assert!(wall <= serial, "PE {num_pe}: {wall} > serial {serial}");
+            prop_assert!(wall >= unbounded, "PE {num_pe}: {wall} < unbounded {unbounded}");
+        }
+    }
+
+    /// The closed-loop accelerator produces the same outputs as the
+    /// standalone PU and preserves accounting across steps.
+    #[test]
+    fn cluster_step_matches_pu(
+        seed in any::<u64>(),
+        batch in 1usize..5,
+        steps in 1usize..6,
+    ) {
+        let config = InaxConfig::builder().num_pu(batch).num_pe(2).build();
+        let nets: Vec<IrregularNet> = (0..batch)
+            .map(|i| {
+                let genome =
+                    synthetic_genome_with_mutations(3, 2, 5, 0.5, 1, seed ^ (i as u64 * 31));
+                IrregularNet::try_from(&genome).expect("compiles")
+            })
+            .collect();
+        let mut acc = InaxAccelerator::new(config.clone());
+        acc.load_batch(nets.clone());
+        let mut pus: Vec<PuSim> = nets.iter().map(|n| PuSim::new(&config, n.clone())).collect();
+        for step in 0..steps {
+            let input = vec![step as f64 * 0.1, -1.0, 0.5];
+            let inputs = vec![Some(input.clone()); batch];
+            let outs = acc.step(&inputs);
+            for (out, pu) in outs.iter().zip(&mut pus) {
+                let (want, _) = pu.infer(&input);
+                prop_assert_eq!(out.as_ref().expect("alive"), &want);
+            }
+        }
+        let report = acc.report();
+        prop_assert_eq!(report.steps, steps as u64);
+        prop_assert!(report.pu_utilization.rate() <= 1.0);
+        prop_assert!(report.pe_utilization.rate() <= 1.0);
+        // Wall-cycle accounting: the total covers at least the set-up
+        // phase plus the per-step DMA beyond the weight stream, and is
+        // strictly positive per step.
+        prop_assert!(report.total_cycles >= report.breakdown.setup);
+        prop_assert!(report.dma_cycles > 0, "input/weight channels moved data");
+        prop_assert!(report.total_cycles > report.dma_cycles, "compute takes cycles too");
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for genome construction and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding a [`crate::Genome`] into a
+/// [`crate::Network`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The enabled connections form a cycle, so no feed-forward
+    /// evaluation order exists. Contains one node id on the cycle.
+    Cycle(usize),
+    /// A connection references a node id that does not exist in the
+    /// genome.
+    DanglingConnection {
+        /// Source node id of the offending connection.
+        from: usize,
+        /// Target node id of the offending connection.
+        to: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Cycle(node) => {
+                write!(f, "enabled connections form a cycle through node {node}")
+            }
+            DecodeError::DanglingConnection { from, to } => {
+                write!(f, "connection {from}->{to} references a missing node")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced when a structural edit to a [`crate::Genome`] is
+/// invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenomeError {
+    /// The requested connection already exists.
+    DuplicateConnection {
+        /// Source node id.
+        from: usize,
+        /// Target node id.
+        to: usize,
+    },
+    /// The requested connection would create a cycle in a feed-forward
+    /// genome.
+    WouldCycle {
+        /// Source node id.
+        from: usize,
+        /// Target node id.
+        to: usize,
+    },
+    /// A referenced node id does not exist.
+    UnknownNode(usize),
+    /// The connection targets an input node, which cannot receive
+    /// incoming edges.
+    TargetIsInput(usize),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::DuplicateConnection { from, to } => {
+                write!(f, "connection {from}->{to} already exists")
+            }
+            GenomeError::WouldCycle { from, to } => {
+                write!(f, "connection {from}->{to} would create a cycle")
+            }
+            GenomeError::UnknownNode(id) => write!(f, "node {id} does not exist"),
+            GenomeError::TargetIsInput(id) => {
+                write!(f, "node {id} is an input and cannot receive connections")
+            }
+        }
+    }
+}
+
+impl Error for GenomeError {}

@@ -1,0 +1,186 @@
+//! Species lineage tracking.
+//!
+//! Speciation is NEAT's mechanism for protecting innovation (paper
+//! Table III: young individuals "only compete within group"). This
+//! module records how species rise, shrink and die across a run — the
+//! view used to debug premature convergence (one species swallowing
+//! the population) or excessive fragmentation (threshold too tight).
+
+use crate::population::Population;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One generation's record for one species.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeciesRecord {
+    /// Generation index.
+    pub generation: usize,
+    /// Member count.
+    pub size: usize,
+    /// Best raw fitness among members this generation (if evaluated).
+    pub best_fitness: Option<f64>,
+}
+
+/// Lineage of all species across a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpeciesHistory {
+    /// Per-species records, keyed by species id, in generation order.
+    records: BTreeMap<usize, Vec<SpeciesRecord>>,
+    generations: usize,
+}
+
+impl SpeciesHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current (evaluated) generation of a population.
+    pub fn record(&mut self, population: &Population) {
+        let generation = population.generation();
+        let fitnesses = population.fitnesses();
+        for species in population.species() {
+            let best = species
+                .members
+                .iter()
+                .filter_map(|&i| fitnesses.get(i).copied().flatten())
+                .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.max(f))));
+            self.records.entry(species.id).or_default().push(SpeciesRecord {
+                generation,
+                size: species.len(),
+                best_fitness: best,
+            });
+        }
+        self.generations = self.generations.max(generation + 1);
+    }
+
+    /// Number of distinct species ever observed.
+    pub fn species_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of generations recorded.
+    pub fn generations(&self) -> usize {
+        self.generations
+    }
+
+    /// Records of one species, if it ever appeared.
+    pub fn species(&self, id: usize) -> Option<&[SpeciesRecord]> {
+        self.records.get(&id).map(Vec::as_slice)
+    }
+
+    /// Lifespan (generations alive) per species id.
+    pub fn lifespans(&self) -> BTreeMap<usize, usize> {
+        self.records.iter().map(|(&id, recs)| (id, recs.len())).collect()
+    }
+
+    /// Species alive in the last recorded generation.
+    pub fn surviving_species(&self) -> Vec<usize> {
+        let last = self.generations.saturating_sub(1);
+        self.records
+            .iter()
+            .filter(|(_, recs)| recs.last().is_some_and(|r| r.generation == last))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Renders a compact turnover table: per species, birth generation,
+    /// death generation (or `..` if alive), peak size.
+    pub fn render(&self) -> String {
+        let mut out = String::from("species  born  died  peak_size  best_fitness\n");
+        for (id, recs) in &self.records {
+            let born = recs.first().map_or(0, |r| r.generation);
+            let died = recs.last().map_or(0, |r| r.generation);
+            let alive = died + 1 == self.generations;
+            let peak = recs.iter().map(|r| r.size).max().unwrap_or(0);
+            let best = recs
+                .iter()
+                .filter_map(|r| r.best_fitness)
+                .fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!(
+                "{id:>7}  {born:>4}  {:>4}  {peak:>9}  {:>12.2}\n",
+                if alive { "..".to_string() } else { died.to_string() },
+                if best.is_finite() { best } else { f64::NAN }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NeatConfig;
+
+    fn run_history(generations: usize) -> SpeciesHistory {
+        let config = NeatConfig::builder(3, 2).population_size(30).build();
+        let mut pop = Population::new(config, 9);
+        let mut history = SpeciesHistory::new();
+        for _ in 0..generations {
+            pop.evaluate(|g| g.num_enabled_connections() as f64);
+            history.record(&pop);
+            pop.evolve();
+        }
+        history
+    }
+
+    #[test]
+    fn history_covers_every_generation() {
+        let history = run_history(8);
+        assert_eq!(history.generations(), 8);
+        assert!(history.species_count() >= 1);
+        // Every generation's species sizes sum to the population.
+        let mut per_generation: BTreeMap<usize, usize> = BTreeMap::new();
+        for id in 0..history.species_count() * 4 {
+            if let Some(recs) = history.species(id) {
+                for r in recs {
+                    *per_generation.entry(r.generation).or_default() += r.size;
+                }
+            }
+        }
+        for (generation, total) in per_generation {
+            assert_eq!(total, 30, "generation {generation} species partition");
+        }
+    }
+
+    #[test]
+    fn survivors_are_alive_in_the_final_generation() {
+        let history = run_history(10);
+        let survivors = history.surviving_species();
+        assert!(!survivors.is_empty(), "something survives");
+        for id in survivors {
+            let recs = history.species(id).unwrap();
+            assert_eq!(recs.last().unwrap().generation, 9);
+        }
+    }
+
+    #[test]
+    fn lifespans_match_record_lengths() {
+        let history = run_history(6);
+        for (id, lifespan) in history.lifespans() {
+            assert_eq!(history.species(id).unwrap().len(), lifespan);
+            assert!(lifespan <= 6);
+        }
+    }
+
+    #[test]
+    fn render_lists_every_species_once() {
+        let history = run_history(5);
+        let table = history.render();
+        assert_eq!(table.lines().count(), 1 + history.species_count());
+        assert!(table.starts_with("species"));
+    }
+
+    #[test]
+    fn best_fitness_is_recorded() {
+        let history = run_history(3);
+        let any_best = history
+            .species(
+                *history.lifespans().keys().next().expect("at least one species"),
+            )
+            .unwrap()
+            .iter()
+            .any(|r| r.best_fitness.is_some());
+        assert!(any_best, "evaluated generations carry fitness");
+    }
+}

@@ -1,0 +1,466 @@
+//! The evolutionary loop: evaluate → speciate → reproduce.
+//!
+//! [`Population`] owns the generation of genomes and implements the
+//! paper's "evolve" phase (Fig. 1(a)): selection of elites, mutation,
+//! crossover, and speciation. The "evaluate" phase is delegated to a
+//! caller-supplied fitness function — in E3 this is where the INAX
+//! accelerator (or any other backend) plugs in.
+
+use crate::config::NeatConfig;
+use crate::genome::Genome;
+use crate::innovation::InnovationTracker;
+use crate::species::Species;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A genome together with the fitness it achieved.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluatedGenome {
+    /// The genome.
+    pub genome: Genome,
+    /// Raw fitness returned by the evaluation function.
+    pub fitness: f64,
+}
+
+/// A NEAT population: the full state of an evolutionary run.
+///
+/// # Example
+///
+/// ```
+/// use e3_neat::{NeatConfig, Population};
+///
+/// let mut pop = Population::new(NeatConfig::builder(2, 1).population_size(20).build(), 1);
+/// pop.evaluate(|genome| genome.num_enabled_connections() as f64);
+/// pop.evolve();
+/// assert_eq!(pop.generation(), 1);
+/// assert_eq!(pop.genomes().len(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    config: NeatConfig,
+    tracker: InnovationTracker,
+    rng: StdRng,
+    genomes: Vec<Genome>,
+    fitnesses: Vec<Option<f64>>,
+    species: Vec<Species>,
+    generation: usize,
+    next_species_id: usize,
+    best_ever: Option<EvaluatedGenome>,
+}
+
+impl Population {
+    /// Creates a generation-0 population from the configuration with a
+    /// deterministic seed.
+    pub fn new(config: NeatConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tracker =
+            InnovationTracker::with_reserved_nodes(config.num_inputs + config.num_outputs);
+        let genomes: Vec<Genome> = (0..config.population_size)
+            .map(|_| Genome::initial(&config, &mut tracker, &mut rng))
+            .collect();
+        let fitnesses = vec![None; genomes.len()];
+        Population {
+            config,
+            tracker,
+            rng,
+            genomes,
+            fitnesses,
+            species: Vec::new(),
+            generation: 0,
+            next_species_id: 0,
+            best_ever: None,
+        }
+    }
+
+    /// The configuration this population runs with.
+    pub fn config(&self) -> &NeatConfig {
+        &self.config
+    }
+
+    /// Current generation number (0 for the initial population).
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// The genomes of the current generation.
+    pub fn genomes(&self) -> &[Genome] {
+        &self.genomes
+    }
+
+    /// The current species partition (valid after an evaluation).
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// The best genome seen across all generations, if any evaluation
+    /// has happened yet.
+    pub fn best(&self) -> Option<&EvaluatedGenome> {
+        self.best_ever.as_ref()
+    }
+
+    /// Fitness values of the current generation (None before
+    /// evaluation).
+    pub fn fitnesses(&self) -> &[Option<f64>] {
+        &self.fitnesses
+    }
+
+    /// Evaluates every genome with the supplied fitness function
+    /// (sequentially) and speciates the population.
+    pub fn evaluate<F: FnMut(&Genome) -> f64>(&mut self, mut fitness: F) {
+        let values: Vec<f64> = self.genomes.iter().map(&mut fitness).collect();
+        self.assign_fitnesses(values);
+    }
+
+    /// Evaluates the whole generation at once — the entry point used by
+    /// accelerator backends, which batch the entire population onto the
+    /// hardware (one individual per PU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the returned vector's length differs from the
+    /// population size.
+    pub fn evaluate_batch<F: FnOnce(&[Genome]) -> Vec<f64>>(&mut self, fitness: F) {
+        let values = fitness(&self.genomes);
+        self.assign_fitnesses(values);
+    }
+
+    /// Installs externally computed fitness values and speciates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.genomes().len()` or any value is
+    /// NaN.
+    pub fn assign_fitnesses(&mut self, values: Vec<f64>) {
+        assert_eq!(values.len(), self.genomes.len(), "one fitness per genome required");
+        assert!(values.iter().all(|v| !v.is_nan()), "fitness must not be NaN");
+        for (slot, v) in self.fitnesses.iter_mut().zip(&values) {
+            *slot = Some(*v);
+        }
+        let best_idx = (0..values.len())
+            .max_by(|&a, &b| values[a].total_cmp(&values[b]))
+            .expect("population is non-empty");
+        let beats_best = self.best_ever.as_ref().is_none_or(|b| values[best_idx] > b.fitness);
+        if beats_best {
+            self.best_ever = Some(EvaluatedGenome {
+                genome: self.genomes[best_idx].clone(),
+                fitness: values[best_idx],
+            });
+        }
+        self.speciate();
+    }
+
+    /// Produces the next generation. Requires a prior evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current generation has not been evaluated.
+    pub fn evolve(&mut self) {
+        assert!(
+            self.fitnesses.iter().all(|f| f.is_some()),
+            "evolve() requires every genome to be evaluated first"
+        );
+        self.tracker.begin_generation();
+
+        // Fitness shift so selection works with negative rewards.
+        let raw: Vec<f64> = self.fitnesses.iter().map(|f| f.expect("checked above")).collect();
+        let min = raw.iter().cloned().fold(f64::INFINITY, f64::min);
+        let shift = if min < 0.0 { -min } else { 0.0 };
+
+        // Update stagnation and drop stagnant species (keeping at least
+        // one so the population never dies out).
+        for s in &mut self.species {
+            let best = s
+                .members
+                .iter()
+                .map(|&i| raw[i])
+                .fold(f64::NEG_INFINITY, f64::max);
+            s.record_fitness(best);
+        }
+        self.species.sort_by(|a, b| {
+            b.best_fitness
+                .unwrap_or(f64::NEG_INFINITY)
+                .total_cmp(&a.best_fitness.unwrap_or(f64::NEG_INFINITY))
+        });
+        let limit = self.config.stagnation_limit;
+        let mut kept: Vec<Species> = Vec::new();
+        for (rank, s) in self.species.drain(..).enumerate() {
+            if rank == 0 || s.stagnation <= limit {
+                kept.push(s);
+            }
+        }
+        self.species = kept;
+
+        // Adjusted (shared) fitness per species.
+        let mut total_adjusted = 0.0;
+        for s in &mut self.species {
+            let size = s.members.len().max(1) as f64;
+            s.adjusted_fitness_sum =
+                s.members.iter().map(|&i| (raw[i] + shift) / size).sum::<f64>();
+            total_adjusted += s.adjusted_fitness_sum;
+        }
+
+        // Apportion offspring proportionally (largest-remainder style:
+        // floor then hand out leftovers to the best species).
+        let pop_size = self.config.population_size;
+        let mut offspring: Vec<usize> = self
+            .species
+            .iter()
+            .map(|s| {
+                if total_adjusted > 0.0 {
+                    ((s.adjusted_fitness_sum / total_adjusted) * pop_size as f64).floor() as usize
+                } else {
+                    pop_size / self.species.len().max(1)
+                }
+            })
+            .collect();
+        let mut assigned: usize = offspring.iter().sum();
+        let mut i = 0;
+        while assigned < pop_size {
+            let slot = i % offspring.len();
+            offspring[slot] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        while assigned > pop_size {
+            let max_i = (0..offspring.len())
+                .max_by_key(|&k| offspring[k])
+                .expect("non-empty species list");
+            if offspring[max_i] == 0 {
+                break;
+            }
+            offspring[max_i] -= 1;
+            assigned -= 1;
+        }
+
+        // Reproduce.
+        let mut next: Vec<Genome> = Vec::with_capacity(pop_size);
+        for (sp_idx, count) in offspring.iter().copied().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let s = &self.species[sp_idx];
+            // Members sorted by descending fitness.
+            let mut ranked: Vec<usize> = s.members.clone();
+            ranked.sort_by(|&a, &b| raw[b].total_cmp(&raw[a]));
+            if ranked.is_empty() {
+                continue;
+            }
+            let mut produced = 0;
+            // Elites.
+            if ranked.len() >= self.config.min_species_size {
+                for &idx in ranked.iter().take(self.config.elitism.min(count)) {
+                    next.push(self.genomes[idx].clone());
+                    produced += 1;
+                }
+            }
+            // Breeding pool: top survival_threshold fraction.
+            let pool_len =
+                ((ranked.len() as f64 * self.config.survival_threshold).ceil() as usize).max(1);
+            let pool = &ranked[..pool_len.min(ranked.len())];
+            while produced < count {
+                let a = pool[self.rng.gen_range(0..pool.len())];
+                let mut child = if pool.len() > 1 && self.rng.gen_bool(self.config.crossover_rate)
+                {
+                    let mut b = pool[self.rng.gen_range(0..pool.len())];
+                    if b == a {
+                        b = pool[(pool.iter().position(|&x| x == a).expect("a in pool") + 1)
+                            % pool.len()];
+                    }
+                    let (fit, weak, equal) = if raw[a] > raw[b] {
+                        (a, b, false)
+                    } else if raw[b] > raw[a] {
+                        (b, a, false)
+                    } else {
+                        (a, b, true)
+                    };
+                    self.genomes[fit].crossover(&self.genomes[weak], equal, &self.config, &mut self.rng)
+                } else {
+                    self.genomes[a].clone()
+                };
+                child.mutate(&self.config, &mut self.tracker, &mut self.rng);
+                next.push(child);
+                produced += 1;
+            }
+        }
+        // Top up (e.g. if all species were empty) with fresh genomes.
+        while next.len() < pop_size {
+            next.push(Genome::initial(&self.config, &mut self.tracker, &mut self.rng));
+        }
+        next.truncate(pop_size);
+
+        // New representatives: a random current member of each species.
+        for s in &mut self.species {
+            if let Some(&rep) = s.members.first() {
+                s.representative = self.genomes[rep].clone();
+            }
+            s.members.clear();
+        }
+        self.genomes = next;
+        self.fitnesses = vec![None; self.genomes.len()];
+        self.generation += 1;
+    }
+
+    /// Captures the population's semantic state for
+    /// [`crate::checkpoint::PopulationSnapshot`] serialization.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::PopulationSnapshot {
+        crate::checkpoint::PopulationSnapshot {
+            config: self.config.clone(),
+            genomes: self.genomes.clone(),
+            fitnesses: self.fitnesses.clone(),
+            species: self.species.clone(),
+            generation: self.generation,
+            next_species_id: self.next_species_id,
+            best: self.best_ever.clone(),
+            tracker: self.tracker.clone(),
+        }
+    }
+
+    /// Rebuilds a population from a snapshot with a fresh RNG seed.
+    pub(crate) fn from_snapshot(
+        snapshot: crate::checkpoint::PopulationSnapshot,
+        seed: u64,
+    ) -> Self {
+        Population {
+            config: snapshot.config,
+            tracker: snapshot.tracker,
+            rng: StdRng::seed_from_u64(seed),
+            genomes: snapshot.genomes,
+            fitnesses: snapshot.fitnesses,
+            species: snapshot.species,
+            generation: snapshot.generation,
+            next_species_id: snapshot.next_species_id,
+            best_ever: snapshot.best,
+        }
+    }
+
+    /// Assigns every genome to a species by compatibility distance,
+    /// creating new species for unmatched genomes.
+    fn speciate(&mut self) {
+        for s in &mut self.species {
+            s.members.clear();
+        }
+        for (idx, genome) in self.genomes.iter().enumerate() {
+            let found = self.species.iter_mut().find(|s| {
+                genome.compatibility_distance(&s.representative, &self.config)
+                    < self.config.compatibility_threshold
+            });
+            match found {
+                Some(s) => s.members.push(idx),
+                None => {
+                    let mut s = Species::new(self.next_species_id, genome.clone());
+                    self.next_species_id += 1;
+                    s.members.push(idx);
+                    self.species.push(s);
+                }
+            }
+        }
+        self.species.retain(|s| !s.is_empty());
+    }
+}
+
+#[cfg(test)]
+impl Genome {
+    fn num_nodes_for_test(&self) -> f64 {
+        self.nodes().len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> NeatConfig {
+        NeatConfig::builder(2, 1).population_size(30).build()
+    }
+
+    #[test]
+    fn population_size_is_invariant_across_generations() {
+        let mut pop = Population::new(small_config(), 5);
+        for _ in 0..10 {
+            pop.evaluate(|g| g.num_enabled_connections() as f64);
+            pop.evolve();
+            assert_eq!(pop.genomes().len(), 30);
+        }
+        assert_eq!(pop.generation(), 10);
+    }
+
+    #[test]
+    fn best_tracks_maximum_across_generations() {
+        let mut pop = Population::new(small_config(), 7);
+        pop.evaluate(|_| 1.0);
+        assert_eq!(pop.best().unwrap().fitness, 1.0);
+        pop.evolve();
+        pop.evaluate(|_| 0.5);
+        assert_eq!(pop.best().unwrap().fitness, 1.0, "best is all-time");
+        pop.evolve();
+        pop.evaluate(|_| 2.0);
+        assert_eq!(pop.best().unwrap().fitness, 2.0);
+    }
+
+    #[test]
+    fn negative_fitness_is_handled() {
+        let mut pop = Population::new(small_config(), 9);
+        for _ in 0..5 {
+            pop.evaluate(|g| -(g.num_enabled_connections() as f64));
+            pop.evolve();
+            assert_eq!(pop.genomes().len(), 30);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires every genome to be evaluated")]
+    fn evolve_requires_evaluation() {
+        let mut pop = Population::new(small_config(), 1);
+        pop.evolve();
+    }
+
+    #[test]
+    #[should_panic(expected = "one fitness per genome")]
+    fn batch_fitness_length_is_checked() {
+        let mut pop = Population::new(small_config(), 1);
+        pop.evaluate_batch(|_| vec![0.0; 3]);
+    }
+
+    #[test]
+    fn speciation_separates_diverged_genomes() {
+        let mut pop = Population::new(small_config(), 21);
+        pop.evaluate(|_| 0.0);
+        let initial_species = pop.species().len();
+        assert!(initial_species >= 1);
+        // After many structural generations, expect more than one
+        // species (genomes diverge topologically).
+        for _ in 0..20 {
+            pop.evolve();
+            pop.evaluate(|g| g.num_hidden() as f64);
+        }
+        assert!(!pop.species().is_empty());
+        let total_members: usize = pop.species().iter().map(|s| s.len()).sum();
+        assert_eq!(total_members, 30, "every genome belongs to exactly one species");
+    }
+
+    #[test]
+    fn evolution_is_deterministic_given_seed() {
+        let run = |seed| {
+            let mut pop = Population::new(small_config(), seed);
+            for _ in 0..5 {
+                pop.evaluate(|g| g.num_enabled_connections() as f64);
+                pop.evolve();
+            }
+            pop.best().unwrap().fitness
+        };
+        assert_eq!(run(33), run(33));
+    }
+
+    #[test]
+    fn batch_evaluation_matches_sequential() {
+        let mut a = Population::new(small_config(), 13);
+        let mut b = Population::new(small_config(), 13);
+        a.evaluate(|g| g.num_nodes_for_test());
+        b.evaluate_batch(|gs| gs.iter().map(|g| g.num_nodes_for_test()).collect());
+        let fa: Vec<_> = a.fitnesses().to_vec();
+        let fb: Vec<_> = b.fitnesses().to_vec();
+        assert_eq!(fa, fb);
+    }
+}
+

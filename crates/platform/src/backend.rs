@@ -1,0 +1,423 @@
+//! Evaluation backends: E3-CPU, E3-GPU, and E3-INAX.
+//!
+//! A backend owns the paper's "evaluate" phase: run every genome of a
+//! generation through its environment episode and report fitness plus
+//! modeled time. All backends are **functionally identical** — same
+//! fitness for the same seed — and differ only in how the inference is
+//! executed and therefore how long it takes (paper §VI-A's three
+//! settings).
+
+use crate::timing::{GpuCostModel, SwCostModel};
+use e3_envs::{decode_action, EnvId, Environment};
+use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet};
+use e3_neat::Genome;
+use serde::{Deserialize, Serialize};
+
+/// Which backend executes "evaluate".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Software-only baseline (paper: E3-CPU).
+    Cpu,
+    /// GPU offload model (paper: E3-GPU).
+    Gpu,
+    /// INAX accelerator simulator (paper: E3-INAX).
+    Inax,
+}
+
+impl BackendKind {
+    /// All backends in the paper's comparison order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Cpu, BackendKind::Gpu, BackendKind::Inax];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Cpu => "E3-CPU",
+            BackendKind::Gpu => "E3-GPU",
+            BackendKind::Inax => "E3-INAX",
+        }
+    }
+}
+
+/// Result of evaluating one generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Fitness per genome, in population order.
+    pub fitnesses: Vec<f64>,
+    /// Episode length per genome.
+    pub steps_per_genome: Vec<u64>,
+    /// Modeled seconds spent on NN inference (the backend's share).
+    pub eval_seconds: f64,
+    /// Modeled seconds of CPU-side environment stepping.
+    pub env_seconds: f64,
+    /// Total environment steps across the generation.
+    pub total_steps: u64,
+    /// Accelerator accounting (INAX backend only).
+    pub hw_report: Option<EpisodeRunReport>,
+}
+
+/// The "evaluate" phase executor.
+pub trait EvalBackend {
+    /// Backend identity.
+    fn kind(&self) -> BackendKind;
+
+    /// Evaluates every genome on one episode of `env` started from
+    /// `episode_seed`, returning fitnesses and modeled timing.
+    fn evaluate_population(
+        &mut self,
+        genomes: &[Genome],
+        env: EnvId,
+        episode_seed: u64,
+    ) -> EvalOutcome;
+}
+
+/// Runs one genome's episode in software, returning
+/// `(fitness, steps, inference_seconds_accumulator_input)`.
+fn run_software_episode(
+    genome: &Genome,
+    env: &mut dyn Environment,
+    episode_seed: u64,
+) -> (f64, u64) {
+    let mut net = genome.decode().expect("population genomes are feed-forward");
+    let space = env.action_space();
+    let mut obs = env.reset(episode_seed);
+    let mut fitness = 0.0;
+    let mut steps = 0u64;
+    loop {
+        let outputs = net.activate(&obs);
+        let action = decode_action(&outputs, &space);
+        let step = env.step(&action);
+        fitness += step.reward;
+        steps += 1;
+        obs = step.observation;
+        if step.terminated || step.truncated {
+            return (fitness, steps);
+        }
+    }
+}
+
+/// E3-CPU: software evaluation with the interpreted-runtime cost
+/// model. Optionally evaluates genomes on multiple host threads —
+/// NE's embarrassing parallelism is one of the properties the paper
+/// cites ([35], [43]) — without changing the *modeled* single-CPU
+/// time, so timing comparisons stay faithful to the baseline platform.
+#[derive(Debug, Clone, Default)]
+pub struct CpuBackend {
+    model: SwCostModel,
+    threads: usize,
+}
+
+impl CpuBackend {
+    /// Creates the backend with the given cost model (single-threaded
+    /// host execution).
+    pub fn new(model: SwCostModel) -> Self {
+        CpuBackend { model, threads: 1 }
+    }
+
+    /// Creates the backend with host-side parallel evaluation across
+    /// `threads` worker threads. Fitness values are identical to the
+    /// sequential backend (each genome's episode is independent and
+    /// deterministic); only the harness's wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(model: SwCostModel, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        CpuBackend { model, threads }
+    }
+
+    /// Evaluates a chunk of genomes sequentially, returning per-genome
+    /// `(fitness, steps)`.
+    fn run_chunk(
+        model: &SwCostModel,
+        genomes: &[Genome],
+        env_id: EnvId,
+        episode_seed: u64,
+    ) -> Vec<(f64, u64, f64)> {
+        let mut env = env_id.make();
+        genomes
+            .iter()
+            .map(|genome| {
+                let net = genome.decode().expect("population genomes are feed-forward");
+                let per_inference = model.inference_seconds(&net);
+                let (fitness, steps) = run_software_episode(genome, env.as_mut(), episode_seed);
+                (fitness, steps, per_inference * steps as f64)
+            })
+            .collect()
+    }
+}
+
+impl EvalBackend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn evaluate_population(
+        &mut self,
+        genomes: &[Genome],
+        env_id: EnvId,
+        episode_seed: u64,
+    ) -> EvalOutcome {
+        let results: Vec<(f64, u64, f64)> = if self.threads <= 1 || genomes.len() < 2 {
+            Self::run_chunk(&self.model, genomes, env_id, episode_seed)
+        } else {
+            let chunk_len = genomes.len().div_ceil(self.threads);
+            let model = self.model;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = genomes
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move |_| Self::run_chunk(&model, chunk, env_id, episode_seed))
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("evaluation scope panicked")
+        };
+        let mut fitnesses = Vec::with_capacity(genomes.len());
+        let mut steps_per_genome = Vec::with_capacity(genomes.len());
+        let mut eval_seconds = 0.0;
+        let mut total_steps = 0u64;
+        for (fitness, steps, seconds) in results {
+            fitnesses.push(fitness);
+            steps_per_genome.push(steps);
+            eval_seconds += seconds;
+            total_steps += steps;
+        }
+        EvalOutcome {
+            fitnesses,
+            steps_per_genome,
+            eval_seconds,
+            env_seconds: total_steps as f64 * self.model.sec_per_env_step,
+            total_steps,
+            hw_report: None,
+        }
+    }
+}
+
+/// E3-GPU: functionally identical to software evaluation, but timed
+/// with the launch-bound GPU cost model.
+#[derive(Debug, Clone, Default)]
+pub struct GpuBackend {
+    sw: SwCostModel,
+    gpu: GpuCostModel,
+}
+
+impl GpuBackend {
+    /// Creates the backend with the given cost models (`sw` prices the
+    /// CPU-side env stepping).
+    pub fn new(sw: SwCostModel, gpu: GpuCostModel) -> Self {
+        GpuBackend { sw, gpu }
+    }
+}
+
+impl EvalBackend for GpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Gpu
+    }
+
+    fn evaluate_population(
+        &mut self,
+        genomes: &[Genome],
+        env_id: EnvId,
+        episode_seed: u64,
+    ) -> EvalOutcome {
+        let mut env = env_id.make();
+        let mut fitnesses = Vec::with_capacity(genomes.len());
+        let mut steps_per_genome = Vec::with_capacity(genomes.len());
+        let mut eval_seconds = 0.0;
+        let mut total_steps = 0u64;
+        for genome in genomes {
+            let net = genome.decode().expect("population genomes are feed-forward");
+            let per_inference = self.gpu.inference_seconds(&net);
+            let (fitness, steps) = run_software_episode(genome, env.as_mut(), episode_seed);
+            fitnesses.push(fitness);
+            steps_per_genome.push(steps);
+            eval_seconds += per_inference * steps as f64;
+            total_steps += steps;
+        }
+        EvalOutcome {
+            fitnesses,
+            steps_per_genome,
+            eval_seconds,
+            env_seconds: total_steps as f64 * self.sw.sec_per_env_step,
+            total_steps,
+            hw_report: None,
+        }
+    }
+}
+
+/// E3-INAX: batches the population onto the INAX simulator, one
+/// individual per PU, and drives the closed CPU↔FPGA loop of paper
+/// Fig. 5.
+#[derive(Debug)]
+pub struct InaxBackend {
+    config: InaxConfig,
+    sw: SwCostModel,
+}
+
+impl InaxBackend {
+    /// Creates the backend. `sw` prices the CPU-side env stepping (the
+    /// env stays a CPU program in all settings).
+    pub fn new(config: InaxConfig, sw: SwCostModel) -> Self {
+        InaxBackend { config, sw }
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &InaxConfig {
+        &self.config
+    }
+}
+
+impl EvalBackend for InaxBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Inax
+    }
+
+    fn evaluate_population(
+        &mut self,
+        genomes: &[Genome],
+        env_id: EnvId,
+        episode_seed: u64,
+    ) -> EvalOutcome {
+        let nets: Vec<IrregularNet> = genomes
+            .iter()
+            .map(|g| IrregularNet::try_from(g).expect("population genomes are feed-forward"))
+            .collect();
+        let mut accelerator = InaxAccelerator::new(self.config.clone());
+        let num_pu = self.config.num_pu;
+        let mut fitnesses = vec![0.0f64; genomes.len()];
+        let mut steps_per_genome = vec![0u64; genomes.len()];
+        let mut total_steps = 0u64;
+
+        for (batch_idx, batch) in nets.chunks(num_pu).enumerate() {
+            let base = batch_idx * num_pu;
+            accelerator.load_batch(batch.to_vec());
+            // One environment instance per resident individual.
+            let mut envs: Vec<Box<dyn Environment>> =
+                (0..batch.len()).map(|_| env_id.make()).collect();
+            let space = envs[0].action_space();
+            let mut observations: Vec<Option<Vec<f64>>> =
+                envs.iter_mut().map(|e| Some(e.reset(episode_seed))).collect();
+            while observations.iter().any(Option::is_some) {
+                let outputs = accelerator.step(&observations);
+                for (i, output) in outputs.into_iter().enumerate() {
+                    let Some(out) = output else { continue };
+                    let action = decode_action(&out, &space);
+                    let step = envs[i].step(&action);
+                    fitnesses[base + i] += step.reward;
+                    steps_per_genome[base + i] += 1;
+                    total_steps += 1;
+                    observations[i] = if step.terminated || step.truncated {
+                        None
+                    } else {
+                        Some(step.observation)
+                    };
+                }
+            }
+            accelerator.unload_batch();
+        }
+
+        let report = accelerator.report();
+        EvalOutcome {
+            fitnesses,
+            steps_per_genome,
+            eval_seconds: self.config.cycles_to_seconds(report.total_cycles),
+            env_seconds: total_steps as f64 * self.sw.sec_per_env_step,
+            total_steps,
+            hw_report: Some(report),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_neat::{NeatConfig, Population};
+
+    fn genomes(env: EnvId, n: usize) -> Vec<Genome> {
+        let config = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+            .population_size(n)
+            .build();
+        Population::new(config, 3).genomes().to_vec()
+    }
+
+    #[test]
+    fn all_backends_agree_on_fitness() {
+        let pop = genomes(EnvId::CartPole, 12);
+        let mut cpu = CpuBackend::default();
+        let mut gpu = GpuBackend::default();
+        let mut inax =
+            InaxBackend::new(InaxConfig::builder().num_pu(5).num_pe(2).build(), SwCostModel::default());
+        let a = cpu.evaluate_population(&pop, EnvId::CartPole, 7);
+        let b = gpu.evaluate_population(&pop, EnvId::CartPole, 7);
+        let c = inax.evaluate_population(&pop, EnvId::CartPole, 7);
+        assert_eq!(a.fitnesses, b.fitnesses);
+        assert_eq!(a.fitnesses, c.fitnesses);
+        assert_eq!(a.steps_per_genome, c.steps_per_genome);
+    }
+
+    #[test]
+    fn gpu_eval_is_slower_and_inax_faster_than_cpu() {
+        let pop = genomes(EnvId::CartPole, 12);
+        let mut cpu = CpuBackend::default();
+        let mut gpu = GpuBackend::default();
+        let mut inax =
+            InaxBackend::new(InaxConfig::builder().num_pu(12).num_pe(2).build(), SwCostModel::default());
+        let a = cpu.evaluate_population(&pop, EnvId::CartPole, 7);
+        let b = gpu.evaluate_population(&pop, EnvId::CartPole, 7);
+        let c = inax.evaluate_population(&pop, EnvId::CartPole, 7);
+        assert!(b.eval_seconds > a.eval_seconds, "GPU must lose (Fig. 9(b))");
+        assert!(c.eval_seconds < a.eval_seconds, "INAX must win (Fig. 9(b))");
+    }
+
+    #[test]
+    fn inax_reports_hw_accounting() {
+        let pop = genomes(EnvId::MountainCar, 6);
+        let mut inax =
+            InaxBackend::new(InaxConfig::builder().num_pu(3).num_pe(3).build(), SwCostModel::default());
+        let out = inax.evaluate_population(&pop, EnvId::MountainCar, 1);
+        let report = out.hw_report.expect("INAX reports HW accounting");
+        assert!(report.total_cycles > 0);
+        assert!(report.steps > 0);
+        assert!(report.pu_utilization.rate() <= 1.0);
+        assert_eq!(out.total_steps, out.steps_per_genome.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn continuous_action_envs_work_on_all_backends() {
+        let pop = genomes(EnvId::Pendulum, 4);
+        let mut cpu = CpuBackend::default();
+        let mut inax =
+            InaxBackend::new(InaxConfig::builder().num_pu(4).num_pe(1).build(), SwCostModel::default());
+        let a = cpu.evaluate_population(&pop, EnvId::Pendulum, 2);
+        let c = inax.evaluate_population(&pop, EnvId::Pendulum, 2);
+        assert_eq!(a.fitnesses, c.fitnesses);
+        assert!(a.fitnesses.iter().all(|f| *f < 0.0), "pendulum rewards are negative");
+    }
+
+    #[test]
+    fn parallel_cpu_evaluation_matches_sequential() {
+        let pop = genomes(EnvId::CartPole, 17); // odd size exercises chunk remainders
+        let mut sequential = CpuBackend::default();
+        let mut parallel = CpuBackend::with_threads(SwCostModel::default(), 4);
+        let a = sequential.evaluate_population(&pop, EnvId::CartPole, 9);
+        let b = parallel.evaluate_population(&pop, EnvId::CartPole, 9);
+        assert_eq!(a.fitnesses, b.fitnesses, "order and values preserved");
+        assert_eq!(a.steps_per_genome, b.steps_per_genome);
+        assert!((a.eval_seconds - b.eval_seconds).abs() < 1e-12, "modeled time unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = CpuBackend::with_threads(SwCostModel::default(), 0);
+    }
+
+    #[test]
+    fn backend_names_match_paper() {
+        assert_eq!(BackendKind::Cpu.name(), "E3-CPU");
+        assert_eq!(BackendKind::Gpu.name(), "E3-GPU");
+        assert_eq!(BackendKind::Inax.name(), "E3-INAX");
+    }
+}

@@ -1,0 +1,113 @@
+//! Energy model (paper Fig. 10(a)).
+//!
+//! The paper measures CPU power with Intel Power Gadget, GPU power
+//! with `nvidia-smi`, and FPGA power with Vivado post-route analysis.
+//! The reproduction substitutes representative power envelopes for
+//! those platform classes and multiplies by modeled runtime:
+//! `E = Σ_phase P(devices active in phase) × t(phase)`.
+
+use crate::backend::BackendKind;
+use crate::platform::FunctionProfile;
+use serde::{Deserialize, Serialize};
+
+/// Power envelopes of the three platforms (watts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Desktop CPU package power while computing.
+    pub cpu_active_w: f64,
+    /// CPU package power while waiting on an offload.
+    pub cpu_idle_w: f64,
+    /// Discrete GPU board power while computing.
+    pub gpu_active_w: f64,
+    /// FPGA (INAX) power while computing (ZCU104-class design).
+    pub fpga_active_w: f64,
+}
+
+impl Default for PowerModel {
+    /// i7-class CPU, GTX-1080-class GPU, ZCU104-class FPGA.
+    fn default() -> Self {
+        PowerModel { cpu_active_w: 45.0, cpu_idle_w: 8.0, gpu_active_w: 180.0, fpga_active_w: 5.0 }
+    }
+}
+
+/// Energy of one run, split by phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Joules spent in the evaluate (inference) phase.
+    pub evaluate_joules: f64,
+    /// Joules spent stepping the environment (always CPU).
+    pub env_joules: f64,
+    /// Joules spent in the evolve phase (always CPU).
+    pub evolve_joules: f64,
+}
+
+impl EnergyReport {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.evaluate_joules + self.env_joules + self.evolve_joules
+    }
+}
+
+impl PowerModel {
+    /// Energy of a run with the given per-function profile on the
+    /// given backend. The env and evolve phases always run on the
+    /// CPU; the evaluate phase runs on the backend's device, with the
+    /// CPU idling when offloaded.
+    pub fn energy(&self, backend: BackendKind, profile: &FunctionProfile) -> EnergyReport {
+        let evolve_seconds =
+            profile.createnet + profile.mutate + profile.crossover + profile.speciate;
+        let evaluate_power = match backend {
+            BackendKind::Cpu => self.cpu_active_w,
+            BackendKind::Gpu => self.gpu_active_w + self.cpu_idle_w,
+            BackendKind::Inax => self.fpga_active_w + self.cpu_idle_w,
+        };
+        EnergyReport {
+            evaluate_joules: profile.evaluate * evaluate_power,
+            env_joules: profile.env * self.cpu_active_w,
+            evolve_joules: evolve_seconds * self.cpu_active_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(evaluate: f64) -> FunctionProfile {
+        FunctionProfile {
+            evaluate,
+            env: 1.0,
+            createnet: 0.2,
+            mutate: 0.2,
+            crossover: 0.1,
+            speciate: 0.1,
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let model = PowerModel::default();
+        let report = model.energy(BackendKind::Cpu, &profile(10.0));
+        assert!((report.evaluate_joules - 450.0).abs() < 1e-9);
+        assert!((report.env_joules - 45.0).abs() < 1e-9);
+        assert!((report.total() - (450.0 + 45.0 + 0.6 * 45.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_offload_pays_gpu_power_cpu_idles() {
+        let model = PowerModel::default();
+        let gpu = model.energy(BackendKind::Gpu, &profile(10.0));
+        let cpu = model.energy(BackendKind::Cpu, &profile(10.0));
+        assert!(gpu.evaluate_joules > 4.0 * cpu.evaluate_joules);
+    }
+
+    #[test]
+    fn inax_offload_is_cheap() {
+        let model = PowerModel::default();
+        // INAX shrinks evaluate time *and* runs at FPGA power.
+        let inax = model.energy(BackendKind::Inax, &profile(0.1));
+        let cpu = model.energy(BackendKind::Cpu, &profile(10.0));
+        let reduction = 1.0 - inax.total() / cpu.total();
+        assert!(reduction > 0.8, "INAX energy reduction {reduction} (paper: 97%)");
+    }
+}

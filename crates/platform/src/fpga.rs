@@ -1,0 +1,109 @@
+//! FPGA resource model (paper Fig. 10(b)).
+//!
+//! The paper reports post-route resource utilization of two INAX
+//! configurations (`E3_a` and `E3_b`) on the Xilinx ZCU104 (Zynq
+//! UltraScale+ XCZU7EV). The reproduction substitutes an analytical
+//! per-block cost model: each PE consumes one DSP slice plus LUT/FF
+//! datapath, each PU adds buffer BRAM and control logic, and a fixed
+//! base covers the controller and DMA.
+
+use e3_inax::InaxConfig;
+use serde::{Deserialize, Serialize};
+
+/// Absolute resource counts of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FpgaResources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// 36Kb block RAMs.
+    pub bram: u64,
+}
+
+impl FpgaResources {
+    /// Estimated resources of an INAX configuration: per-PE datapath,
+    /// per-PU buffers/control, and a fixed controller/DMA base.
+    pub fn of_inax(config: &InaxConfig) -> Self {
+        let pes = (config.num_pu * config.num_pe) as u64;
+        let pus = config.num_pu as u64;
+        FpgaResources {
+            lut: 15_000 + 1_200 * pus + 300 * pes,
+            ff: 10_000 + 900 * pus + 250 * pes,
+            dsp: pes,
+            bram: 10 + 2 * pus,
+        }
+    }
+}
+
+/// A device's resource budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaBudget {
+    /// Total LUTs available.
+    pub lut: u64,
+    /// Total FFs available.
+    pub ff: u64,
+    /// Total DSP slices available.
+    pub dsp: u64,
+    /// Total 36Kb BRAMs available.
+    pub bram: u64,
+}
+
+impl FpgaBudget {
+    /// The ZCU104's XCZU7EV device.
+    pub fn zcu104() -> Self {
+        FpgaBudget { lut: 230_400, ff: 460_800, dsp: 1_728, bram: 312 }
+    }
+
+    /// Utilization fractions `(lut, ff, dsp, bram)` of a design on this
+    /// budget.
+    pub fn utilization(&self, used: &FpgaResources) -> (f64, f64, f64, f64) {
+        (
+            used.lut as f64 / self.lut as f64,
+            used.ff as f64 / self.ff as f64,
+            used.dsp as f64 / self.dsp as f64,
+            used.bram as f64 / self.bram as f64,
+        )
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self, used: &FpgaResources) -> bool {
+        used.lut <= self.lut && used.ff <= self.ff && used.dsp <= self.dsp && used.bram <= self.bram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_e3a_fits_zcu104() {
+        // E3_a: PU=50, PE≈4 (output-node heuristic, §VI-C).
+        let config = InaxConfig::builder().num_pu(50).num_pe(4).build();
+        let used = FpgaResources::of_inax(&config);
+        let budget = FpgaBudget::zcu104();
+        assert!(budget.fits(&used), "E3_a must fit: {used:?}");
+        let (lut, _, dsp, bram) = budget.utilization(&used);
+        assert!(lut > 0.3 && lut < 0.9, "LUT utilization {lut}");
+        assert!(dsp > 0.05 && dsp < 0.5, "DSP utilization {dsp}");
+        assert!(bram < 0.6, "BRAM utilization {bram}");
+    }
+
+    #[test]
+    fn bigger_config_e3b_uses_more_resources() {
+        let a = FpgaResources::of_inax(&InaxConfig::builder().num_pu(50).num_pe(4).build());
+        let b = FpgaResources::of_inax(&InaxConfig::builder().num_pu(50).num_pe(8).build());
+        assert!(b.lut > a.lut && b.dsp > a.dsp);
+        assert!(FpgaBudget::zcu104().fits(&b), "E3_b still fits");
+    }
+
+    #[test]
+    fn utilization_can_exceed_budget() {
+        let huge = FpgaResources::of_inax(&InaxConfig::builder().num_pu(500).num_pe(8).build());
+        let budget = FpgaBudget::zcu104();
+        assert!(!budget.fits(&huge));
+        assert!(budget.utilization(&huge).0 > 1.0);
+    }
+}

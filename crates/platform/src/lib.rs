@@ -1,0 +1,58 @@
+//! # e3-platform — the Eval-Evol-Engine
+//!
+//! The E3 platform (paper §IV-B) runs NEAT's light "evolve" phase on
+//! the CPU and offloads the heavy "evaluate" phase to a pluggable
+//! backend:
+//!
+//! * [`CpuBackend`] — the paper's E3-CPU baseline: software inference
+//!   with an interpreted-runtime cost model (the original system runs
+//!   `neat-python`);
+//! * [`InaxBackend`] — the paper's E3-INAX: the cycle-level INAX
+//!   simulator behind DMA channels, with cycles converted to seconds
+//!   at the configured clock;
+//! * [`GpuBackend`] — the paper's E3-GPU reference: an analytical GPU
+//!   execution model dominated by kernel-launch and transfer overheads
+//!   on small, irregular, per-individual workloads.
+//!
+//! All three backends compute **identical fitness values** for
+//! identical seeds (the environments and networks are deterministic),
+//! so runtime/energy comparisons are apples-to-apples — exactly the
+//! paper's experimental design.
+//!
+//! The [`experiments`] module contains one driver per table and figure
+//! of the paper's evaluation; the `e3-bench` crate exposes them as a
+//! CLI (`repro`) and as Criterion benches.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use e3_platform::{BackendKind, E3Config, E3Platform};
+//! use e3_envs::EnvId;
+//!
+//! let config = E3Config::builder(EnvId::CartPole)
+//!     .population_size(30)
+//!     .max_generations(3)
+//!     .build();
+//! let mut platform = E3Platform::new(config, BackendKind::Inax, 42);
+//! let outcome = platform.run();
+//! assert!(outcome.generations_run >= 1);
+//! assert!(outcome.modeled_seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod design_space;
+pub mod energy;
+pub mod experiments;
+pub mod fpga;
+pub mod platform;
+pub mod timing;
+
+pub use backend::{BackendKind, CpuBackend, EvalBackend, EvalOutcome, GpuBackend, InaxBackend};
+pub use design_space::{sweep_design_space, DesignPoint, DesignSweep};
+pub use energy::{EnergyReport, PowerModel};
+pub use fpga::{FpgaBudget, FpgaResources};
+pub use platform::{E3Config, E3ConfigBuilder, E3Platform, FunctionProfile, RunOutcome};
+pub use timing::{GpuCostModel, SwCostModel};

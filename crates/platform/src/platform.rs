@@ -1,0 +1,450 @@
+//! The E3 platform: the closed evolve/evaluate loop (paper Fig. 1(a)
+//! and Fig. 5) with per-function timing.
+
+use crate::backend::{BackendKind, CpuBackend, EvalBackend, EvalOutcome, GpuBackend, InaxBackend};
+use crate::timing::{GpuCostModel, SwCostModel};
+use e3_envs::EnvId;
+use e3_inax::{EpisodeRunReport, InaxConfig};
+use e3_neat::stats::ComplexityStats;
+use e3_neat::{NeatConfig, Population};
+use serde::{Deserialize, Serialize};
+
+/// Modeled seconds per NEAT function (the categories of paper
+/// Fig. 1(b) and Fig. 9(d)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    /// NN inference time (SW, GPU, or INAX cycles→seconds).
+    pub evaluate: f64,
+    /// CPU-side environment stepping.
+    pub env: f64,
+    /// Genome → network decoding (CreateNet).
+    pub createnet: f64,
+    /// Mutation during reproduction.
+    pub mutate: f64,
+    /// Crossover during reproduction.
+    pub crossover: f64,
+    /// Species assignment.
+    pub speciate: f64,
+}
+
+impl FunctionProfile {
+    /// Total modeled seconds.
+    pub fn total(&self) -> f64 {
+        self.evaluate + self.env + self.createnet + self.mutate + self.crossover + self.speciate
+    }
+
+    /// The "evolve" share (everything except evaluate + env), as a
+    /// fraction of the total.
+    pub fn evolve_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.createnet + self.mutate + self.crossover + self.speciate) / total
+    }
+
+    /// The "evaluate" share (inference only) as a fraction of total.
+    pub fn evaluate_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.evaluate / total
+    }
+
+    /// `(label, seconds)` pairs for rendering breakdowns.
+    pub fn entries(&self) -> [(&'static str, f64); 6] {
+        [
+            ("evaluate", self.evaluate),
+            ("env", self.env),
+            ("createnet", self.createnet),
+            ("mutate", self.mutate),
+            ("crossover", self.crossover),
+            ("speciate", self.speciate),
+        ]
+    }
+}
+
+/// Configuration of one E3 learning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E3Config {
+    /// Task environment.
+    pub env: EnvId,
+    /// NEAT hyperparameters.
+    pub neat: NeatConfig,
+    /// Generation cap.
+    pub max_generations: usize,
+    /// Stop when the best fitness reaches this (defaults to the env's
+    /// required fitness).
+    pub target_fitness: f64,
+    /// INAX hardware configuration (used by the INAX backend).
+    pub inax: InaxConfig,
+    /// Software cost model.
+    pub sw: SwCostModel,
+    /// GPU cost model.
+    pub gpu: GpuCostModel,
+}
+
+impl E3Config {
+    /// Starts a builder with the paper's defaults for `env`: population
+    /// 200, crossover rate 0.5, no initial hidden nodes (§VI-C), and
+    /// the PE/PU heuristics of §V (PE = output nodes, PU = 50).
+    pub fn builder(env: EnvId) -> E3ConfigBuilder {
+        let neat = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+            .population_size(200)
+            .build();
+        let inax = InaxConfig::builder()
+            .num_pu(50)
+            .num_pe(env.policy_outputs())
+            .build();
+        E3ConfigBuilder {
+            config: E3Config {
+                env,
+                neat,
+                max_generations: 100,
+                target_fitness: env.required_fitness(),
+                inax,
+                sw: SwCostModel::default(),
+                gpu: GpuCostModel::default(),
+            },
+        }
+    }
+}
+
+/// Builder for [`E3Config`].
+#[derive(Debug, Clone)]
+pub struct E3ConfigBuilder {
+    config: E3Config,
+}
+
+impl E3ConfigBuilder {
+    /// Sets the population size.
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.config.neat.population_size = n;
+        self
+    }
+
+    /// Sets the generation cap.
+    pub fn max_generations(mut self, n: usize) -> Self {
+        self.config.max_generations = n;
+        self
+    }
+
+    /// Overrides the stop fitness.
+    pub fn target_fitness(mut self, f: f64) -> Self {
+        self.config.target_fitness = f;
+        self
+    }
+
+    /// Overrides the INAX hardware configuration.
+    pub fn inax(mut self, inax: InaxConfig) -> Self {
+        self.config.inax = inax;
+        self
+    }
+
+    /// Overrides the NEAT hyperparameters (env dimensions must match).
+    pub fn neat(mut self, neat: NeatConfig) -> Self {
+        self.config.neat = neat;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NEAT input/output sizes disagree with the
+    /// environment.
+    pub fn build(self) -> E3Config {
+        let c = self.config;
+        assert_eq!(c.neat.num_inputs, c.env.observation_size(), "NEAT inputs must match env");
+        assert_eq!(c.neat.num_outputs, c.env.policy_outputs(), "NEAT outputs must match env");
+        assert!(c.max_generations > 0, "need at least one generation");
+        c
+    }
+}
+
+/// Result of an E3 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Whether the target fitness was reached.
+    pub solved: bool,
+    /// Generations executed (including the final evaluation).
+    pub generations_run: usize,
+    /// Best fitness observed.
+    pub best_fitness: f64,
+    /// Total modeled runtime in seconds.
+    pub modeled_seconds: f64,
+    /// Per-function time breakdown.
+    pub profile: FunctionProfile,
+    /// `(cumulative modeled seconds, best-so-far fitness)` after each
+    /// generation — the Fig. 2 convergence trace.
+    pub trace: Vec<(f64, f64)>,
+    /// Aggregated accelerator accounting (INAX backend only).
+    pub hw_report: Option<EpisodeRunReport>,
+    /// Structural statistics of the evolved populations (Fig. 4,
+    /// Table V).
+    pub complexity: ComplexityStats,
+}
+
+/// The Eval-Evol-Engine: a NEAT population, an environment, and an
+/// evaluation backend.
+///
+/// # Example
+///
+/// ```
+/// use e3_platform::{BackendKind, E3Config, E3Platform};
+/// use e3_envs::EnvId;
+///
+/// let config = E3Config::builder(EnvId::CartPole)
+///     .population_size(20)
+///     .max_generations(2)
+///     .build();
+/// let outcome = E3Platform::new(config, BackendKind::Cpu, 1).run();
+/// assert_eq!(outcome.trace.len(), outcome.generations_run);
+/// ```
+#[derive(Debug)]
+pub struct E3Platform {
+    config: E3Config,
+    backend: Backend,
+    population: Population,
+    profile: FunctionProfile,
+    complexity: ComplexityStats,
+    hw_report: Option<EpisodeRunReport>,
+    trace: Vec<(f64, f64)>,
+    episode_seed: u64,
+}
+
+/// Concrete backend dispatch (avoids `Box<dyn>` so the platform stays
+/// `Debug` and cheap to construct in sweeps).
+#[derive(Debug)]
+enum Backend {
+    Cpu(CpuBackend),
+    Gpu(GpuBackend),
+    Inax(InaxBackend),
+}
+
+impl Backend {
+    fn kind(&self) -> BackendKind {
+        match self {
+            Backend::Cpu(_) => BackendKind::Cpu,
+            Backend::Gpu(_) => BackendKind::Gpu,
+            Backend::Inax(_) => BackendKind::Inax,
+        }
+    }
+
+    fn evaluate(&mut self, genomes: &[e3_neat::Genome], env: EnvId, seed: u64) -> EvalOutcome {
+        match self {
+            Backend::Cpu(b) => b.evaluate_population(genomes, env, seed),
+            Backend::Gpu(b) => b.evaluate_population(genomes, env, seed),
+            Backend::Inax(b) => b.evaluate_population(genomes, env, seed),
+        }
+    }
+}
+
+impl E3Platform {
+    /// Creates a platform with the chosen backend and seed.
+    pub fn new(config: E3Config, backend: BackendKind, seed: u64) -> Self {
+        let backend = match backend {
+            BackendKind::Cpu => Backend::Cpu(CpuBackend::new(config.sw)),
+            BackendKind::Gpu => Backend::Gpu(GpuBackend::new(config.sw, config.gpu)),
+            BackendKind::Inax => Backend::Inax(InaxBackend::new(config.inax.clone(), config.sw)),
+        };
+        let population = Population::new(config.neat.clone(), seed);
+        E3Platform {
+            config,
+            backend,
+            population,
+            profile: FunctionProfile::default(),
+            complexity: ComplexityStats::new(),
+            hw_report: None,
+            trace: Vec::new(),
+            episode_seed: seed.wrapping_add(1000),
+        }
+    }
+
+    /// Which backend this platform runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &E3Config {
+        &self.config
+    }
+
+    /// The evolving population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Executes one evaluate + evolve cycle; returns the best fitness
+    /// of the evaluated generation.
+    pub fn step_generation(&mut self) -> f64 {
+        // --- Evaluate phase (CreateNet + inference + env). ---
+        let genomes = self.population.genomes().to_vec();
+        self.complexity.record_generation(&genomes);
+        for genome in &genomes {
+            self.profile.createnet += self
+                .config
+                .sw
+                .createnet_seconds(genome.nodes().len(), genome.connections().len());
+        }
+        // Episode conditions follow a deterministic per-generation
+        // schedule: reproducible across backends (identical seeds ⇒
+        // identical trajectories) while exposing evolution to varied
+        // start states — important for flat-reward tasks like
+        // MountainCar where a single fixed condition stalls progress.
+        let outcome =
+            self.backend.evaluate(&genomes, self.config.env, self.episode_seed);
+        self.episode_seed = self.episode_seed.wrapping_add(1);
+        self.profile.evaluate += outcome.eval_seconds;
+        self.profile.env += outcome.env_seconds;
+        if let Some(report) = outcome.hw_report {
+            let merged = match self.hw_report {
+                Some(mut acc) => {
+                    acc.total_cycles += report.total_cycles;
+                    acc.breakdown += report.breakdown;
+                    acc.pu_utilization.merge(report.pu_utilization);
+                    acc.pe_utilization.merge(report.pe_utilization);
+                    acc.dma_cycles += report.dma_cycles;
+                    acc.steps += report.steps;
+                    acc
+                }
+                None => report,
+            };
+            self.hw_report = Some(merged);
+        }
+        let best = outcome
+            .fitnesses
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.population.assign_fitnesses(outcome.fitnesses);
+        let best_ever = self.population.best().map_or(best, |b| b.fitness);
+        self.trace.push((self.profile.total(), best_ever));
+
+        // --- Evolve phase (modeled costs; the actual work runs too). ---
+        let pop = self.config.neat.population_size as f64;
+        let species = self.population.species().len().max(1) as f64;
+        self.profile.speciate += pop * species * self.config.sw.sec_speciate_per_comparison;
+        self.profile.mutate += pop * self.config.sw.sec_mutate_per_genome;
+        self.profile.crossover +=
+            pop * self.config.neat.crossover_rate * self.config.sw.sec_crossover_per_child;
+        self.population.evolve();
+        best
+    }
+
+    /// Runs until the target fitness is reached or the generation cap
+    /// hits, returning the outcome.
+    pub fn run(mut self) -> RunOutcome {
+        let mut solved = false;
+        let mut generations_run = 0;
+        for _ in 0..self.config.max_generations {
+            let best = self.step_generation();
+            generations_run += 1;
+            if best >= self.config.target_fitness {
+                solved = true;
+                break;
+            }
+        }
+        let best_fitness = self.population.best().map_or(f64::NEG_INFINITY, |b| b.fitness);
+        RunOutcome {
+            solved,
+            generations_run,
+            best_fitness,
+            modeled_seconds: self.profile.total(),
+            profile: self.profile,
+            trace: self.trace,
+            hw_report: self.hw_report,
+            complexity: self.complexity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(env: EnvId) -> E3Config {
+        E3Config::builder(env).population_size(20).max_generations(3).build()
+    }
+
+    #[test]
+    fn run_produces_trace_and_profile() {
+        let outcome = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 5).run();
+        assert!(outcome.generations_run >= 1);
+        assert_eq!(outcome.trace.len(), outcome.generations_run);
+        assert!(outcome.profile.evaluate > 0.0);
+        assert!(outcome.profile.mutate > 0.0);
+        assert!(outcome.modeled_seconds > 0.0);
+        assert!(outcome.complexity.generations() >= 1);
+    }
+
+    #[test]
+    fn trace_runtime_is_monotone_and_fitness_nondecreasing() {
+        let config = E3Config::builder(EnvId::MountainCar)
+            .population_size(30)
+            .max_generations(5)
+            .target_fitness(f64::INFINITY)
+            .build();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, 3).run();
+        for pair in outcome.trace.windows(2) {
+            assert!(pair[1].0 > pair[0].0, "runtime accumulates");
+            assert!(pair[1].1 >= pair[0].1, "best-so-far never drops");
+        }
+    }
+
+    #[test]
+    fn cpu_profile_is_evaluate_dominated_like_fig1b() {
+        let config = E3Config::builder(EnvId::CartPole)
+            .population_size(50)
+            .max_generations(4)
+            .target_fitness(f64::INFINITY)
+            .build();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, 7).run();
+        assert!(
+            outcome.profile.evaluate_fraction() > 0.6,
+            "evaluate must dominate on CPU, got {}",
+            outcome.profile.evaluate_fraction()
+        );
+        assert!(
+            outcome.profile.evolve_fraction() < 0.2,
+            "evolve must be light, got {}",
+            outcome.profile.evolve_fraction()
+        );
+    }
+
+    #[test]
+    fn inax_and_cpu_runs_follow_identical_evolution() {
+        // Same seed ⇒ same fitnesses ⇒ same evolutionary trajectory.
+        let a = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 9).run();
+        let b = E3Platform::new(small(EnvId::CartPole), BackendKind::Inax, 9).run();
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.generations_run, b.generations_run);
+        let best_a: Vec<f64> = a.trace.iter().map(|t| t.1).collect();
+        let best_b: Vec<f64> = b.trace.iter().map(|t| t.1).collect();
+        assert_eq!(best_a, best_b);
+        assert!(b.modeled_seconds < a.modeled_seconds, "INAX accelerates the run");
+        assert!(b.hw_report.is_some());
+    }
+
+    #[test]
+    fn solved_run_stops_early() {
+        // CartPole is trivial for NEAT; a decent population solves it
+        // within a few generations.
+        let config = E3Config::builder(EnvId::CartPole)
+            .population_size(100)
+            .max_generations(30)
+            .build();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, 11).run();
+        assert!(outcome.solved, "cartpole should be solved");
+        assert!(outcome.generations_run < 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "NEAT inputs must match env")]
+    fn mismatched_neat_config_is_rejected() {
+        let neat = NeatConfig::new(3, 2);
+        let _ = E3Config::builder(EnvId::CartPole).neat(neat).build();
+    }
+}

@@ -1,0 +1,165 @@
+//! Platform cost models: modeled time for software and GPU execution.
+//!
+//! The paper measures wall-clock on a desktop i7 running `neat-python`
+//! (interpreted Python), a GTX 1080 GPU, and the ZCU104 FPGA. This
+//! reproduction replaces the first two with deterministic **cost
+//! models** calibrated to those platform classes, because a Rust
+//! reimplementation's raw wall-clock would not be comparable to the
+//! interpreted baseline the paper speeds up (see DESIGN.md,
+//! substitutions). The INAX side needs no model — its simulator counts
+//! cycles directly.
+//!
+//! The calibration constants reproduce the paper's magnitude classes:
+//! interpreted per-inference cost in the hundreds of microseconds,
+//! cheap classic-control env steps, "evolve" a few percent of NEAT
+//! runtime (Fig. 1(b)), and a GPU that *loses* to the CPU on small
+//! irregular workloads (Fig. 9(b)).
+
+use e3_neat::Network;
+use serde::{Deserialize, Serialize};
+
+/// Cost model of the interpreted software runtime (CPU-side NEAT).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwCostModel {
+    /// Seconds per node evaluated in software inference.
+    pub sec_per_node_eval: f64,
+    /// Seconds per connection (MAC) in software inference.
+    pub sec_per_conn_eval: f64,
+    /// Fixed per-inference interpreter overhead (function dispatch,
+    /// list building).
+    pub sec_per_inference: f64,
+    /// Seconds per environment step (classic-control physics).
+    pub sec_per_env_step: f64,
+    /// Seconds to mutate one genome.
+    pub sec_mutate_per_genome: f64,
+    /// Seconds to crossover one child.
+    pub sec_crossover_per_child: f64,
+    /// Seconds per genome-to-representative distance computation
+    /// during speciation.
+    pub sec_speciate_per_comparison: f64,
+    /// Seconds of fixed CreateNet cost per genome.
+    pub sec_createnet_per_genome: f64,
+    /// Seconds of CreateNet cost per gene (node or connection).
+    pub sec_createnet_per_gene: f64,
+}
+
+impl SwCostModel {
+    /// Modeled software time for one inference of `net`.
+    pub fn inference_seconds(&self, net: &Network) -> f64 {
+        self.sec_per_inference
+            + net.num_nodes() as f64 * self.sec_per_node_eval
+            + net.num_connections() as f64 * self.sec_per_conn_eval
+    }
+
+    /// Modeled CreateNet (genome → network decode) time.
+    pub fn createnet_seconds(&self, nodes: usize, connections: usize) -> f64 {
+        self.sec_createnet_per_genome
+            + (nodes + connections) as f64 * self.sec_createnet_per_gene
+    }
+}
+
+impl Default for SwCostModel {
+    /// Calibration for the paper's desktop-Python software stack.
+    fn default() -> Self {
+        SwCostModel {
+            sec_per_node_eval: 10.0e-6,
+            sec_per_conn_eval: 2.0e-6,
+            sec_per_inference: 50.0e-6,
+            sec_per_env_step: 5.0e-6,
+            sec_mutate_per_genome: 60.0e-6,
+            sec_crossover_per_child: 40.0e-6,
+            sec_speciate_per_comparison: 1.0e-6,
+            sec_createnet_per_genome: 50.0e-6,
+            sec_createnet_per_gene: 1.0e-6,
+        }
+    }
+}
+
+/// Cost model of GPU offload for irregular per-individual inference.
+///
+/// NEAT on a GPU is launch-bound (paper §VI-A: "NEAT algorithm is
+/// generally not efficient on GPUs because of small batch size and
+/// dynamic topology"): each individual's irregular topology compiles
+/// to a chain of tiny per-level kernels, plus host↔device transfers
+/// every environment step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuCostModel {
+    /// Seconds per kernel launch (driver + scheduling).
+    pub sec_per_kernel_launch: f64,
+    /// Kernels per network level (GEMM + activation).
+    pub kernels_per_level: f64,
+    /// Host↔device transfer time per inference (observation up,
+    /// action down, small packets dominated by latency).
+    pub sec_transfer_per_inference: f64,
+    /// Seconds per dense MAC once a kernel runs (throughput term;
+    /// negligible for these sizes but kept for completeness).
+    pub sec_per_dense_conn: f64,
+}
+
+impl GpuCostModel {
+    /// Modeled GPU time for one inference of `net`: the irregular
+    /// network executes as its dense per-level counterpart.
+    pub fn inference_seconds(&self, net: &Network) -> f64 {
+        let levels = net.num_compute_levels() as f64;
+        let widths = net.level_widths();
+        let mut dense_macs = 0.0;
+        let mut prev = net.num_inputs() as f64;
+        for w in widths {
+            dense_macs += prev * w as f64;
+            prev = w as f64;
+        }
+        levels * self.kernels_per_level * self.sec_per_kernel_launch
+            + self.sec_transfer_per_inference
+            + dense_macs * self.sec_per_dense_conn
+    }
+}
+
+impl Default for GpuCostModel {
+    /// Calibration for a GTX-1080-class discrete GPU.
+    fn default() -> Self {
+        GpuCostModel {
+            sec_per_kernel_launch: 1.0e-3,
+            kernels_per_level: 2.0,
+            sec_transfer_per_inference: 2.0e-3,
+            sec_per_dense_conn: 1.0e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_neat::{Genome, InnovationTracker};
+
+    fn tiny_net() -> Network {
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        g.add_connection(0, 2, 1.0, &mut tracker).unwrap();
+        g.add_connection(1, 2, 1.0, &mut tracker).unwrap();
+        g.decode().unwrap()
+    }
+
+    #[test]
+    fn sw_inference_scales_with_size() {
+        let model = SwCostModel::default();
+        let net = tiny_net();
+        let t = model.inference_seconds(&net);
+        assert!(t > model.sec_per_inference);
+        assert!(t < 1e-3, "a tiny net is fast even interpreted");
+    }
+
+    #[test]
+    fn gpu_is_slower_than_sw_for_tiny_irregular_nets() {
+        // The inversion that makes E3-GPU lose (Fig. 9(b)).
+        let net = tiny_net();
+        let sw = SwCostModel::default().inference_seconds(&net);
+        let gpu = GpuCostModel::default().inference_seconds(&net);
+        assert!(gpu > 10.0 * sw, "GPU {gpu} must be launch-bound vs SW {sw}");
+    }
+
+    #[test]
+    fn createnet_cost_grows_with_genome() {
+        let model = SwCostModel::default();
+        assert!(model.createnet_seconds(100, 500) > model.createnet_seconds(5, 5));
+    }
+}

@@ -1,0 +1,78 @@
+//! Design-space exploration of the INAX accelerator: sweep PE and PU
+//! counts for a workload, check the paper's sizing heuristics (§V),
+//! and verify the chosen design fits the ZCU104.
+//!
+//! ```text
+//! cargo run --release --example accelerator_explorer
+//! ```
+
+use e3::inax::cluster::{analyze_pu_parallelism, EpisodeWork};
+use e3::inax::synthetic::synthetic_population_with_mutations;
+use e3::inax::{schedule_inference, InaxConfig};
+use e3::platform::{FpgaBudget, FpgaResources};
+
+fn main() {
+    // Workload: the paper's microbenchmark shape — 8 inputs, 4 outputs
+    // (so the PE heuristic says 4 PEs), 30 hidden nodes, sparsity 0.2,
+    // population 200 (so the PU heuristic says 200, 100, 50, …).
+    let (inputs, outputs, hidden, sparsity, population) = (8, 4, 30, 0.2, 200usize);
+    let nets = synthetic_population_with_mutations(population, inputs, outputs, hidden, sparsity, 0, 3);
+
+    println!("INAX design-space exploration ({population} individuals, {inputs}->{hidden}->{outputs})\n");
+
+    // --- PE sweep (one PU): paper §V-A. ---
+    println!("PE sweep (U(PE) peaks at k = {outputs} and its divisions):");
+    println!("  {:>4} {:>12} {:>8}", "#PE", "cycles/infer", "U(PE)");
+    for num_pe in 1..=8 {
+        let config = InaxConfig::builder().num_pe(num_pe).build();
+        let (mut cycles, mut active, mut total) = (0u64, 0u64, 0u64);
+        for net in &nets {
+            let p = schedule_inference(&config, net);
+            cycles += p.wall_cycles;
+            active += p.pe_active_cycles;
+            total += p.pe_total_cycles;
+        }
+        println!(
+            "  {:>4} {:>12.1} {:>7.1}%",
+            num_pe,
+            cycles as f64 / nets.len() as f64,
+            100.0 * active as f64 / total as f64
+        );
+    }
+
+    // --- PU sweep: paper §V-B. ---
+    let config = InaxConfig::builder().num_pe(outputs).build();
+    let work: Vec<EpisodeWork> = nets
+        .iter()
+        .map(|net| EpisodeWork {
+            inference_cycles: schedule_inference(&config, net).wall_cycles,
+            steps: 100,
+        })
+        .collect();
+    println!("\nPU sweep (U(PU) peaks at divisors of p = {population}):");
+    println!("  {:>4} {:>14} {:>8}", "#PU", "total cycles", "U(PU)");
+    for num_pu in [25, 40, 49, 50, 66, 67, 99, 100, 150, 200] {
+        let (cycles, util) = analyze_pu_parallelism(num_pu, &work);
+        println!("  {:>4} {:>14} {:>7.1}%", num_pu, cycles, 100.0 * util.rate());
+    }
+
+    // --- Fit check on the ZCU104. ---
+    println!("\nZCU104 fit check for candidate designs:");
+    let budget = FpgaBudget::zcu104();
+    for (label, num_pu, num_pe) in [("heuristic (paper E3_a)", 50, outputs), ("wide PE (E3_b)", 50, 2 * outputs), ("max PU", 100, outputs)] {
+        let design = InaxConfig::builder().num_pu(num_pu).num_pe(num_pe).build();
+        let used = FpgaResources::of_inax(&design);
+        let (lut, ff, dsp, bram) = budget.utilization(&used);
+        println!(
+            "  {:<22} PU={:<3} PE={:<2} LUT {:>5.1}% FF {:>5.1}% DSP {:>5.1}% BRAM {:>5.1}%  fits: {}",
+            label,
+            num_pu,
+            num_pe,
+            100.0 * lut,
+            100.0 * ff,
+            100.0 * dsp,
+            100.0 * bram,
+            budget.fits(&used)
+        );
+    }
+}

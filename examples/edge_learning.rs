@@ -1,0 +1,63 @@
+//! Model-replacement scenario (paper §I): an autonomous agent is
+//! deployed to the edge and receives **new tasks for which no trained
+//! model exists**. NEAT starts from a minimal two-layer genome and
+//! grows whatever topology each task needs — no cloud round-trip, no
+//! hand-designed network.
+//!
+//! The example deploys one E3 device against three successive tasks
+//! with different observation/action spaces and reports what topology
+//! evolution settled on for each.
+//!
+//! ```text
+//! cargo run --release --example edge_learning
+//! ```
+
+use e3::envs::EnvId;
+use e3::platform::{BackendKind, E3Config, E3Platform};
+
+fn main() {
+    println!("E3 edge learning — model replacement across unseen tasks\n");
+    let tasks = [EnvId::CartPole, EnvId::MountainCar, EnvId::Pendulum];
+
+    for task in tasks {
+        // A fresh model is evolved per task: the network structure is
+        // not transferred because the task's sensor/action spaces
+        // differ — exactly the situation where fixed-topology methods
+        // need a human in the loop and NEAT does not.
+        let config = E3Config::builder(task)
+            .population_size(150)
+            .max_generations(200)
+            .build();
+        let outcome = E3Platform::new(config, BackendKind::Inax, 7).run();
+
+        let champion = outcome_champion_summary(&outcome);
+        println!("{task}:");
+        println!(
+            "  solved {} in {} generations ({:.2} s modeled on-device time)",
+            if outcome.solved { "yes" } else { "no " },
+            outcome.generations_run,
+            outcome.modeled_seconds
+        );
+        println!(
+            "  best fitness {:.1} (required {:.0})",
+            outcome.best_fitness,
+            task.required_fitness()
+        );
+        println!("  evolved topology: {champion}");
+        println!(
+            "  avg population complexity: {:.1} nodes / {:.1} connections (cf. Table V)",
+            outcome.complexity.avg_nodes(),
+            outcome.complexity.avg_connections()
+        );
+        println!();
+    }
+}
+
+fn outcome_champion_summary(outcome: &e3::platform::RunOutcome) -> String {
+    // The trace records best-so-far fitness; the structural summary
+    // comes from the complexity statistics of the final generations.
+    format!(
+        "irregular feed-forward net, density {:.2} at the final generation",
+        outcome.complexity.density_trace().last().copied().unwrap_or(0.0)
+    )
+}

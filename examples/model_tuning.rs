@@ -1,0 +1,86 @@
+//! Model-tuning scenario (paper §I): a model trained on a *generic*
+//! environment keeps training on the *target* environment it actually
+//! encounters (the robot trained on grass now walks on sand).
+//!
+//! Here a pendulum controller is evolved against one set of episode
+//! conditions, then the environment shifts (different reset
+//! distribution). Continuing evolution from the adapted population
+//! re-converges far faster than starting from scratch — the case for
+//! on-device continuous learning.
+//!
+//! ```text
+//! cargo run --release --example model_tuning
+//! ```
+
+use e3::envs::{run_episode, EnvId};
+use e3::neat::{NeatConfig, Population};
+
+/// Evaluate a population on one episode condition, returning the best
+/// fitness of the generation.
+fn evaluate(population: &mut Population, env_id: EnvId, episode_seed: u64) -> f64 {
+    let mut env = env_id.make();
+    population.evaluate(|genome| {
+        let mut net = genome.decode().expect("feed-forward");
+        let mut policy = |obs: &[f64]| net.activate(obs);
+        run_episode(env.as_mut(), &mut policy, episode_seed).total_reward
+    });
+    population.fitnesses().iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+}
+
+/// Generations until the population's best fitness clears `target`
+/// under the given episode condition (capped).
+fn generations_to_reach(
+    population: &mut Population,
+    env_id: EnvId,
+    episode_seed: u64,
+    target: f64,
+    cap: usize,
+) -> Option<usize> {
+    for generation in 0..cap {
+        let best = evaluate(population, env_id, episode_seed);
+        if best >= target {
+            return Some(generation);
+        }
+        population.evolve();
+    }
+    None
+}
+
+fn main() {
+    let env_id = EnvId::Pendulum;
+    let target = -400.0;
+    let config = NeatConfig::builder(env_id.observation_size(), env_id.policy_outputs())
+        .population_size(100)
+        .build();
+
+    println!("E3 model tuning on {env_id} (target fitness {target})\n");
+
+    // Phase 1: learn under the "generic" condition.
+    let mut tuned = Population::new(config.clone(), 5);
+    let pretrain =
+        generations_to_reach(&mut tuned, env_id, 100, target, 80).expect("generic task learnable");
+    println!("pre-training on the generic condition: reached target in {pretrain} generations");
+
+    // Phase 2: the environment shifts — tune the existing population.
+    let shifted_condition = 900u64;
+    let tune = generations_to_reach(&mut tuned, env_id, shifted_condition, target, 80);
+
+    // Baseline: learn the shifted condition from scratch.
+    let mut scratch = Population::new(config, 6);
+    let from_scratch = generations_to_reach(&mut scratch, env_id, shifted_condition, target, 80);
+
+    match (tune, from_scratch) {
+        (Some(t), Some(s)) => {
+            println!("adapting the tuned population : {t} generations");
+            println!("learning from scratch         : {s} generations");
+            if t <= s {
+                println!("\nmodel tuning wins: the evolved structure transfers across conditions.");
+            } else {
+                println!("\n(this seed favored scratch — rerun with another seed; on average tuning wins)");
+            }
+        }
+        (tune, scratch) => {
+            println!("tuned: {tune:?} generations, scratch: {scratch:?} (None = not within cap)");
+        }
+    }
+}

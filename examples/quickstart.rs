@@ -1,0 +1,53 @@
+//! Quickstart: evolve a CartPole controller on the INAX-accelerated
+//! E3 platform and compare against the software baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use e3::envs::EnvId;
+use e3::platform::{BackendKind, E3Config, E3Platform};
+
+fn main() {
+    println!("E3 quickstart — evolving a CartPole controller\n");
+
+    // The paper's defaults: population 200, PE = output nodes, PU = 50.
+    // A smaller population keeps this example snappy.
+    let config = |_| {
+        E3Config::builder(EnvId::CartPole)
+            .population_size(100)
+            .max_generations(30)
+            .build()
+    };
+
+    // Same seed ⇒ both backends follow the identical evolutionary
+    // trajectory; only the (modeled) runtime differs.
+    let cpu = E3Platform::new(config(()), BackendKind::Cpu, 42).run();
+    let inax = E3Platform::new(config(()), BackendKind::Inax, 42).run();
+
+    println!("task solved: {} (best fitness {:.1}, target {:.0})", cpu.solved, cpu.best_fitness, EnvId::CartPole.required_fitness());
+    println!("generations: {}", cpu.generations_run);
+    println!();
+    println!("modeled runtime:");
+    println!("  E3-CPU : {:>8.3} s", cpu.modeled_seconds);
+    println!("  E3-INAX: {:>8.3} s", inax.modeled_seconds);
+    println!("  speedup: {:>8.1}x (paper headline: ~30x averaged over the suite)", cpu.modeled_seconds / inax.modeled_seconds);
+    println!();
+
+    let profile = inax.profile;
+    println!("E3-INAX timing profile (cf. paper Fig. 9(d) — balanced):");
+    for (name, seconds) in profile.entries() {
+        println!("  {:<10} {:>6.2}%", name, 100.0 * seconds / profile.total());
+    }
+
+    let report = inax.hw_report.expect("INAX runs report HW accounting");
+    println!();
+    println!("INAX hardware accounting:");
+    println!("  total cycles      : {}", report.total_cycles);
+    println!("  inference waves   : {}", report.steps);
+    println!("  PU utilization    : {:.1}%", 100.0 * report.pu_utilization.rate());
+    println!("  PE utilization    : {:.1}%", 100.0 * report.pe_utilization.rate());
+
+    let champion = "the champion genome can be decoded with `genome.decode()` and deployed anywhere";
+    println!("\n{champion}");
+}

@@ -1,0 +1,48 @@
+//! Reproduce the paper's two timing pies side by side: Fig. 1(b)
+//! (software-only NEAT: "evaluate" swallows the runtime) and
+//! Fig. 9(d) (E3-INAX: balanced across functions).
+//!
+//! ```text
+//! cargo run --release --example timing_profile
+//! ```
+
+use e3::envs::EnvId;
+use e3::platform::{BackendKind, E3Config, E3Platform, FunctionProfile};
+
+fn bar(fraction: f64) -> String {
+    let filled = (fraction * 40.0).round() as usize;
+    format!("{}{}", "█".repeat(filled), "·".repeat(40 - filled))
+}
+
+fn render(title: &str, profile: &FunctionProfile) {
+    println!("{title}");
+    let total = profile.total();
+    for (name, seconds) in profile.entries() {
+        let fraction = seconds / total;
+        println!("  {:<10} {} {:>6.2}%", name, bar(fraction), 100.0 * fraction);
+    }
+    println!();
+}
+
+fn main() {
+    let env = EnvId::MountainCar;
+    let config = |_| {
+        E3Config::builder(env)
+            .population_size(100)
+            .max_generations(20)
+            .build()
+    };
+
+    let cpu = E3Platform::new(config(()), BackendKind::Cpu, 11).run();
+    let inax = E3Platform::new(config(()), BackendKind::Inax, 11).run();
+
+    println!("timing profiles on {env} ({} generations)\n", cpu.generations_run);
+    render("Fig. 1(b) — NEAT on CPU (evaluate dominates):", &cpu.profile);
+    render("Fig. 9(d) — E3-INAX (balanced):", &inax.profile);
+    println!(
+        "evaluate share: {:.1}% (CPU) -> {:.1}% (INAX); speedup {:.1}x",
+        100.0 * cpu.profile.evaluate_fraction(),
+        100.0 * inax.profile.evaluate_fraction(),
+        cpu.modeled_seconds / inax.modeled_seconds
+    );
+}

@@ -1,0 +1,42 @@
+//! # E3 — a HW/SW co-design neuroevolution platform (reproduction)
+//!
+//! This facade crate re-exports the whole E3 workspace, a from-scratch
+//! Rust reproduction of *"E3: A HW/SW Co-design Neuroevolution Platform
+//! for Autonomous Learning in Edge Device"* (Kao & Krishna, ISPASS
+//! 2021):
+//!
+//! * [`neat`] — the NEAT neuroevolution algorithm (genomes, speciation,
+//!   evolution, irregular-network decoding);
+//! * [`envs`] — pure-Rust OpenAI-gym-style control environments
+//!   (CartPole, Acrobot, MountainCar, Pendulum, LunarLander,
+//!   BipedalWalker);
+//! * [`inax`] — a cycle-level simulator of the INAX irregular-network
+//!   accelerator (PE/PU clusters, output-stationary dataflow);
+//! * [`systolic`] — the GeneSys-style 1-D systolic-array baseline;
+//! * [`rl`] — A2C / PPO reinforcement-learning baselines with a tiny
+//!   backprop MLP framework;
+//! * [`platform`] — the E3 platform tying evolve (SW) and evaluate (HW)
+//!   together: backends, DMA, timing, energy, and every experiment
+//!   driver of the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use e3::platform::{E3Config, E3Platform, BackendKind};
+//! use e3::envs::EnvId;
+//!
+//! let config = E3Config::builder(EnvId::CartPole)
+//!     .population_size(30)
+//!     .max_generations(3)
+//!     .build();
+//! let mut platform = E3Platform::new(config, BackendKind::Inax, 42);
+//! let outcome = platform.run();
+//! assert!(outcome.generations_run >= 1);
+//! ```
+
+pub use e3_envs as envs;
+pub use e3_inax as inax;
+pub use e3_neat as neat;
+pub use e3_platform as platform;
+pub use e3_rl as rl;
+pub use e3_systolic as systolic;

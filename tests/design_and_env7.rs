@@ -1,0 +1,75 @@
+//! Integration: the Env7 (Pong) task is learnable by NEAT, and the
+//! design-space sweep agrees with the paper's sizing heuristics on a
+//! realistic workload.
+
+use e3::envs::{run_episode, EnvId};
+use e3::inax::synthetic::synthetic_population;
+use e3::neat::{NeatConfig, Population};
+use e3::platform::{sweep_design_space, FpgaBudget};
+
+#[test]
+fn neat_improves_on_pong() {
+    let config = NeatConfig::builder(
+        EnvId::Pong.observation_size(),
+        EnvId::Pong.policy_outputs(),
+    )
+    .population_size(60)
+    .build();
+    let mut pop = Population::new(config, 17);
+    let mut env = EnvId::Pong.make();
+    let mut evaluate = |pop: &mut Population, seed: u64| {
+        pop.evaluate(|genome| {
+            let mut net = genome.decode().expect("feed-forward");
+            let mut policy = |obs: &[f64]| net.activate(obs);
+            run_episode(env.as_mut(), &mut policy, seed).total_reward
+        });
+        pop.best().map_or(f64::NEG_INFINITY, |b| b.fitness)
+    };
+    let first = evaluate(&mut pop, 1);
+    let mut best = first;
+    for g in 0..12 {
+        pop.evolve();
+        best = best.max(evaluate(&mut pop, 1 + g));
+    }
+    // An idle paddle scores -5; evolution must find ball tracking,
+    // which scores far better (often positive).
+    assert!(best > first, "no improvement: {first} -> {best}");
+    assert!(best > -4.0, "evolved Pong policy still hopeless: {best}");
+}
+
+#[test]
+fn sweep_confirms_the_paper_heuristics_are_near_pareto() {
+    let nets = synthetic_population(200, 8, 4, 30, 0.2, 5);
+    let sweep = sweep_design_space(
+        &nets,
+        100,
+        &[10, 25, 40, 50, 100, 200],
+        &[1, 2, 3, 4, 5, 6, 8],
+        &FpgaBudget::zcu104(),
+    );
+    let heuristic = sweep
+        .points
+        .iter()
+        .find(|p| p.num_pu == 50 && p.num_pe == 4)
+        .expect("heuristic point swept");
+    assert!(heuristic.fits, "the deployed config fits the ZCU104");
+    // No feasible point with at most the heuristic's LUTs is more than
+    // 25% faster — the heuristic is near the frontier in its area class.
+    for p in sweep.feasible() {
+        if p.resources.lut <= heuristic.resources.lut {
+            assert!(
+                (p.total_cycles as f64) > 0.75 * heuristic.total_cycles as f64,
+                "({}, {}) dominates the heuristic: {} vs {}",
+                p.num_pu,
+                p.num_pe,
+                p.total_cycles,
+                heuristic.total_cycles
+            );
+        }
+    }
+    // And PU divisor structure shows up: 50 PUs beats 40 PUs at PE=4.
+    let at = |pu: usize, pe: usize| {
+        sweep.points.iter().find(|p| p.num_pu == pu && p.num_pe == pe).unwrap()
+    };
+    assert!(at(50, 4).pu_utilization > at(40, 4).pu_utilization * 0.95);
+}

@@ -1,0 +1,85 @@
+//! End-to-end integration: the full E3 loop across all crates.
+
+use e3::envs::EnvId;
+use e3::inax::InaxConfig;
+use e3::platform::{BackendKind, E3Config, E3Platform, PowerModel};
+
+fn quick_config(env: EnvId) -> E3Config {
+    E3Config::builder(env).population_size(40).max_generations(6).build()
+}
+
+#[test]
+fn all_backends_follow_identical_evolution() {
+    for env in [EnvId::CartPole, EnvId::Pendulum] {
+        let runs: Vec<_> = BackendKind::ALL
+            .into_iter()
+            .map(|kind| E3Platform::new(quick_config(env), kind, 17).run())
+            .collect();
+        let reference: Vec<f64> = runs[0].trace.iter().map(|t| t.1).collect();
+        for run in &runs[1..] {
+            let trace: Vec<f64> = run.trace.iter().map(|t| t.1).collect();
+            assert_eq!(reference, trace, "{env}: backends diverged");
+        }
+        assert_eq!(runs[0].best_fitness, runs[2].best_fitness);
+    }
+}
+
+#[test]
+fn inax_beats_cpu_beats_gpu_in_modeled_runtime() {
+    let cpu = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Cpu, 3).run();
+    let gpu = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Gpu, 3).run();
+    let inax = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Inax, 3).run();
+    assert!(inax.modeled_seconds < cpu.modeled_seconds, "INAX accelerates");
+    assert!(gpu.modeled_seconds > cpu.modeled_seconds, "GPU loses (paper Fig. 9(b))");
+    let speedup = cpu.modeled_seconds / inax.modeled_seconds;
+    assert!(speedup > 2.0, "speedup {speedup} too small for even a quick run");
+}
+
+#[test]
+fn neat_solves_cartpole_end_to_end_on_inax() {
+    let config = E3Config::builder(EnvId::CartPole)
+        .population_size(100)
+        .max_generations(30)
+        .build();
+    let outcome = E3Platform::new(config, BackendKind::Inax, 42).run();
+    assert!(outcome.solved, "cartpole should be solved, best {}", outcome.best_fitness);
+    assert!(outcome.best_fitness >= EnvId::CartPole.required_fitness());
+    let report = outcome.hw_report.expect("INAX reports accounting");
+    assert!(report.total_cycles > 0);
+    assert!(report.pe_utilization.rate() > 0.0 && report.pe_utilization.rate() <= 1.0);
+}
+
+#[test]
+fn energy_model_reproduces_fig10a_ordering() {
+    let power = PowerModel::default();
+    let cpu = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Cpu, 5).run();
+    let gpu = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Gpu, 5).run();
+    let inax = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Inax, 5).run();
+    let cpu_energy = power.energy(BackendKind::Cpu, &cpu.profile).total();
+    let gpu_energy = power.energy(BackendKind::Gpu, &gpu.profile).total();
+    let inax_energy = power.energy(BackendKind::Inax, &inax.profile).total();
+    assert!(gpu_energy > 10.0 * cpu_energy, "GPU energy blow-up (paper: 71x)");
+    assert!(inax_energy < 0.2 * cpu_energy, "INAX energy saving (paper: 97%)");
+}
+
+#[test]
+fn pu_pe_heuristics_are_the_platform_defaults() {
+    let config = E3Config::builder(EnvId::LunarLander).build();
+    assert_eq!(config.inax.num_pu, 50, "paper §VI-C picks PU = 50");
+    assert_eq!(
+        config.inax.num_pe,
+        EnvId::LunarLander.policy_outputs(),
+        "paper §V-A sizes PEs to the output layer"
+    );
+}
+
+#[test]
+fn custom_inax_configs_flow_through() {
+    let config = E3Config::builder(EnvId::CartPole)
+        .population_size(30)
+        .max_generations(2)
+        .inax(InaxConfig::builder().num_pu(10).num_pe(8).build())
+        .build();
+    let outcome = E3Platform::new(config, BackendKind::Inax, 1).run();
+    assert!(outcome.hw_report.is_some());
+}

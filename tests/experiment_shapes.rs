@@ -1,0 +1,107 @@
+//! Integration tests asserting the *shape* of every reproduced
+//! experiment: who wins, where the peaks fall, which phases dominate —
+//! the qualitative claims of the paper's evaluation section, checked
+//! programmatically at quick scale.
+
+use e3::envs::EnvId;
+use e3::platform::experiments::{fig10, fig11, fig1b, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale};
+use e3::platform::PowerModel;
+
+#[test]
+fn fig1b_evaluate_dominates_software_neat() {
+    let result = fig1b::run_on(&[EnvId::CartPole, EnvId::MountainCar], Scale::Quick, 1);
+    assert!(result.mean_evaluate_fraction() > 0.85, "paper: ~97%");
+    assert!(result.mean_evolve_fraction() < 0.1, "paper: ~3%");
+}
+
+#[test]
+fn fig3_training_dominates_rl() {
+    let result = fig3::run(Scale::Quick, 2);
+    assert!(result.mean_training_fraction() > 0.4, "paper: ~60%");
+}
+
+#[test]
+fn fig4_networks_are_irregular() {
+    let result = fig4::run_on(&[EnvId::CartPole], Scale::Quick, 3);
+    assert!(result.degree_histogram.buckets().count() > 1, "variable in-degree");
+    assert!(result.layer_histogram.buckets().count() >= 1);
+    assert!(!result.density.is_empty());
+}
+
+#[test]
+fn fig6_pe_utilization_peaks_at_output_width() {
+    let result = fig6::run();
+    for panel in &result.panels {
+        let k = panel.num_outputs;
+        assert!(
+            panel.has_local_peak_at(k) || panel.has_local_peak_at(k.div_ceil(2)),
+            "panel k={k} must peak at k or ⌈k/2⌉"
+        );
+    }
+}
+
+#[test]
+fn fig7_pu_utilization_peaks_at_population_divisors() {
+    let result = fig7::run();
+    for panel in &result.panels {
+        let p = panel.num_individuals;
+        let at_div = panel.utilization_at(p / 2).unwrap();
+        let below = panel.utilization_at(p / 2 - 1).unwrap();
+        assert!(at_div > below, "divisor peak at p/2 (paper's 100-vs-99 example)");
+        assert!(at_div > 0.95, "divisors are near-fully utilized");
+    }
+}
+
+#[test]
+fn fig9a_bigger_networks_hide_control_overhead() {
+    let result = fig9::run_fig9a();
+    let first = result.points.first().unwrap();
+    let last = result.points.last().unwrap();
+    assert!(last.pe_active_fraction > first.pe_active_fraction);
+}
+
+#[test]
+fn fig9b_suite_speedups_have_the_paper_shape() {
+    let result = fig9::run_fig9b_on(&[EnvId::CartPole, EnvId::Pendulum], Scale::Quick, 7);
+    for row in &result.rows {
+        assert!(row.inax_speedup() > 2.0, "{}: INAX wins", row.env);
+        assert!(row.gpu_slowdown() > 1.0, "{}: GPU loses", row.env);
+    }
+    assert!(result.mean_inax_speedup() > 3.0, "paper headline: ~30x at full scale");
+}
+
+#[test]
+fn fig10_energy_and_resources() {
+    let fig9b = fig9::run_fig9b_on(&[EnvId::CartPole], Scale::Quick, 7);
+    let energy = fig10::run_fig10a(&fig9b, &PowerModel::default());
+    assert!(energy.mean_inax_reduction() > 0.8, "paper: 97% energy reduction");
+    assert!(energy.rows[0].gpu_ratio() > 10.0, "paper: 71x GPU energy");
+    let resources = fig10::run_fig10b();
+    assert!(resources.rows.iter().all(|r| r.utilization.0 < 1.0), "both configs fit");
+}
+
+#[test]
+fn fig11_inax_beats_systolic_array_everywhere() {
+    let result = fig11::run();
+    for point in &result.points {
+        assert!(point.speedup() > 1.0, "{} PEs", point.num_pe);
+    }
+    let max = result.points.iter().map(|p| p.speedup()).fold(0.0f64, f64::max);
+    assert!(max >= 3.0, "paper range: 3x–12.6x, got max {max}");
+}
+
+#[test]
+fn table4_overheads_are_ordered() {
+    let result = table4::run_on(&[EnvId::CartPole], Scale::Quick, 9);
+    assert!(result.rl.ops_backward > 0);
+    assert_eq!(result.neat.ops_backward, 0);
+    assert!(result.rl.local_memory_bytes > 100 * result.neat.local_memory_bytes);
+}
+
+#[test]
+fn table5_neat_networks_are_tiny() {
+    let result = table5::run_on(&[EnvId::CartPole], Scale::Quick, 9);
+    let row = &result.rows[0];
+    assert!(row.neat_avg_connections < row.small.connections as f64 / 20.0);
+    assert!(row.large.connections > 100 * row.small.connections / 10);
+}
