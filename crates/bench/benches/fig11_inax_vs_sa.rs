@@ -21,11 +21,18 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("sa_cycles_16pe", |b| {
         let sa = SystolicArray::new(SystolicConfig::builder().num_pe(16).build());
-        b.iter(|| padded.iter().map(|p| sa.inference_cycles(black_box(p))).sum::<u64>())
+        b.iter(|| {
+            padded
+                .iter()
+                .map(|p| sa.inference_cycles(black_box(p)))
+                .sum::<u64>()
+        })
     });
     group.bench_function("sa_lowering", |b| {
         b.iter(|| {
-            nets.iter().map(|n| DensePaddedNet::from_irregular(black_box(n)).dense_connections()).sum::<usize>()
+            nets.iter()
+                .map(|n| DensePaddedNet::from_irregular(black_box(n)).dense_connections())
+                .sum::<usize>()
         })
     });
     group.finish();

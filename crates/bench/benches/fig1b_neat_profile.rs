@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
                 .max_generations(1)
                 .target_fitness(f64::INFINITY)
                 .build();
-            let outcome = E3Platform::new(config, BackendKind::Cpu, 7).run();
+            let outcome = E3Platform::new(config, BackendKind::Cpu, 7)
+                .run()
+                .expect("feed-forward population");
             black_box(outcome.profile)
         })
     });

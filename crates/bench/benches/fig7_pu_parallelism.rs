@@ -5,13 +5,21 @@ use e3_inax::cluster::{analyze_pu_parallelism, EpisodeWork};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let episodes = vec![EpisodeWork { inference_cycles: 120, steps: 100 }; 200];
+    let episodes = vec![
+        EpisodeWork {
+            inference_cycles: 120,
+            steps: 100
+        };
+        200
+    ];
     let mut group = c.benchmark_group("fig7_pu_parallelism");
     group.sample_size(30);
     for num_pu in [1usize, 50, 99, 100, 200] {
-        group.bench_with_input(BenchmarkId::from_parameter(num_pu), &num_pu, |b, &num_pu| {
-            b.iter(|| analyze_pu_parallelism(black_box(num_pu), black_box(&episodes)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_pu),
+            &num_pu,
+            |b, &num_pu| b.iter(|| analyze_pu_parallelism(black_box(num_pu), black_box(&episodes))),
+        );
     }
     group.finish();
 }

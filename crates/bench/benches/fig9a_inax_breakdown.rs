@@ -12,7 +12,8 @@ fn bench(c: &mut Criterion) {
         let nets = synthetic_population(4, 8, 4, hidden, 0.2, 9);
         group.bench_with_input(BenchmarkId::from_parameter(hidden), &nets, |b, nets| {
             b.iter(|| {
-                let mut acc = InaxAccelerator::new(InaxConfig::builder().num_pu(4).num_pe(4).build());
+                let mut acc =
+                    InaxAccelerator::new(InaxConfig::builder().num_pu(4).num_pe(4).build());
                 acc.load_batch(nets.clone());
                 let inputs = vec![Some(vec![0.3f64; 8]); nets.len()];
                 for _ in 0..50 {

@@ -2,9 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use e3_envs::EnvId;
+use e3_inax::InaxConfig;
 use e3_neat::{NeatConfig, Population};
 use e3_platform::{CpuBackend, EvalBackend, GpuBackend, InaxBackend, SwCostModel};
-use e3_inax::InaxConfig;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -15,27 +15,51 @@ fn bench(c: &mut Criterion) {
     let genomes = Population::new(neat, 3).genomes().to_vec();
     let mut group = c.benchmark_group("fig9b_runtime");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::from_parameter("cpu"), &genomes, |b, genomes| {
-        b.iter(|| {
-            let mut backend = CpuBackend::default();
-            black_box(backend.evaluate_population(genomes, env, 5))
-        })
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("gpu"), &genomes, |b, genomes| {
-        b.iter(|| {
-            let mut backend = GpuBackend::default();
-            black_box(backend.evaluate_population(genomes, env, 5))
-        })
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("inax"), &genomes, |b, genomes| {
-        b.iter(|| {
-            let mut backend = InaxBackend::new(
-                InaxConfig::builder().num_pu(16).num_pe(2).build(),
-                SwCostModel::default(),
-            );
-            black_box(backend.evaluate_population(genomes, env, 5))
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cpu"),
+        &genomes,
+        |b, genomes| {
+            b.iter(|| {
+                let mut backend = CpuBackend::default();
+                black_box(
+                    backend
+                        .try_evaluate_population(genomes, env, 5)
+                        .expect("feed-forward population"),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("gpu"),
+        &genomes,
+        |b, genomes| {
+            b.iter(|| {
+                let mut backend = GpuBackend::default();
+                black_box(
+                    backend
+                        .try_evaluate_population(genomes, env, 5)
+                        .expect("feed-forward population"),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("inax"),
+        &genomes,
+        |b, genomes| {
+            b.iter(|| {
+                let mut backend = InaxBackend::new(
+                    InaxConfig::builder().num_pu(16).num_pe(2).build(),
+                    SwCostModel::default(),
+                );
+                black_box(
+                    backend
+                        .try_evaluate_population(genomes, env, 5)
+                        .expect("feed-forward population"),
+                )
+            })
+        },
+    );
     group.finish();
 }
 

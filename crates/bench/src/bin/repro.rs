@@ -1,46 +1,96 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment|all> [--full] [--json] [--seed N]
+//! repro <experiment|run|all> [--full] [--json] [--seed N]
+//!       [--envs LIST] [--backend KIND] [--telemetry FILE] [--svg DIR]
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation. `--full` uses paper-scale
+//! fig9b fig10a fig10b fig11 ablation, plus `run` (a single
+//! evolve/evaluate run on one env/backend). `--full` uses paper-scale
 //! parameters (population 200, full step budgets); the default quick
 //! scale finishes in seconds per experiment. `--svg DIR` additionally
-//! writes figure images for the sweep experiments.
+//! writes figure images for the sweep experiments. `--telemetry FILE`
+//! streams every `e3-telemetry` event of the instrumented experiments
+//! (fig1b, fig9a, fig9b, fig10a, run) as NDJSON. `--envs` takes a
+//! comma-separated list of environment names or paper indices
+//! (`cartpole,env3,...`); `--backend` picks the backend for `run`
+//! (`cpu`, `gpu`, or `inax`).
 
 use e3_bench::svg::{LineChart, Series};
 use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
+use e3_envs::EnvId;
 use e3_platform::experiments::{
     ablation, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale,
 };
-use e3_platform::PowerModel;
+use e3_platform::telemetry::{Collector, NdjsonWriter, NullCollector};
+use e3_platform::{BackendKind, E3Config, E3Platform, PowerModel};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Parsed command-line options shared by every experiment.
+struct Options {
+    scale: Scale,
+    seed: u64,
+    json: bool,
+    svg_dir: Option<PathBuf>,
+    /// Environment subset (`--envs`); defaults to the paper suite.
+    envs: Vec<EnvId>,
+    /// Backend for the single-run experiment (`--backend`).
+    backend: BackendKind,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name: Option<String> = None;
-    let mut scale = Scale::Quick;
-    let mut json = false;
-    let mut seed = DEFAULT_SEED;
-    let mut svg_dir: Option<PathBuf> = None;
+    let mut opts = Options {
+        scale: Scale::Quick,
+        seed: DEFAULT_SEED,
+        json: false,
+        svg_dir: None,
+        envs: Vec::new(),
+        backend: BackendKind::Inax,
+    };
+    let mut telemetry_path: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--full" => scale = Scale::Full,
-            "--json" => json = true,
+            "--full" => opts.scale = Scale::Full,
+            "--json" => opts.json = true,
             "--seed" => {
-                seed = iter
+                opts.seed = iter
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--svg" => {
-                svg_dir = Some(PathBuf::from(
-                    iter.next().unwrap_or_else(|| usage("--svg needs a directory")),
+                opts.svg_dir = Some(PathBuf::from(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--svg needs a directory")),
                 ));
+            }
+            "--telemetry" => {
+                telemetry_path = Some(PathBuf::from(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--telemetry needs a file path")),
+                ));
+            }
+            "--envs" | "--env" => {
+                let list = iter.next().unwrap_or_else(|| usage("--envs needs a list"));
+                for part in list.split(',').filter(|p| !p.is_empty()) {
+                    opts.envs.push(
+                        part.parse::<EnvId>()
+                            .unwrap_or_else(|e| usage(&e.to_string())),
+                    );
+                }
+            }
+            "--backend" => {
+                let kind = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--backend needs a name"));
+                opts.backend = kind
+                    .parse::<BackendKind>()
+                    .unwrap_or_else(|e| usage(&e.to_string()));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -56,25 +106,45 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
+    if opts.envs.is_empty() {
+        opts.envs = EnvId::ALL.to_vec();
+    }
 
     let targets: Vec<&str> = if name == "all" {
         EXPERIMENTS.to_vec()
-    } else if EXPERIMENTS.contains(&name.as_str()) {
+    } else if name == "run" || EXPERIMENTS.contains(&name.as_str()) {
         vec![Box::leak(name.into_boxed_str()) as &str]
     } else {
         usage(&format!("unknown experiment: {name}"));
     };
 
-    if let Some(dir) = &svg_dir {
+    if let Some(dir) = &opts.svg_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| usage(&format!("--svg dir: {e}")));
     }
+    let mut sink: Box<dyn Collector> = match &telemetry_path {
+        Some(path) => Box::new(
+            NdjsonWriter::create(path)
+                .unwrap_or_else(|e| usage(&format!("--telemetry {}: {e}", path.display()))),
+        ),
+        None => Box::new(NullCollector),
+    };
     for target in targets {
-        run_experiment(target, scale, seed, json, svg_dir.as_deref());
+        run_experiment(target, &opts, sink.as_mut());
+    }
+    if let Err(e) = sink.flush() {
+        usage(&format!("telemetry flush failed: {e}"));
+    }
+    if let Some(path) = &telemetry_path {
+        eprintln!("wrote telemetry to {}", path.display());
     }
     ExitCode::SUCCESS
 }
 
-fn run_experiment(name: &str, scale: Scale, seed: u64, json: bool, svg_dir: Option<&Path>) {
+fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
+    let Options {
+        scale, seed, json, ..
+    } = *opts;
+    let svg_dir = opts.svg_dir.as_deref();
     macro_rules! emit {
         ($result:expr) => {{
             let result = $result;
@@ -88,28 +158,74 @@ fn run_experiment(name: &str, scale: Scale, seed: u64, json: bool, svg_dir: Opti
             }
         }};
     }
+    macro_rules! try_run {
+        ($result:expr) => {
+            $result.unwrap_or_else(|e| usage(&format!("{name} failed: {e}")))
+        };
+    }
     match name {
-        "table4" => emit!(table4::run(scale, seed)),
-        "table5" => emit!(table5::run(scale, seed)),
-        "fig1b" => emit!(fig1b::run(scale, seed)),
-        "fig2" => emit!(fig2::run(scale, seed)),
+        "run" => {
+            let env = opts.envs[0];
+            let config = E3Config::builder(env)
+                .population_size(scale.population())
+                .max_generations(scale.max_generations())
+                .build();
+            let platform = E3Platform::new(config, opts.backend, seed);
+            let outcome = try_run!(platform.run_with(collector));
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&outcome).expect("results serialize")
+                );
+            } else {
+                println!(
+                    "{env} on {}: solved={} generations={} best={:.2} modeled={:.4}s",
+                    opts.backend,
+                    outcome.solved,
+                    outcome.generations_run,
+                    outcome.best_fitness,
+                    outcome.modeled_seconds
+                );
+            }
+        }
+        "table4" => emit!(table4::run_on(&opts.envs, scale, seed)),
+        "table5" => emit!(table5::run_on(&opts.envs, scale, seed)),
+        "fig1b" => emit!(try_run!(fig1b::run_with(
+            &opts.envs, scale, seed, collector
+        ))),
+        "fig2" => emit!(fig2::run_on(&opts.envs, scale, seed)),
         "fig3" => emit!(fig3::run(scale, seed)),
-        "fig4" => emit!(fig4::run(scale, seed)),
+        "fig4" => emit!(fig4::run_on(&opts.envs, scale, seed)),
         "fig6" => {
             let result = fig6::run();
             if let Some(dir) = svg_dir {
                 for panel in &result.panels {
                     let utilization = Series::new(
                         "U(PE)",
-                        panel.points.iter().map(|p| (p.num_pe as f64, p.utilization)).collect(),
+                        panel
+                            .points
+                            .iter()
+                            .map(|p| (p.num_pe as f64, p.utilization))
+                            .collect(),
                     );
-                    let chart =
-                        LineChart::new(format!("Fig. 6 — U(PE), k = {}", panel.num_outputs), "#PE", "U(PE)")
-                            .series(utilization);
-                    write_svg(dir, &format!("fig6_k{}.svg", panel.num_outputs), &chart.render());
+                    let chart = LineChart::new(
+                        format!("Fig. 6 — U(PE), k = {}", panel.num_outputs),
+                        "#PE",
+                        "U(PE)",
+                    )
+                    .series(utilization);
+                    write_svg(
+                        dir,
+                        &format!("fig6_k{}.svg", panel.num_outputs),
+                        &chart.render(),
+                    );
                     let runtime = Series::new(
                         "cycles/infer",
-                        panel.points.iter().map(|p| (p.num_pe as f64, p.mean_cycles)).collect(),
+                        panel
+                            .points
+                            .iter()
+                            .map(|p| (p.num_pe as f64, p.mean_cycles))
+                            .collect(),
                     );
                     let chart = LineChart::new(
                         format!("Fig. 6 — runtime, k = {}", panel.num_outputs),
@@ -117,7 +233,11 @@ fn run_experiment(name: &str, scale: Scale, seed: u64, json: bool, svg_dir: Opti
                         "cycles per inference",
                     )
                     .series(runtime);
-                    write_svg(dir, &format!("fig6_runtime_k{}.svg", panel.num_outputs), &chart.render());
+                    write_svg(
+                        dir,
+                        &format!("fig6_runtime_k{}.svg", panel.num_outputs),
+                        &chart.render(),
+                    );
                 }
             }
             emit!(result);
@@ -133,16 +253,24 @@ fn run_experiment(name: &str, scale: Scale, seed: u64, json: bool, svg_dir: Opti
                     )
                     .series(Series::new(
                         "U(PU)",
-                        panel.points.iter().map(|p| (p.num_pu as f64, p.utilization)).collect(),
+                        panel
+                            .points
+                            .iter()
+                            .map(|p| (p.num_pu as f64, p.utilization))
+                            .collect(),
                     ));
-                    write_svg(dir, &format!("fig7_p{}.svg", panel.num_individuals), &chart.render());
+                    write_svg(
+                        dir,
+                        &format!("fig7_p{}.svg", panel.num_individuals),
+                        &chart.render(),
+                    );
                 }
             }
             emit!(result);
         }
-        "fig9a" => emit!(fig9::run_fig9a()),
+        "fig9a" => emit!(try_run!(fig9::run_fig9a_with(collector))),
         "fig9b" => {
-            let result = fig9::run_fig9b(scale, seed);
+            let result = try_run!(fig9::run_fig9b_with(&opts.envs, scale, seed, collector));
             if let Some(dir) = svg_dir {
                 let mut cpu = Vec::new();
                 let mut gpu = Vec::new();
@@ -163,23 +291,32 @@ fn run_experiment(name: &str, scale: Scale, seed: u64, json: bool, svg_dir: Opti
             emit!(result);
         }
         "fig10a" => {
-            let fig9b = fig9::run_fig9b(scale, seed);
+            let fig9b = try_run!(fig9::run_fig9b_with(&opts.envs, scale, seed, collector));
             emit!(fig10::run_fig10a(&fig9b, &PowerModel::default()));
         }
         "fig10b" => emit!(fig10::run_fig10b()),
         "fig11" => {
             let result = fig11::run();
             if let Some(dir) = svg_dir {
-                let chart = LineChart::new("Fig. 11 — HW cycles (log)", "#PE", "cycles per inference")
-                    .log_y()
-                    .series(Series::new(
-                        "INAX",
-                        result.points.iter().map(|p| (p.num_pe as f64, p.inax_cycles)).collect(),
-                    ))
-                    .series(Series::new(
-                        "SA",
-                        result.points.iter().map(|p| (p.num_pe as f64, p.sa_cycles)).collect(),
-                    ));
+                let chart =
+                    LineChart::new("Fig. 11 — HW cycles (log)", "#PE", "cycles per inference")
+                        .log_y()
+                        .series(Series::new(
+                            "INAX",
+                            result
+                                .points
+                                .iter()
+                                .map(|p| (p.num_pe as f64, p.inax_cycles))
+                                .collect(),
+                        ))
+                        .series(Series::new(
+                            "SA",
+                            result
+                                .points
+                                .iter()
+                                .map(|p| (p.num_pe as f64, p.sa_cycles))
+                                .collect(),
+                        ));
                 write_svg(dir, "fig11_cycles.svg", &chart.render());
             }
             emit!(result);
@@ -199,8 +336,14 @@ fn write_svg(dir: &Path, file: &str, svg: &str) {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <experiment|all> [--full] [--json] [--seed N] [--svg DIR]");
-    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    eprintln!(
+        "usage: repro <experiment|run|all> [--full] [--json] [--seed N] \
+         [--envs LIST] [--backend KIND] [--telemetry FILE] [--svg DIR]"
+    );
+    eprintln!("experiments: {} run", EXPERIMENTS.join(" "));
+    eprintln!("  --envs      comma-separated env names/indices (default: paper suite)");
+    eprintln!("  --backend   cpu | gpu | inax (for `run`; default inax)");
+    eprintln!("  --telemetry write NDJSON telemetry records to FILE");
 }
 
 fn usage(msg: &str) -> ! {

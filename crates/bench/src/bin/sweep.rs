@@ -1,43 +1,58 @@
 //! `sweep` — explore the INAX (PU, PE) design space for a workload.
 //!
 //! ```text
-//! sweep [--inputs N] [--outputs N] [--hidden N] [--population N]
-//!       [--steps N] [--csv PATH]
+//! sweep [--env NAME] [--inputs N] [--outputs N] [--hidden N]
+//!       [--population N] [--steps N] [--csv PATH] [--telemetry FILE]
 //! ```
 //!
 //! Prints the Pareto frontier over {total cycles, LUTs} on the ZCU104
 //! and the paper's heuristic point for comparison; `--csv` dumps every
-//! evaluated point.
+//! evaluated point. `--env` sizes the workload from one of the paper's
+//! benchmark environments (observation size → inputs, policy outputs →
+//! outputs) instead of raw dimensions. `--telemetry` writes one
+//! `e3-telemetry` NDJSON `EvalRecord` per evaluated design point, with
+//! the accelerator counters in the `hw` field.
 
+use e3_envs::EnvId;
 use e3_inax::synthetic::synthetic_population;
+use e3_inax::InaxConfig;
 use e3_platform::design_space::sweep_design_space;
-use e3_platform::FpgaBudget;
+use e3_platform::telemetry::{Collector, EvalRecord, HwCounters, NdjsonWriter, TelemetryEvent};
+use e3_platform::{BackendKind, FpgaBudget};
 use std::process::ExitCode;
 
 struct Args {
+    env: Option<EnvId>,
     inputs: usize,
     outputs: usize,
     hidden: usize,
     population: usize,
     steps: u64,
     csv: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        env: None,
         inputs: 8,
         outputs: 4,
         hidden: 30,
         population: 200,
         steps: 100,
         csv: None,
+        telemetry: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
-        let mut take = |name: &str| {
-            iter.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut take = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
+            "--env" => {
+                let env: EnvId = take("--env")?.parse().map_err(|e| format!("{e}"))?;
+                args.env = Some(env);
+                args.inputs = env.observation_size();
+                args.outputs = env.policy_outputs();
+            }
             "--inputs" => args.inputs = take("--inputs")?.parse().map_err(|e| format!("{e}"))?,
             "--outputs" => args.outputs = take("--outputs")?.parse().map_err(|e| format!("{e}"))?,
             "--hidden" => args.hidden = take("--hidden")?.parse().map_err(|e| format!("{e}"))?,
@@ -46,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
             "--csv" => args.csv = Some(take("--csv")?),
+            "--telemetry" => args.telemetry = Some(take("--telemetry")?),
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -63,9 +79,14 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: sweep [--inputs N] [--outputs N] [--hidden N] [--population N] [--steps N] [--csv PATH]"
+                "usage: sweep [--env NAME] [--inputs N] [--outputs N] [--hidden N] \
+                 [--population N] [--steps N] [--csv PATH] [--telemetry FILE]"
             );
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
 
@@ -85,10 +106,15 @@ fn main() -> ExitCode {
     let budget = FpgaBudget::zcu104();
     let sweep = sweep_design_space(&nets, args.steps, &pu_options, &pe_options, &budget);
 
+    let workload = args
+        .env
+        .map(|env| env.name().to_string())
+        .unwrap_or_else(|| "synthetic".to_string());
     println!(
-        "design space: {} points ({} feasible on ZCU104), workload {}x{}->{} pop {}",
+        "design space: {} points ({} feasible on ZCU104), workload {} {}x{}->{} pop {}",
         sweep.points.len(),
         sweep.feasible().count(),
+        workload,
         args.inputs,
         args.hidden,
         args.outputs,
@@ -124,6 +150,15 @@ fn main() -> ExitCode {
             p.fits
         );
     }
+    if let Some(path) = &args.telemetry {
+        match write_telemetry(path, &args, &workload, &sweep.points) {
+            Ok(()) => println!("wrote telemetry to {path}"),
+            Err(e) => {
+                eprintln!("error: could not write telemetry {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(path) = args.csv {
         match std::fs::write(&path, sweep.to_csv()) {
             Ok(()) => println!("wrote {path}"),
@@ -134,4 +169,43 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Emits one `EvalRecord` per design point: the modeled offload of the
+/// whole population for `steps` environment steps on that (PU, PE)
+/// configuration. Fitness fields are zero — the sweep evaluates a
+/// synthetic workload, so only the timing and counters are meaningful.
+fn write_telemetry(
+    path: &str,
+    args: &Args,
+    workload: &str,
+    points: &[e3_platform::DesignPoint],
+) -> Result<(), e3_platform::telemetry::TelemetryError> {
+    let clock = InaxConfig::default();
+    let mut sink = NdjsonWriter::create(path)?;
+    for (index, p) in points.iter().enumerate() {
+        sink.record(&TelemetryEvent::Eval(EvalRecord {
+            generation: index,
+            backend: BackendKind::Inax.name().to_string(),
+            env: format!("{workload}_pu{}_pe{}", p.num_pu, p.num_pe),
+            population: args.population,
+            eval_seconds: clock.cycles_to_seconds(p.total_cycles),
+            env_seconds: 0.0,
+            total_steps: args.steps * args.population as u64,
+            best_fitness: 0.0,
+            mean_fitness: 0.0,
+            hw: Some(HwCounters {
+                total_cycles: p.total_cycles,
+                setup_cycles: 0,
+                pe_active_cycles: 0,
+                evaluate_control_cycles: 0,
+                dma_cycles: 0,
+                pu_utilization: p.pu_utilization,
+                pe_utilization: 0.0,
+                steps: args.steps,
+            }),
+        }))?;
+    }
+    sink.flush()?;
+    Ok(())
 }

@@ -15,7 +15,9 @@ const MARGIN_LEFT: f64 = 70.0;
 const MARGIN_RIGHT: f64 = 20.0;
 const MARGIN_TOP: f64 = 40.0;
 const MARGIN_BOTTOM: f64 = 50.0;
-const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
 
 /// One named series of `(x, y)` points.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +31,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -78,8 +83,11 @@ impl LineChart {
     /// Panics if no series has any points, or if `log_y` is set and a
     /// y value is not positive.
     pub fn render(&self) -> String {
-        let points: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let points: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         assert!(!points.is_empty(), "chart needs at least one point");
         let map_y = |y: f64| -> f64 {
             if self.log_y {
@@ -142,7 +150,11 @@ impl LineChart {
                 ty = MARGIN_TOP + plot_h + 18.0,
             );
             let fy_mapped = y_min + (y_max - y_min) * i as f64 / 4.0;
-            let fy = if self.log_y { 10f64.powf(fy_mapped) } else { fy_mapped };
+            let fy = if self.log_y {
+                10f64.powf(fy_mapped)
+            } else {
+                fy_mapped
+            };
             let py = MARGIN_TOP + plot_h - (fy_mapped - y_min) / (y_max - y_min) * plot_h;
             let _ = writeln!(
                 svg,
@@ -222,7 +234,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -231,7 +245,10 @@ mod tests {
 
     fn chart() -> LineChart {
         LineChart::new("title", "x", "y")
-            .series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0), (3.0, 15.0)]))
+            .series(Series::new(
+                "a",
+                vec![(1.0, 10.0), (2.0, 20.0), (3.0, 15.0)],
+            ))
             .series(Series::new("b", vec![(1.0, 5.0), (3.0, 25.0)]))
     }
 

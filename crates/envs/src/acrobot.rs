@@ -41,7 +41,12 @@ impl Acrobot {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
-        Acrobot { state: [0.0; 4], steps: 0, done: true, max_steps }
+        Acrobot {
+            state: [0.0; 4],
+            steps: 0,
+            done: true,
+            max_steps,
+        }
     }
 
     fn observation(&self) -> Vec<f64> {
@@ -59,14 +64,10 @@ impl Acrobot {
         let (l1, lc1, lc2) = (LINK_LENGTH_1, LINK_COM_1, LINK_COM_2);
         let (i1, i2) = (LINK_MOI, LINK_MOI);
         let [t1, t2, w1, w2] = state;
-        let d1 = m1 * lc1 * lc1
-            + m2 * (l1 * l1 + lc2 * lc2 + 2.0 * l1 * lc2 * t2.cos())
-            + i1
-            + i2;
+        let d1 = m1 * lc1 * lc1 + m2 * (l1 * l1 + lc2 * lc2 + 2.0 * l1 * lc2 * t2.cos()) + i1 + i2;
         let d2 = m2 * (lc2 * lc2 + l1 * lc2 * t2.cos()) + i2;
         let phi2 = m2 * lc2 * GRAVITY * (t1 + t2 - PI / 2.0).cos();
-        let phi1 = -m2 * l1 * lc2 * w2 * w2 * t2.sin()
-            - 2.0 * m2 * l1 * lc2 * w2 * w1 * t2.sin()
+        let phi1 = -m2 * l1 * lc2 * w2 * w2 * t2.sin() - 2.0 * m2 * l1 * lc2 * w2 * w1 * t2.sin()
             + (m1 * lc1 + m2 * l1) * GRAVITY * (t1 - PI / 2.0).cos()
             + phi2;
         // "Book" (Sutton & Barto) formulation, as in Gym.
@@ -78,7 +79,12 @@ impl Acrobot {
 
     fn rk4(state: [f64; 4], torque: f64, dt: f64) -> [f64; 4] {
         let add = |a: [f64; 4], b: [f64; 4], s: f64| {
-            [a[0] + b[0] * s, a[1] + b[1] * s, a[2] + b[2] * s, a[3] + b[3] * s]
+            [
+                a[0] + b[0] * s,
+                a[1] + b[1] * s,
+                a[2] + b[2] * s,
+                a[3] + b[3] * s,
+            ]
         };
         let k1 = Self::dynamics(state, torque);
         let k2 = Self::dynamics(add(state, k1, dt / 2.0), torque);

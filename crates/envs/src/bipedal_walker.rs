@@ -156,9 +156,11 @@ impl Environment for BipedalWalker {
     }
 
     fn step(&mut self, action: &Action) -> Step {
-        assert!(!self.done, "bipedal_walker: step() called on a finished episode");
-        let torques =
-            expect_continuous(action, &[-1.0; 4], &[1.0; 4], "bipedal_walker");
+        assert!(
+            !self.done,
+            "bipedal_walker: step() called on a finished episode"
+        );
+        let torques = expect_continuous(action, &[-1.0; 4], &[1.0; 4], "bipedal_walker");
 
         // Joint dynamics: torque-driven spring-damper, clamped range.
         let limits = [HIP_LIMIT, KNEE_LIMIT, HIP_LIMIT, KNEE_LIMIT];
@@ -194,10 +196,8 @@ impl Environment for BipedalWalker {
         // Hull attitude: reaction torque from hip drives pitch; spring
         // models the legs catching the hull.
         let reaction = -0.35 * (torques[0] + torques[2]);
-        self.hull_omega += (reaction - HULL_SPRING * self.hull_angle
-            - HULL_DAMPING * self.hull_omega)
-            * DT
-            / 0.25;
+        self.hull_omega +=
+            (reaction - HULL_SPRING * self.hull_angle - HULL_DAMPING * self.hull_omega) * DT / 0.25;
         self.hull_angle += self.hull_omega * DT;
 
         self.steps += 1;
@@ -212,12 +212,17 @@ impl Environment for BipedalWalker {
         // track earns ~300 (the Gym solved threshold): 300 / TRACK_LENGTH
         // per unit of progress.
         let torque_cost: f64 = torques.iter().map(|t| t.abs()).sum::<f64>() * 0.0035;
-        let mut reward = (300.0 / TRACK_LENGTH) * self.vx * DT - torque_cost
-            - 5.0 * self.hull_angle.abs() * DT;
+        let mut reward =
+            (300.0 / TRACK_LENGTH) * self.vx * DT - torque_cost - 5.0 * self.hull_angle.abs() * DT;
         if fell {
             reward -= 100.0;
         }
-        Step { observation: self.observation(), reward, terminated, truncated }
+        Step {
+            observation: self.observation(),
+            reward,
+            terminated,
+            truncated,
+        }
     }
 
     fn max_episode_steps(&self) -> usize {
@@ -269,7 +274,12 @@ mod tests {
         // Out-of-phase sinusoidal hips: the canonical open-loop gait.
         let gait = |t: usize, _: &[f64]| {
             let phase = t as f64 * 0.15;
-            [phase.sin(), 0.3 * phase.cos(), -phase.sin(), -0.3 * phase.cos()]
+            [
+                phase.sin(),
+                0.3 * phase.cos(),
+                -phase.sin(),
+                -0.3 * phase.cos(),
+            ]
         };
         let (reward, pos) = total_reward(gait, 600);
         assert!(pos > 1.0, "gait should make progress, got {pos}");

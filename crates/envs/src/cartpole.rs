@@ -48,7 +48,12 @@ impl CartPole {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
-        CartPole { state: [0.0; 4], steps: 0, done: true, max_steps }
+        CartPole {
+            state: [0.0; 4],
+            steps: 0,
+            done: true,
+            max_steps,
+        }
     }
 
     /// Raw state `[x, x_dot, theta, theta_dot]` (for tests/tools).
@@ -102,7 +107,12 @@ impl Environment for CartPole {
         let terminated = self.state[0].abs() > X_THRESHOLD || self.state[2].abs() > THETA_THRESHOLD;
         let truncated = !terminated && self.steps >= self.max_steps;
         self.done = terminated || truncated;
-        Step { observation: self.state.to_vec(), reward: 1.0, terminated, truncated }
+        Step {
+            observation: self.state.to_vec(),
+            reward: 1.0,
+            terminated,
+            truncated,
+        }
     }
 
     fn max_episode_steps(&self) -> usize {
@@ -136,7 +146,10 @@ mod tests {
             let s = env.step(&Action::Discrete(1));
             steps += 1;
             if s.done() {
-                assert!(s.terminated, "constant force must tip the pole, not time out");
+                assert!(
+                    s.terminated,
+                    "constant force must tip the pole, not time out"
+                );
                 break;
             }
             assert!(steps < 500);

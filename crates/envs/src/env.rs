@@ -20,7 +20,10 @@ impl ActionSpace {
     /// Convenience constructor for a symmetric continuous box
     /// `[-bound, bound]^dims`.
     pub fn symmetric(dims: usize, bound: f64) -> Self {
-        ActionSpace::Continuous { low: vec![-bound; dims], high: vec![bound; dims] }
+        ActionSpace::Continuous {
+            low: vec![-bound; dims],
+            high: vec![bound; dims],
+        }
     }
 
     /// Number of values a policy network must output to drive this
@@ -143,7 +146,12 @@ mod tests {
 
     #[test]
     fn step_done_combines_flags() {
-        let mut s = Step { observation: vec![], reward: 0.0, terminated: false, truncated: false };
+        let mut s = Step {
+            observation: vec![],
+            reward: 0.0,
+            terminated: false,
+            truncated: false,
+        };
         assert!(!s.done());
         s.terminated = true;
         assert!(s.done());

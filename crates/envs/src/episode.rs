@@ -87,12 +87,21 @@ pub fn run_episode<P: Policy + ?Sized>(
     loop {
         let outputs = policy.act(&obs);
         let action = decode_action(&outputs, &space);
-        let Step { observation, reward, terminated, truncated } = env.step(&action);
+        let Step {
+            observation,
+            reward,
+            terminated,
+            truncated,
+        } = env.step(&action);
         total_reward += reward;
         steps += 1;
         obs = observation;
         if terminated || truncated {
-            return EpisodeResult { total_reward, steps, terminated };
+            return EpisodeResult {
+                total_reward,
+                steps,
+                terminated,
+            };
         }
     }
 }
@@ -111,10 +120,16 @@ mod tests {
 
     #[test]
     fn decode_continuous_rescales_to_bounds() {
-        let space = ActionSpace::Continuous { low: vec![-2.0], high: vec![2.0] };
+        let space = ActionSpace::Continuous {
+            low: vec![-2.0],
+            high: vec![2.0],
+        };
         assert_eq!(decode_action(&[0.0], &space), Action::Continuous(vec![0.0]));
         assert_eq!(decode_action(&[1.0], &space), Action::Continuous(vec![2.0]));
-        assert_eq!(decode_action(&[-1.0], &space), Action::Continuous(vec![-2.0]));
+        assert_eq!(
+            decode_action(&[-1.0], &space),
+            Action::Continuous(vec![-2.0])
+        );
         // Out-of-range outputs are clamped first.
         assert_eq!(decode_action(&[7.0], &space), Action::Continuous(vec![2.0]));
     }
@@ -130,7 +145,10 @@ mod tests {
         let mut env = CartPole::new();
         let mut policy = |obs: &[f64]| vec![-(obs[2] + obs[3]), obs[2] + obs[3]];
         let result = run_episode(&mut env, &mut policy, 3);
-        assert_eq!(result.total_reward, result.steps as f64, "cartpole pays 1 per step");
+        assert_eq!(
+            result.total_reward, result.steps as f64,
+            "cartpole pays 1 per step"
+        );
         assert!(result.steps >= 400, "feedback policy survives long");
     }
 

@@ -52,4 +52,4 @@ pub use lunar_lander::LunarLander;
 pub use mountain_car::MountainCar;
 pub use pendulum::Pendulum;
 pub use pong::Pong;
-pub use suite::EnvId;
+pub use suite::{EnvId, ParseEnvIdError};

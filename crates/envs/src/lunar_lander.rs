@@ -132,7 +132,10 @@ impl Environment for LunarLander {
     }
 
     fn step(&mut self, action: &Action) -> Step {
-        assert!(!self.done, "lunar_lander: step() called on a finished episode");
+        assert!(
+            !self.done,
+            "lunar_lander: step() called on a finished episode"
+        );
         let a = expect_discrete(action, 4, "lunar_lander");
 
         // Thrust: main engine pushes along the body's up axis; side
@@ -194,7 +197,12 @@ impl Environment for LunarLander {
         }
         let truncated = !terminated && self.steps >= self.max_steps;
         self.done = terminated || truncated;
-        Step { observation: self.observation(), reward, terminated, truncated }
+        Step {
+            observation: self.observation(),
+            reward,
+            terminated,
+            truncated,
+        }
     }
 
     fn max_episode_steps(&self) -> usize {
@@ -210,10 +218,7 @@ impl Environment for LunarLander {
 mod tests {
     use super::*;
 
-    fn run_policy(
-        seed: u64,
-        policy: impl Fn(&[f64]) -> usize,
-    ) -> (f64, bool, Vec<f64>) {
+    fn run_policy(seed: u64, policy: impl Fn(&[f64]) -> usize) -> (f64, bool, Vec<f64>) {
         let mut env = LunarLander::new();
         let mut obs = env.reset(seed);
         let mut total = 0.0;
@@ -252,7 +257,10 @@ mod tests {
         };
         let (burn, _, _) = run_policy(2, controller);
         let (fall, _, _) = run_policy(2, |_| 0);
-        assert!(burn > fall, "controlled descent ({burn}) must beat free fall ({fall})");
+        assert!(
+            burn > fall,
+            "controlled descent ({burn}) must beat free fall ({fall})"
+        );
     }
 
     #[test]

@@ -33,7 +33,13 @@ impl MountainCar {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
-        MountainCar { position: 0.0, velocity: 0.0, steps: 0, done: true, max_steps }
+        MountainCar {
+            position: 0.0,
+            velocity: 0.0,
+            steps: 0,
+            done: true,
+            max_steps,
+        }
     }
 
     /// Current position (for tests/tools).
@@ -67,7 +73,10 @@ impl Environment for MountainCar {
     }
 
     fn step(&mut self, action: &Action) -> Step {
-        assert!(!self.done, "mountain_car: step() called on a finished episode");
+        assert!(
+            !self.done,
+            "mountain_car: step() called on a finished episode"
+        );
         let a = expect_discrete(action, 3, "mountain_car") as f64;
         self.velocity += (a - 1.0) * FORCE + (3.0 * self.position).cos() * (-GRAVITY);
         self.velocity = self.velocity.clamp(-MAX_SPEED, MAX_SPEED);
@@ -127,7 +136,10 @@ mod tests {
             if s.terminated {
                 return; // reached the flag
             }
-            assert!(!s.truncated, "momentum policy should solve within 300 steps");
+            assert!(
+                !s.truncated,
+                "momentum policy should solve within 300 steps"
+            );
         }
     }
 

@@ -36,7 +36,13 @@ impl Pendulum {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
-        Pendulum { theta: 0.0, theta_dot: 0.0, steps: 0, done: true, max_steps }
+        Pendulum {
+            theta: 0.0,
+            theta_dot: 0.0,
+            steps: 0,
+            done: true,
+            max_steps,
+        }
     }
 
     fn observation(&self) -> Vec<f64> {
@@ -65,7 +71,10 @@ impl Environment for Pendulum {
     }
 
     fn action_space(&self) -> ActionSpace {
-        ActionSpace::Continuous { low: vec![-MAX_TORQUE], high: vec![MAX_TORQUE] }
+        ActionSpace::Continuous {
+            low: vec![-MAX_TORQUE],
+            high: vec![MAX_TORQUE],
+        }
     }
 
     fn reset(&mut self, seed: u64) -> Vec<f64> {
@@ -90,7 +99,12 @@ impl Environment for Pendulum {
         self.steps += 1;
         let truncated = self.steps >= self.max_steps;
         self.done = truncated;
-        Step { observation: self.observation(), reward: -cost, terminated: false, truncated }
+        Step {
+            observation: self.observation(),
+            reward: -cost,
+            terminated: false,
+            truncated,
+        }
     }
 
     fn max_episode_steps(&self) -> usize {

@@ -65,7 +65,14 @@ impl Pong {
     }
 
     fn observation(&self) -> Vec<f64> {
-        vec![self.ball[0], self.ball[1], self.ball[2] / BALL_SPEED, self.ball[3] / BALL_SPEED, self.own_y, self.opp_y]
+        vec![
+            self.ball[0],
+            self.ball[1],
+            self.ball[2] / BALL_SPEED,
+            self.ball[3] / BALL_SPEED,
+            self.own_y,
+            self.opp_y,
+        ]
     }
 
     fn serve(&mut self, toward_own: bool) {
@@ -156,7 +163,12 @@ impl Environment for Pong {
         let terminated = self.own_score >= WIN_SCORE || self.opp_score >= WIN_SCORE;
         let truncated = !terminated && self.steps >= self.max_steps;
         self.done = terminated || truncated;
-        Step { observation: self.observation(), reward, terminated, truncated }
+        Step {
+            observation: self.observation(),
+            reward,
+            terminated,
+            truncated,
+        }
     }
 
     fn max_episode_steps(&self) -> usize {
@@ -219,8 +231,14 @@ mod tests {
         assert_eq!(obs.len(), 6);
         for _ in 0..500 {
             let s = env.step(&Action::Discrete(1));
-            assert!(s.observation[1].abs() <= COURT_HALF + 1e-9, "ball stays in court");
-            assert!(s.observation[4].abs() <= COURT_HALF + 1e-9, "paddle stays in court");
+            assert!(
+                s.observation[1].abs() <= COURT_HALF + 1e-9,
+                "ball stays in court"
+            );
+            assert!(
+                s.observation[4].abs() <= COURT_HALF + 1e-9,
+                "paddle stays in court"
+            );
             if s.done() {
                 break;
             }

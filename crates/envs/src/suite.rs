@@ -164,6 +164,61 @@ impl fmt::Display for EnvId {
     }
 }
 
+/// Error produced when parsing an [`EnvId`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnvIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseEnvIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown environment {:?} (expected one of:", self.input)?;
+        for id in EnvId::ALL_WITH_ATARI {
+            write!(f, " {},", id.name())?;
+        }
+        write!(f, " or env1..env7)")
+    }
+}
+
+impl std::error::Error for ParseEnvIdError {}
+
+impl std::str::FromStr for EnvId {
+    type Err = ParseEnvIdError;
+
+    /// Accepts the short [`EnvId::name`] (separator- and
+    /// case-insensitive, so `"mountain_car"`, `"MountainCar"` and
+    /// `"mountain-car"` all parse) and the paper numbering (`"env3"`
+    /// or plain `"3"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| *c != '_' && *c != '-' && *c != ' ')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        for id in EnvId::ALL_WITH_ATARI {
+            let name: String = id.name().chars().filter(|c| *c != '_').collect();
+            if normalized == name || normalized == format!("env{}", id.paper_index()) {
+                return Ok(id);
+            }
+        }
+        // Bare paper index ("3") and the full names of abbreviated
+        // variants round out the accepted spellings.
+        match normalized.as_str() {
+            "1" | "2" | "3" | "4" | "5" | "6" | "7" => {
+                let index: usize = normalized.parse().expect("single digit");
+                Ok(EnvId::ALL_WITH_ATARI
+                    .into_iter()
+                    .find(|id| id.paper_index() == index)
+                    .expect("indices 1..=7 are all assigned"))
+            }
+            "bipedalwalker" => Ok(EnvId::Bipedal),
+            _ => Err(ParseEnvIdError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,18 +240,45 @@ mod tests {
 
     #[test]
     fn paper_indices_are_1_through_7() {
-        let mut seen: Vec<usize> =
-            EnvId::ALL_WITH_ATARI.iter().map(|e| e.paper_index()).collect();
+        let mut seen: Vec<usize> = EnvId::ALL_WITH_ATARI
+            .iter()
+            .map(|e| e.paper_index())
+            .collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7]);
-        assert_eq!(&EnvId::ALL_WITH_ATARI[..6], &EnvId::ALL, "Env7 extends the suite");
+        assert_eq!(
+            &EnvId::ALL_WITH_ATARI[..6],
+            &EnvId::ALL,
+            "Env7 extends the suite"
+        );
+    }
+
+    #[test]
+    fn env_ids_parse_from_names_and_indices() {
+        for id in EnvId::ALL_WITH_ATARI {
+            assert_eq!(id.name().parse::<EnvId>().unwrap(), id, "{id} by name");
+            assert_eq!(
+                format!("Env{}", id.paper_index()).parse::<EnvId>().unwrap(),
+                id,
+                "{id} by paper number"
+            );
+        }
+        assert_eq!("MountainCar".parse::<EnvId>().unwrap(), EnvId::MountainCar);
+        assert_eq!("mountain-car".parse::<EnvId>().unwrap(), EnvId::MountainCar);
+        assert_eq!("BipedalWalker".parse::<EnvId>().unwrap(), EnvId::Bipedal);
+        assert_eq!("6".parse::<EnvId>().unwrap(), EnvId::Pendulum);
+        let err = "gridworld".parse::<EnvId>().unwrap_err();
+        assert!(err.to_string().contains("gridworld"));
     }
 
     #[test]
     fn env7_matches_declared_dimensions() {
         let mut env = EnvId::Pong.make();
         assert_eq!(env.reset(0).len(), EnvId::Pong.observation_size());
-        assert_eq!(env.action_space().policy_outputs(), EnvId::Pong.policy_outputs());
+        assert_eq!(
+            env.action_space().policy_outputs(),
+            EnvId::Pong.policy_outputs()
+        );
         assert_eq!(EnvId::Pong.to_string(), "Env7 (pong)");
     }
 

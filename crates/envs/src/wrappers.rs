@@ -40,7 +40,11 @@ impl<E: Environment> ObservationNoise<E> {
     /// deviation `sigma` to every observation component.
     pub fn new(inner: E, sigma: f64) -> Self {
         assert!(sigma >= 0.0, "noise sigma must be non-negative");
-        ObservationNoise { inner, sigma, rng: StdRng::seed_from_u64(0) }
+        ObservationNoise {
+            inner,
+            sigma,
+            rng: StdRng::seed_from_u64(0),
+        }
     }
 
     fn perturb(&mut self, mut obs: Vec<f64>) -> Vec<f64> {
@@ -158,7 +162,11 @@ impl<E: Environment> TimeLimit<E> {
     /// Panics if `limit == 0`.
     pub fn new(inner: E, limit: usize) -> Self {
         assert!(limit > 0, "time limit must be positive");
-        TimeLimit { inner, limit, steps: 0 }
+        TimeLimit {
+            inner,
+            limit,
+            steps: 0,
+        }
     }
 }
 
@@ -215,7 +223,10 @@ mod tests {
         let mut clean = CartPole::new();
         let mut wrapped = ObservationNoise::new(CartPole::new(), 0.0);
         assert_eq!(clean.reset(2), wrapped.reset(2));
-        assert_eq!(clean.step(&Action::Discrete(0)), wrapped.step(&Action::Discrete(0)));
+        assert_eq!(
+            clean.step(&Action::Discrete(0)),
+            wrapped.step(&Action::Discrete(0))
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@ fn action_for(space: &ActionSpace, a: usize, x: f64) -> Action {
     match space {
         ActionSpace::Discrete(n) => Action::Discrete(a % n),
         ActionSpace::Continuous { low, high } => Action::Continuous(
-            low.iter().zip(high).map(|(&lo, &hi)| lo + (x.clamp(0.0, 1.0)) * (hi - lo)).collect(),
+            low.iter()
+                .zip(high)
+                .map(|(&lo, &hi)| lo + (x.clamp(0.0, 1.0)) * (hi - lo))
+                .collect(),
         ),
     }
 }

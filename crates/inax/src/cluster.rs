@@ -32,6 +32,23 @@ pub struct EpisodeRunReport {
     pub steps: u64,
 }
 
+impl From<&EpisodeRunReport> for e3_telemetry::HwCounters {
+    /// Flattens the cycle accounting into the plain telemetry
+    /// counters (utilization reports become their rates).
+    fn from(report: &EpisodeRunReport) -> Self {
+        e3_telemetry::HwCounters {
+            total_cycles: report.total_cycles,
+            setup_cycles: report.breakdown.setup,
+            pe_active_cycles: report.breakdown.pe_active,
+            evaluate_control_cycles: report.breakdown.evaluate_control,
+            dma_cycles: report.dma_cycles,
+            pu_utilization: report.pu_utilization.rate(),
+            pe_utilization: report.pe_utilization.rate(),
+            steps: report.steps,
+        }
+    }
+}
+
 /// A simulated INAX instance: a cluster of PUs behind DMA channels.
 ///
 /// Typical closed-loop use: [`InaxAccelerator::load_batch`] a batch of
@@ -68,7 +85,12 @@ impl InaxAccelerator {
     /// Creates an empty accelerator.
     pub fn new(config: InaxConfig) -> Self {
         let dma = DmaModel::new(config.dma_bytes_per_cycle, config.dma_latency_cycles);
-        InaxAccelerator { config, dma, pus: Vec::new(), report: EpisodeRunReport::default() }
+        InaxAccelerator {
+            config,
+            dma,
+            pus: Vec::new(),
+            report: EpisodeRunReport::default(),
+        }
     }
 
     /// The hardware configuration.
@@ -94,7 +116,10 @@ impl InaxAccelerator {
         for net in &nets {
             dma_cycles += self.dma.transfer_cycles(net.weight_stream_bytes());
         }
-        self.pus = nets.into_iter().map(|n| PuSim::new(&self.config, n)).collect();
+        self.pus = nets
+            .into_iter()
+            .map(|n| PuSim::new(&self.config, n))
+            .collect();
         let decode = self.pus.iter().map(PuSim::setup_cycles).max().unwrap_or(0);
         self.report.dma_cycles += dma_cycles;
         self.report.breakdown.setup += decode + dma_cycles;
@@ -115,14 +140,14 @@ impl InaxAccelerator {
     ///
     /// Panics if `inputs.len()` differs from the resident batch size.
     pub fn step(&mut self, inputs: &[Option<Vec<f64>>]) -> Vec<Option<Vec<f64>>> {
-        assert_eq!(inputs.len(), self.pus.len(), "one input slot per resident individual");
+        assert_eq!(
+            inputs.len(),
+            self.pus.len(),
+            "one input slot per resident individual"
+        );
         // Input DMA: observations for alive individuals move serially
         // over the input channel (8 bytes per f64 value).
-        let in_bytes: u64 = inputs
-            .iter()
-            .flatten()
-            .map(|v| 8 * v.len() as u64)
-            .sum();
+        let in_bytes: u64 = inputs.iter().flatten().map(|v| 8 * v.len() as u64).sum();
         let input_dma = self.dma.transfer_cycles(in_bytes);
 
         let mut outputs = Vec::with_capacity(self.pus.len());
@@ -151,7 +176,10 @@ impl InaxAccelerator {
         // episodes across the whole provisioned cluster) is charged to
         // evaluate-control at PU scope.
         let provisioned = self.config.num_pu as u64 * wave_wall;
-        self.report.pu_utilization.merge(UtilizationReport { active: pu_active, total: provisioned });
+        self.report.pu_utilization.merge(UtilizationReport {
+            active: pu_active,
+            total: provisioned,
+        });
         self.report.dma_cycles += dma;
         self.report.total_cycles += wave_wall + dma;
         self.report.steps += 1;
@@ -200,18 +228,22 @@ impl EpisodeWork {
 /// This is the model behind the paper's Fig. 7: `U(PU)` has local
 /// peaks at `⌈p/2⌉, ⌈p/3⌉, …` because those divide the population into
 /// full batches.
-pub fn analyze_pu_parallelism(
-    num_pu: usize,
-    episodes: &[EpisodeWork],
-) -> (u64, UtilizationReport) {
+pub fn analyze_pu_parallelism(num_pu: usize, episodes: &[EpisodeWork]) -> (u64, UtilizationReport) {
     assert!(num_pu > 0, "need at least one PU");
     let mut wall = 0u64;
     let mut util = UtilizationReport::default();
     for batch in episodes.chunks(num_pu) {
-        let batch_wall = batch.iter().map(EpisodeWork::total_cycles).max().unwrap_or(0);
+        let batch_wall = batch
+            .iter()
+            .map(EpisodeWork::total_cycles)
+            .max()
+            .unwrap_or(0);
         let active: u64 = batch.iter().map(EpisodeWork::total_cycles).sum();
         wall += batch_wall;
-        util.merge(UtilizationReport { active, total: num_pu as u64 * batch_wall });
+        util.merge(UtilizationReport {
+            active,
+            total: num_pu as u64 * batch_wall,
+        });
     }
     (wall, util)
 }
@@ -222,7 +254,13 @@ mod tests {
     use crate::synthetic::synthetic_population;
 
     fn uniform_episodes(count: usize, cycles: u64, steps: u64) -> Vec<EpisodeWork> {
-        vec![EpisodeWork { inference_cycles: cycles, steps }; count]
+        vec![
+            EpisodeWork {
+                inference_cycles: cycles,
+                steps
+            };
+            count
+        ]
     }
 
     #[test]
@@ -247,7 +285,10 @@ mod tests {
         let (wall_99, util_99) = analyze_pu_parallelism(99, &episodes);
         assert!(wall_99 > wall_100);
         assert!(util_99.rate() < util_100.rate());
-        assert!((wall_99 as f64 / wall_100 as f64 - 1.5).abs() < 1e-9, "3 batches vs 2");
+        assert!(
+            (wall_99 as f64 / wall_100 as f64 - 1.5).abs() < 1e-9,
+            "3 batches vs 2"
+        );
     }
 
     #[test]
@@ -267,11 +308,17 @@ mod tests {
         // though batch-boundary shifts make it non-strict: any PU count
         // beats serial execution, and full parallelism is optimal.
         let episodes: Vec<EpisodeWork> = (0..150)
-            .map(|i| EpisodeWork { inference_cycles: 50 + (i % 7) * 10, steps: 5 + (i % 13) })
+            .map(|i| EpisodeWork {
+                inference_cycles: 50 + (i % 7) * 10,
+                steps: 5 + (i % 13),
+            })
             .collect();
         let (serial, serial_util) = analyze_pu_parallelism(1, &episodes);
         let (full, _) = analyze_pu_parallelism(150, &episodes);
-        assert!((serial_util.rate() - 1.0).abs() < 1e-12, "one PU never idles");
+        assert!(
+            (serial_util.rate() - 1.0).abs() < 1e-12,
+            "one PU never idles"
+        );
         for num_pu in 2..150 {
             let (wall, util) = analyze_pu_parallelism(num_pu, &episodes);
             assert!(wall <= serial, "{num_pu} PUs must beat serial");
@@ -285,14 +332,21 @@ mod tests {
         let config = InaxConfig::builder().num_pu(3).num_pe(2).build();
         let mut acc = InaxAccelerator::new(config);
         let nets = synthetic_population(3, 4, 2, 6, 0.4, 9);
-        let refs: Vec<_> = nets.iter().map(|n| n.evaluate(&[0.1, 0.2, 0.3, 0.4])).collect();
+        let refs: Vec<_> = nets
+            .iter()
+            .map(|n| n.evaluate(&[0.1, 0.2, 0.3, 0.4]))
+            .collect();
         acc.load_batch(nets);
         let setup = acc.report().breakdown.setup;
         assert!(setup > 0);
         let inputs = vec![Some(vec![0.1, 0.2, 0.3, 0.4]); 3];
         let outs = acc.step(&inputs);
         for (out, reference) in outs.iter().zip(&refs) {
-            assert_eq!(out.as_ref().unwrap(), reference, "HW must match SW bit-for-bit");
+            assert_eq!(
+                out.as_ref().unwrap(),
+                reference,
+                "HW must match SW bit-for-bit"
+            );
         }
         let report = acc.report();
         assert_eq!(report.steps, 1);
@@ -315,7 +369,10 @@ mod tests {
         let half = vec![Some(vec![0.0; 4]), None];
         acc2.step(&half);
         let util_half = acc2.report().pu_utilization.rate();
-        assert!(util_half < util_full, "a dead episode must reduce PU utilization");
+        assert!(
+            util_half < util_full,
+            "a dead episode must reduce PU utilization"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl DmaModel {
     /// Creates a model from the accelerator configuration's DMA fields.
     pub fn new(bytes_per_cycle: u64, latency_cycles: u64) -> Self {
         assert!(bytes_per_cycle > 0, "DMA bandwidth must be positive");
-        DmaModel { bytes_per_cycle, latency_cycles }
+        DmaModel {
+            bytes_per_cycle,
+            latency_cycles,
+        }
     }
 
     /// Cycles to move `bytes` in one transaction (0 bytes costs

@@ -94,10 +94,8 @@ impl IrregularNet {
             .filter(|(_, n)| n.kind == NodeKind::Output)
             .map(|(i, _)| i)
             .collect();
-        let mut with_ids: Vec<(usize, usize)> = ids
-            .iter()
-            .map(|&i| (all[i + num_inputs].id, i))
-            .collect();
+        let mut with_ids: Vec<(usize, usize)> =
+            ids.iter().map(|&i| (all[i + num_inputs].id, i)).collect();
         with_ids.sort_unstable();
         net.output_nodes = with_ids.into_iter().map(|(_, i)| i).collect();
         net
@@ -161,7 +159,11 @@ impl IrregularNet {
     /// Panics if `inputs` or `value_buffer` have the wrong length.
     pub fn evaluate_into(&self, inputs: &[f64], value_buffer: &mut [f64]) -> Vec<f64> {
         assert_eq!(inputs.len(), self.num_inputs, "input size mismatch");
-        assert_eq!(value_buffer.len(), self.value_buffer_slots(), "value buffer size mismatch");
+        assert_eq!(
+            value_buffer.len(),
+            self.value_buffer_slots(),
+            "value buffer size mismatch"
+        );
         value_buffer[..self.num_inputs].copy_from_slice(inputs);
         for (i, node) in self.nodes.iter().enumerate() {
             let mut acc = node.bias;
@@ -212,7 +214,8 @@ mod tests {
         let mut g = Genome::bare(2, 1);
         let innovation = g.add_connection(0, 2, 0.5, &mut tracker).unwrap();
         g.add_connection(1, 2, 0.25, &mut tracker).unwrap();
-        g.split_connection(innovation, Activation::Relu, &mut tracker).unwrap();
+        g.split_connection(innovation, Activation::Relu, &mut tracker)
+            .unwrap();
         g
     }
 

@@ -47,7 +47,10 @@ mod tests {
         let c = InaxConfig::default();
         let base = node_cycles(&c, &node(0));
         assert_eq!(base, c.activation_cycles);
-        assert_eq!(node_cycles(&c, &node(5)), 5 * c.mac_cycles + c.activation_cycles);
+        assert_eq!(
+            node_cycles(&c, &node(5)),
+            5 * c.mac_cycles + c.activation_cycles
+        );
         assert!(node_cycles(&c, &node(10)) > node_cycles(&c, &node(3)));
     }
 

@@ -55,7 +55,10 @@ impl PipelineReport {
 /// stage costs `max(compute_i, setup_{i+1})`, and the final batch's
 /// compute runs unhidden.
 pub fn analyze_double_buffering(batches: &[BatchWork]) -> PipelineReport {
-    let serial_cycles = batches.iter().map(|b| b.setup_cycles + b.compute_cycles).sum();
+    let serial_cycles = batches
+        .iter()
+        .map(|b| b.setup_cycles + b.compute_cycles)
+        .sum();
     let pipelined_cycles = match batches {
         [] => 0,
         [only] => only.setup_cycles + only.compute_cycles,
@@ -68,7 +71,10 @@ pub fn analyze_double_buffering(batches: &[BatchWork]) -> PipelineReport {
             total
         }
     };
-    PipelineReport { serial_cycles, pipelined_cycles }
+    PipelineReport {
+        serial_cycles,
+        pipelined_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +82,10 @@ mod tests {
     use super::*;
 
     fn batch(setup: u64, compute: u64) -> BatchWork {
-        BatchWork { setup_cycles: setup, compute_cycles: compute }
+        BatchWork {
+            setup_cycles: setup,
+            compute_cycles: compute,
+        }
     }
 
     #[test]
@@ -109,7 +118,9 @@ mod tests {
     #[test]
     fn pipelining_never_slows_down_and_respects_lower_bound() {
         let patterns: Vec<Vec<BatchWork>> = vec![
-            (0..10).map(|i| batch(5 + i * 3, 50 + (i % 4) * 20)).collect(),
+            (0..10)
+                .map(|i| batch(5 + i * 3, 50 + (i % 4) * 20))
+                .collect(),
             (0..7).map(|i| batch(40 + i, 8)).collect(),
             vec![batch(1, 1), batch(1000, 1), batch(1, 1000)],
         ];
@@ -126,6 +137,9 @@ mod tests {
 
     #[test]
     fn extra_bram_scales_with_pus() {
-        assert_eq!(PipelineReport::extra_bram(50), 50 * DOUBLE_BUFFER_BRAM_PER_PU);
+        assert_eq!(
+            PipelineReport::extra_bram(50),
+            50 * DOUBLE_BUFFER_BRAM_PER_PU
+        );
     }
 }

@@ -35,7 +35,11 @@ impl CycleBreakdown {
             return (0.0, 0.0, 0.0);
         }
         let t = total as f64;
-        (self.setup as f64 / t, self.pe_active as f64 / t, self.evaluate_control as f64 / t)
+        (
+            self.setup as f64 / t,
+            self.pe_active as f64 / t,
+            self.evaluate_control as f64 / t,
+        )
     }
 }
 
@@ -82,7 +86,11 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let b = CycleBreakdown { setup: 10, pe_active: 70, evaluate_control: 20 };
+        let b = CycleBreakdown {
+            setup: 10,
+            pe_active: 70,
+            evaluate_control: 20,
+        };
         let (s, a, c) = b.fractions();
         assert!((s + a + c - 1.0).abs() < 1e-12);
         assert!((a - 0.7).abs() < 1e-12);
@@ -95,22 +103,45 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = CycleBreakdown { setup: 1, pe_active: 2, evaluate_control: 3 };
-        a += CycleBreakdown { setup: 10, pe_active: 20, evaluate_control: 30 };
+        let mut a = CycleBreakdown {
+            setup: 1,
+            pe_active: 2,
+            evaluate_control: 3,
+        };
+        a += CycleBreakdown {
+            setup: 10,
+            pe_active: 20,
+            evaluate_control: 30,
+        };
         assert_eq!(a.total_cycles(), 66);
     }
 
     #[test]
     fn utilization_rate_bounds() {
-        let u = UtilizationReport { active: 30, total: 40 };
+        let u = UtilizationReport {
+            active: 30,
+            total: 40,
+        };
         assert!((u.rate() - 0.75).abs() < 1e-12);
         assert_eq!(UtilizationReport::default().rate(), 1.0);
     }
 
     #[test]
     fn merge_accumulates_both_fields() {
-        let mut u = UtilizationReport { active: 1, total: 2 };
-        u.merge(UtilizationReport { active: 3, total: 6 });
-        assert_eq!(u, UtilizationReport { active: 4, total: 8 });
+        let mut u = UtilizationReport {
+            active: 1,
+            total: 2,
+        };
+        u.merge(UtilizationReport {
+            active: 3,
+            total: 6,
+        });
+        assert_eq!(
+            u,
+            UtilizationReport {
+                active: 4,
+                total: 8
+            }
+        );
     }
 }

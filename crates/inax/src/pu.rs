@@ -33,7 +33,10 @@ pub struct PuInferenceProfile {
 impl PuInferenceProfile {
     /// PE utilization for this inference (paper Eq. 1 at PE scope).
     pub fn pe_utilization(&self) -> UtilizationReport {
-        UtilizationReport { active: self.pe_active_cycles, total: self.pe_total_cycles }
+        UtilizationReport {
+            active: self.pe_active_cycles,
+            total: self.pe_total_cycles,
+        }
     }
 
     /// Control (non-useful) cycles: idle PEs + wave/sync overheads.
@@ -152,7 +155,11 @@ pub fn schedule_inference(config: &InaxConfig, net: &IrregularNet) -> PuInferenc
             // WS differs only in the per-node cost: with zero weight
             // reuse in an MLP, pinned weights must still be refetched
             // every MAC, doubling the MAC occupancy.
-            let penalty = if config.dataflow == Dataflow::WeightStationary { 2 } else { 1 };
+            let penalty = if config.dataflow == Dataflow::WeightStationary {
+                2
+            } else {
+                1
+            };
             for &(start, end) in net.levels() {
                 for wave in net.nodes()[start..end].chunks(n) {
                     let mut wave_max = 0u64;
@@ -215,9 +222,13 @@ mod tests {
         let mut tracker = InnovationTracker::with_reserved_nodes(3);
         let mut g = Genome::bare(2, 1);
         let i1 = g.add_connection(0, 2, 1.0, &mut tracker).unwrap();
-        let h1 = g.split_connection(i1, e3_neat::Activation::Relu, &mut tracker).unwrap();
+        let h1 = g
+            .split_connection(i1, e3_neat::Activation::Relu, &mut tracker)
+            .unwrap();
         let i2 = g.add_connection(1, 2, 1.0, &mut tracker).unwrap();
-        let h2 = g.split_connection(i2, e3_neat::Activation::Relu, &mut tracker).unwrap();
+        let h2 = g
+            .split_connection(i2, e3_neat::Activation::Relu, &mut tracker)
+            .unwrap();
         let i3 = g.connection_between(0, h1).unwrap().innovation;
         let _ = i3;
         g.add_connection(1, h1, 0.5, &mut tracker).unwrap();
@@ -227,7 +238,10 @@ mod tests {
 
     #[test]
     fn single_pe_has_full_utilization_modulo_overhead() {
-        let config = InaxConfig::builder().num_pe(1).wave_overhead_cycles(0).build();
+        let config = InaxConfig::builder()
+            .num_pe(1)
+            .wave_overhead_cycles(0)
+            .build();
         let mut config = config;
         config.level_sync_cycles = 0;
         let net = two_level_net();
@@ -275,18 +289,27 @@ mod tests {
         let u64_ = schedule_inference(&InaxConfig::builder().num_pe(64).build(), &net)
             .pe_utilization()
             .rate();
-        assert!(u1 > u64_, "64 PEs must idle more than 1 PE ({u1} vs {u64_})");
+        assert!(
+            u1 > u64_,
+            "64 PEs must idle more than 1 PE ({u1} vs {u64_})"
+        );
     }
 
     #[test]
     fn weight_stationary_is_slower_than_output_stationary() {
         let net = synthetic_net(8, 4, 30, 0.2, 7);
         let os = schedule_inference(
-            &InaxConfig::builder().num_pe(4).dataflow(Dataflow::OutputStationary).build(),
+            &InaxConfig::builder()
+                .num_pe(4)
+                .dataflow(Dataflow::OutputStationary)
+                .build(),
             &net,
         );
         let ws = schedule_inference(
-            &InaxConfig::builder().num_pe(4).dataflow(Dataflow::WeightStationary).build(),
+            &InaxConfig::builder()
+                .num_pe(4)
+                .dataflow(Dataflow::WeightStationary)
+                .build(),
             &net,
         );
         assert!(ws.wall_cycles > os.wall_cycles);
@@ -295,7 +318,10 @@ mod tests {
     #[test]
     fn input_stationary_schedules_all_macs() {
         let net = two_level_net();
-        let config = InaxConfig::builder().num_pe(2).dataflow(Dataflow::InputStationary).build();
+        let config = InaxConfig::builder()
+            .num_pe(2)
+            .dataflow(Dataflow::InputStationary)
+            .build();
         let p = schedule_inference(&config, &net);
         // All 6 MAC cycles + 3 activations appear as active work.
         assert_eq!(p.pe_active_cycles, 6 + 3 * config.activation_cycles);

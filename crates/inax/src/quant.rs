@@ -24,11 +24,20 @@ pub struct FixedPointFormat {
 
 impl FixedPointFormat {
     /// Common FPGA datapath: Q8.8 in a 17-bit signed word.
-    pub const Q8_8: FixedPointFormat = FixedPointFormat { integer_bits: 8, frac_bits: 8 };
+    pub const Q8_8: FixedPointFormat = FixedPointFormat {
+        integer_bits: 8,
+        frac_bits: 8,
+    };
     /// Narrow datapath: Q4.4.
-    pub const Q4_4: FixedPointFormat = FixedPointFormat { integer_bits: 4, frac_bits: 4 };
+    pub const Q4_4: FixedPointFormat = FixedPointFormat {
+        integer_bits: 4,
+        frac_bits: 4,
+    };
     /// Wide datapath: Q8.16.
-    pub const Q8_16: FixedPointFormat = FixedPointFormat { integer_bits: 8, frac_bits: 16 };
+    pub const Q8_16: FixedPointFormat = FixedPointFormat {
+        integer_bits: 8,
+        frac_bits: 16,
+    };
 
     /// Total bits including sign.
     pub fn total_bits(&self) -> u32 {
@@ -112,11 +121,7 @@ fn apply_activation_hw(activation: Activation, x: f64) -> f64 {
 
 /// Mean absolute output error of fixed-point evaluation against the
 /// `f64` reference, over a set of probe inputs.
-pub fn output_error(
-    net: &IrregularNet,
-    probes: &[Vec<f64>],
-    format: FixedPointFormat,
-) -> f64 {
+pub fn output_error(net: &IrregularNet, probes: &[Vec<f64>], format: FixedPointFormat) -> f64 {
     let mut total = 0.0;
     let mut count = 0usize;
     for probe in probes {
@@ -160,8 +165,9 @@ mod tests {
     #[test]
     fn wider_formats_are_more_accurate() {
         let net = synthetic_net(6, 3, 15, 0.4, 3);
-        let probes: Vec<Vec<f64>> =
-            (0..10).map(|i| (0..6).map(|j| ((i * 7 + j) as f64 * 0.23).sin()).collect()).collect();
+        let probes: Vec<Vec<f64>> = (0..10)
+            .map(|i| (0..6).map(|j| ((i * 7 + j) as f64 * 0.23).sin()).collect())
+            .collect();
         let e4 = output_error(&net, &probes, FixedPointFormat::Q4_4);
         let e8 = output_error(&net, &probes, FixedPointFormat::Q8_8);
         let e16 = output_error(&net, &probes, FixedPointFormat::Q8_16);
@@ -182,12 +188,18 @@ mod tests {
             let exact = net.evaluate(&probe);
             let quant = evaluate_fixed_point(&net, &probe, FixedPointFormat::Q8_16);
             let argmax = |v: &[f64]| {
-                v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
+                v.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
             };
             if argmax(&exact) == argmax(&quant) {
                 agree += 1;
             }
         }
-        assert!(agree >= total - 1, "only {agree}/{total} decisions preserved");
+        assert!(
+            agree >= total - 1,
+            "only {agree}/{total} decisions preserved"
+        );
     }
 }

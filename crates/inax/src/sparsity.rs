@@ -53,8 +53,7 @@ pub fn analyze_activation_sparsity(
     let mut values = vec![0.0; net.value_buffer_slots()];
     net.evaluate_into(inputs, &mut values);
     let base = net.num_inputs();
-    let zero_nodes =
-        values[base..].iter().filter(|&&v| v == 0.0).count();
+    let zero_nodes = values[base..].iter().filter(|&&v| v == 0.0).count();
 
     // Per-node effective in-degree with zero operands skipped.
     let mut total_macs = 0usize;
@@ -138,7 +137,9 @@ mod tests {
         let mut g = Genome::bare(2, 2);
         for (i, o) in [(0usize, 2usize), (1, 3)] {
             let innovation = g.add_connection(i, o, 1.0, &mut tracker).unwrap();
-            let h = g.split_connection(innovation, Activation::Relu, &mut tracker).unwrap();
+            let h = g
+                .split_connection(innovation, Activation::Relu, &mut tracker)
+                .unwrap();
             g.set_bias(h, -10.0).unwrap(); // forces ReLU output to 0
         }
         IrregularNet::try_from(&g).unwrap()
@@ -149,7 +150,10 @@ mod tests {
         let net = relu_heavy_net();
         let config = InaxConfig::builder().num_pe(1).build();
         let report = analyze_activation_sparsity(&config, &net, &[0.5, 0.5]);
-        assert!(report.zero_activation_fraction >= 0.5, "hidden ReLUs are dead");
+        assert!(
+            report.zero_activation_fraction >= 0.5,
+            "hidden ReLUs are dead"
+        );
         assert!(report.skippable_mac_fraction > 0.0);
         assert!(report.gated.wall_cycles < report.dense.wall_cycles);
         assert!(report.speedup() > 1.0);

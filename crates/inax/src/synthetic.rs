@@ -115,7 +115,13 @@ pub fn synthetic_population(
 ) -> Vec<IrregularNet> {
     (0..count)
         .map(|i| {
-            synthetic_net(num_inputs, num_outputs, hidden_nodes, density, seed ^ (i as u64 * 97))
+            synthetic_net(
+                num_inputs,
+                num_outputs,
+                hidden_nodes,
+                density,
+                seed ^ (i as u64 * 97),
+            )
         })
         .collect()
 }
@@ -129,7 +135,10 @@ mod tests {
         let net = synthetic_net(8, 4, 30, 0.2, 1);
         assert_eq!(net.num_inputs(), 8);
         assert_eq!(net.num_outputs(), 4);
-        assert!(net.num_compute_nodes() >= 34, "30 hidden + 4 outputs + splits");
+        assert!(
+            net.num_compute_nodes() >= 34,
+            "30 hidden + 4 outputs + splits"
+        );
     }
 
     #[test]

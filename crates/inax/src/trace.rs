@@ -78,7 +78,11 @@ impl InferenceTrace {
 
     /// Total busy cycles across all assignments.
     pub fn total_busy_cycles(&self) -> u64 {
-        self.waves.iter().flat_map(|w| &w.assignments).map(|a| a.busy_cycles).sum()
+        self.waves
+            .iter()
+            .flat_map(|w| &w.assignments)
+            .map(|a| a.busy_cycles)
+            .sum()
     }
 }
 
@@ -102,8 +106,10 @@ pub fn trace_inference(config: &InaxConfig, net: &IrregularNet) -> InferenceTrac
     for (level_idx, &(start, end)) in net.levels().iter().enumerate() {
         let nodes: Vec<usize> = (start..end).collect();
         for chunk in nodes.chunks(n) {
-            let costs: Vec<u64> =
-                chunk.iter().map(|&node| node_cycles(config, &net.nodes()[node])).collect();
+            let costs: Vec<u64> = chunk
+                .iter()
+                .map(|&node| node_cycles(config, &net.nodes()[node]))
+                .collect();
             let wave_max = costs.iter().copied().max().unwrap_or(0);
             let assignments = chunk
                 .iter()
@@ -132,7 +138,11 @@ pub fn trace_inference(config: &InaxConfig, net: &IrregularNet) -> InferenceTrac
         pe_total_cycles: wall * n as u64,
         waves: waves.len() as u64,
     };
-    InferenceTrace { num_pe: n, waves, profile }
+    InferenceTrace {
+        num_pe: n,
+        waves,
+        profile,
+    }
 }
 
 #[cfg(test)]
@@ -160,8 +170,12 @@ mod tests {
         let net = synthetic_net(8, 4, 15, 0.4, 2);
         let config = InaxConfig::builder().num_pe(3).build();
         let trace = trace_inference(&config, &net);
-        let mut computed: Vec<usize> =
-            trace.waves.iter().flat_map(|w| &w.assignments).map(|a| a.node).collect();
+        let mut computed: Vec<usize> = trace
+            .waves
+            .iter()
+            .flat_map(|w| &w.assignments)
+            .map(|a| a.node)
+            .collect();
         computed.sort_unstable();
         let expected: Vec<usize> = (0..net.num_compute_nodes()).collect();
         assert_eq!(computed, expected);
@@ -203,8 +217,9 @@ mod tests {
     #[should_panic(expected = "output-stationary")]
     fn non_os_dataflow_is_rejected() {
         let net = synthetic_net(4, 2, 6, 0.5, 4);
-        let config =
-            InaxConfig::builder().dataflow(crate::Dataflow::WeightStationary).build();
+        let config = InaxConfig::builder()
+            .dataflow(crate::Dataflow::WeightStationary)
+            .build();
         let _ = trace_inference(&config, &net);
     }
 }

@@ -92,7 +92,10 @@ mod tests {
         assert_eq!(back.genomes.len(), 20);
         assert_eq!(back.generation, pop.generation());
         assert_eq!(back.genomes, pop.genomes());
-        assert_eq!(back.best.as_ref().map(|b| b.fitness), pop.best().map(|b| b.fitness));
+        assert_eq!(
+            back.best.as_ref().map(|b| b.fitness),
+            pop.best().map(|b| b.fitness)
+        );
     }
 
     #[test]

@@ -266,10 +266,16 @@ impl NeatConfigBuilder {
             ("disable_in_child_rate", c.disable_in_child_rate),
             ("survival_threshold", c.survival_threshold),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
         }
         assert!(c.weight_perturb_sigma >= 0.0, "sigma must be non-negative");
-        assert!(!c.activation_options.is_empty(), "need at least one activation option");
+        assert!(
+            !c.activation_options.is_empty(),
+            "need at least one activation option"
+        );
         c
     }
 }

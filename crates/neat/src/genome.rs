@@ -6,6 +6,7 @@
 //! numbers). The genome graph is kept **acyclic** at all times so every
 //! genome decodes to a feed-forward [`crate::Network`].
 
+use self::rand_distr_normal::sample_normal;
 use crate::activation::Activation;
 use crate::config::NeatConfig;
 use crate::error::GenomeError;
@@ -14,7 +15,6 @@ use crate::network::Network;
 use crate::DecodeError;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use self::rand_distr_normal::sample_normal;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node gene within a genome.
@@ -159,8 +159,12 @@ impl Genome {
             });
         }
 
-        let mut genome =
-            Genome { num_inputs: config.num_inputs, num_outputs: config.num_outputs, nodes, connections: Vec::new() };
+        let mut genome = Genome {
+            num_inputs: config.num_inputs,
+            num_outputs: config.num_outputs,
+            nodes,
+            connections: Vec::new(),
+        };
 
         let inputs: Vec<NodeId> = (0..config.num_inputs).collect();
         let outputs: Vec<NodeId> =
@@ -185,10 +189,17 @@ impl Genome {
         }
         for (from, to) in candidates {
             if rng.gen_bool(config.initial_connection_density) {
-                let weight = sample_normal(rng, 0.0, 1.0).clamp(-config.weight_max_abs, config.weight_max_abs);
+                let weight = sample_normal(rng, 0.0, 1.0)
+                    .clamp(-config.weight_max_abs, config.weight_max_abs);
                 let innovation = tracker.connection_innovation(from, to);
                 genome
-                    .insert_connection(ConnectionGene { innovation, from, to, weight, enabled: true })
+                    .insert_connection(ConnectionGene {
+                        innovation,
+                        from,
+                        to,
+                        weight,
+                        enabled: true,
+                    })
                     .expect("initial candidates are unique and acyclic");
             }
         }
@@ -203,7 +214,13 @@ impl Genome {
                 let innovation = tracker.connection_innovation(from, o);
                 let weight = sample_normal(rng, 0.0, 1.0);
                 genome
-                    .insert_connection(ConnectionGene { innovation, from, to: o, weight, enabled: true })
+                    .insert_connection(ConnectionGene {
+                        innovation,
+                        from,
+                        to: o,
+                        weight,
+                        enabled: true,
+                    })
                     .expect("output had no incoming edge, so this one is new and acyclic");
             }
         }
@@ -216,7 +233,13 @@ impl Genome {
                     let innovation = tracker.connection_innovation(h, o);
                     let weight = sample_normal(rng, 0.0, 1.0);
                     genome
-                        .insert_connection(ConnectionGene { innovation, from: h, to: o, weight, enabled: true })
+                        .insert_connection(ConnectionGene {
+                            innovation,
+                            from: h,
+                            to: o,
+                            weight,
+                            enabled: true,
+                        })
                         .expect("hidden->output is acyclic");
                 }
             }
@@ -228,10 +251,18 @@ impl Genome {
     /// nodes (no hidden nodes, no connections). Useful for constructing
     /// networks explicitly in tests and tools.
     pub fn bare(num_inputs: usize, num_outputs: usize) -> Self {
-        assert!(num_inputs > 0 && num_outputs > 0, "need at least one input and output");
+        assert!(
+            num_inputs > 0 && num_outputs > 0,
+            "need at least one input and output"
+        );
         let mut nodes = Vec::with_capacity(num_inputs + num_outputs);
         for id in 0..num_inputs {
-            nodes.push(NodeGene { id, kind: NodeKind::Input, bias: 0.0, activation: Activation::Identity });
+            nodes.push(NodeGene {
+                id,
+                kind: NodeKind::Input,
+                bias: 0.0,
+                activation: Activation::Identity,
+            });
         }
         for i in 0..num_outputs {
             nodes.push(NodeGene {
@@ -241,7 +272,12 @@ impl Genome {
                 activation: Activation::Tanh,
             });
         }
-        Genome { num_inputs, num_outputs, nodes, connections: Vec::new() }
+        Genome {
+            num_inputs,
+            num_outputs,
+            nodes,
+            connections: Vec::new(),
+        }
     }
 
     /// Number of input nodes.
@@ -276,12 +312,17 @@ impl Genome {
 
     /// Looks up a node gene by id.
     pub fn node(&self, id: NodeId) -> Option<&NodeGene> {
-        self.nodes.binary_search_by_key(&id, |n| n.id).ok().map(|i| &self.nodes[i])
+        self.nodes
+            .binary_search_by_key(&id, |n| n.id)
+            .ok()
+            .map(|i| &self.nodes[i])
     }
 
     /// Looks up the connection gene between two nodes, if present.
     pub fn connection_between(&self, from: NodeId, to: NodeId) -> Option<&ConnectionGene> {
-        self.connections.iter().find(|c| c.from == from && c.to == to)
+        self.connections
+            .iter()
+            .find(|c| c.from == from && c.to == to)
     }
 
     /// Adds an explicit connection gene.
@@ -300,7 +341,13 @@ impl Genome {
     ) -> Result<Innovation, GenomeError> {
         self.validate_new_edge(from, to)?;
         let innovation = tracker.connection_innovation(from, to);
-        self.insert_connection(ConnectionGene { innovation, from, to, weight, enabled: true })?;
+        self.insert_connection(ConnectionGene {
+            innovation,
+            from,
+            to,
+            weight,
+            enabled: true,
+        })?;
         Ok(innovation)
     }
 
@@ -331,8 +378,19 @@ impl Genome {
             return Err(GenomeError::DuplicateConnection { from, to });
         }
         let innovation = tracker.connection_innovation(from, to);
-        let at = self.connections.partition_point(|c| c.innovation < innovation);
-        self.connections.insert(at, ConnectionGene { innovation, from, to, weight, enabled: true });
+        let at = self
+            .connections
+            .partition_point(|c| c.innovation < innovation);
+        self.connections.insert(
+            at,
+            ConnectionGene {
+                innovation,
+                from,
+                to,
+                weight,
+                enabled: true,
+            },
+        );
         Ok(innovation)
     }
 
@@ -355,8 +413,11 @@ impl Genome {
             .iter()
             .position(|c| c.innovation == innovation && c.enabled)
             .ok_or(GenomeError::UnknownNode(innovation.0 as usize))?;
-        let (from, to, weight) =
-            (self.connections[idx].from, self.connections[idx].to, self.connections[idx].weight);
+        let (from, to, weight) = (
+            self.connections[idx].from,
+            self.connections[idx].to,
+            self.connections[idx].weight,
+        );
         let (node_id, in_innovation, out_innovation) = tracker.split_innovation(from, to);
         if self.node(node_id).is_some() {
             // Another genome already split this edge this generation and
@@ -367,7 +428,12 @@ impl Genome {
         let insert_at = self.nodes.partition_point(|n| n.id < node_id);
         self.nodes.insert(
             insert_at,
-            NodeGene { id: node_id, kind: NodeKind::Hidden, bias: 0.0, activation },
+            NodeGene {
+                id: node_id,
+                kind: NodeKind::Hidden,
+                bias: 0.0,
+                activation,
+            },
         );
         self.insert_connection(ConnectionGene {
             innovation: in_innovation,
@@ -419,8 +485,7 @@ impl Genome {
                 *b = (*b + sample_normal(rng, 0.0, config.bias_perturb_sigma))
                     .clamp(-config.weight_max_abs, config.weight_max_abs);
             }
-            if self.nodes[i].kind == NodeKind::Hidden
-                && rng.gen_bool(config.activation_mutate_rate)
+            if self.nodes[i].kind == NodeKind::Hidden && rng.gen_bool(config.activation_mutate_rate)
             {
                 self.nodes[i].activation = *config
                     .activation_options
@@ -491,7 +556,8 @@ impl Genome {
         if surviving_enabled == 0 {
             return;
         }
-        self.connections.retain(|c| c.from != victim && c.to != victim);
+        self.connections
+            .retain(|c| c.from != victim && c.to != victim);
         self.nodes.retain(|n| n.id != victim);
     }
 
@@ -509,7 +575,8 @@ impl Genome {
             if self.validate_new_edge(from.id, to.id).is_err() {
                 continue;
             }
-            let weight = sample_normal(rng, 0.0, 1.0).clamp(-config.weight_max_abs, config.weight_max_abs);
+            let weight =
+                sample_normal(rng, 0.0, 1.0).clamp(-config.weight_max_abs, config.weight_max_abs);
             let innovation = tracker.connection_innovation(from.id, to.id);
             let _ = self.insert_connection(ConnectionGene {
                 innovation,
@@ -530,8 +597,12 @@ impl Genome {
         tracker: &mut InnovationTracker,
         rng: &mut R,
     ) {
-        let enabled: Vec<Innovation> =
-            self.connections.iter().filter(|c| c.enabled).map(|c| c.innovation).collect();
+        let enabled: Vec<Innovation> = self
+            .connections
+            .iter()
+            .filter(|c| c.enabled)
+            .map(|c| c.innovation)
+            .collect();
         if enabled.is_empty() {
             return;
         }
@@ -718,7 +789,11 @@ impl Genome {
         }
         let n = self.connections.len().max(other.connections.len()).max(1) as f64;
         let n = if n < 20.0 { 1.0 } else { n };
-        let mean_weight_diff = if matching > 0 { weight_diff / matching as f64 } else { 0.0 };
+        let mean_weight_diff = if matching > 0 {
+            weight_diff / matching as f64
+        } else {
+            0.0
+        };
         config.excess_coefficient * excess as f64 / n
             + config.disjoint_coefficient * disjoint as f64 / n
             + config.weight_coefficient * mean_weight_diff
@@ -784,7 +859,9 @@ impl Genome {
     /// ordering.
     fn insert_connection(&mut self, gene: ConnectionGene) -> Result<(), GenomeError> {
         self.validate_new_edge(gene.from, gene.to)?;
-        let at = self.connections.partition_point(|c| c.innovation < gene.innovation);
+        let at = self
+            .connections
+            .partition_point(|c| c.innovation < gene.innovation);
         self.connections.insert(at, gene);
         Ok(())
     }
@@ -795,7 +872,11 @@ impl Genome {
     ///
     /// Returns [`GenomeError::UnknownNode`] if the pair does not exist.
     pub fn set_weight(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<(), GenomeError> {
-        match self.connections.iter_mut().find(|c| c.from == from && c.to == to) {
+        match self
+            .connections
+            .iter_mut()
+            .find(|c| c.from == from && c.to == to)
+        {
             Some(c) => {
                 c.weight = weight;
                 Ok(())
@@ -839,7 +920,10 @@ mod tests {
         assert_eq!(g.num_inputs(), 3);
         assert_eq!(g.num_outputs(), 2);
         assert_eq!(g.num_hidden(), 0);
-        assert!(g.num_enabled_connections() >= 2, "every output is connected");
+        assert!(
+            g.num_enabled_connections() >= 2,
+            "every output is connected"
+        );
     }
 
     #[test]
@@ -882,7 +966,9 @@ mod tests {
         let (_, mut tracker, _) = setup();
         let mut g = Genome::bare(2, 1);
         let innovation = g.add_connection(0, 2, 0.7, &mut tracker).unwrap();
-        let node = g.split_connection(innovation, Activation::Relu, &mut tracker).unwrap();
+        let node = g
+            .split_connection(innovation, Activation::Relu, &mut tracker)
+            .unwrap();
         assert_eq!(g.num_hidden(), 1);
         assert!(!g.connection_between(0, 2).unwrap().enabled);
         assert_eq!(g.connection_between(0, node).unwrap().weight, 1.0);
@@ -896,9 +982,13 @@ mod tests {
         let (_, mut tracker, _) = setup();
         let mut g = Genome::bare(1, 1);
         let innovation = g.add_connection(0, 1, 1.0, &mut tracker).unwrap();
-        let h1 = g.split_connection(innovation, Activation::Tanh, &mut tracker).unwrap();
+        let h1 = g
+            .split_connection(innovation, Activation::Tanh, &mut tracker)
+            .unwrap();
         let innovation2 = g.connection_between(0, h1).unwrap().innovation;
-        let h2 = g.split_connection(innovation2, Activation::Tanh, &mut tracker).unwrap();
+        let h2 = g
+            .split_connection(innovation2, Activation::Tanh, &mut tracker)
+            .unwrap();
         // 0 -> h2 -> h1 -> 1. h1 -> h2 closes a cycle.
         assert!(g.creates_cycle(h1, h2));
         assert!(!g.creates_cycle(h2, h1)); // already exists as a path but not a cycle
@@ -944,7 +1034,9 @@ mod tests {
         let mut g = Genome::bare(2, 1);
         let innovation = g.add_connection(0, 2, 1.0, &mut tracker).unwrap();
         g.add_connection(1, 2, 1.0, &mut tracker).unwrap();
-        let h = g.split_connection(innovation, Activation::Relu, &mut tracker).unwrap();
+        let h = g
+            .split_connection(innovation, Activation::Relu, &mut tracker)
+            .unwrap();
         let before_nodes = g.nodes().len();
         // Repeatedly try until the hidden node goes (only one exists).
         for _ in 0..50 {
@@ -962,12 +1054,17 @@ mod tests {
         let (_, mut tracker, mut rng) = setup();
         let mut g = Genome::bare(1, 1);
         let innovation = g.add_connection(0, 1, 1.0, &mut tracker).unwrap();
-        let h = g.split_connection(innovation, Activation::Relu, &mut tracker).unwrap();
+        let h = g
+            .split_connection(innovation, Activation::Relu, &mut tracker)
+            .unwrap();
         // Only enabled path runs through h (original edge disabled).
         for _ in 0..50 {
             g.mutate_delete_node(&mut rng);
         }
-        assert!(g.node(h).is_some(), "deleting h would leave no enabled connections");
+        assert!(
+            g.node(h).is_some(),
+            "deleting h would leave no enabled connections"
+        );
     }
 
     #[test]
@@ -1004,7 +1101,10 @@ mod tests {
         // All of fitter's innovations present (disjoint/excess kept).
         for c in fitter.connections() {
             assert!(
-                child.connections().iter().any(|cc| cc.innovation == c.innovation),
+                child
+                    .connections()
+                    .iter()
+                    .any(|cc| cc.innovation == c.innovation),
                 "missing innovation {:?}",
                 c.innovation
             );

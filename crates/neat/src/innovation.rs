@@ -59,7 +59,10 @@ impl InnovationTracker {
     /// Creates a tracker whose node-id counter starts after the fixed
     /// input/output nodes, so newly split nodes never collide with them.
     pub fn with_reserved_nodes(reserved: usize) -> Self {
-        InnovationTracker { next_node_id: reserved, ..Self::default() }
+        InnovationTracker {
+            next_node_id: reserved,
+            ..Self::default()
+        }
     }
 
     /// Returns the innovation number for a connection `from -> to`,

@@ -44,12 +44,17 @@ impl SpeciesHistory {
                 .members
                 .iter()
                 .filter_map(|&i| fitnesses.get(i).copied().flatten())
-                .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.max(f))));
-            self.records.entry(species.id).or_default().push(SpeciesRecord {
-                generation,
-                size: species.len(),
-                best_fitness: best,
-            });
+                .fold(None, |acc: Option<f64>, f| {
+                    Some(acc.map_or(f, |a| a.max(f)))
+                });
+            self.records
+                .entry(species.id)
+                .or_default()
+                .push(SpeciesRecord {
+                    generation,
+                    size: species.len(),
+                    best_fitness: best,
+                });
         }
         self.generations = self.generations.max(generation + 1);
     }
@@ -71,7 +76,10 @@ impl SpeciesHistory {
 
     /// Lifespan (generations alive) per species id.
     pub fn lifespans(&self) -> BTreeMap<usize, usize> {
-        self.records.iter().map(|(&id, recs)| (id, recs.len())).collect()
+        self.records
+            .iter()
+            .map(|(&id, recs)| (id, recs.len()))
+            .collect()
     }
 
     /// Species alive in the last recorded generation.
@@ -99,7 +107,11 @@ impl SpeciesHistory {
                 .fold(f64::NEG_INFINITY, f64::max);
             out.push_str(&format!(
                 "{id:>7}  {born:>4}  {:>4}  {peak:>9}  {:>12.2}\n",
-                if alive { "..".to_string() } else { died.to_string() },
+                if alive {
+                    "..".to_string()
+                } else {
+                    died.to_string()
+                },
                 if best.is_finite() { best } else { f64::NAN }
             ));
         }
@@ -176,7 +188,11 @@ mod tests {
         let history = run_history(3);
         let any_best = history
             .species(
-                *history.lifespans().keys().next().expect("at least one species"),
+                *history
+                    .lifespans()
+                    .keys()
+                    .next()
+                    .expect("at least one species"),
             )
             .unwrap()
             .iter()

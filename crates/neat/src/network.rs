@@ -76,9 +76,8 @@ impl Network {
     /// references a missing node.
     pub fn from_genome(genome: &Genome) -> Result<Self, DecodeError> {
         let genome_nodes = genome.nodes();
-        let index_of = |id: NodeId| -> Option<usize> {
-            genome_nodes.binary_search_by_key(&id, |n| n.id).ok()
-        };
+        let index_of =
+            |id: NodeId| -> Option<usize> { genome_nodes.binary_search_by_key(&id, |n| n.id).ok() };
 
         // Adjacency over genome node indices using enabled connections.
         let n = genome_nodes.len();
@@ -88,7 +87,12 @@ impl Network {
         for c in genome.connections().iter().filter(|c| c.enabled) {
             let (from, to) = match (index_of(c.from), index_of(c.to)) {
                 (Some(f), Some(t)) => (f, t),
-                _ => return Err(DecodeError::DanglingConnection { from: c.from, to: c.to }),
+                _ => {
+                    return Err(DecodeError::DanglingConnection {
+                        from: c.from,
+                        to: c.to,
+                    })
+                }
             };
             incoming[to].push((from, c.weight));
             out_edges[from].push(to);
@@ -99,8 +103,7 @@ impl Network {
         // longest path from any source.
         let mut level = vec![0usize; n];
         let mut order: Vec<usize> = Vec::with_capacity(n);
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
         // Deterministic order: process by genome node id.
         ready.sort_unstable();
         let mut remaining = in_degree.clone();
@@ -135,8 +138,10 @@ impl Network {
         let mut nodes: Vec<NetNode> = Vec::with_capacity(n);
         for &old_i in &by_level {
             let g = genome_nodes[old_i];
-            let mut inc: Vec<(usize, f64)> =
-                incoming[old_i].iter().map(|&(src, w)| (new_index[src], w)).collect();
+            let mut inc: Vec<(usize, f64)> = incoming[old_i]
+                .iter()
+                .map(|&(src, w)| (new_index[src], w))
+                .collect();
             inc.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
             nodes.push(NetNode {
                 id: g.id,
@@ -198,7 +203,10 @@ impl Network {
                 }
             };
         }
-        self.output_indices.iter().map(|&i| self.values[i]).collect()
+        self.output_indices
+            .iter()
+            .map(|&i| self.values[i])
+            .collect()
     }
 
     /// Number of input nodes.
@@ -280,7 +288,9 @@ mod tests {
         let mut g = Genome::bare(2, 1);
         let innovation = g.add_connection(0, 2, 0.5, &mut tracker).unwrap();
         g.add_connection(1, 2, 0.25, &mut tracker).unwrap();
-        let h = g.split_connection(innovation, Activation::Identity, &mut tracker).unwrap();
+        let h = g
+            .split_connection(innovation, Activation::Identity, &mut tracker)
+            .unwrap();
         g.set_bias(h, 0.0).unwrap();
         (g, tracker)
     }
@@ -343,9 +353,15 @@ mod tests {
         let i1 = g2.add_connection(0, 3, 1.0, &mut tracker).unwrap();
         let i2 = g2.add_connection(1, 4, 1.0, &mut tracker).unwrap();
         let i3 = g2.add_connection(2, 5, 1.0, &mut tracker).unwrap();
-        let h1 = g2.split_connection(i1, Activation::Tanh, &mut tracker).unwrap();
-        let h2 = g2.split_connection(i2, Activation::Tanh, &mut tracker).unwrap();
-        let h3 = g2.split_connection(i3, Activation::Tanh, &mut tracker).unwrap();
+        let h1 = g2
+            .split_connection(i1, Activation::Tanh, &mut tracker)
+            .unwrap();
+        let h2 = g2
+            .split_connection(i2, Activation::Tanh, &mut tracker)
+            .unwrap();
+        let h3 = g2
+            .split_connection(i3, Activation::Tanh, &mut tracker)
+            .unwrap();
         // Now 6 enabled conns; add 3 more hidden->output crossing edges.
         g2.add_connection(h1, 4, 1.0, &mut tracker).unwrap();
         g2.add_connection(h2, 5, 1.0, &mut tracker).unwrap();

@@ -132,15 +132,25 @@ impl Population {
     /// Panics if `values.len() != self.genomes().len()` or any value is
     /// NaN.
     pub fn assign_fitnesses(&mut self, values: Vec<f64>) {
-        assert_eq!(values.len(), self.genomes.len(), "one fitness per genome required");
-        assert!(values.iter().all(|v| !v.is_nan()), "fitness must not be NaN");
+        assert_eq!(
+            values.len(),
+            self.genomes.len(),
+            "one fitness per genome required"
+        );
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "fitness must not be NaN"
+        );
         for (slot, v) in self.fitnesses.iter_mut().zip(&values) {
             *slot = Some(*v);
         }
         let best_idx = (0..values.len())
             .max_by(|&a, &b| values[a].total_cmp(&values[b]))
             .expect("population is non-empty");
-        let beats_best = self.best_ever.as_ref().is_none_or(|b| values[best_idx] > b.fitness);
+        let beats_best = self
+            .best_ever
+            .as_ref()
+            .is_none_or(|b| values[best_idx] > b.fitness);
         if beats_best {
             self.best_ever = Some(EvaluatedGenome {
                 genome: self.genomes[best_idx].clone(),
@@ -163,7 +173,11 @@ impl Population {
         self.tracker.begin_generation();
 
         // Fitness shift so selection works with negative rewards.
-        let raw: Vec<f64> = self.fitnesses.iter().map(|f| f.expect("checked above")).collect();
+        let raw: Vec<f64> = self
+            .fitnesses
+            .iter()
+            .map(|f| f.expect("checked above"))
+            .collect();
         let min = raw.iter().cloned().fold(f64::INFINITY, f64::min);
         let shift = if min < 0.0 { -min } else { 0.0 };
 
@@ -195,8 +209,11 @@ impl Population {
         let mut total_adjusted = 0.0;
         for s in &mut self.species {
             let size = s.members.len().max(1) as f64;
-            s.adjusted_fitness_sum =
-                s.members.iter().map(|&i| (raw[i] + shift) / size).sum::<f64>();
+            s.adjusted_fitness_sum = s
+                .members
+                .iter()
+                .map(|&i| (raw[i] + shift) / size)
+                .sum::<f64>();
             total_adjusted += s.adjusted_fitness_sum;
         }
 
@@ -260,8 +277,7 @@ impl Population {
             let pool = &ranked[..pool_len.min(ranked.len())];
             while produced < count {
                 let a = pool[self.rng.gen_range(0..pool.len())];
-                let mut child = if pool.len() > 1 && self.rng.gen_bool(self.config.crossover_rate)
-                {
+                let mut child = if pool.len() > 1 && self.rng.gen_bool(self.config.crossover_rate) {
                     let mut b = pool[self.rng.gen_range(0..pool.len())];
                     if b == a {
                         b = pool[(pool.iter().position(|&x| x == a).expect("a in pool") + 1)
@@ -274,7 +290,12 @@ impl Population {
                     } else {
                         (a, b, true)
                     };
-                    self.genomes[fit].crossover(&self.genomes[weak], equal, &self.config, &mut self.rng)
+                    self.genomes[fit].crossover(
+                        &self.genomes[weak],
+                        equal,
+                        &self.config,
+                        &mut self.rng,
+                    )
                 } else {
                     self.genomes[a].clone()
                 };
@@ -285,7 +306,11 @@ impl Population {
         }
         // Top up (e.g. if all species were empty) with fresh genomes.
         while next.len() < pop_size {
-            next.push(Genome::initial(&self.config, &mut self.tracker, &mut self.rng));
+            next.push(Genome::initial(
+                &self.config,
+                &mut self.tracker,
+                &mut self.rng,
+            ));
         }
         next.truncate(pop_size);
 
@@ -436,7 +461,10 @@ mod tests {
         }
         assert!(!pop.species().is_empty());
         let total_members: usize = pop.species().iter().map(|s| s.len()).sum();
-        assert_eq!(total_members, 30, "every genome belongs to exactly one species");
+        assert_eq!(
+            total_members, 30,
+            "every genome belongs to exactly one species"
+        );
     }
 
     #[test]
@@ -463,4 +491,3 @@ mod tests {
         assert_eq!(fa, fb);
     }
 }
-

@@ -164,14 +164,20 @@ mod tests {
         let mut g = Genome::bare(2, 1);
         let innovation = g.add_connection(0, 2, 0.7, &mut tracker).unwrap();
         g.add_connection(1, 2, -0.3, &mut tracker).unwrap();
-        g.split_connection(innovation, Activation::Identity, &mut tracker).unwrap();
+        g.split_connection(innovation, Activation::Identity, &mut tracker)
+            .unwrap();
         let mut settled = RecurrentNetwork::from_genome(&g);
         let mut reference = g.decode().unwrap();
         let input = [0.5, -1.0];
         let depth = 3; // inputs -> hidden -> output
         let out = settled.activate_settled(&input, depth);
         let want = reference.activate(&input);
-        assert!((out[0] - want[0]).abs() < 1e-12, "{} vs {}", out[0], want[0]);
+        assert!(
+            (out[0] - want[0]).abs() < 1e-12,
+            "{} vs {}",
+            out[0],
+            want[0]
+        );
     }
 
     #[test]
@@ -200,7 +206,11 @@ mod tests {
         net.activate(&[1.0]);
         net.activate(&[1.0]);
         net.reset();
-        assert_eq!(net.activate(&[1.0])[0], first, "reset restores the initial response");
+        assert_eq!(
+            net.activate(&[1.0])[0],
+            first,
+            "reset restores the initial response"
+        );
     }
 
     #[test]
@@ -208,9 +218,14 @@ mod tests {
         let mut tracker = InnovationTracker::with_reserved_nodes(2);
         let mut g = Genome::bare(1, 1);
         let innovation = g.add_connection(0, 1, 1.0, &mut tracker).unwrap();
-        let h = g.split_connection(innovation, Activation::Tanh, &mut tracker).unwrap();
+        let h = g
+            .split_connection(innovation, Activation::Tanh, &mut tracker)
+            .unwrap();
         g.add_connection_unchecked(h, h, 0.5, &mut tracker).unwrap();
-        assert!(g.decode().is_err(), "feed-forward decode must reject the cycle");
+        assert!(
+            g.decode().is_err(),
+            "feed-forward decode must reject the cycle"
+        );
         let mut net = RecurrentNetwork::from_genome(&g);
         assert_eq!(net.activate(&[1.0]).len(), 1);
     }
@@ -227,7 +242,9 @@ mod tests {
         let mut direct = Genome::bare(1, 1);
         direct.add_connection(0, 1, 1.0, &mut tracker).unwrap();
         // Make output identity for exactness.
-        let json = serde_json::to_string(&direct).unwrap().replace("\"Tanh\"", "\"Identity\"");
+        let json = serde_json::to_string(&direct)
+            .unwrap()
+            .replace("\"Tanh\"", "\"Identity\"");
         let direct: Genome = serde_json::from_str(&json).unwrap();
         let mut net = RecurrentNetwork::from_genome(&direct);
         let sequence = [0.3, -0.7, 0.9, 0.1];

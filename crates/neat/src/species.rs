@@ -46,7 +46,10 @@ impl Species {
     /// Records the generation's best raw member fitness, updating the
     /// stagnation counter.
     pub fn record_fitness(&mut self, best_member_fitness: f64) {
-        if self.best_fitness.is_none_or(|best| best_member_fitness > best) {
+        if self
+            .best_fitness
+            .is_none_or(|best| best_member_fitness > best)
+        {
             self.best_fitness = Some(best_member_fitness);
             self.stagnation = 0;
         } else {

@@ -58,7 +58,11 @@ impl Histogram {
 
     /// `(value, count)` pairs for non-zero buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(v, &c)| (v, c))
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
     }
 
     /// Fraction of observations at `value` (0 when empty).

@@ -6,12 +6,23 @@
 //! fitness for the same seed — and differ only in how the inference is
 //! executed and therefore how long it takes (paper §VI-A's three
 //! settings).
+//!
+//! The primary entry point is the fallible
+//! [`EvalBackend::try_evaluate_population`]: a genome that cannot be
+//! lowered to a feed-forward network surfaces as
+//! [`EvalError::NotFeedForward`] instead of a panic, so callers (the
+//! platform loop, sweeps, long benchmark campaigns) can decide how to
+//! react. Backends are constructed either directly or through the
+//! unified [`BackendBuilder`] (mirroring `InaxConfig::builder()`),
+//! which yields the type-erased [`AnyBackend`].
 
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::{decode_action, EnvId, Environment};
 use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet};
-use e3_neat::Genome;
+use e3_neat::{DecodeError, Genome, Network};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
 /// Which backend executes "evaluate".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -34,6 +45,85 @@ impl BackendKind {
             BackendKind::Cpu => "E3-CPU",
             BackendKind::Gpu => "E3-GPU",
             BackendKind::Inax => "E3-INAX",
+        }
+    }
+
+    /// Starts a [`BackendBuilder`] for this kind with default cost
+    /// models.
+    pub fn builder(self) -> BackendBuilder {
+        BackendBuilder::new(self)
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error produced when parsing a [`BackendKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendKindError {
+    input: String,
+}
+
+impl fmt::Display for ParseBackendKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (expected one of: cpu, gpu, inax)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendKindError {}
+
+impl FromStr for BackendKind {
+    type Err = ParseBackendKindError;
+
+    /// Accepts the paper names (`"E3-CPU"`) and the bare kinds
+    /// (`"cpu"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cpu" | "e3-cpu" => Ok(BackendKind::Cpu),
+            "gpu" | "e3-gpu" => Ok(BackendKind::Gpu),
+            "inax" | "e3-inax" => Ok(BackendKind::Inax),
+            _ => Err(ParseBackendKindError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Error produced when a population cannot be evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A genome could not be lowered to a feed-forward network (the
+    /// only phenotype every backend can execute).
+    NotFeedForward {
+        /// Index of the offending genome in the evaluated slice.
+        genome_index: usize,
+        /// Why decoding failed.
+        reason: DecodeError,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotFeedForward {
+                genome_index,
+                reason,
+            } => write!(f, "genome {genome_index} is not feed-forward: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::NotFeedForward { reason, .. } => Some(reason),
         }
     }
 }
@@ -61,23 +151,43 @@ pub trait EvalBackend {
     fn kind(&self) -> BackendKind;
 
     /// Evaluates every genome on one episode of `env` started from
-    /// `episode_seed`, returning fitnesses and modeled timing.
+    /// `episode_seed`, returning fitnesses and modeled timing, or an
+    /// [`EvalError`] if any genome cannot be executed.
+    fn try_evaluate_population(
+        &mut self,
+        genomes: &[Genome],
+        env: EnvId,
+        episode_seed: u64,
+    ) -> Result<EvalOutcome, EvalError>;
+
+    /// Panicking convenience wrapper around
+    /// [`EvalBackend::try_evaluate_population`], kept for source
+    /// compatibility with the pre-`Result` API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if evaluation fails (e.g. a genome is not feed-forward).
+    #[deprecated(note = "use `try_evaluate_population` and handle `EvalError`")]
     fn evaluate_population(
         &mut self,
         genomes: &[Genome],
         env: EnvId,
         episode_seed: u64,
-    ) -> EvalOutcome;
+    ) -> EvalOutcome {
+        match self.try_evaluate_population(genomes, env, episode_seed) {
+            Ok(outcome) => outcome,
+            Err(err) => panic!("population evaluation failed: {err}"),
+        }
+    }
 }
 
-/// Runs one genome's episode in software, returning
-/// `(fitness, steps, inference_seconds_accumulator_input)`.
+/// Runs one decoded network's episode in software, returning
+/// `(fitness, steps)`.
 fn run_software_episode(
-    genome: &Genome,
+    net: &mut Network,
     env: &mut dyn Environment,
     episode_seed: u64,
 ) -> (f64, u64) {
-    let mut net = genome.decode().expect("population genomes are feed-forward");
     let space = env.action_space();
     let mut obs = env.reset(episode_seed);
     let mut fitness = 0.0;
@@ -125,23 +235,37 @@ impl CpuBackend {
         assert!(threads > 0, "need at least one worker thread");
         CpuBackend { model, threads }
     }
+}
 
+/// Per-genome `(fitness, steps, inference_seconds)` rows for one chunk
+/// of the population, or the first decode failure within it.
+type ChunkResult = Result<Vec<(f64, u64, f64)>, EvalError>;
+
+impl CpuBackend {
     /// Evaluates a chunk of genomes sequentially, returning per-genome
-    /// `(fitness, steps)`.
+    /// `(fitness, steps, inference_seconds)`. `base_index` locates the
+    /// chunk in the full population for error reporting.
     fn run_chunk(
         model: &SwCostModel,
         genomes: &[Genome],
         env_id: EnvId,
         episode_seed: u64,
-    ) -> Vec<(f64, u64, f64)> {
+        base_index: usize,
+    ) -> ChunkResult {
         let mut env = env_id.make();
         genomes
             .iter()
-            .map(|genome| {
-                let net = genome.decode().expect("population genomes are feed-forward");
+            .enumerate()
+            .map(|(offset, genome)| {
+                let mut net = genome
+                    .decode()
+                    .map_err(|reason| EvalError::NotFeedForward {
+                        genome_index: base_index + offset,
+                        reason,
+                    })?;
                 let per_inference = model.inference_seconds(&net);
-                let (fitness, steps) = run_software_episode(genome, env.as_mut(), episode_seed);
-                (fitness, steps, per_inference * steps as f64)
+                let (fitness, steps) = run_software_episode(&mut net, env.as_mut(), episode_seed);
+                Ok((fitness, steps, per_inference * steps as f64))
             })
             .collect()
     }
@@ -152,27 +276,43 @@ impl EvalBackend for CpuBackend {
         BackendKind::Cpu
     }
 
-    fn evaluate_population(
+    fn try_evaluate_population(
         &mut self,
         genomes: &[Genome],
         env_id: EnvId,
         episode_seed: u64,
-    ) -> EvalOutcome {
+    ) -> Result<EvalOutcome, EvalError> {
         let results: Vec<(f64, u64, f64)> = if self.threads <= 1 || genomes.len() < 2 {
-            Self::run_chunk(&self.model, genomes, env_id, episode_seed)
+            Self::run_chunk(&self.model, genomes, env_id, episode_seed, 0)?
         } else {
             let chunk_len = genomes.len().div_ceil(self.threads);
             let model = self.model;
-            crossbeam::thread::scope(|scope| {
+            let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
                 let handles: Vec<_> = genomes
                     .chunks(chunk_len)
-                    .map(|chunk| {
-                        scope.spawn(move |_| Self::run_chunk(&model, chunk, env_id, episode_seed))
+                    .enumerate()
+                    .map(|(chunk_idx, chunk)| {
+                        scope.spawn(move || {
+                            Self::run_chunk(
+                                &model,
+                                chunk,
+                                env_id,
+                                episode_seed,
+                                chunk_idx * chunk_len,
+                            )
+                        })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("evaluation scope panicked")
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            let mut merged = Vec::with_capacity(genomes.len());
+            for chunk in chunks {
+                merged.extend(chunk?);
+            }
+            merged
         };
         let mut fitnesses = Vec::with_capacity(genomes.len());
         let mut steps_per_genome = Vec::with_capacity(genomes.len());
@@ -184,14 +324,14 @@ impl EvalBackend for CpuBackend {
             eval_seconds += seconds;
             total_steps += steps;
         }
-        EvalOutcome {
+        Ok(EvalOutcome {
             fitnesses,
             steps_per_genome,
             eval_seconds,
             env_seconds: total_steps as f64 * self.model.sec_per_env_step,
             total_steps,
             hw_report: None,
-        }
+        })
     }
 }
 
@@ -216,34 +356,39 @@ impl EvalBackend for GpuBackend {
         BackendKind::Gpu
     }
 
-    fn evaluate_population(
+    fn try_evaluate_population(
         &mut self,
         genomes: &[Genome],
         env_id: EnvId,
         episode_seed: u64,
-    ) -> EvalOutcome {
+    ) -> Result<EvalOutcome, EvalError> {
         let mut env = env_id.make();
         let mut fitnesses = Vec::with_capacity(genomes.len());
         let mut steps_per_genome = Vec::with_capacity(genomes.len());
         let mut eval_seconds = 0.0;
         let mut total_steps = 0u64;
-        for genome in genomes {
-            let net = genome.decode().expect("population genomes are feed-forward");
+        for (genome_index, genome) in genomes.iter().enumerate() {
+            let mut net = genome
+                .decode()
+                .map_err(|reason| EvalError::NotFeedForward {
+                    genome_index,
+                    reason,
+                })?;
             let per_inference = self.gpu.inference_seconds(&net);
-            let (fitness, steps) = run_software_episode(genome, env.as_mut(), episode_seed);
+            let (fitness, steps) = run_software_episode(&mut net, env.as_mut(), episode_seed);
             fitnesses.push(fitness);
             steps_per_genome.push(steps);
             eval_seconds += per_inference * steps as f64;
             total_steps += steps;
         }
-        EvalOutcome {
+        Ok(EvalOutcome {
             fitnesses,
             steps_per_genome,
             eval_seconds,
             env_seconds: total_steps as f64 * self.sw.sec_per_env_step,
             total_steps,
             hw_report: None,
-        }
+        })
     }
 }
 
@@ -274,16 +419,22 @@ impl EvalBackend for InaxBackend {
         BackendKind::Inax
     }
 
-    fn evaluate_population(
+    fn try_evaluate_population(
         &mut self,
         genomes: &[Genome],
         env_id: EnvId,
         episode_seed: u64,
-    ) -> EvalOutcome {
+    ) -> Result<EvalOutcome, EvalError> {
         let nets: Vec<IrregularNet> = genomes
             .iter()
-            .map(|g| IrregularNet::try_from(g).expect("population genomes are feed-forward"))
-            .collect();
+            .enumerate()
+            .map(|(genome_index, g)| {
+                IrregularNet::try_from(g).map_err(|reason| EvalError::NotFeedForward {
+                    genome_index,
+                    reason,
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let mut accelerator = InaxAccelerator::new(self.config.clone());
         let num_pu = self.config.num_pu;
         let mut fitnesses = vec![0.0f64; genomes.len()];
@@ -297,8 +448,10 @@ impl EvalBackend for InaxBackend {
             let mut envs: Vec<Box<dyn Environment>> =
                 (0..batch.len()).map(|_| env_id.make()).collect();
             let space = envs[0].action_space();
-            let mut observations: Vec<Option<Vec<f64>>> =
-                envs.iter_mut().map(|e| Some(e.reset(episode_seed))).collect();
+            let mut observations: Vec<Option<Vec<f64>>> = envs
+                .iter_mut()
+                .map(|e| Some(e.reset(episode_seed)))
+                .collect();
             while observations.iter().any(Option::is_some) {
                 let outputs = accelerator.step(&observations);
                 for (i, output) in outputs.into_iter().enumerate() {
@@ -319,13 +472,126 @@ impl EvalBackend for InaxBackend {
         }
 
         let report = accelerator.report();
-        EvalOutcome {
+        Ok(EvalOutcome {
             fitnesses,
             steps_per_genome,
             eval_seconds: self.config.cycles_to_seconds(report.total_cycles),
             env_seconds: total_steps as f64 * self.sw.sec_per_env_step,
             total_steps,
             hw_report: Some(report),
+        })
+    }
+}
+
+/// A backend of any kind behind one concrete type.
+///
+/// This is what [`BackendBuilder::build`] produces and what
+/// `E3Platform` runs on: enum dispatch instead of `Box<dyn>` keeps the
+/// platform `Debug` and cheap to construct in sweeps.
+#[derive(Debug)]
+pub enum AnyBackend {
+    /// Software baseline.
+    Cpu(CpuBackend),
+    /// GPU offload model.
+    Gpu(GpuBackend),
+    /// INAX accelerator simulator.
+    Inax(InaxBackend),
+}
+
+impl EvalBackend for AnyBackend {
+    fn kind(&self) -> BackendKind {
+        match self {
+            AnyBackend::Cpu(_) => BackendKind::Cpu,
+            AnyBackend::Gpu(_) => BackendKind::Gpu,
+            AnyBackend::Inax(_) => BackendKind::Inax,
+        }
+    }
+
+    fn try_evaluate_population(
+        &mut self,
+        genomes: &[Genome],
+        env: EnvId,
+        episode_seed: u64,
+    ) -> Result<EvalOutcome, EvalError> {
+        match self {
+            AnyBackend::Cpu(b) => b.try_evaluate_population(genomes, env, episode_seed),
+            AnyBackend::Gpu(b) => b.try_evaluate_population(genomes, env, episode_seed),
+            AnyBackend::Inax(b) => b.try_evaluate_population(genomes, env, episode_seed),
+        }
+    }
+}
+
+/// Unified builder for any evaluation backend, mirroring
+/// `InaxConfig::builder()`.
+///
+/// # Example
+///
+/// ```
+/// use e3_platform::{BackendBuilder, BackendKind, EvalBackend};
+/// use e3_inax::InaxConfig;
+///
+/// let mut backend = BackendBuilder::new(BackendKind::Inax)
+///     .inax(InaxConfig::builder().num_pu(8).num_pe(2).build())
+///     .build();
+/// assert_eq!(backend.kind(), BackendKind::Inax);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackendBuilder {
+    kind: BackendKind,
+    sw: SwCostModel,
+    gpu: GpuCostModel,
+    inax: InaxConfig,
+    threads: usize,
+}
+
+impl BackendBuilder {
+    /// Starts a builder for `kind` with default cost models and
+    /// single-threaded host execution.
+    pub fn new(kind: BackendKind) -> Self {
+        BackendBuilder {
+            kind,
+            sw: SwCostModel::default(),
+            gpu: GpuCostModel::default(),
+            inax: InaxConfig::default(),
+            threads: 1,
+        }
+    }
+
+    /// Sets the software cost model (used by every backend for the
+    /// CPU-side env stepping).
+    pub fn sw(mut self, model: SwCostModel) -> Self {
+        self.sw = model;
+        self
+    }
+
+    /// Sets the GPU cost model (E3-GPU only).
+    pub fn gpu(mut self, model: GpuCostModel) -> Self {
+        self.gpu = model;
+        self
+    }
+
+    /// Sets the INAX hardware configuration (E3-INAX only).
+    pub fn inax(mut self, config: InaxConfig) -> Self {
+        self.inax = config;
+        self
+    }
+
+    /// Sets the number of host worker threads (E3-CPU only).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn build(self) -> AnyBackend {
+        match self.kind {
+            BackendKind::Cpu => AnyBackend::Cpu(CpuBackend::with_threads(self.sw, self.threads)),
+            BackendKind::Gpu => AnyBackend::Gpu(GpuBackend::new(self.sw, self.gpu)),
+            BackendKind::Inax => AnyBackend::Inax(InaxBackend::new(self.inax, self.sw)),
         }
     }
 }
@@ -342,16 +608,24 @@ mod tests {
         Population::new(config, 3).genomes().to_vec()
     }
 
+    fn eval(backend: &mut dyn EvalBackend, pop: &[Genome], env: EnvId, seed: u64) -> EvalOutcome {
+        backend
+            .try_evaluate_population(pop, env, seed)
+            .expect("population is feed-forward")
+    }
+
     #[test]
     fn all_backends_agree_on_fitness() {
         let pop = genomes(EnvId::CartPole, 12);
         let mut cpu = CpuBackend::default();
         let mut gpu = GpuBackend::default();
-        let mut inax =
-            InaxBackend::new(InaxConfig::builder().num_pu(5).num_pe(2).build(), SwCostModel::default());
-        let a = cpu.evaluate_population(&pop, EnvId::CartPole, 7);
-        let b = gpu.evaluate_population(&pop, EnvId::CartPole, 7);
-        let c = inax.evaluate_population(&pop, EnvId::CartPole, 7);
+        let mut inax = InaxBackend::new(
+            InaxConfig::builder().num_pu(5).num_pe(2).build(),
+            SwCostModel::default(),
+        );
+        let a = eval(&mut cpu, &pop, EnvId::CartPole, 7);
+        let b = eval(&mut gpu, &pop, EnvId::CartPole, 7);
+        let c = eval(&mut inax, &pop, EnvId::CartPole, 7);
         assert_eq!(a.fitnesses, b.fitnesses);
         assert_eq!(a.fitnesses, c.fitnesses);
         assert_eq!(a.steps_per_genome, c.steps_per_genome);
@@ -362,11 +636,13 @@ mod tests {
         let pop = genomes(EnvId::CartPole, 12);
         let mut cpu = CpuBackend::default();
         let mut gpu = GpuBackend::default();
-        let mut inax =
-            InaxBackend::new(InaxConfig::builder().num_pu(12).num_pe(2).build(), SwCostModel::default());
-        let a = cpu.evaluate_population(&pop, EnvId::CartPole, 7);
-        let b = gpu.evaluate_population(&pop, EnvId::CartPole, 7);
-        let c = inax.evaluate_population(&pop, EnvId::CartPole, 7);
+        let mut inax = InaxBackend::new(
+            InaxConfig::builder().num_pu(12).num_pe(2).build(),
+            SwCostModel::default(),
+        );
+        let a = eval(&mut cpu, &pop, EnvId::CartPole, 7);
+        let b = eval(&mut gpu, &pop, EnvId::CartPole, 7);
+        let c = eval(&mut inax, &pop, EnvId::CartPole, 7);
         assert!(b.eval_seconds > a.eval_seconds, "GPU must lose (Fig. 9(b))");
         assert!(c.eval_seconds < a.eval_seconds, "INAX must win (Fig. 9(b))");
     }
@@ -374,9 +650,11 @@ mod tests {
     #[test]
     fn inax_reports_hw_accounting() {
         let pop = genomes(EnvId::MountainCar, 6);
-        let mut inax =
-            InaxBackend::new(InaxConfig::builder().num_pu(3).num_pe(3).build(), SwCostModel::default());
-        let out = inax.evaluate_population(&pop, EnvId::MountainCar, 1);
+        let mut inax = InaxBackend::new(
+            InaxConfig::builder().num_pu(3).num_pe(3).build(),
+            SwCostModel::default(),
+        );
+        let out = eval(&mut inax, &pop, EnvId::MountainCar, 1);
         let report = out.hw_report.expect("INAX reports HW accounting");
         assert!(report.total_cycles > 0);
         assert!(report.steps > 0);
@@ -388,12 +666,17 @@ mod tests {
     fn continuous_action_envs_work_on_all_backends() {
         let pop = genomes(EnvId::Pendulum, 4);
         let mut cpu = CpuBackend::default();
-        let mut inax =
-            InaxBackend::new(InaxConfig::builder().num_pu(4).num_pe(1).build(), SwCostModel::default());
-        let a = cpu.evaluate_population(&pop, EnvId::Pendulum, 2);
-        let c = inax.evaluate_population(&pop, EnvId::Pendulum, 2);
+        let mut inax = InaxBackend::new(
+            InaxConfig::builder().num_pu(4).num_pe(1).build(),
+            SwCostModel::default(),
+        );
+        let a = eval(&mut cpu, &pop, EnvId::Pendulum, 2);
+        let c = eval(&mut inax, &pop, EnvId::Pendulum, 2);
         assert_eq!(a.fitnesses, c.fitnesses);
-        assert!(a.fitnesses.iter().all(|f| *f < 0.0), "pendulum rewards are negative");
+        assert!(
+            a.fitnesses.iter().all(|f| *f < 0.0),
+            "pendulum rewards are negative"
+        );
     }
 
     #[test]
@@ -401,11 +684,14 @@ mod tests {
         let pop = genomes(EnvId::CartPole, 17); // odd size exercises chunk remainders
         let mut sequential = CpuBackend::default();
         let mut parallel = CpuBackend::with_threads(SwCostModel::default(), 4);
-        let a = sequential.evaluate_population(&pop, EnvId::CartPole, 9);
-        let b = parallel.evaluate_population(&pop, EnvId::CartPole, 9);
+        let a = eval(&mut sequential, &pop, EnvId::CartPole, 9);
+        let b = eval(&mut parallel, &pop, EnvId::CartPole, 9);
         assert_eq!(a.fitnesses, b.fitnesses, "order and values preserved");
         assert_eq!(a.steps_per_genome, b.steps_per_genome);
-        assert!((a.eval_seconds - b.eval_seconds).abs() < 1e-12, "modeled time unchanged");
+        assert!(
+            (a.eval_seconds - b.eval_seconds).abs() < 1e-12,
+            "modeled time unchanged"
+        );
     }
 
     #[test]
@@ -419,5 +705,85 @@ mod tests {
         assert_eq!(BackendKind::Cpu.name(), "E3-CPU");
         assert_eq!(BackendKind::Gpu.name(), "E3-GPU");
         assert_eq!(BackendKind::Inax.name(), "E3-INAX");
+        assert_eq!(BackendKind::Inax.to_string(), "E3-INAX");
+    }
+
+    #[test]
+    fn backend_kind_round_trips_through_strings() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert_eq!("cpu".parse::<BackendKind>().unwrap(), BackendKind::Cpu);
+        assert_eq!("INAX".parse::<BackendKind>().unwrap(), BackendKind::Inax);
+        let err = "tpu".parse::<BackendKind>().unwrap_err();
+        assert!(err.to_string().contains("tpu"));
+    }
+
+    #[test]
+    fn builder_constructs_each_kind() {
+        for kind in BackendKind::ALL {
+            let backend = kind.builder().build();
+            assert_eq!(backend.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn builder_backends_match_direct_construction() {
+        let pop = genomes(EnvId::CartPole, 8);
+        let mut direct = CpuBackend::default();
+        let mut built = BackendKind::Cpu.builder().threads(2).build();
+        let a = eval(&mut direct, &pop, EnvId::CartPole, 5);
+        let b = eval(&mut built, &pop, EnvId::CartPole, 5);
+        assert_eq!(a.fitnesses, b.fitnesses);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_evaluates() {
+        let pop = genomes(EnvId::CartPole, 4);
+        let mut cpu = CpuBackend::default();
+        let a = cpu.evaluate_population(&pop, EnvId::CartPole, 7);
+        let b = eval(&mut cpu, &pop, EnvId::CartPole, 7);
+        assert_eq!(a.fitnesses, b.fitnesses);
+    }
+
+    /// Adds a recurrent self-loop on an output node, producing a
+    /// genome only `RecurrentNetwork` could execute.
+    fn make_cyclic(genome: &Genome) -> Genome {
+        use e3_neat::{InnovationTracker, NodeKind};
+        let mut cyclic = genome.clone();
+        let mut tracker = InnovationTracker::with_reserved_nodes(cyclic.nodes().len());
+        let output = cyclic
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Output)
+            .expect("genome has an output node")
+            .id;
+        cyclic
+            .add_connection_unchecked(output, output, 0.5, &mut tracker)
+            .expect("self-loop is structurally new");
+        cyclic
+    }
+
+    #[test]
+    fn recurrent_genome_reports_not_feed_forward() {
+        // Build a genome with a cycle: a feed-forward decode must fail
+        // with EvalError::NotFeedForward rather than panic.
+        let mut pop = genomes(EnvId::CartPole, 3);
+        pop[1] = make_cyclic(&pop[1]);
+        for kind in BackendKind::ALL {
+            let mut backend = kind.builder().build();
+            let err = backend
+                .try_evaluate_population(&pop, EnvId::CartPole, 7)
+                .expect_err("cyclic genome must be rejected");
+            match err {
+                EvalError::NotFeedForward { genome_index, .. } => {
+                    assert_eq!(
+                        genome_index, 1,
+                        "index points at the cyclic genome ({kind})"
+                    )
+                }
+            }
+        }
     }
 }

@@ -98,7 +98,10 @@ pub fn sweep_design_space(
     budget: &FpgaBudget,
 ) -> DesignSweep {
     assert!(!nets.is_empty(), "need a workload population");
-    assert!(!pu_options.is_empty() && !pe_options.is_empty(), "need sweep options");
+    assert!(
+        !pu_options.is_empty() && !pe_options.is_empty(),
+        "need sweep options"
+    );
     let mut points = Vec::with_capacity(pu_options.len() * pe_options.len());
     for &num_pu in pu_options {
         for &num_pe in pe_options {
@@ -167,7 +170,10 @@ mod tests {
         assert!(!frontier.is_empty());
         for pair in frontier.windows(2) {
             assert!(pair[1].total_cycles >= pair[0].total_cycles);
-            assert!(pair[1].resources.lut < pair[0].resources.lut, "frontier trades area for time");
+            assert!(
+                pair[1].resources.lut < pair[0].resources.lut,
+                "frontier trades area for time"
+            );
         }
     }
 

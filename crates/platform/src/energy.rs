@@ -26,7 +26,12 @@ pub struct PowerModel {
 impl Default for PowerModel {
     /// i7-class CPU, GTX-1080-class GPU, ZCU104-class FPGA.
     fn default() -> Self {
-        PowerModel { cpu_active_w: 45.0, cpu_idle_w: 8.0, gpu_active_w: 180.0, fpga_active_w: 5.0 }
+        PowerModel {
+            cpu_active_w: 45.0,
+            cpu_idle_w: 8.0,
+            gpu_active_w: 180.0,
+            fpga_active_w: 5.0,
+        }
     }
 }
 
@@ -108,6 +113,9 @@ mod tests {
         let inax = model.energy(BackendKind::Inax, &profile(0.1));
         let cpu = model.energy(BackendKind::Cpu, &profile(10.0));
         let reduction = 1.0 - inax.total() / cpu.total();
-        assert!(reduction > 0.8, "INAX energy reduction {reduction} (paper: 97%)");
+        assert!(
+            reduction > 0.8,
+            "INAX energy reduction {reduction} (paper: 97%)"
+        );
     }
 }

@@ -11,10 +11,10 @@
 //! * **Activation sparsity** (§VII future work): cycle savings an
 //!   activity-gated PE would realize on real activations.
 
+use e3_inax::pipeline::{analyze_double_buffering, BatchWork, PipelineReport};
 use e3_inax::quant::{output_error, FixedPointFormat};
 use e3_inax::sparsity::analyze_activation_sparsity;
 use e3_inax::synthetic::synthetic_population;
-use e3_inax::pipeline::{analyze_double_buffering, BatchWork, PipelineReport};
 use e3_inax::{schedule_inference, Dataflow, InaxConfig, PuSim};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -114,32 +114,38 @@ pub fn run() -> AblationResult {
         .collect();
 
     // Dataflow study.
-    let dataflows = [Dataflow::OutputStationary, Dataflow::WeightStationary, Dataflow::InputStationary]
-        .into_iter()
-        .map(|dataflow| {
-            let config = InaxConfig::builder().num_pe(4).dataflow(dataflow).build();
-            let (mut cycles, mut active, mut total) = (0u64, 0u64, 0u64);
-            for net in &nets {
-                let p = schedule_inference(&config, net);
-                cycles += p.wall_cycles;
-                active += p.pe_active_cycles;
-                total += p.pe_total_cycles;
+    let dataflows = [
+        Dataflow::OutputStationary,
+        Dataflow::WeightStationary,
+        Dataflow::InputStationary,
+    ]
+    .into_iter()
+    .map(|dataflow| {
+        let config = InaxConfig::builder().num_pe(4).dataflow(dataflow).build();
+        let (mut cycles, mut active, mut total) = (0u64, 0u64, 0u64);
+        for net in &nets {
+            let p = schedule_inference(&config, net);
+            cycles += p.wall_cycles;
+            active += p.pe_active_cycles;
+            total += p.pe_total_cycles;
+        }
+        let accumulator_slots_per_pe = match dataflow {
+            Dataflow::OutputStationary | Dataflow::WeightStationary => 1.0,
+            Dataflow::InputStationary => {
+                nets.iter()
+                    .map(|n| n.num_compute_nodes() as f64)
+                    .sum::<f64>()
+                    / nets.len() as f64
             }
-            let accumulator_slots_per_pe = match dataflow {
-                Dataflow::OutputStationary | Dataflow::WeightStationary => 1.0,
-                Dataflow::InputStationary => {
-                    nets.iter().map(|n| n.num_compute_nodes() as f64).sum::<f64>()
-                        / nets.len() as f64
-                }
-            };
-            DataflowRow {
-                dataflow,
-                mean_cycles: cycles as f64 / nets.len() as f64,
-                utilization: active as f64 / total as f64,
-                accumulator_slots_per_pe,
-            }
-        })
-        .collect();
+        };
+        DataflowRow {
+            dataflow,
+            mean_cycles: cycles as f64 / nets.len() as f64,
+            utilization: active as f64 / total as f64,
+            accumulator_slots_per_pe,
+        }
+    })
+    .collect();
 
     // Heuristic vs oracle PE sizing: oracle maximizes utilization-
     // weighted throughput (cycles × PEs = area-time product).
@@ -153,7 +159,10 @@ pub fn run() -> AblationResult {
             active += p.pe_active_cycles;
             total += p.pe_total_cycles;
         }
-        (cycles as f64 / nets.len() as f64, active as f64 / total as f64)
+        (
+            cycles as f64 / nets.len() as f64,
+            active as f64 / total as f64,
+        )
     };
     let (heuristic_cycles, heuristic_utilization) = measure(heuristic_pe);
     let (mut latency_oracle_pe, mut latency_oracle_cycles) = (1usize, f64::INFINITY);
@@ -178,17 +187,21 @@ pub fn run() -> AblationResult {
     };
 
     // Quantization accuracy.
-    let quantization = [FixedPointFormat::Q4_4, FixedPointFormat::Q8_8, FixedPointFormat::Q8_16]
-        .into_iter()
-        .map(|format| {
-            let mean_error = nets
-                .iter()
-                .map(|net| output_error(net, &probes, format))
-                .sum::<f64>()
-                / nets.len() as f64;
-            QuantRow { format, mean_error }
-        })
-        .collect();
+    let quantization = [
+        FixedPointFormat::Q4_4,
+        FixedPointFormat::Q8_8,
+        FixedPointFormat::Q8_16,
+    ]
+    .into_iter()
+    .map(|format| {
+        let mean_error = nets
+            .iter()
+            .map(|net| output_error(net, &probes, format))
+            .sum::<f64>()
+            / nets.len() as f64;
+        QuantRow { format, mean_error }
+    })
+    .collect();
 
     // Activation sparsity.
     let config = InaxConfig::builder().num_pe(4).build();
@@ -221,7 +234,10 @@ pub fn run() -> AblationResult {
                 setup = setup.max(pu.setup_cycles());
                 compute = compute.max(pu.inference_profile().wall_cycles * 100);
             }
-            BatchWork { setup_cycles: setup, compute_cycles: compute }
+            BatchWork {
+                setup_cycles: setup,
+                compute_cycles: compute,
+            }
         })
         .collect();
     let report = analyze_double_buffering(&batches);
@@ -230,7 +246,13 @@ pub fn run() -> AblationResult {
         extra_bram: PipelineReport::extra_bram(50),
     };
 
-    AblationResult { dataflows, pe_sizing, quantization, sparsity, double_buffering }
+    AblationResult {
+        dataflows,
+        pe_sizing,
+        quantization,
+        sparsity,
+        double_buffering,
+    }
 }
 
 impl fmt::Display for AblationResult {
@@ -298,7 +320,10 @@ mod tests {
             .iter()
             .find(|r| r.dataflow == Dataflow::WeightStationary)
             .unwrap();
-        assert!(os.mean_cycles < ws.mean_cycles, "paper §IV-E: WS wastes refetches");
+        assert!(
+            os.mean_cycles < ws.mean_cycles,
+            "paper §IV-E: WS wastes refetches"
+        );
         let is = result
             .dataflows
             .iter()

@@ -61,7 +61,10 @@ pub fn run_fig10a(fig9b: &Fig9bResult, power: &PowerModel) -> Fig10aResult {
                 power.energy(BackendKind::Gpu, &row.profiles[1]),
                 power.energy(BackendKind::Inax, &row.profiles[2]),
             ];
-            Fig10aRow { env: row.env, energy }
+            Fig10aRow {
+                env: row.env,
+                energy,
+            }
         })
         .collect();
     Fig10aResult { rows }
@@ -175,7 +178,11 @@ mod tests {
         let fig9b = run_fig9b_on(&[EnvId::CartPole], Scale::Quick, 5);
         let result = run_fig10a(&fig9b, &PowerModel::default());
         let row = &result.rows[0];
-        assert!(row.gpu_ratio() > 10.0, "GPU energy ratio {} (paper: 71x)", row.gpu_ratio());
+        assert!(
+            row.gpu_ratio() > 10.0,
+            "GPU energy ratio {} (paper: 71x)",
+            row.gpu_ratio()
+        );
         assert!(
             row.inax_reduction() > 0.8,
             "INAX reduction {} (paper: 97%)",
@@ -188,8 +195,14 @@ mod tests {
         let result = run_fig10b();
         assert_eq!(result.rows.len(), 2);
         let (a, b) = (&result.rows[0], &result.rows[1]);
-        assert!(a.utilization.0 < 1.0 && b.utilization.0 < 1.0, "both fit the device");
-        assert!(b.resources.lut > a.resources.lut, "E3_b uses more resources");
+        assert!(
+            a.utilization.0 < 1.0 && b.utilization.0 < 1.0,
+            "both fit the device"
+        );
+        assert!(
+            b.resources.lut > a.resources.lut,
+            "E3_b uses more resources"
+        );
         assert!(b.resources.dsp > a.resources.dsp);
     }
 }

@@ -7,10 +7,10 @@
 //! INAX; across PE counts INAX is 3–12.6× faster; over-provisioning
 //! INAX past the output-width heuristic buys nothing.
 
+use e3_envs::EnvId;
 use e3_inax::synthetic::synthetic_population;
 use e3_inax::{schedule_inference, InaxConfig};
 use e3_systolic::{DensePaddedNet, SystolicArray, SystolicConfig};
-use e3_envs::EnvId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -85,8 +85,10 @@ pub fn run() -> Fig11Result {
         .map(|num_pe| {
             let inax_config = InaxConfig::builder().num_pe(num_pe).build();
             let sa = SystolicArray::new(SystolicConfig::builder().num_pe(num_pe).build());
-            let inax_total: u64 =
-                nets.iter().map(|n| schedule_inference(&inax_config, n).wall_cycles).sum();
+            let inax_total: u64 = nets
+                .iter()
+                .map(|n| schedule_inference(&inax_config, n).wall_cycles)
+                .sum();
             let sa_total: u64 = padded.iter().map(|p| sa.inference_cycles(p)).sum();
             Fig11Point {
                 num_pe,
@@ -100,13 +102,23 @@ pub fn run() -> Fig11Result {
 
 impl fmt::Display for Fig11Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 11 — required HW cycles: INAX vs systolic array (SA)")?;
-        writeln!(f, "  {:>5} {:>12} {:>12} {:>9}", "#PE", "INAX", "SA", "speedup")?;
+        writeln!(
+            f,
+            "Fig. 11 — required HW cycles: INAX vs systolic array (SA)"
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:>12} {:>12} {:>9}",
+            "#PE", "INAX", "SA", "speedup"
+        )?;
         for p in &self.points {
             writeln!(
                 f,
                 "  {:>5} {:>12.1} {:>12.1} {:>8.1}x",
-                p.num_pe, p.inax_cycles, p.sa_cycles, p.speedup()
+                p.num_pe,
+                p.inax_cycles,
+                p.sa_cycles,
+                p.speedup()
             )?;
         }
         writeln!(
@@ -127,25 +139,47 @@ mod tests {
     fn inax_beats_sa_at_every_pe_count() {
         let result = run();
         for p in &result.points {
-            assert!(p.speedup() > 1.0, "{} PEs: speedup {}", p.num_pe, p.speedup());
+            assert!(
+                p.speedup() > 1.0,
+                "{} PEs: speedup {}",
+                p.num_pe,
+                p.speedup()
+            );
         }
     }
 
     #[test]
     fn speedup_range_matches_paper_class() {
         let result = run();
-        let max = result.points.iter().map(Fig11Point::speedup).fold(0.0, f64::max);
+        let max = result
+            .points
+            .iter()
+            .map(Fig11Point::speedup)
+            .fold(0.0, f64::max);
         let best_vs_best = result.best_vs_best_speedup();
         assert!(max > 3.0, "max speedup {max} (paper up to 12.6x)");
-        assert!(best_vs_best > 1.5, "best-vs-best {best_vs_best} (paper ~3x)");
+        assert!(
+            best_vs_best > 1.5,
+            "best-vs-best {best_vs_best} (paper ~3x)"
+        );
     }
 
     #[test]
     fn overprovisioning_inax_past_heuristic_buys_little() {
         // §VI-F: PEs beyond the output width only idle.
         let result = run();
-        let at_16 = result.points.iter().find(|p| p.num_pe == 16).unwrap().inax_cycles;
-        let at_64 = result.points.iter().find(|p| p.num_pe == 64).unwrap().inax_cycles;
+        let at_16 = result
+            .points
+            .iter()
+            .find(|p| p.num_pe == 16)
+            .unwrap()
+            .inax_cycles;
+        let at_64 = result
+            .points
+            .iter()
+            .find(|p| p.num_pe == 64)
+            .unwrap()
+            .inax_cycles;
         assert!(at_64 > 0.85 * at_16, "64 PEs ({at_64}) ≈ 16 PEs ({at_16})");
     }
 }

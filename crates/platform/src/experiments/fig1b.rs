@@ -8,8 +8,9 @@
 
 use crate::backend::BackendKind;
 use crate::experiments::Scale;
-use crate::platform::{E3Config, E3Platform, FunctionProfile};
+use crate::platform::{E3Config, E3Platform, FunctionProfile, RunError};
 use e3_envs::EnvId;
+use e3_telemetry::{Collector, MemoryCollector, NullCollector};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -52,20 +53,43 @@ impl Fig1bResult {
     }
 }
 
+/// Runs software-only NEAT on the chosen environments, forwarding
+/// every telemetry event to `collector`. The figure itself is
+/// assembled from the emitted `RunSummary` records.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a run or the collector fails.
+pub fn run_with(
+    envs: &[EnvId],
+    scale: Scale,
+    seed: u64,
+    collector: &mut dyn Collector,
+) -> Result<Fig1bResult, RunError> {
+    let mut rows = Vec::with_capacity(envs.len());
+    for &env in envs {
+        let config = E3Config::builder(env)
+            .population_size(scale.population())
+            .max_generations(scale.max_generations())
+            .build();
+        let mut capture = MemoryCollector::new();
+        E3Platform::new(config, BackendKind::Cpu, seed).run_with(&mut capture)?;
+        let summary = capture.summaries().last().expect("run emits a summary");
+        rows.push(Fig1bRow {
+            env,
+            profile: FunctionProfile::from_split(&summary.split),
+        });
+        for event in capture.events() {
+            collector.record(event)?;
+        }
+    }
+    collector.flush()?;
+    Ok(Fig1bResult { rows })
+}
+
 /// Runs software-only NEAT on the chosen environments.
 pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Fig1bResult {
-    let rows = envs
-        .iter()
-        .map(|&env| {
-            let config = E3Config::builder(env)
-                .population_size(scale.population())
-                .max_generations(scale.max_generations())
-                .build();
-            let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run();
-            Fig1bRow { env, profile: outcome.profile }
-        })
-        .collect();
-    Fig1bResult { rows }
+    run_with(envs, scale, seed, &mut NullCollector).expect("suite populations are feed-forward")
 }
 
 /// Runs the full suite.

@@ -37,8 +37,12 @@ pub enum Fig2Algo {
 
 impl Fig2Algo {
     /// All panels in paper order.
-    pub const ALL: [Fig2Algo; 4] =
-        [Fig2Algo::A2cSmall, Fig2Algo::Ppo2Small, Fig2Algo::Ppo2Large, Fig2Algo::Neat];
+    pub const ALL: [Fig2Algo; 4] = [
+        Fig2Algo::A2cSmall,
+        Fig2Algo::Ppo2Small,
+        Fig2Algo::Ppo2Large,
+        Fig2Algo::Neat,
+    ];
 
     /// Display label.
     pub fn name(self) -> &'static str {
@@ -103,14 +107,23 @@ fn rl_trace<F: FnMut(u64) -> f64>(
     let mut reached = false;
     for i in 1..=checkpoints {
         let reward = train_to(budget * i as u64 / checkpoints as u64);
-        let normalized = if reward.is_finite() { env.normalized_fitness(reward) } else { 0.0 };
+        let normalized = if reward.is_finite() {
+            env.normalized_fitness(reward)
+        } else {
+            0.0
+        };
         points.push((start.elapsed().as_secs_f64(), normalized));
         if normalized >= 1.0 {
             reached = true;
             break;
         }
     }
-    Fig2Trace { env, algo, points, reached_required: reached }
+    Fig2Trace {
+        env,
+        algo,
+        points,
+        reached_required: reached,
+    }
 }
 
 /// Runs one panel on one environment. The Large network trains on a
@@ -125,28 +138,41 @@ pub fn run_one(env: EnvId, algo: Fig2Algo, scale: Scale, seed: u64) -> Fig2Trace
     match algo {
         Fig2Algo::A2cSmall => {
             let mut agent = A2c::new(A2cConfig::new(env, NetworkSize::Small), seed);
-            rl_trace(env, algo, budget, 10, |target| agent.train_steps(target - agent.total_env_steps().min(target)))
+            rl_trace(env, algo, budget, 10, |target| {
+                agent.train_steps(target - agent.total_env_steps().min(target))
+            })
         }
         Fig2Algo::Ppo2Small => {
             let mut agent = Ppo::new(PpoConfig::new(env, NetworkSize::Small), seed);
-            rl_trace(env, algo, budget, 10, |target| agent.train_steps(target - agent.total_env_steps().min(target)))
+            rl_trace(env, algo, budget, 10, |target| {
+                agent.train_steps(target - agent.total_env_steps().min(target))
+            })
         }
         Fig2Algo::Ppo2Large => {
             let mut agent = Ppo::new(PpoConfig::new(env, NetworkSize::Large), seed);
-            rl_trace(env, algo, budget, 10, |target| agent.train_steps(target - agent.total_env_steps().min(target)))
+            rl_trace(env, algo, budget, 10, |target| {
+                agent.train_steps(target - agent.total_env_steps().min(target))
+            })
         }
         Fig2Algo::Neat => {
             let config = E3Config::builder(env)
                 .population_size(scale.population())
                 .max_generations(scale.max_generations())
                 .build();
-            let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run();
+            let outcome = E3Platform::new(config, BackendKind::Cpu, seed)
+                .run()
+                .expect("suite populations are feed-forward");
             let points = outcome
                 .trace
                 .iter()
                 .map(|&(t, fitness)| (t, env.normalized_fitness(fitness)))
                 .collect();
-            Fig2Trace { env, algo, points, reached_required: outcome.solved }
+            Fig2Trace {
+                env,
+                algo,
+                points,
+                reached_required: outcome.solved,
+            }
         }
     }
 }
@@ -199,7 +225,11 @@ mod tests {
     fn neat_solves_cartpole_where_traces_are_recorded() {
         let trace = run_one(EnvId::CartPole, Fig2Algo::Neat, Scale::Quick, 21);
         assert!(!trace.points.is_empty());
-        assert!(trace.best() > 0.5, "NEAT quick trace reaches {}", trace.best());
+        assert!(
+            trace.best() > 0.5,
+            "NEAT quick trace reaches {}",
+            trace.best()
+        );
     }
 
     #[test]

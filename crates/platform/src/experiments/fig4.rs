@@ -46,7 +46,9 @@ pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Fig4Result {
             .max_generations(scale.max_generations())
             .target_fitness(f64::INFINITY) // run all generations: the trace is the point
             .build();
-        let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, seed)
+            .run()
+            .expect("suite populations are feed-forward");
         let stats = outcome.complexity;
         for (value, count) in stats.degree_histogram().buckets() {
             for _ in 0..count {
@@ -58,9 +60,16 @@ pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Fig4Result {
                 layer_histogram.record(value);
             }
         }
-        density.push(DensityTrace { env, trace: stats.density_trace().to_vec() });
+        density.push(DensityTrace {
+            env,
+            trace: stats.density_trace().to_vec(),
+        });
     }
-    Fig4Result { degree_histogram, layer_histogram, density }
+    Fig4Result {
+        degree_histogram,
+        layer_histogram,
+        density,
+    }
 }
 
 /// Runs the full suite.
@@ -116,7 +125,10 @@ mod tests {
         let result = run_on(&[EnvId::CartPole], Scale::Quick, 13);
         // Variable in-degree: more than one distinct degree observed.
         let distinct_degrees = result.degree_histogram.buckets().count();
-        assert!(distinct_degrees > 1, "evolved nets must have degree variance");
+        assert!(
+            distinct_degrees > 1,
+            "evolved nets must have degree variance"
+        );
         // Density trace exists and stays positive.
         assert!(!result.density.is_empty());
         for d in &result.density {

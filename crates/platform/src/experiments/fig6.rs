@@ -41,8 +41,7 @@ impl Fig6Panel {
         };
         let u = self.points[idx].utilization;
         let left_ok = idx == 0 || self.points[idx - 1].utilization <= u + 1e-12;
-        let right_ok =
-            idx + 1 >= self.points.len() || self.points[idx + 1].utilization < u + 1e-12;
+        let right_ok = idx + 1 >= self.points.len() || self.points[idx + 1].utilization < u + 1e-12;
         left_ok && right_ok
     }
 }
@@ -85,7 +84,10 @@ pub fn run() -> Fig6Result {
                     }
                 })
                 .collect();
-            Fig6Panel { num_outputs: k, points }
+            Fig6Panel {
+                num_outputs: k,
+                points,
+            }
         })
         .collect();
     Fig6Result { panels }
@@ -121,8 +123,14 @@ mod tests {
         for panel in &result.panels {
             let first = &panel.points[0];
             let last = panel.points.last().unwrap();
-            assert!(last.mean_cycles < first.mean_cycles, "more PEs must reduce runtime");
-            assert!(last.utilization < first.utilization, "more PEs must idle more");
+            assert!(
+                last.mean_cycles < first.mean_cycles,
+                "more PEs must reduce runtime"
+            );
+            assert!(
+                last.utilization < first.utilization,
+                "more PEs must idle more"
+            );
             for p in &panel.points {
                 assert!(p.utilization > 0.0 && p.utilization <= 1.0);
             }

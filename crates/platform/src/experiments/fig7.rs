@@ -36,7 +36,10 @@ pub struct Fig7Panel {
 impl Fig7Panel {
     /// Utilization at a PU count, if swept.
     pub fn utilization_at(&self, num_pu: usize) -> Option<f64> {
-        self.points.iter().find(|p| p.num_pu == num_pu).map(|p| p.utilization)
+        self.points
+            .iter()
+            .find(|p| p.num_pu == num_pu)
+            .map(|p| p.utilization)
     }
 }
 
@@ -65,15 +68,24 @@ pub fn run() -> Fig7Result {
                 steps: 100,
             };
             let episodes: Vec<EpisodeWork> = vec![work; p];
-            let sweep: Vec<usize> = (1..=p).filter(|n| n % 2 == 1 || n % 10 == 0 || p % n == 0).collect();
+            let sweep: Vec<usize> = (1..=p)
+                .filter(|n| n % 2 == 1 || n % 10 == 0 || p % n == 0)
+                .collect();
             let points = sweep
                 .into_iter()
                 .map(|num_pu| {
                     let (total_cycles, util) = analyze_pu_parallelism(num_pu, &episodes);
-                    Fig7Point { num_pu, total_cycles, utilization: util.rate() }
+                    Fig7Point {
+                        num_pu,
+                        total_cycles,
+                        utilization: util.rate(),
+                    }
                 })
                 .collect();
-            Fig7Panel { num_individuals: p, points }
+            Fig7Panel {
+                num_individuals: p,
+                points,
+            }
         })
         .collect();
     Fig7Result { panels }
@@ -130,10 +142,16 @@ mod tests {
     fn full_parallelism_minimizes_runtime() {
         let result = run();
         for panel in &result.panels {
-            let full = panel.points.iter().find(|pt| pt.num_pu == panel.num_individuals);
+            let full = panel
+                .points
+                .iter()
+                .find(|pt| pt.num_pu == panel.num_individuals);
             let serial = panel.points.iter().find(|pt| pt.num_pu == 1);
             let (full, serial) = (full.expect("swept"), serial.expect("swept"));
-            assert!(full.total_cycles < serial.total_cycles / 50, "huge parallel win");
+            assert!(
+                full.total_cycles < serial.total_cycles / 50,
+                "huge parallel win"
+            );
         }
     }
 }

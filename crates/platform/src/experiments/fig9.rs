@@ -10,10 +10,11 @@
 
 use crate::backend::BackendKind;
 use crate::experiments::Scale;
-use crate::platform::{E3Config, E3Platform, FunctionProfile};
+use crate::platform::{E3Config, E3Platform, FunctionProfile, RunError};
 use e3_envs::EnvId;
 use e3_inax::synthetic::synthetic_population;
 use e3_inax::{InaxAccelerator, InaxConfig};
+use e3_telemetry::{Collector, MemoryCollector, NullCollector, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -42,37 +43,68 @@ pub struct Fig9aResult {
 /// nodes swept, evaluated for 100 steps on the default 1-PU/1-PE
 /// configuration (paper footnote 3).
 pub fn run_fig9a() -> Fig9aResult {
-    let points = [5usize, 10, 20, 30, 40, 60]
-        .into_iter()
-        .map(|hidden| {
-            let config = InaxConfig::default();
-            let nets = synthetic_population(8, 8, 4, hidden, 0.2, 31 + hidden as u64);
-            let mut acc = InaxAccelerator::new(config);
-            for net in nets {
-                acc.load_batch(vec![net.clone()]);
-                let inputs = vec![Some(vec![0.25; 8]); 1];
-                for _ in 0..100 {
-                    let _ = acc.step(&inputs);
-                }
-                acc.unload_batch();
+    run_fig9a_with(&mut NullCollector).expect("null collector cannot fail")
+}
+
+/// Runs Fig. 9(a), emitting one telemetry `EvalRecord` per sweep point
+/// (synthetic workload: fitness fields are zero, the interesting part
+/// is the accelerator counters).
+///
+/// # Errors
+///
+/// Returns [`RunError::Telemetry`] if the collector rejects a record.
+pub fn run_fig9a_with(collector: &mut dyn Collector) -> Result<Fig9aResult, RunError> {
+    let mut points = Vec::new();
+    for (index, hidden) in [5usize, 10, 20, 30, 40, 60].into_iter().enumerate() {
+        let config = InaxConfig::default();
+        let nets = synthetic_population(8, 8, 4, hidden, 0.2, 31 + hidden as u64);
+        let population = nets.len();
+        let mut acc = InaxAccelerator::new(config);
+        for net in nets {
+            acc.load_batch(vec![net.clone()]);
+            let inputs = vec![Some(vec![0.25; 8]); 1];
+            for _ in 0..100 {
+                let _ = acc.step(&inputs);
             }
-            let report = acc.report();
-            let (setup, active, control) = report.breakdown.fractions();
-            Fig9aPoint {
-                hidden_nodes: hidden,
-                setup_fraction: setup,
-                pe_active_fraction: active,
-                control_fraction: control,
-            }
-        })
-        .collect();
-    Fig9aResult { points }
+            acc.unload_batch();
+        }
+        let report = acc.report();
+        collector
+            .record(&e3_telemetry::TelemetryEvent::Eval(
+                e3_telemetry::EvalRecord {
+                    generation: index,
+                    backend: BackendKind::Inax.name().to_string(),
+                    env: format!("synthetic_h{hidden}"),
+                    population,
+                    eval_seconds: acc.config().cycles_to_seconds(report.total_cycles),
+                    env_seconds: 0.0,
+                    total_steps: report.steps,
+                    best_fitness: 0.0,
+                    mean_fitness: 0.0,
+                    hw: Some((&report).into()),
+                },
+            ))
+            .map_err(RunError::from)?;
+        let (setup, active, control) = report.breakdown.fractions();
+        points.push(Fig9aPoint {
+            hidden_nodes: hidden,
+            setup_fraction: setup,
+            pe_active_fraction: active,
+            control_fraction: control,
+        });
+    }
+    collector.flush()?;
+    Ok(Fig9aResult { points })
 }
 
 impl fmt::Display for Fig9aResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 9(a) — INAX runtime breakdown vs hidden nodes")?;
-        writeln!(f, "  {:>7} {:>8} {:>10} {:>10}", "hidden", "setup", "PE-active", "control")?;
+        writeln!(
+            f,
+            "  {:>7} {:>8} {:>10} {:>10}",
+            "hidden", "setup", "PE-active", "control"
+        )?;
         for p in &self.points {
             writeln!(
                 f,
@@ -140,28 +172,69 @@ pub fn run_fig9b(scale: Scale, seed: u64) -> Fig9bResult {
 
 /// Runs the comparison on a chosen subset of environments.
 pub fn run_fig9b_on(envs: &[EnvId], scale: Scale, seed: u64) -> Fig9bResult {
-    let rows = envs
-        .iter()
-        .map(|&env| {
-            let mut runtime = [0.0f64; 3];
-            let mut profiles = [FunctionProfile::default(); 3];
-            let mut generations = 0;
-            let mut best = f64::NEG_INFINITY;
-            for (i, kind) in BackendKind::ALL.into_iter().enumerate() {
-                let config = E3Config::builder(env)
-                    .population_size(scale.population())
-                    .max_generations(scale.max_generations())
-                    .build();
-                let outcome = E3Platform::new(config, kind, seed).run();
-                runtime[i] = outcome.modeled_seconds;
-                profiles[i] = outcome.profile;
-                generations = outcome.generations_run;
-                best = best.max(outcome.best_fitness);
+    run_fig9b_with(envs, scale, seed, &mut NullCollector)
+        .expect("suite populations are feed-forward")
+}
+
+/// Runs the comparison, forwarding every telemetry event of every run
+/// to `collector`. Forwarded `RunSummary` records carry
+/// `speedup_vs_cpu` (the CPU backend runs first, so its runtime is
+/// known when the GPU/INAX summaries are re-emitted); the figure rows
+/// themselves are assembled from those summaries.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a run or the collector fails.
+pub fn run_fig9b_with(
+    envs: &[EnvId],
+    scale: Scale,
+    seed: u64,
+    collector: &mut dyn Collector,
+) -> Result<Fig9bResult, RunError> {
+    let mut rows = Vec::with_capacity(envs.len());
+    for &env in envs {
+        let mut runtime = [0.0f64; 3];
+        let mut profiles = [FunctionProfile::default(); 3];
+        let mut generations = 0;
+        let mut best = f64::NEG_INFINITY;
+        let mut cpu_runtime = None;
+        for (i, kind) in BackendKind::ALL.into_iter().enumerate() {
+            let config = E3Config::builder(env)
+                .population_size(scale.population())
+                .max_generations(scale.max_generations())
+                .build();
+            let mut capture = MemoryCollector::new();
+            E3Platform::new(config, kind, seed).run_with(&mut capture)?;
+            let summary = capture.summaries().last().expect("run emits a summary");
+            runtime[i] = summary.modeled_seconds;
+            profiles[i] = FunctionProfile::from_split(&summary.split);
+            generations = summary.generations;
+            best = best.max(summary.best_fitness);
+            if kind == BackendKind::Cpu {
+                cpu_runtime = Some(summary.modeled_seconds);
             }
-            Fig9bRow { env, runtime_seconds: runtime, profiles, generations, best_fitness: best }
-        })
-        .collect();
-    Fig9bResult { rows }
+            for event in capture.events() {
+                match event {
+                    TelemetryEvent::Summary(summary) => {
+                        let mut summary = summary.clone();
+                        summary.speedup_vs_cpu =
+                            cpu_runtime.map(|cpu| cpu / summary.modeled_seconds);
+                        collector.record(&TelemetryEvent::Summary(summary))?;
+                    }
+                    other => collector.record(other)?,
+                }
+            }
+        }
+        rows.push(Fig9bRow {
+            env,
+            runtime_seconds: runtime,
+            profiles,
+            generations,
+            best_fitness: best,
+        });
+    }
+    collector.flush()?;
+    Ok(Fig9bResult { rows })
 }
 
 impl fmt::Display for Fig9bResult {
@@ -184,7 +257,11 @@ impl fmt::Display for Fig9bResult {
                 row.generations
             )?;
         }
-        writeln!(f, "  mean INAX speedup: {:.1}x (paper: ~30x)", self.mean_inax_speedup())?;
+        writeln!(
+            f,
+            "  mean INAX speedup: {:.1}x (paper: ~30x)",
+            self.mean_inax_speedup()
+        )?;
         writeln!(f)?;
         writeln!(f, "Fig. 9(c) — normalized runtime and function breakdown")?;
         for row in &self.rows {
@@ -195,7 +272,9 @@ impl fmt::Display for Fig9bResult {
                 let entries: Vec<String> = profile
                     .entries()
                     .iter()
-                    .map(|(name, s)| format!("{name} {}", crate::experiments::pct(s / profile.total())))
+                    .map(|(name, s)| {
+                        format!("{name} {}", crate::experiments::pct(s / profile.total()))
+                    })
                     .collect();
                 writeln!(
                     f,
@@ -208,7 +287,10 @@ impl fmt::Display for Fig9bResult {
             }
         }
         writeln!(f)?;
-        writeln!(f, "Fig. 9(d) — E3-INAX timing profile (balanced vs Fig. 1(b))")?;
+        writeln!(
+            f,
+            "Fig. 9(d) — E3-INAX timing profile (balanced vs Fig. 1(b))"
+        )?;
         for row in &self.rows {
             let p = &row.profiles[2];
             writeln!(
@@ -249,7 +331,12 @@ mod tests {
     fn fig9b_quick_shape_holds_on_two_envs() {
         let result = run_fig9b_on(&[EnvId::CartPole, EnvId::MountainCar], Scale::Quick, 3);
         for row in &result.rows {
-            assert!(row.inax_speedup() > 2.0, "{}: speedup {}", row.env, row.inax_speedup());
+            assert!(
+                row.inax_speedup() > 2.0,
+                "{}: speedup {}",
+                row.env,
+                row.inax_speedup()
+            );
             assert!(row.gpu_slowdown() > 1.0, "{}: GPU must be slower", row.env);
             // Fig. 9(d): the INAX profile is balanced — evaluate no
             // longer dominates.

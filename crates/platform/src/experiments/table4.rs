@@ -32,7 +32,11 @@ pub struct Table4Result {
 /// evolved network complexity.
 pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Table4Result {
     // RL / EA columns: suite-average over per-env Small networks.
-    let mut rl_acc = AlgorithmOverhead { ops_forward: 0, ops_backward: 0, local_memory_bytes: 0 };
+    let mut rl_acc = AlgorithmOverhead {
+        ops_forward: 0,
+        ops_backward: 0,
+        local_memory_bytes: 0,
+    };
     let mut ea_acc = rl_acc;
     let mut nodes_sum = 0.0;
     let mut conns_sum = 0.0;
@@ -58,7 +62,9 @@ pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Table4Result {
             .population_size(scale.population())
             .max_generations(scale.max_generations())
             .build();
-        let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, seed)
+            .run()
+            .expect("suite populations are feed-forward");
         nodes_sum += outcome.complexity.avg_nodes();
         conns_sum += outcome.complexity.avg_connections();
     }
@@ -87,7 +93,10 @@ pub fn run(scale: Scale, seed: u64) -> Table4Result {
 
 impl fmt::Display for Table4Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table IV — analysis of overhead in algorithms (suite average)")?;
+        writeln!(
+            f,
+            "Table IV — analysis of overhead in algorithms (suite average)"
+        )?;
         writeln!(
             f,
             "  {:<14} {:>12} {:>12} {:>14}",

@@ -52,7 +52,9 @@ pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Table5Result {
                 .population_size(scale.population())
                 .max_generations(scale.max_generations())
                 .build();
-            let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run();
+            let outcome = E3Platform::new(config, BackendKind::Cpu, seed)
+                .run()
+                .expect("suite populations are feed-forward");
             Table5Row {
                 env,
                 small: mlp_complexity(env, NetworkSize::Small),
@@ -105,7 +107,11 @@ mod tests {
         for row in &result.rows {
             assert!(row.small.connections as f64 > 20.0 * row.neat_avg_connections);
             assert!(row.large.connections > 200 * row.small.connections / 10);
-            assert!(row.neat_avg_nodes < 60.0, "NEAT stays tiny: {}", row.neat_avg_nodes);
+            assert!(
+                row.neat_avg_nodes < 60.0,
+                "NEAT stays tiny: {}",
+                row.neat_avg_nodes
+            );
         }
     }
 

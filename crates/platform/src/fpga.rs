@@ -54,7 +54,12 @@ pub struct FpgaBudget {
 impl FpgaBudget {
     /// The ZCU104's XCZU7EV device.
     pub fn zcu104() -> Self {
-        FpgaBudget { lut: 230_400, ff: 460_800, dsp: 1_728, bram: 312 }
+        FpgaBudget {
+            lut: 230_400,
+            ff: 460_800,
+            dsp: 1_728,
+            bram: 312,
+        }
     }
 
     /// Utilization fractions `(lut, ff, dsp, bram)` of a design on this

@@ -33,11 +33,21 @@
 //!     .population_size(30)
 //!     .max_generations(3)
 //!     .build();
-//! let mut platform = E3Platform::new(config, BackendKind::Inax, 42);
-//! let outcome = platform.run();
+//! let platform = E3Platform::new(config, BackendKind::Inax, 42);
+//! let outcome = platform.run().unwrap();
 //! assert!(outcome.generations_run >= 1);
 //! assert!(outcome.modeled_seconds > 0.0);
 //! ```
+//!
+//! ## Telemetry
+//!
+//! The loop is instrumented with [`telemetry`] (re-export of
+//! `e3-telemetry`): pass any `Collector` to
+//! [`E3Platform::run_with`] to capture per-evaluation,
+//! per-generation, and per-run records, in memory or as NDJSON.
+//! Evaluation is fallible — a malformed (non-feed-forward) genome
+//! surfaces as [`EvalError::NotFeedForward`] through
+//! [`platform::RunError`] instead of a panic.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -50,9 +60,13 @@ pub mod fpga;
 pub mod platform;
 pub mod timing;
 
-pub use backend::{BackendKind, CpuBackend, EvalBackend, EvalOutcome, GpuBackend, InaxBackend};
+pub use backend::{
+    AnyBackend, BackendBuilder, BackendKind, CpuBackend, EvalBackend, EvalError, EvalOutcome,
+    GpuBackend, InaxBackend, ParseBackendKindError,
+};
 pub use design_space::{sweep_design_space, DesignPoint, DesignSweep};
+pub use e3_telemetry as telemetry;
 pub use energy::{EnergyReport, PowerModel};
 pub use fpga::{FpgaBudget, FpgaResources};
-pub use platform::{E3Config, E3ConfigBuilder, E3Platform, FunctionProfile, RunOutcome};
+pub use platform::{E3Config, E3ConfigBuilder, E3Platform, FunctionProfile, RunError, RunOutcome};
 pub use timing::{GpuCostModel, SwCostModel};

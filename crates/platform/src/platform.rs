@@ -1,13 +1,66 @@
 //! The E3 platform: the closed evolve/evaluate loop (paper Fig. 1(a)
 //! and Fig. 5) with per-function timing.
+//!
+//! The loop is instrumented with `e3-telemetry`: every population
+//! evaluation emits an `EvalRecord`, every completed generation a
+//! `GenerationRecord`, and every finished run a `RunSummary`. Install
+//! a collector with [`E3Platform::run_with`] /
+//! [`E3Platform::step_with`]; the collector is strictly write-only, so
+//! results are bit-identical whichever sink is attached (see the
+//! property tests in `tests/telemetry_parity.rs`).
 
-use crate::backend::{BackendKind, CpuBackend, EvalBackend, EvalOutcome, GpuBackend, InaxBackend};
+use crate::backend::{AnyBackend, BackendKind, EvalBackend, EvalError};
+use crate::energy::PowerModel;
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::EnvId;
 use e3_inax::{EpisodeRunReport, InaxConfig};
 use e3_neat::stats::ComplexityStats;
 use e3_neat::{NeatConfig, Population};
+use e3_telemetry::{
+    Collector, EvalRecord, FunctionSplit, GenerationRecord, HwCounters, NullCollector, RunSummary,
+    TelemetryError, TelemetryEvent,
+};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by an E3 run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The evaluation backend rejected the population.
+    Eval(EvalError),
+    /// The installed telemetry collector failed to accept a record.
+    Telemetry(TelemetryError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Eval(err) => write!(f, "evaluation failed: {err}"),
+            RunError::Telemetry(err) => write!(f, "telemetry failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Eval(err) => Some(err),
+            RunError::Telemetry(err) => Some(err),
+        }
+    }
+}
+
+impl From<EvalError> for RunError {
+    fn from(err: EvalError) -> Self {
+        RunError::Eval(err)
+    }
+}
+
+impl From<TelemetryError> for RunError {
+    fn from(err: TelemetryError) -> Self {
+        RunError::Telemetry(err)
+    }
+}
 
 /// Modeled seconds per NEAT function (the categories of paper
 /// Fig. 1(b) and Fig. 9(d)).
@@ -62,6 +115,37 @@ impl FunctionProfile {
             ("crossover", self.crossover),
             ("speciate", self.speciate),
         ]
+    }
+
+    /// This profile as a telemetry [`FunctionSplit`].
+    pub fn to_split(&self) -> FunctionSplit {
+        FunctionSplit {
+            evaluate: self.evaluate,
+            env: self.env,
+            createnet: self.createnet,
+            mutate: self.mutate,
+            crossover: self.crossover,
+            speciate: self.speciate,
+        }
+    }
+
+    /// Rebuilds a profile from a telemetry [`FunctionSplit`] (the
+    /// inverse of [`FunctionProfile::to_split`]).
+    pub fn from_split(split: &FunctionSplit) -> Self {
+        FunctionProfile {
+            evaluate: split.evaluate,
+            env: split.env,
+            createnet: split.createnet,
+            mutate: split.mutate,
+            crossover: split.crossover,
+            speciate: split.speciate,
+        }
+    }
+}
+
+impl From<&FunctionProfile> for FunctionSplit {
+    fn from(profile: &FunctionProfile) -> Self {
+        profile.to_split()
     }
 }
 
@@ -156,8 +240,16 @@ impl E3ConfigBuilder {
     /// environment.
     pub fn build(self) -> E3Config {
         let c = self.config;
-        assert_eq!(c.neat.num_inputs, c.env.observation_size(), "NEAT inputs must match env");
-        assert_eq!(c.neat.num_outputs, c.env.policy_outputs(), "NEAT outputs must match env");
+        assert_eq!(
+            c.neat.num_inputs,
+            c.env.observation_size(),
+            "NEAT inputs must match env"
+        );
+        assert_eq!(
+            c.neat.num_outputs,
+            c.env.policy_outputs(),
+            "NEAT outputs must match env"
+        );
         assert!(c.max_generations > 0, "need at least one generation");
         c
     }
@@ -199,56 +291,31 @@ pub struct RunOutcome {
 ///     .population_size(20)
 ///     .max_generations(2)
 ///     .build();
-/// let outcome = E3Platform::new(config, BackendKind::Cpu, 1).run();
+/// let outcome = E3Platform::new(config, BackendKind::Cpu, 1).run().unwrap();
 /// assert_eq!(outcome.trace.len(), outcome.generations_run);
 /// ```
 #[derive(Debug)]
 pub struct E3Platform {
     config: E3Config,
-    backend: Backend,
+    backend: AnyBackend,
     population: Population,
     profile: FunctionProfile,
     complexity: ComplexityStats,
     hw_report: Option<EpisodeRunReport>,
     trace: Vec<(f64, f64)>,
     episode_seed: u64,
-}
-
-/// Concrete backend dispatch (avoids `Box<dyn>` so the platform stays
-/// `Debug` and cheap to construct in sweeps).
-#[derive(Debug)]
-enum Backend {
-    Cpu(CpuBackend),
-    Gpu(GpuBackend),
-    Inax(InaxBackend),
-}
-
-impl Backend {
-    fn kind(&self) -> BackendKind {
-        match self {
-            Backend::Cpu(_) => BackendKind::Cpu,
-            Backend::Gpu(_) => BackendKind::Gpu,
-            Backend::Inax(_) => BackendKind::Inax,
-        }
-    }
-
-    fn evaluate(&mut self, genomes: &[e3_neat::Genome], env: EnvId, seed: u64) -> EvalOutcome {
-        match self {
-            Backend::Cpu(b) => b.evaluate_population(genomes, env, seed),
-            Backend::Gpu(b) => b.evaluate_population(genomes, env, seed),
-            Backend::Inax(b) => b.evaluate_population(genomes, env, seed),
-        }
-    }
+    generation: usize,
 }
 
 impl E3Platform {
     /// Creates a platform with the chosen backend and seed.
     pub fn new(config: E3Config, backend: BackendKind, seed: u64) -> Self {
-        let backend = match backend {
-            BackendKind::Cpu => Backend::Cpu(CpuBackend::new(config.sw)),
-            BackendKind::Gpu => Backend::Gpu(GpuBackend::new(config.sw, config.gpu)),
-            BackendKind::Inax => Backend::Inax(InaxBackend::new(config.inax.clone(), config.sw)),
-        };
+        let backend = backend
+            .builder()
+            .sw(config.sw)
+            .gpu(config.gpu)
+            .inax(config.inax.clone())
+            .build();
         let population = Population::new(config.neat.clone(), seed);
         E3Platform {
             config,
@@ -259,6 +326,7 @@ impl E3Platform {
             hw_report: None,
             trace: Vec::new(),
             episode_seed: seed.wrapping_add(1000),
+            generation: 0,
         }
     }
 
@@ -278,8 +346,27 @@ impl E3Platform {
     }
 
     /// Executes one evaluate + evolve cycle; returns the best fitness
-    /// of the evaluated generation.
-    pub fn step_generation(&mut self) -> f64 {
+    /// of the evaluated generation. Telemetry is discarded; see
+    /// [`E3Platform::step_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Eval`] if the backend rejects the
+    /// population.
+    pub fn step_generation(&mut self) -> Result<f64, RunError> {
+        self.step_with(&mut NullCollector)
+    }
+
+    /// Executes one evaluate + evolve cycle, reporting telemetry to
+    /// `collector`; returns the best fitness of the evaluated
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Eval`] if the backend rejects the
+    /// population and [`RunError::Telemetry`] if the collector rejects
+    /// a record.
+    pub fn step_with(&mut self, collector: &mut dyn Collector) -> Result<f64, RunError> {
         // --- Evaluate phase (CreateNet + inference + env). ---
         let genomes = self.population.genomes().to_vec();
         self.complexity.record_generation(&genomes);
@@ -295,7 +382,8 @@ impl E3Platform {
         // start states — important for flat-reward tasks like
         // MountainCar where a single fixed condition stalls progress.
         let outcome =
-            self.backend.evaluate(&genomes, self.config.env, self.episode_seed);
+            self.backend
+                .try_evaluate_population(&genomes, self.config.env, self.episode_seed)?;
         self.episode_seed = self.episode_seed.wrapping_add(1);
         self.profile.evaluate += outcome.eval_seconds;
         self.profile.env += outcome.env_seconds;
@@ -319,36 +407,100 @@ impl E3Platform {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
+        let mean = if outcome.fitnesses.is_empty() {
+            0.0
+        } else {
+            outcome.fitnesses.iter().sum::<f64>() / outcome.fitnesses.len() as f64
+        };
+        collector.record(&TelemetryEvent::Eval(EvalRecord {
+            generation: self.generation,
+            backend: self.backend.kind().name().to_string(),
+            env: self.config.env.name().to_string(),
+            population: genomes.len(),
+            eval_seconds: outcome.eval_seconds,
+            env_seconds: outcome.env_seconds,
+            total_steps: outcome.total_steps,
+            best_fitness: best,
+            mean_fitness: mean,
+            hw: outcome.hw_report.as_ref().map(HwCounters::from),
+        }))?;
         self.population.assign_fitnesses(outcome.fitnesses);
         let best_ever = self.population.best().map_or(best, |b| b.fitness);
         self.trace.push((self.profile.total(), best_ever));
 
         // --- Evolve phase (modeled costs; the actual work runs too). ---
         let pop = self.config.neat.population_size as f64;
-        let species = self.population.species().len().max(1) as f64;
+        let species_count = self.population.species().len();
+        let species = species_count.max(1) as f64;
         self.profile.speciate += pop * species * self.config.sw.sec_speciate_per_comparison;
         self.profile.mutate += pop * self.config.sw.sec_mutate_per_genome;
         self.profile.crossover +=
             pop * self.config.neat.crossover_rate * self.config.sw.sec_crossover_per_child;
         self.population.evolve();
-        best
+        collector.record(&TelemetryEvent::Generation(GenerationRecord {
+            generation: self.generation,
+            backend: self.backend.kind().name().to_string(),
+            env: self.config.env.name().to_string(),
+            best_fitness: best_ever,
+            mean_fitness: mean,
+            species: species_count,
+            modeled_seconds: self.profile.total(),
+            split: self.profile.to_split(),
+        }))?;
+        self.generation += 1;
+        Ok(best)
     }
 
     /// Runs until the target fitness is reached or the generation cap
-    /// hits, returning the outcome.
-    pub fn run(mut self) -> RunOutcome {
+    /// hits, returning the outcome. Telemetry is discarded; see
+    /// [`E3Platform::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Eval`] if the backend rejects a population.
+    pub fn run(self) -> Result<RunOutcome, RunError> {
+        self.run_with(&mut NullCollector)
+    }
+
+    /// Runs until the target fitness is reached or the generation cap
+    /// hits, reporting telemetry (per-eval, per-generation, and a
+    /// final [`RunSummary`]) to `collector`, which is flushed before
+    /// returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Eval`] if the backend rejects a population
+    /// and [`RunError::Telemetry`] if the collector rejects a record.
+    pub fn run_with(mut self, collector: &mut dyn Collector) -> Result<RunOutcome, RunError> {
         let mut solved = false;
         let mut generations_run = 0;
         for _ in 0..self.config.max_generations {
-            let best = self.step_generation();
+            let best = self.step_with(collector)?;
             generations_run += 1;
             if best >= self.config.target_fitness {
                 solved = true;
                 break;
             }
         }
-        let best_fitness = self.population.best().map_or(f64::NEG_INFINITY, |b| b.fitness);
-        RunOutcome {
+        let best_fitness = self
+            .population
+            .best()
+            .map_or(f64::NEG_INFINITY, |b| b.fitness);
+        let kind = self.backend.kind();
+        let energy = PowerModel::default().energy(kind, &self.profile);
+        collector.record(&TelemetryEvent::Summary(RunSummary {
+            backend: kind.name().to_string(),
+            env: self.config.env.name().to_string(),
+            generations: generations_run,
+            solved,
+            best_fitness,
+            modeled_seconds: self.profile.total(),
+            speedup_vs_cpu: None,
+            energy_joules: Some(energy.total()),
+            split: self.profile.to_split(),
+        }))?;
+        collector.flush()?;
+        Ok(RunOutcome {
             solved,
             generations_run,
             best_fitness,
@@ -357,7 +509,7 @@ impl E3Platform {
             trace: self.trace,
             hw_report: self.hw_report,
             complexity: self.complexity,
-        }
+        })
     }
 }
 
@@ -366,12 +518,17 @@ mod tests {
     use super::*;
 
     fn small(env: EnvId) -> E3Config {
-        E3Config::builder(env).population_size(20).max_generations(3).build()
+        E3Config::builder(env)
+            .population_size(20)
+            .max_generations(3)
+            .build()
     }
 
     #[test]
     fn run_produces_trace_and_profile() {
-        let outcome = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 5).run();
+        let outcome = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 5)
+            .run()
+            .unwrap();
         assert!(outcome.generations_run >= 1);
         assert_eq!(outcome.trace.len(), outcome.generations_run);
         assert!(outcome.profile.evaluate > 0.0);
@@ -387,7 +544,7 @@ mod tests {
             .max_generations(5)
             .target_fitness(f64::INFINITY)
             .build();
-        let outcome = E3Platform::new(config, BackendKind::Cpu, 3).run();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, 3).run().unwrap();
         for pair in outcome.trace.windows(2) {
             assert!(pair[1].0 > pair[0].0, "runtime accumulates");
             assert!(pair[1].1 >= pair[0].1, "best-so-far never drops");
@@ -401,7 +558,7 @@ mod tests {
             .max_generations(4)
             .target_fitness(f64::INFINITY)
             .build();
-        let outcome = E3Platform::new(config, BackendKind::Cpu, 7).run();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, 7).run().unwrap();
         assert!(
             outcome.profile.evaluate_fraction() > 0.6,
             "evaluate must dominate on CPU, got {}",
@@ -417,14 +574,21 @@ mod tests {
     #[test]
     fn inax_and_cpu_runs_follow_identical_evolution() {
         // Same seed ⇒ same fitnesses ⇒ same evolutionary trajectory.
-        let a = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 9).run();
-        let b = E3Platform::new(small(EnvId::CartPole), BackendKind::Inax, 9).run();
+        let a = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 9)
+            .run()
+            .unwrap();
+        let b = E3Platform::new(small(EnvId::CartPole), BackendKind::Inax, 9)
+            .run()
+            .unwrap();
         assert_eq!(a.best_fitness, b.best_fitness);
         assert_eq!(a.generations_run, b.generations_run);
         let best_a: Vec<f64> = a.trace.iter().map(|t| t.1).collect();
         let best_b: Vec<f64> = b.trace.iter().map(|t| t.1).collect();
         assert_eq!(best_a, best_b);
-        assert!(b.modeled_seconds < a.modeled_seconds, "INAX accelerates the run");
+        assert!(
+            b.modeled_seconds < a.modeled_seconds,
+            "INAX accelerates the run"
+        );
         assert!(b.hw_report.is_some());
     }
 
@@ -436,7 +600,7 @@ mod tests {
             .population_size(100)
             .max_generations(30)
             .build();
-        let outcome = E3Platform::new(config, BackendKind::Cpu, 11).run();
+        let outcome = E3Platform::new(config, BackendKind::Cpu, 11).run().unwrap();
         assert!(outcome.solved, "cartpole should be solved");
         assert!(outcome.generations_run < 30);
     }

@@ -53,8 +53,7 @@ impl SwCostModel {
 
     /// Modeled CreateNet (genome → network decode) time.
     pub fn createnet_seconds(&self, nodes: usize, connections: usize) -> f64 {
-        self.sec_createnet_per_genome
-            + (nodes + connections) as f64 * self.sec_createnet_per_gene
+        self.sec_createnet_per_genome + (nodes + connections) as f64 * self.sec_createnet_per_gene
     }
 }
 

@@ -1,0 +1,223 @@
+//! Telemetry must be write-only: installing any collector yields
+//! bit-identical runs, and the NDJSON schema stays stable.
+
+use e3_envs::EnvId;
+use e3_platform::telemetry::{Collector, MemoryCollector, NdjsonWriter, TelemetryEvent};
+use e3_platform::{BackendKind, E3Config, E3Platform, EvalBackend, EvalError, RunError};
+use proptest::prelude::*;
+
+/// Cheap environments so the property runs many cases quickly.
+const ENVS: [EnvId; 3] = [EnvId::CartPole, EnvId::MountainCar, EnvId::Pendulum];
+
+fn quick_config(env: EnvId) -> E3Config {
+    E3Config::builder(env)
+        .population_size(24)
+        .max_generations(3)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn any_collector_leaves_the_run_bit_identical(
+        env_index in 0usize..3,
+        backend_index in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let env = ENVS[env_index];
+        let kind = BackendKind::ALL[backend_index];
+
+        let plain = E3Platform::new(quick_config(env), kind, seed)
+            .run()
+            .expect("quick populations are feed-forward");
+        let mut memory = MemoryCollector::new();
+        let observed = E3Platform::new(quick_config(env), kind, seed)
+            .run_with(&mut memory)
+            .expect("quick populations are feed-forward");
+        let mut ndjson = NdjsonWriter::new(Vec::new());
+        let streamed = E3Platform::new(quick_config(env), kind, seed)
+            .run_with(&mut ndjson)
+            .expect("quick populations are feed-forward");
+
+        // Bit-identical fitness trajectory and modeled timing,
+        // whichever sink is installed.
+        prop_assert_eq!(&plain, &observed);
+        prop_assert_eq!(&plain, &streamed);
+
+        // The captured telemetry agrees with the outcome it observed.
+        let summary = memory.summaries().last().expect("run emits a summary");
+        prop_assert_eq!(summary.generations, plain.generations_run);
+        prop_assert_eq!(summary.best_fitness, plain.best_fitness);
+        prop_assert_eq!(summary.modeled_seconds, plain.modeled_seconds);
+        prop_assert_eq!(summary.solved, plain.solved);
+        prop_assert_eq!(summary.backend.as_str(), kind.name());
+        prop_assert_eq!(memory.generations().count(), plain.generations_run);
+        prop_assert_eq!(memory.evals().count(), plain.generations_run);
+        let trace: Vec<f64> = memory.generations().map(|g| g.best_fitness).collect();
+        let expected: Vec<f64> = plain.trace.iter().map(|t| t.1).collect();
+        prop_assert_eq!(trace, expected);
+    }
+}
+
+/// Pins the NDJSON wire format: record kinds, required keys, and the
+/// presence of hardware counters on INAX evaluations.
+#[test]
+fn ndjson_schema_is_stable() {
+    let mut sink = NdjsonWriter::new(Vec::new());
+    E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Inax, 7)
+        .run_with(&mut sink)
+        .unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "at least eval + generation + summary");
+
+    let mut kinds = Vec::new();
+    for line in &lines {
+        let value: serde_json::Value = serde_json::from_str(line).expect("valid JSON per line");
+        if let Some(eval) = value.get("Eval") {
+            for key in [
+                "generation",
+                "backend",
+                "env",
+                "population",
+                "eval_seconds",
+                "env_seconds",
+                "total_steps",
+                "best_fitness",
+                "mean_fitness",
+                "hw",
+            ] {
+                assert!(eval.get(key).is_some(), "Eval record missing {key}: {line}");
+            }
+            let hw = eval.get("hw").unwrap();
+            for key in [
+                "total_cycles",
+                "pe_active_cycles",
+                "pu_utilization",
+                "steps",
+            ] {
+                assert!(hw.get(key).is_some(), "HwCounters missing {key}");
+            }
+            kinds.push("Eval");
+        } else if let Some(generation) = value.get("Generation") {
+            for key in [
+                "generation",
+                "backend",
+                "env",
+                "best_fitness",
+                "species",
+                "modeled_seconds",
+                "split",
+            ] {
+                assert!(
+                    generation.get(key).is_some(),
+                    "Generation record missing {key}"
+                );
+            }
+            kinds.push("Generation");
+        } else if let Some(summary) = value.get("Summary") {
+            for key in [
+                "backend",
+                "env",
+                "generations",
+                "solved",
+                "best_fitness",
+                "modeled_seconds",
+                "speedup_vs_cpu",
+                "energy_joules",
+                "split",
+            ] {
+                assert!(summary.get(key).is_some(), "Summary record missing {key}");
+            }
+            assert!(
+                summary
+                    .get("energy_joules")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap_or(0.0)
+                    > 0.0,
+                "platform runs report modeled energy"
+            );
+            kinds.push("Summary");
+        } else {
+            panic!("unknown record kind: {line}");
+        }
+
+        // Every line round-trips through the typed event.
+        let event: TelemetryEvent = serde_json::from_str(line).unwrap();
+        assert_eq!(serde_json::from_str::<serde_json::Value>(line).unwrap(), {
+            let json = serde_json::to_string(&event).unwrap();
+            serde_json::from_str::<serde_json::Value>(&json).unwrap()
+        });
+    }
+    assert_eq!(kinds.last(), Some(&"Summary"), "summary closes the stream");
+    assert_eq!(kinds.iter().filter(|k| **k == "Summary").count(), 1);
+}
+
+/// A recurrent genome is reported as a typed error end-to-end through
+/// `E3Platform::run`, not a panic (regression test for the fallible
+/// backend API).
+#[test]
+fn recurrent_genome_surfaces_as_run_error() {
+    use e3_neat::{InnovationTracker, NodeKind};
+
+    let platform = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Cpu, 2);
+    let genome = platform.population().genomes()[0].clone();
+    let mut cyclic = genome;
+    let mut tracker = InnovationTracker::with_reserved_nodes(cyclic.nodes().len());
+    let output = cyclic
+        .nodes()
+        .iter()
+        .find(|n| n.kind == NodeKind::Output)
+        .expect("genome has an output node")
+        .id;
+    cyclic
+        .add_connection_unchecked(output, output, 0.5, &mut tracker)
+        .expect("self-loop is structurally new");
+
+    let mut backend = BackendKind::Cpu.builder().build();
+    let err = backend
+        .try_evaluate_population(&[cyclic], EnvId::CartPole, 0)
+        .expect_err("cycle must be rejected");
+    match err {
+        EvalError::NotFeedForward { genome_index, .. } => assert_eq!(genome_index, 0),
+    }
+    // And the platform-level wrapper carries it as RunError::Eval.
+    let run_err = RunError::from(err);
+    assert!(matches!(
+        run_err,
+        RunError::Eval(EvalError::NotFeedForward { .. })
+    ));
+}
+
+/// Forwarding through `&mut dyn Collector` and nested collectors keeps
+/// event order.
+#[test]
+fn collector_forwarding_preserves_order() {
+    let mut inner = MemoryCollector::new();
+    {
+        let mut via_ref: &mut dyn Collector = &mut inner;
+        E3Platform::new(quick_config(EnvId::Pendulum), BackendKind::Gpu, 13)
+            .run_with(&mut via_ref)
+            .unwrap();
+    }
+    let kinds: Vec<&str> = inner
+        .events()
+        .iter()
+        .map(|event| match event {
+            TelemetryEvent::Eval(_) => "eval",
+            TelemetryEvent::Generation(_) => "generation",
+            TelemetryEvent::Summary(_) => "summary",
+        })
+        .collect();
+    assert!(kinds.len() >= 3);
+    assert_eq!(kinds.last(), Some(&"summary"));
+    for pair in kinds[..kinds.len() - 1].chunks(2) {
+        assert_eq!(
+            pair,
+            ["eval", "generation"],
+            "evals and generations alternate"
+        );
+    }
+}

@@ -157,8 +157,7 @@ impl A2c {
         if self.recent_rewards.is_empty() {
             return f64::NEG_INFINITY;
         }
-        let tail = &self.recent_rewards
-            [self.recent_rewards.len().saturating_sub(20)..];
+        let tail = &self.recent_rewards[self.recent_rewards.len().saturating_sub(20)..];
         tail.iter().sum::<f64>() / tail.len() as f64
     }
 

@@ -21,7 +21,10 @@ pub struct NetworkComplexity {
 impl NetworkComplexity {
     /// Complexity of an MLP.
     pub fn of_mlp(net: &Mlp) -> Self {
-        NetworkComplexity { nodes: net.num_nodes(), connections: net.num_connections() }
+        NetworkComplexity {
+            nodes: net.num_nodes(),
+            connections: net.num_connections(),
+        }
     }
 
     /// Complexity of a layered MLP described by its sizes (input
@@ -132,11 +135,17 @@ mod tests {
         let critic = Mlp::new(&critic_sizes, 2);
         let a2c = AlgorithmOverhead::a2c(&actor, &critic, 8, 8);
         let ea = AlgorithmOverhead::fixed_topology_ea(&actor);
-        let neat = AlgorithmOverhead::neat(NetworkComplexity { nodes: 14, connections: 17 });
+        let neat = AlgorithmOverhead::neat(NetworkComplexity {
+            nodes: 14,
+            connections: 17,
+        });
         assert!(a2c.ops_backward > 0 && ea.ops_backward == 0 && neat.ops_backward == 0);
         assert!(a2c.local_memory_bytes > ea.local_memory_bytes);
         assert!(ea.local_memory_bytes > neat.local_memory_bytes);
-        assert!(a2c.ops_forward > neat.ops_forward * 100, "orders of magnitude apart");
+        assert!(
+            a2c.ops_forward > neat.ops_forward * 100,
+            "orders of magnitude apart"
+        );
         // Magnitude classes from the paper: A2C forward ~33K ops,
         // NEAT ~0.1K, memory ~268KB vs ~0.4KB.
         assert!(a2c.ops_forward > 10_000);

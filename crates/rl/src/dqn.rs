@@ -36,7 +36,11 @@ struct ReplayBuffer {
 
 impl ReplayBuffer {
     fn new(capacity: usize) -> Self {
-        ReplayBuffer { storage: Vec::with_capacity(capacity), capacity, cursor: 0 }
+        ReplayBuffer {
+            storage: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+        }
     }
 
     fn push(&mut self, t: Transition) {
@@ -53,7 +57,9 @@ impl ReplayBuffer {
     }
 
     fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, batch: usize) -> Vec<&'a Transition> {
-        (0..batch).map(|_| &self.storage[rng.gen_range(0..self.storage.len())]).collect()
+        (0..batch)
+            .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+            .collect()
     }
 
     /// Bytes this buffer occupies at 4 bytes per stored value — the
@@ -164,7 +170,10 @@ impl Dqn {
         let num_actions = match env.action_space() {
             ActionSpace::Discrete(n) => n,
             ActionSpace::Continuous { .. } => {
-                panic!("DQN requires a discrete action space; {} is continuous", env.name())
+                panic!(
+                    "DQN requires a discrete action space; {} is continuous",
+                    env.name()
+                )
             }
         };
         let mut sizes = vec![config.env.observation_size()];
@@ -225,8 +234,7 @@ impl Dqn {
 
     fn epsilon(&self) -> f64 {
         let c = &self.config;
-        let progress =
-            (self.total_env_steps as f64 / c.epsilon_decay_steps as f64).clamp(0.0, 1.0);
+        let progress = (self.total_env_steps as f64 / c.epsilon_decay_steps as f64).clamp(0.0, 1.0);
         c.epsilon_start + (c.epsilon_end - c.epsilon_start) * progress
     }
 
@@ -241,7 +249,10 @@ impl Dqn {
             {
                 self.update();
             }
-            if self.total_env_steps.is_multiple_of(self.config.target_refresh) {
+            if self
+                .total_env_steps
+                .is_multiple_of(self.config.target_refresh)
+            {
                 self.target = self.q.clone();
             }
         }

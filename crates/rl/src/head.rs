@@ -44,9 +44,11 @@ impl PolicyHead {
     pub fn for_space(space: &ActionSpace) -> Self {
         match space {
             ActionSpace::Discrete(n) => PolicyHead::Categorical { n: *n },
-            ActionSpace::Continuous { low, high } => {
-                PolicyHead::Gaussian { low: low.clone(), high: high.clone(), sigma: 0.3 }
-            }
+            ActionSpace::Continuous { low, high } => PolicyHead::Gaussian {
+                low: low.clone(),
+                high: high.clone(),
+                sigma: 0.3,
+            },
         }
     }
 
@@ -92,7 +94,11 @@ impl PolicyHead {
                     let unit = x.tanh();
                     values.push(low[i] + (unit + 1.0) / 2.0 * (high[i] - low[i]));
                 }
-                SampledAction { action: Action::Continuous(values), log_prob, raw }
+                SampledAction {
+                    action: Action::Continuous(values),
+                    log_prob,
+                    raw,
+                }
             }
         }
     }
@@ -159,7 +165,10 @@ impl PolicyHead {
                 // dH/dlogit_i = -π_i (log π_i + H).
                 let probs = softmax(outputs);
                 let h = -probs.iter().map(|p| p * p.max(1e-12).ln()).sum::<f64>();
-                probs.iter().map(|&p| -p * (p.max(1e-12).ln() + h)).collect()
+                probs
+                    .iter()
+                    .map(|&p| -p * (p.max(1e-12).ln() + h))
+                    .collect()
             }
             PolicyHead::Gaussian { low, .. } => vec![0.0; low.len()],
         }
@@ -230,7 +239,11 @@ mod tests {
             let mut plus = logits;
             plus[i] += eps;
             let numeric = (head.log_prob(&plus, &raw) - head.log_prob(&logits, &raw)) / eps;
-            assert!((numeric - grad[i]).abs() < 1e-5, "dim {i}: {numeric} vs {}", grad[i]);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-5,
+                "dim {i}: {numeric} vs {}",
+                grad[i]
+            );
         }
     }
 
@@ -250,8 +263,11 @@ mod tests {
 
     #[test]
     fn gaussian_grad_log_prob_matches_finite_difference() {
-        let head =
-            PolicyHead::Gaussian { low: vec![-2.0, -2.0], high: vec![2.0, 2.0], sigma: 0.5 };
+        let head = PolicyHead::Gaussian {
+            low: vec![-2.0, -2.0],
+            high: vec![2.0, 2.0],
+            sigma: 0.5,
+        };
         let means = [0.2, -0.6];
         let raw = [0.5, -0.1];
         let grad = head.grad_log_prob(&means, &raw);
@@ -266,7 +282,11 @@ mod tests {
 
     #[test]
     fn gaussian_actions_respect_bounds() {
-        let head = PolicyHead::Gaussian { low: vec![-2.0], high: vec![2.0], sigma: 1.0 };
+        let head = PolicyHead::Gaussian {
+            low: vec![-2.0],
+            high: vec![2.0],
+            sigma: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
             if let Action::Continuous(v) = head.sample(&[10.0], &mut rng).action {
@@ -281,7 +301,10 @@ mod tests {
             PolicyHead::for_space(&ActionSpace::Discrete(4)).input_size(),
             4
         );
-        let space = ActionSpace::Continuous { low: vec![-1.0; 3], high: vec![1.0; 3] };
+        let space = ActionSpace::Continuous {
+            low: vec![-1.0; 3],
+            high: vec![1.0; 3],
+        };
         assert_eq!(PolicyHead::for_space(&space).input_size(), 3);
     }
 }

@@ -28,16 +28,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod a2c;
-pub mod dqn;
 pub mod accounting;
+pub mod dqn;
 pub mod head;
 pub mod mlp;
 pub mod ppo;
 pub mod profile;
 
 pub use a2c::{A2c, A2cConfig};
-pub use dqn::{Dqn, DqnConfig};
 pub use accounting::{AlgorithmOverhead, NetworkComplexity};
+pub use dqn::{Dqn, DqnConfig};
 pub use head::PolicyHead;
 pub use mlp::{Adam, Mlp};
 pub use ppo::{Ppo, PpoConfig};

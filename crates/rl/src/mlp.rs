@@ -102,10 +102,18 @@ impl Mlp {
         for w in sizes.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
             let scale = (2.0 / (fan_in + fan_out) as f64).sqrt();
-            weights.push((0..fan_in * fan_out).map(|_| rng.gen_range(-scale..scale)).collect());
+            weights.push(
+                (0..fan_in * fan_out)
+                    .map(|_| rng.gen_range(-scale..scale))
+                    .collect(),
+            );
             biases.push(vec![0.0; fan_out]);
         }
-        Mlp { sizes: sizes.to_vec(), weights, biases }
+        Mlp {
+            sizes: sizes.to_vec(),
+            weights,
+            biases,
+        }
     }
 
     /// Layer sizes, input first.
@@ -162,22 +170,32 @@ impl Mlp {
                 *z_row += sum;
             }
             let last = layer + 1 == self.num_layers();
-            let a: Vec<f64> =
-                if last { z.clone() } else { z.iter().map(|v| v.tanh()).collect() };
+            let a: Vec<f64> = if last {
+                z.clone()
+            } else {
+                z.iter().map(|v| v.tanh()).collect()
+            };
             pre_activations.push(z);
             activations.push(a);
             let _ = fan_out;
         }
-        (activations.last().expect("at least one layer").clone(), ForwardCache {
-            activations,
-            pre_activations,
-        })
+        (
+            activations.last().expect("at least one layer").clone(),
+            ForwardCache {
+                activations,
+                pre_activations,
+            },
+        )
     }
 
     /// Backward pass: given `grad_output = dL/d(output)`, computes
     /// parameter gradients (and discards the input gradient).
     pub fn backward(&self, cache: &ForwardCache, grad_output: &[f64]) -> Gradients {
-        assert_eq!(grad_output.len(), *self.sizes.last().expect("non-empty"), "grad size");
+        assert_eq!(
+            grad_output.len(),
+            *self.sizes.last().expect("non-empty"),
+            "grad size"
+        );
         let mut grads = Gradients::zeros_like(self);
         let mut delta = grad_output.to_vec();
         for layer in (0..self.num_layers()).rev() {
@@ -258,16 +276,15 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let update =
-            |param: &mut [f64], grad: &[f64], m: &mut [f64], v: &mut [f64]| {
-                for i in 0..param.len() {
-                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
-                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
-                    let m_hat = m[i] / bc1;
-                    let v_hat = v[i] / bc2;
-                    param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-                }
-            };
+        let update = |param: &mut [f64], grad: &[f64], m: &mut [f64], v: &mut [f64]| {
+            for i in 0..param.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        };
         for layer in 0..net.weights.len() {
             update(
                 &mut net.weights[layer],
@@ -335,9 +352,16 @@ mod tests {
     #[test]
     fn sgd_reduces_regression_loss() {
         let mut net = Mlp::new(&[2, 16, 1], 3);
-        let data = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
         let loss_of = |n: &Mlp| -> f64 {
-            data.iter().map(|(x, y)| (n.forward(x)[0] - y).powi(2)).sum()
+            data.iter()
+                .map(|(x, y)| (n.forward(x)[0] - y).powi(2))
+                .sum()
         };
         let before = loss_of(&net);
         for _ in 0..2000 {

@@ -168,8 +168,7 @@ impl Ppo {
         if self.recent_rewards.is_empty() {
             return f64::NEG_INFINITY;
         }
-        let tail = &self.recent_rewards
-            [self.recent_rewards.len().saturating_sub(20)..];
+        let tail = &self.recent_rewards[self.recent_rewards.len().saturating_sub(20)..];
         tail.iter().sum::<f64>() / tail.len() as f64
     }
 
@@ -234,11 +233,18 @@ impl Ppo {
             advantages[i] = gae;
             next_value = s.value;
         }
-        let returns: Vec<f64> =
-            advantages.iter().zip(samples).map(|(a, s)| a + s.value).collect();
+        let returns: Vec<f64> = advantages
+            .iter()
+            .zip(samples)
+            .map(|(a, s)| a + s.value)
+            .collect();
         // Normalize advantages.
         let mean = advantages.iter().sum::<f64>() / n as f64;
-        let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+        let var = advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / n as f64;
         let std = var.sqrt().max(1e-8);
         for a in &mut advantages {
             *a = (*a - mean) / std;
@@ -274,8 +280,7 @@ impl Ppo {
 
                     let (value, critic_cache) = self.critic.forward_cached(&s.obs);
                     let grad_v = 2.0 * self.config.value_coef * (value[0] - returns[i]);
-                    critic_grads
-                        .accumulate(&self.critic.backward(&critic_cache, &[grad_v]));
+                    critic_grads.accumulate(&self.critic.backward(&critic_cache, &[grad_v]));
                 }
                 let scale = 1.0 / chunk.len() as f64;
                 actor_grads.scale(scale);
@@ -307,7 +312,10 @@ mod tests {
         let mut agent = Ppo::new(PpoConfig::new(EnvId::CartPole, NetworkSize::Small), 6);
         agent.train_steps(1024);
         let (_, training) = agent.profile().fractions();
-        assert!(training > 0.5, "training fraction {training} should dominate");
+        assert!(
+            training > 0.5,
+            "training fraction {training} should dominate"
+        );
     }
 
     #[test]

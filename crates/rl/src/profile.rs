@@ -51,7 +51,10 @@ impl RlProfile {
         if total == 0.0 {
             return (0.0, 0.0);
         }
-        (self.forward.as_secs_f64() / total, self.training.as_secs_f64() / total)
+        (
+            self.forward.as_secs_f64() / total,
+            self.training.as_secs_f64() / total,
+        )
     }
 }
 

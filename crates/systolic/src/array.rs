@@ -113,7 +113,8 @@ impl SystolicArray {
             let passes = m_out.div_ceil(n);
             cycles += self.config.alignment_cycles_per_input * m_in;
             cycles += passes * (m_in * self.config.mac_cycles + n);
-            cycles += m_out * self.config.activation_cycles / n.max(1) + self.config.activation_cycles;
+            cycles +=
+                m_out * self.config.activation_cycles / n.max(1) + self.config.activation_cycles;
         }
         cycles
     }
@@ -168,7 +169,10 @@ mod tests {
         let sa64 = SystolicArray::new(SystolicConfig::builder().num_pe(64).build());
         let sa128 = SystolicArray::new(SystolicConfig::builder().num_pe(128).build());
         let (c64, c128) = (sa64.inference_cycles(&net), sa128.inference_cycles(&net));
-        assert!(c128 as f64 >= 0.6 * c64 as f64, "diminishing returns past one pass");
+        assert!(
+            c128 as f64 >= 0.6 * c64 as f64,
+            "diminishing returns past one pass"
+        );
     }
 
     #[test]
@@ -179,11 +183,9 @@ mod tests {
             let irregular = synthetic_net(8, 4, 30, 0.2, seed);
             let dense = DensePaddedNet::from_irregular(&irregular);
             for pes in [1usize, 4, 16] {
-                let inax = schedule_inference(
-                    &InaxConfig::builder().num_pe(pes).build(),
-                    &irregular,
-                )
-                .wall_cycles;
+                let inax =
+                    schedule_inference(&InaxConfig::builder().num_pe(pes).build(), &irregular)
+                        .wall_cycles;
                 let sa = SystolicArray::new(SystolicConfig::builder().num_pe(pes).build());
                 let sa_cycles = sa.inference_cycles(&dense);
                 assert!(
@@ -199,16 +201,19 @@ mod tests {
         let (net, real) = padded(2);
         let sa = SystolicArray::new(SystolicConfig::default());
         assert_eq!(sa.setup_cycles(&net), net.dense_connections() as u64);
-        assert!(net.dense_connections() > real, "zero-filling inflates the load");
+        assert!(
+            net.dense_connections() > real,
+            "zero-filling inflates the load"
+        );
     }
 
     #[test]
     fn efficiency_decreases_with_overprovisioning() {
         let (net, real) = padded(3);
-        let e1 = SystolicArray::new(SystolicConfig::builder().num_pe(1).build())
-            .efficiency(&net, real);
-        let e64 = SystolicArray::new(SystolicConfig::builder().num_pe(64).build())
-            .efficiency(&net, real);
+        let e1 =
+            SystolicArray::new(SystolicConfig::builder().num_pe(1).build()).efficiency(&net, real);
+        let e64 =
+            SystolicArray::new(SystolicConfig::builder().num_pe(64).build()).efficiency(&net, real);
         assert!(e1 > e64);
         assert!(e1 <= 1.0);
     }

@@ -118,7 +118,9 @@ impl DensePaddedNet {
         for level in 1..=num_levels {
             let in_slots = alive.clone();
             let slot_pos = |slot: usize, set: &[usize]| -> usize {
-                set.iter().position(|&s| s == slot).expect("ingress slot must be alive")
+                set.iter()
+                    .position(|&s| s == slot)
+                    .expect("ingress slot must be alive")
             };
             let (start, end) = net.levels()[level - 1];
             let mut out_slots: Vec<usize> = Vec::new();
@@ -231,9 +233,13 @@ mod tests {
         let mut tracker = InnovationTracker::with_reserved_nodes(3);
         let mut g = Genome::bare(2, 1);
         let i1 = g.add_connection(0, 2, 0.8, &mut tracker).unwrap();
-        let h1 = g.split_connection(i1, Activation::Relu, &mut tracker).unwrap();
+        let h1 = g
+            .split_connection(i1, Activation::Relu, &mut tracker)
+            .unwrap();
         let i2 = g.connection_between(h1, 2).unwrap().innovation;
-        let _h2 = g.split_connection(i2, Activation::Tanh, &mut tracker).unwrap();
+        let _h2 = g
+            .split_connection(i2, Activation::Tanh, &mut tracker)
+            .unwrap();
         g.add_connection(1, 2, -0.5, &mut tracker).unwrap();
         IrregularNet::try_from(&g).unwrap()
     }
@@ -242,7 +248,10 @@ mod tests {
     fn skip_links_create_dummies() {
         let net = skip_net();
         let padded = DensePaddedNet::from_irregular(&net);
-        assert!(padded.dummy_nodes() > 0, "the input-to-output skip needs carrying");
+        assert!(
+            padded.dummy_nodes() > 0,
+            "the input-to-output skip needs carrying"
+        );
         assert_eq!(padded.real_nodes(), net.num_compute_nodes());
         assert!(padded.dense_connections() > net.num_connections());
     }
@@ -284,7 +293,10 @@ mod tests {
         let mut hidden = Vec::new();
         for i in 0..3 {
             let inv = g.add_connection(i, 3 + i, 1.0, &mut tracker).unwrap();
-            hidden.push(g.split_connection(inv, Activation::Tanh, &mut tracker).unwrap());
+            hidden.push(
+                g.split_connection(inv, Activation::Tanh, &mut tracker)
+                    .unwrap(),
+            );
         }
         for &h in &hidden {
             for o in 3..6 {
@@ -302,7 +314,11 @@ mod tests {
         }
         let net = IrregularNet::try_from(&g).unwrap();
         let padded = DensePaddedNet::from_irregular(&net);
-        assert_eq!(padded.dummy_nodes(), 0, "fully regular net needs no dummies");
+        assert_eq!(
+            padded.dummy_nodes(),
+            0,
+            "fully regular net needs no dummies"
+        );
         assert_eq!(padded.dense_connections(), 18);
     }
 

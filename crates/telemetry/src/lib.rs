@@ -1,0 +1,436 @@
+//! Telemetry for the E3 evolve/evaluate loop.
+//!
+//! The platform and the figure drivers in `e3-bench` report what a run
+//! did through typed records ([`EvalRecord`] per population
+//! evaluation, [`GenerationRecord`] per generation, [`RunSummary`] per
+//! run) pushed into a pluggable [`Collector`]. Three collectors ship
+//! with the crate:
+//!
+//! * [`NullCollector`] — discards everything; the default when a
+//!   caller does not care about telemetry. Instrumented code paths
+//!   must behave identically under it (see the property tests in
+//!   `e3-platform`).
+//! * [`MemoryCollector`] — buffers events in memory for inspection;
+//!   what the figure drivers use to assemble plots.
+//! * [`NdjsonWriter`] — streams one JSON object per line to any
+//!   [`std::io::Write`] sink; what `repro --telemetry <path>` and
+//!   `sweep --telemetry <path>` use.
+//!
+//! Every collector method is fallible: a sink that cannot accept a
+//! record reports [`TelemetryError`] instead of panicking, and the
+//! platform surfaces that as `RunError::Telemetry`. This crate
+//! deliberately depends only on `serde`/`serde_json`; hardware- and
+//! platform-specific types are mirrored here as plain data
+//! ([`HwCounters`], [`FunctionSplit`]) so that `e3-inax` and
+//! `e3-platform` can both depend on it without a cycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Error produced when a telemetry sink rejects a record.
+#[derive(Debug)]
+pub enum TelemetryError {
+    /// The underlying writer failed.
+    Io(std::io::Error),
+    /// A record could not be serialized.
+    Serialize(String),
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Io(err) => write!(f, "telemetry sink I/O error: {err}"),
+            TelemetryError::Serialize(msg) => {
+                write!(f, "telemetry record serialization error: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TelemetryError::Io(err) => Some(err),
+            TelemetryError::Serialize(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(err: std::io::Error) -> Self {
+        TelemetryError::Io(err)
+    }
+}
+
+/// Per-function share of modeled run time, mirroring the platform's
+/// `FunctionProfile` (Fig. 1(b) categories) as plain seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSplit {
+    /// Seconds spent in network inference (`evaluate`).
+    pub evaluate: f64,
+    /// Seconds spent stepping environments.
+    pub env: f64,
+    /// Seconds spent instantiating phenotypes (`createnet`).
+    pub createnet: f64,
+    /// Seconds spent in mutation.
+    pub mutate: f64,
+    /// Seconds spent in crossover.
+    pub crossover: f64,
+    /// Seconds spent in speciation.
+    pub speciate: f64,
+}
+
+impl FunctionSplit {
+    /// Total modeled seconds across all functions.
+    pub fn total(&self) -> f64 {
+        self.evaluate + self.env + self.createnet + self.mutate + self.crossover + self.speciate
+    }
+}
+
+/// Accelerator cycle accounting mirrored from `e3-inax`'s
+/// `EpisodeRunReport` (Fig. 9(a) categories) as plain counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HwCounters {
+    /// Total accelerator wall cycles (set-up + compute + DMA).
+    pub total_cycles: u64,
+    /// Cycles spent streaming weights/topology onto PUs.
+    pub setup_cycles: u64,
+    /// Cycles PEs spent doing useful MACs.
+    pub pe_active_cycles: u64,
+    /// Cycles spent in evaluate-phase control overhead.
+    pub evaluate_control_cycles: u64,
+    /// Cycles spent on DMA transfers.
+    pub dma_cycles: u64,
+    /// PU-scope utilization rate (paper Eq. 1), in `[0, 1]`.
+    pub pu_utilization: f64,
+    /// PE-scope utilization rate, in `[0, 1]`.
+    pub pe_utilization: f64,
+    /// Inference waves executed.
+    pub steps: u64,
+}
+
+/// One population evaluation on a backend (one `evaluate` call per
+/// generation).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// Backend name (`"E3-CPU"`, `"E3-GPU"`, `"E3-INAX"`).
+    pub backend: String,
+    /// Environment name (e.g. `"cartpole"`).
+    pub env: String,
+    /// Number of genomes evaluated.
+    pub population: usize,
+    /// Modeled seconds of network inference.
+    pub eval_seconds: f64,
+    /// Modeled seconds of environment stepping.
+    pub env_seconds: f64,
+    /// Environment steps summed over the population.
+    pub total_steps: u64,
+    /// Best fitness in the evaluated population.
+    pub best_fitness: f64,
+    /// Mean fitness over the evaluated population.
+    pub mean_fitness: f64,
+    /// Accelerator counters when the backend is E3-INAX.
+    pub hw: Option<HwCounters>,
+}
+
+/// One completed generation of the evolve/evaluate loop.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// Best fitness after this generation.
+    pub best_fitness: f64,
+    /// Mean fitness over the population.
+    pub mean_fitness: f64,
+    /// Number of species after speciation.
+    pub species: usize,
+    /// Cumulative modeled seconds at the end of this generation.
+    pub modeled_seconds: f64,
+    /// Cumulative per-function time split.
+    pub split: FunctionSplit,
+}
+
+/// Whole-run summary emitted once when a run finishes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Backend name.
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// Generations executed.
+    pub generations: usize,
+    /// Whether the target fitness was reached.
+    pub solved: bool,
+    /// Best fitness seen over the run.
+    pub best_fitness: f64,
+    /// Total modeled seconds.
+    pub modeled_seconds: f64,
+    /// Run-time speedup relative to the E3-CPU baseline, when known.
+    pub speedup_vs_cpu: Option<f64>,
+    /// Modeled energy in joules (platform power model), when known.
+    pub energy_joules: Option<f64>,
+    /// Cumulative per-function time split.
+    pub split: FunctionSplit,
+}
+
+/// The events a [`Collector`] receives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A population evaluation finished.
+    Eval(EvalRecord),
+    /// A generation finished.
+    Generation(GenerationRecord),
+    /// A run finished.
+    Summary(RunSummary),
+}
+
+/// A sink for telemetry events.
+///
+/// Implementations must not influence the computation they observe:
+/// instrumented code treats the collector as write-only, and the
+/// platform guarantees identical numerical results whichever
+/// collector is installed.
+pub trait Collector {
+    /// Accepts one event.
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError>;
+
+    /// Flushes any buffered events to the underlying sink.
+    fn flush(&mut self) -> Result<(), TelemetryError> {
+        Ok(())
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record(&mut self, _event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        Ok(())
+    }
+}
+
+/// Buffers events in memory for later inspection.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryCollector {
+    events: Vec<TelemetryEvent>,
+}
+
+impl MemoryCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        MemoryCollector::default()
+    }
+
+    /// All buffered events, in arrival order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// The buffered evaluation records.
+    pub fn evals(&self) -> impl Iterator<Item = &EvalRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Eval(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered generation records.
+    pub fn generations(&self) -> impl Iterator<Item = &GenerationRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Generation(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered run summaries.
+    pub fn summaries(&self) -> impl Iterator<Item = &RunSummary> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Summary(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Collector for MemoryCollector {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        self.events.push(event.clone());
+        Ok(())
+    }
+}
+
+/// Streams events as newline-delimited JSON to a [`Write`] sink.
+#[derive(Debug)]
+pub struct NdjsonWriter<W: Write> {
+    writer: W,
+}
+
+impl NdjsonWriter<BufWriter<File>> {
+    /// Creates (truncating) the file at `path` as an NDJSON sink.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, TelemetryError> {
+        let file = File::create(path)?;
+        Ok(NdjsonWriter::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write> NdjsonWriter<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        NdjsonWriter { writer }
+    }
+
+    /// Consumes the collector, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Collector for NdjsonWriter<W> {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        let line = serde_json::to_string(event)
+            .map_err(|err| TelemetryError::Serialize(err.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), TelemetryError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+impl<C: Collector + ?Sized> Collector for &mut C {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        (**self).record(event)
+    }
+
+    fn flush(&mut self) -> Result<(), TelemetryError> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_eval() -> EvalRecord {
+        EvalRecord {
+            generation: 3,
+            backend: "E3-INAX".to_string(),
+            env: "cartpole".to_string(),
+            population: 150,
+            eval_seconds: 0.25,
+            env_seconds: 0.5,
+            total_steps: 12_000,
+            best_fitness: 499.0,
+            mean_fitness: 210.5,
+            hw: Some(HwCounters {
+                total_cycles: 1_000_000,
+                setup_cycles: 100_000,
+                pe_active_cycles: 700_000,
+                evaluate_control_cycles: 200_000,
+                dma_cycles: 50_000,
+                pu_utilization: 0.8,
+                pe_utilization: 0.6,
+                steps: 400,
+            }),
+        }
+    }
+
+    #[test]
+    fn memory_collector_preserves_order_and_kinds() {
+        let mut collector = MemoryCollector::new();
+        collector
+            .record(&TelemetryEvent::Eval(sample_eval()))
+            .unwrap();
+        collector
+            .record(&TelemetryEvent::Generation(GenerationRecord::default()))
+            .unwrap();
+        collector
+            .record(&TelemetryEvent::Summary(RunSummary::default()))
+            .unwrap();
+        assert_eq!(collector.events().len(), 3);
+        assert_eq!(collector.evals().count(), 1);
+        assert_eq!(collector.generations().count(), 1);
+        assert_eq!(collector.summaries().count(), 1);
+    }
+
+    #[test]
+    fn ndjson_writer_emits_one_line_per_event() {
+        let mut writer = NdjsonWriter::new(Vec::new());
+        writer.record(&TelemetryEvent::Eval(sample_eval())).unwrap();
+        writer
+            .record(&TelemetryEvent::Summary(RunSummary::default()))
+            .unwrap();
+        writer.flush().unwrap();
+        let bytes = writer.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(value.get("Eval").is_some() || value.get("Summary").is_some());
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            TelemetryEvent::Eval(sample_eval()),
+            TelemetryEvent::Generation(GenerationRecord {
+                generation: 7,
+                backend: "E3-CPU".to_string(),
+                env: "xor".to_string(),
+                best_fitness: 3.5,
+                mean_fitness: 2.0,
+                species: 9,
+                modeled_seconds: 42.0,
+                split: FunctionSplit {
+                    evaluate: 30.0,
+                    env: 8.0,
+                    ..Default::default()
+                },
+            }),
+            TelemetryEvent::Summary(RunSummary {
+                backend: "E3-GPU".to_string(),
+                env: "mountaincar".to_string(),
+                generations: 50,
+                solved: true,
+                best_fitness: 95.0,
+                modeled_seconds: 10.0,
+                speedup_vs_cpu: Some(0.5),
+                energy_joules: Some(1800.0),
+                split: FunctionSplit::default(),
+            }),
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: TelemetryEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn null_collector_accepts_everything() {
+        let mut collector = NullCollector;
+        assert!(collector
+            .record(&TelemetryEvent::Summary(RunSummary::default()))
+            .is_ok());
+        assert!(collector.flush().is_ok());
+    }
+}

@@ -16,9 +16,12 @@ fn main() {
     // (so the PE heuristic says 4 PEs), 30 hidden nodes, sparsity 0.2,
     // population 200 (so the PU heuristic says 200, 100, 50, …).
     let (inputs, outputs, hidden, sparsity, population) = (8, 4, 30, 0.2, 200usize);
-    let nets = synthetic_population_with_mutations(population, inputs, outputs, hidden, sparsity, 0, 3);
+    let nets =
+        synthetic_population_with_mutations(population, inputs, outputs, hidden, sparsity, 0, 3);
 
-    println!("INAX design-space exploration ({population} individuals, {inputs}->{hidden}->{outputs})\n");
+    println!(
+        "INAX design-space exploration ({population} individuals, {inputs}->{hidden}->{outputs})\n"
+    );
 
     // --- PE sweep (one PU): paper §V-A. ---
     println!("PE sweep (U(PE) peaks at k = {outputs} and its divisions):");
@@ -53,13 +56,22 @@ fn main() {
     println!("  {:>4} {:>14} {:>8}", "#PU", "total cycles", "U(PU)");
     for num_pu in [25, 40, 49, 50, 66, 67, 99, 100, 150, 200] {
         let (cycles, util) = analyze_pu_parallelism(num_pu, &work);
-        println!("  {:>4} {:>14} {:>7.1}%", num_pu, cycles, 100.0 * util.rate());
+        println!(
+            "  {:>4} {:>14} {:>7.1}%",
+            num_pu,
+            cycles,
+            100.0 * util.rate()
+        );
     }
 
     // --- Fit check on the ZCU104. ---
     println!("\nZCU104 fit check for candidate designs:");
     let budget = FpgaBudget::zcu104();
-    for (label, num_pu, num_pe) in [("heuristic (paper E3_a)", 50, outputs), ("wide PE (E3_b)", 50, 2 * outputs), ("max PU", 100, outputs)] {
+    for (label, num_pu, num_pe) in [
+        ("heuristic (paper E3_a)", 50, outputs),
+        ("wide PE (E3_b)", 50, 2 * outputs),
+        ("max PU", 100, outputs),
+    ] {
         let design = InaxConfig::builder().num_pu(num_pu).num_pe(num_pe).build();
         let used = FpgaResources::of_inax(&design);
         let (lut, ff, dsp, bram) = budget.utilization(&used);

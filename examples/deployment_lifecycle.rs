@@ -70,9 +70,17 @@ fn main() {
     let hw = IrregularNet::try_from(&champion).expect("feed-forward");
     let probe = vec![0.01, -0.02, 0.03, 0.0];
     let exact = hw.evaluate(&probe);
-    for format in [FixedPointFormat::Q4_4, FixedPointFormat::Q8_8, FixedPointFormat::Q8_16] {
+    for format in [
+        FixedPointFormat::Q4_4,
+        FixedPointFormat::Q8_8,
+        FixedPointFormat::Q8_16,
+    ] {
         let q = evaluate_fixed_point(&hw, &probe, format);
-        let err: f64 = exact.iter().zip(&q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err: f64 = exact
+            .iter()
+            .zip(&q)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         println!(
             "Q{}.{:<2}: max output error {err:.6} ({} bits/word)",
             format.integer_bits,

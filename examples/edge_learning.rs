@@ -28,7 +28,9 @@ fn main() {
             .population_size(150)
             .max_generations(200)
             .build();
-        let outcome = E3Platform::new(config, BackendKind::Inax, 7).run();
+        let outcome = E3Platform::new(config, BackendKind::Inax, 7)
+            .run()
+            .expect("feed-forward population");
 
         let champion = outcome_champion_summary(&outcome);
         println!("{task}:");
@@ -58,6 +60,11 @@ fn outcome_champion_summary(outcome: &e3::platform::RunOutcome) -> String {
     // comes from the complexity statistics of the final generations.
     format!(
         "irregular feed-forward net, density {:.2} at the final generation",
-        outcome.complexity.density_trace().last().copied().unwrap_or(0.0)
+        outcome
+            .complexity
+            .density_trace()
+            .last()
+            .copied()
+            .unwrap_or(0.0)
     )
 }

@@ -24,7 +24,11 @@ fn evaluate(population: &mut Population, env_id: EnvId, episode_seed: u64) -> f6
         let mut policy = |obs: &[f64]| net.activate(obs);
         run_episode(env.as_mut(), &mut policy, episode_seed).total_reward
     });
-    population.fitnesses().iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    population
+        .fitnesses()
+        .iter()
+        .flatten()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
 }
 
 /// Generations until the population's best fitness clears `target`

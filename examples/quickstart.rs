@@ -21,17 +21,30 @@ fn main() {
     };
 
     // Same seed ⇒ both backends follow the identical evolutionary
-    // trajectory; only the (modeled) runtime differs.
-    let cpu = E3Platform::new(config(()), BackendKind::Cpu, 42).run();
-    let inax = E3Platform::new(config(()), BackendKind::Inax, 42).run();
+    // trajectory; only the (modeled) runtime differs. `run` is
+    // fallible: a malformed genome surfaces as an error, not a panic.
+    let cpu = E3Platform::new(config(()), BackendKind::Cpu, 42)
+        .run()
+        .expect("feed-forward population");
+    let inax = E3Platform::new(config(()), BackendKind::Inax, 42)
+        .run()
+        .expect("feed-forward population");
 
-    println!("task solved: {} (best fitness {:.1}, target {:.0})", cpu.solved, cpu.best_fitness, EnvId::CartPole.required_fitness());
+    println!(
+        "task solved: {} (best fitness {:.1}, target {:.0})",
+        cpu.solved,
+        cpu.best_fitness,
+        EnvId::CartPole.required_fitness()
+    );
     println!("generations: {}", cpu.generations_run);
     println!();
     println!("modeled runtime:");
     println!("  E3-CPU : {:>8.3} s", cpu.modeled_seconds);
     println!("  E3-INAX: {:>8.3} s", inax.modeled_seconds);
-    println!("  speedup: {:>8.1}x (paper headline: ~30x averaged over the suite)", cpu.modeled_seconds / inax.modeled_seconds);
+    println!(
+        "  speedup: {:>8.1}x (paper headline: ~30x averaged over the suite)",
+        cpu.modeled_seconds / inax.modeled_seconds
+    );
     println!();
 
     let profile = inax.profile;
@@ -45,9 +58,16 @@ fn main() {
     println!("INAX hardware accounting:");
     println!("  total cycles      : {}", report.total_cycles);
     println!("  inference waves   : {}", report.steps);
-    println!("  PU utilization    : {:.1}%", 100.0 * report.pu_utilization.rate());
-    println!("  PE utilization    : {:.1}%", 100.0 * report.pe_utilization.rate());
+    println!(
+        "  PU utilization    : {:.1}%",
+        100.0 * report.pu_utilization.rate()
+    );
+    println!(
+        "  PE utilization    : {:.1}%",
+        100.0 * report.pe_utilization.rate()
+    );
 
-    let champion = "the champion genome can be decoded with `genome.decode()` and deployed anywhere";
+    let champion =
+        "the champion genome can be decoded with `genome.decode()` and deployed anywhere";
     println!("\n{champion}");
 }

@@ -19,7 +19,12 @@ fn render(title: &str, profile: &FunctionProfile) {
     let total = profile.total();
     for (name, seconds) in profile.entries() {
         let fraction = seconds / total;
-        println!("  {:<10} {} {:>6.2}%", name, bar(fraction), 100.0 * fraction);
+        println!(
+            "  {:<10} {} {:>6.2}%",
+            name,
+            bar(fraction),
+            100.0 * fraction
+        );
     }
     println!();
 }
@@ -33,11 +38,21 @@ fn main() {
             .build()
     };
 
-    let cpu = E3Platform::new(config(()), BackendKind::Cpu, 11).run();
-    let inax = E3Platform::new(config(()), BackendKind::Inax, 11).run();
+    let cpu = E3Platform::new(config(()), BackendKind::Cpu, 11)
+        .run()
+        .expect("feed-forward population");
+    let inax = E3Platform::new(config(()), BackendKind::Inax, 11)
+        .run()
+        .expect("feed-forward population");
 
-    println!("timing profiles on {env} ({} generations)\n", cpu.generations_run);
-    render("Fig. 1(b) — NEAT on CPU (evaluate dominates):", &cpu.profile);
+    println!(
+        "timing profiles on {env} ({} generations)\n",
+        cpu.generations_run
+    );
+    render(
+        "Fig. 1(b) — NEAT on CPU (evaluate dominates):",
+        &cpu.profile,
+    );
     render("Fig. 9(d) — E3-INAX (balanced):", &inax.profile);
     println!(
         "evaluate share: {:.1}% (CPU) -> {:.1}% (INAX); speedup {:.1}x",

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint/format checks. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: test suite =="
+cargo test -q --offline
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "ci: all checks passed"

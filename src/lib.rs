@@ -17,7 +17,10 @@
 //!   backprop MLP framework;
 //! * [`platform`] — the E3 platform tying evolve (SW) and evaluate (HW)
 //!   together: backends, DMA, timing, energy, and every experiment
-//!   driver of the paper's evaluation section.
+//!   driver of the paper's evaluation section;
+//! * [`telemetry`] — typed instrumentation of the evolve/evaluate loop
+//!   (per-eval, per-generation, per-run records; in-memory or NDJSON
+//!   sinks).
 //!
 //! ## Quickstart
 //!
@@ -29,9 +32,27 @@
 //!     .population_size(30)
 //!     .max_generations(3)
 //!     .build();
-//! let mut platform = E3Platform::new(config, BackendKind::Inax, 42);
-//! let outcome = platform.run();
+//! let platform = E3Platform::new(config, BackendKind::Inax, 42);
+//! let outcome = platform.run().expect("feed-forward population");
 //! assert!(outcome.generations_run >= 1);
+//! ```
+//!
+//! To capture what happened along the way, pass a telemetry collector:
+//!
+//! ```
+//! use e3::platform::{E3Config, E3Platform, BackendKind};
+//! use e3::telemetry::MemoryCollector;
+//! use e3::envs::EnvId;
+//!
+//! let config = E3Config::builder(EnvId::CartPole)
+//!     .population_size(20)
+//!     .max_generations(2)
+//!     .build();
+//! let mut collector = MemoryCollector::new();
+//! let platform = E3Platform::new(config, BackendKind::Cpu, 42);
+//! platform.run_with(&mut collector).unwrap();
+//! assert!(collector.generations().count() >= 1);
+//! assert_eq!(collector.summaries().count(), 1);
 //! ```
 
 pub use e3_envs as envs;
@@ -40,3 +61,4 @@ pub use e3_neat as neat;
 pub use e3_platform as platform;
 pub use e3_rl as rl;
 pub use e3_systolic as systolic;
+pub use e3_telemetry as telemetry;

@@ -9,12 +9,9 @@ use e3::platform::{sweep_design_space, FpgaBudget};
 
 #[test]
 fn neat_improves_on_pong() {
-    let config = NeatConfig::builder(
-        EnvId::Pong.observation_size(),
-        EnvId::Pong.policy_outputs(),
-    )
-    .population_size(60)
-    .build();
+    let config = NeatConfig::builder(EnvId::Pong.observation_size(), EnvId::Pong.policy_outputs())
+        .population_size(60)
+        .build();
     let mut pop = Population::new(config, 17);
     let mut env = EnvId::Pong.make();
     let mut evaluate = |pop: &mut Population, seed: u64| {
@@ -69,7 +66,11 @@ fn sweep_confirms_the_paper_heuristics_are_near_pareto() {
     }
     // And PU divisor structure shows up: 50 PUs beats 40 PUs at PE=4.
     let at = |pu: usize, pe: usize| {
-        sweep.points.iter().find(|p| p.num_pu == pu && p.num_pe == pe).unwrap()
+        sweep
+            .points
+            .iter()
+            .find(|p| p.num_pu == pu && p.num_pe == pe)
+            .unwrap()
     };
     assert!(at(50, 4).pu_utilization > at(40, 4).pu_utilization * 0.95);
 }

@@ -2,10 +2,14 @@
 
 use e3::envs::EnvId;
 use e3::inax::InaxConfig;
-use e3::platform::{BackendKind, E3Config, E3Platform, PowerModel};
+use e3::platform::{BackendKind, E3Config, E3Platform, EvalBackend, PowerModel};
+use e3::telemetry::MemoryCollector;
 
 fn quick_config(env: EnvId) -> E3Config {
-    E3Config::builder(env).population_size(40).max_generations(6).build()
+    E3Config::builder(env)
+        .population_size(40)
+        .max_generations(6)
+        .build()
 }
 
 #[test]
@@ -13,7 +17,11 @@ fn all_backends_follow_identical_evolution() {
     for env in [EnvId::CartPole, EnvId::Pendulum] {
         let runs: Vec<_> = BackendKind::ALL
             .into_iter()
-            .map(|kind| E3Platform::new(quick_config(env), kind, 17).run())
+            .map(|kind| {
+                E3Platform::new(quick_config(env), kind, 17)
+                    .run()
+                    .expect("suite populations are feed-forward")
+            })
             .collect();
         let reference: Vec<f64> = runs[0].trace.iter().map(|t| t.1).collect();
         for run in &runs[1..] {
@@ -26,13 +34,28 @@ fn all_backends_follow_identical_evolution() {
 
 #[test]
 fn inax_beats_cpu_beats_gpu_in_modeled_runtime() {
-    let cpu = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Cpu, 3).run();
-    let gpu = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Gpu, 3).run();
-    let inax = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Inax, 3).run();
-    assert!(inax.modeled_seconds < cpu.modeled_seconds, "INAX accelerates");
-    assert!(gpu.modeled_seconds > cpu.modeled_seconds, "GPU loses (paper Fig. 9(b))");
+    let cpu = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Cpu, 3)
+        .run()
+        .unwrap();
+    let gpu = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Gpu, 3)
+        .run()
+        .unwrap();
+    let inax = E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Inax, 3)
+        .run()
+        .unwrap();
+    assert!(
+        inax.modeled_seconds < cpu.modeled_seconds,
+        "INAX accelerates"
+    );
+    assert!(
+        gpu.modeled_seconds > cpu.modeled_seconds,
+        "GPU loses (paper Fig. 9(b))"
+    );
     let speedup = cpu.modeled_seconds / inax.modeled_seconds;
-    assert!(speedup > 2.0, "speedup {speedup} too small for even a quick run");
+    assert!(
+        speedup > 2.0,
+        "speedup {speedup} too small for even a quick run"
+    );
 }
 
 #[test]
@@ -41,8 +64,14 @@ fn neat_solves_cartpole_end_to_end_on_inax() {
         .population_size(100)
         .max_generations(30)
         .build();
-    let outcome = E3Platform::new(config, BackendKind::Inax, 42).run();
-    assert!(outcome.solved, "cartpole should be solved, best {}", outcome.best_fitness);
+    let outcome = E3Platform::new(config, BackendKind::Inax, 42)
+        .run()
+        .unwrap();
+    assert!(
+        outcome.solved,
+        "cartpole should be solved, best {}",
+        outcome.best_fitness
+    );
     assert!(outcome.best_fitness >= EnvId::CartPole.required_fitness());
     let report = outcome.hw_report.expect("INAX reports accounting");
     assert!(report.total_cycles > 0);
@@ -52,14 +81,26 @@ fn neat_solves_cartpole_end_to_end_on_inax() {
 #[test]
 fn energy_model_reproduces_fig10a_ordering() {
     let power = PowerModel::default();
-    let cpu = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Cpu, 5).run();
-    let gpu = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Gpu, 5).run();
-    let inax = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Inax, 5).run();
+    let cpu = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Cpu, 5)
+        .run()
+        .unwrap();
+    let gpu = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Gpu, 5)
+        .run()
+        .unwrap();
+    let inax = E3Platform::new(quick_config(EnvId::MountainCar), BackendKind::Inax, 5)
+        .run()
+        .unwrap();
     let cpu_energy = power.energy(BackendKind::Cpu, &cpu.profile).total();
     let gpu_energy = power.energy(BackendKind::Gpu, &gpu.profile).total();
     let inax_energy = power.energy(BackendKind::Inax, &inax.profile).total();
-    assert!(gpu_energy > 10.0 * cpu_energy, "GPU energy blow-up (paper: 71x)");
-    assert!(inax_energy < 0.2 * cpu_energy, "INAX energy saving (paper: 97%)");
+    assert!(
+        gpu_energy > 10.0 * cpu_energy,
+        "GPU energy blow-up (paper: 71x)"
+    );
+    assert!(
+        inax_energy < 0.2 * cpu_energy,
+        "INAX energy saving (paper: 97%)"
+    );
 }
 
 #[test]
@@ -80,6 +121,48 @@ fn custom_inax_configs_flow_through() {
         .max_generations(2)
         .inax(InaxConfig::builder().num_pu(10).num_pe(8).build())
         .build();
-    let outcome = E3Platform::new(config, BackendKind::Inax, 1).run();
+    let outcome = E3Platform::new(config, BackendKind::Inax, 1).run().unwrap();
     assert!(outcome.hw_report.is_some());
+}
+
+#[test]
+fn backend_builder_matches_platform_backends() {
+    // A builder-constructed backend evaluates the same population to
+    // the same fitnesses the full platform computes on its first
+    // generation.
+    let config = quick_config(EnvId::CartPole);
+    let mut backend = BackendKind::Inax
+        .builder()
+        .sw(config.sw)
+        .gpu(config.gpu)
+        .inax(config.inax.clone())
+        .build();
+    let mut platform = E3Platform::new(config, BackendKind::Inax, 9);
+    let genomes = platform.population().genomes().to_vec();
+    // The platform derives its first episode seed as `seed + 1000`.
+    let outcome = backend
+        .try_evaluate_population(&genomes, EnvId::CartPole, 9 + 1000)
+        .expect("fresh populations are feed-forward");
+    let best_direct = outcome.fitnesses.iter().cloned().fold(f64::MIN, f64::max);
+    let best_platform = platform.step_generation().unwrap();
+    assert_eq!(
+        best_direct, best_platform,
+        "builder backend diverged from platform"
+    );
+}
+
+#[test]
+fn run_with_telemetry_matches_plain_run() {
+    let mut collector = MemoryCollector::new();
+    let telemetered = E3Platform::new(quick_config(EnvId::Pendulum), BackendKind::Inax, 11)
+        .run_with(&mut collector)
+        .unwrap();
+    let plain = E3Platform::new(quick_config(EnvId::Pendulum), BackendKind::Inax, 11)
+        .run()
+        .unwrap();
+    assert_eq!(telemetered, plain, "telemetry must not perturb the run");
+    let summary = collector.summaries().last().expect("run emits a summary");
+    assert_eq!(summary.generations, plain.generations_run);
+    assert_eq!(summary.best_fitness, plain.best_fitness);
+    assert_eq!(collector.generations().count(), plain.generations_run);
 }

@@ -4,7 +4,9 @@
 //! programmatically at quick scale.
 
 use e3::envs::EnvId;
-use e3::platform::experiments::{fig10, fig11, fig1b, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale};
+use e3::platform::experiments::{
+    fig10, fig11, fig1b, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale,
+};
 use e3::platform::PowerModel;
 
 #[test]
@@ -23,7 +25,10 @@ fn fig3_training_dominates_rl() {
 #[test]
 fn fig4_networks_are_irregular() {
     let result = fig4::run_on(&[EnvId::CartPole], Scale::Quick, 3);
-    assert!(result.degree_histogram.buckets().count() > 1, "variable in-degree");
+    assert!(
+        result.degree_histogram.buckets().count() > 1,
+        "variable in-degree"
+    );
     assert!(result.layer_histogram.buckets().count() >= 1);
     assert!(!result.density.is_empty());
 }
@@ -47,7 +52,10 @@ fn fig7_pu_utilization_peaks_at_population_divisors() {
         let p = panel.num_individuals;
         let at_div = panel.utilization_at(p / 2).unwrap();
         let below = panel.utilization_at(p / 2 - 1).unwrap();
-        assert!(at_div > below, "divisor peak at p/2 (paper's 100-vs-99 example)");
+        assert!(
+            at_div > below,
+            "divisor peak at p/2 (paper's 100-vs-99 example)"
+        );
         assert!(at_div > 0.95, "divisors are near-fully utilized");
     }
 }
@@ -67,17 +75,26 @@ fn fig9b_suite_speedups_have_the_paper_shape() {
         assert!(row.inax_speedup() > 2.0, "{}: INAX wins", row.env);
         assert!(row.gpu_slowdown() > 1.0, "{}: GPU loses", row.env);
     }
-    assert!(result.mean_inax_speedup() > 3.0, "paper headline: ~30x at full scale");
+    assert!(
+        result.mean_inax_speedup() > 3.0,
+        "paper headline: ~30x at full scale"
+    );
 }
 
 #[test]
 fn fig10_energy_and_resources() {
     let fig9b = fig9::run_fig9b_on(&[EnvId::CartPole], Scale::Quick, 7);
     let energy = fig10::run_fig10a(&fig9b, &PowerModel::default());
-    assert!(energy.mean_inax_reduction() > 0.8, "paper: 97% energy reduction");
+    assert!(
+        energy.mean_inax_reduction() > 0.8,
+        "paper: 97% energy reduction"
+    );
     assert!(energy.rows[0].gpu_ratio() > 10.0, "paper: 71x GPU energy");
     let resources = fig10::run_fig10b();
-    assert!(resources.rows.iter().all(|r| r.utilization.0 < 1.0), "both configs fit");
+    assert!(
+        resources.rows.iter().all(|r| r.utilization.0 < 1.0),
+        "both configs fit"
+    );
 }
 
 #[test]
@@ -86,7 +103,11 @@ fn fig11_inax_beats_systolic_array_everywhere() {
     for point in &result.points {
         assert!(point.speedup() > 1.0, "{} PEs", point.num_pe);
     }
-    let max = result.points.iter().map(|p| p.speedup()).fold(0.0f64, f64::max);
+    let max = result
+        .points
+        .iter()
+        .map(|p| p.speedup())
+        .fold(0.0f64, f64::max);
     assert!(max >= 3.0, "paper range: 3x–12.6x, got max {max}");
 }
 

@@ -44,7 +44,10 @@ fn checkpointed_run_can_be_deployed_after_restore() {
     let mut net = champion.genome.decode().expect("feed-forward");
     let mut policy = |obs: &[f64]| net.activate(obs);
     let replay = run_episode(&mut CartPole::new(), &mut policy, 99);
-    assert_eq!(replay.total_reward, before.fitness, "deployment is reproducible");
+    assert_eq!(
+        replay.total_reward, before.fitness,
+        "deployment is reproducible"
+    );
 }
 
 #[test]
@@ -52,8 +55,13 @@ fn recurrent_decode_accepts_what_feed_forward_rejects() {
     let mut tracker = e3::neat::InnovationTracker::with_reserved_nodes(3);
     let mut genome = e3::neat::Genome::bare(2, 1);
     genome.add_connection(0, 2, 1.0, &mut tracker).unwrap();
-    genome.add_connection_unchecked(2, 2, 0.5, &mut tracker).unwrap(); // self-loop
-    assert!(genome.decode().is_err(), "feed-forward decode rejects the loop");
+    genome
+        .add_connection_unchecked(2, 2, 0.5, &mut tracker)
+        .unwrap(); // self-loop
+    assert!(
+        genome.decode().is_err(),
+        "feed-forward decode rejects the loop"
+    );
     let mut recurrent = RecurrentNetwork::from_genome(&genome);
     let a = recurrent.activate(&[1.0, 0.0])[0];
     let b = recurrent.activate(&[1.0, 0.0])[0];
@@ -63,7 +71,10 @@ fn recurrent_decode_accepts_what_feed_forward_rejects() {
 #[test]
 fn wrapped_envs_compose_and_stay_deterministic() {
     let build = || {
-        TimeLimit::new(ActionRepeat::new(ObservationNoise::new(CartPole::new(), 0.05), 2), 50)
+        TimeLimit::new(
+            ActionRepeat::new(ObservationNoise::new(CartPole::new(), 0.05), 2),
+            50,
+        )
     };
     let mut a = build();
     let mut b = build();
@@ -122,8 +133,10 @@ fn double_buffering_analysis_composes_with_real_pu_numbers() {
     let batches: Vec<BatchWork> = nets
         .chunks(4)
         .map(|chunk| {
-            let pus: Vec<_> =
-                chunk.iter().map(|n| e3::inax::PuSim::new(&config, n.clone())).collect();
+            let pus: Vec<_> = chunk
+                .iter()
+                .map(|n| e3::inax::PuSim::new(&config, n.clone()))
+                .collect();
             BatchWork {
                 setup_cycles: pus.iter().map(|p| p.setup_cycles()).max().unwrap(),
                 compute_cycles: pus

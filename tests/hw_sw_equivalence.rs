@@ -31,8 +31,9 @@ fn evolved_population(env: EnvId, generations: usize, seed: u64) -> Population {
 fn evolved_nets_agree_across_all_three_execution_paths() {
     for env in [EnvId::CartPole, EnvId::LunarLander] {
         let pop = evolved_population(env, 5, 23);
-        let probe: Vec<f64> =
-            (0..env.observation_size()).map(|i| ((i + 1) as f64 * 0.31).sin()).collect();
+        let probe: Vec<f64> = (0..env.observation_size())
+            .map(|i| ((i + 1) as f64 * 0.31).sin())
+            .collect();
         for genome in pop.genomes().iter().take(15) {
             let mut sw = genome.decode().expect("feed-forward");
             let want = sw.activate(&probe);
@@ -70,5 +71,8 @@ fn evolved_nets_show_the_irregularity_inax_targets() {
     degrees.sort_unstable();
     degrees.dedup();
     assert!(degrees.len() > 1, "in-degree variance (Fig. 4(e))");
-    assert!(any_skip, "evolution produces level-skipping links (Fig. 4(c))");
+    assert!(
+        any_skip,
+        "evolution produces level-skipping links (Fig. 4(c))"
+    );
 }

@@ -1,0 +1,186 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the macro and builder surface the `e3-bench` benches use
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, [`black_box`])
+//! but runs every benchmark body exactly once and prints its wall
+//! time. This keeps `cargo bench`/`cargo test` fast and dependency
+//! free; it does no statistical sampling.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id naming only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&id.to_string(), &mut body);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the statistical sample size (ignored by the stand-in).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&format!("{}/{}", self.name, id), &mut body);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let start = Instant::now();
+        let mut bencher = Bencher { iterations: 0 };
+        body(&mut bencher, input);
+        report(&label, start, bencher.iterations);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs the routine (once, in the stand-in).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iterations += 1;
+        black_box(routine());
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(label: &str, body: &mut F) {
+    let start = Instant::now();
+    let mut bencher = Bencher { iterations: 0 };
+    body(&mut bencher);
+    report(label, start, bencher.iterations);
+}
+
+fn report(label: &str, start: Instant, iterations: u64) {
+    eprintln!(
+        "bench {label}: {:?} ({iterations} iteration{})",
+        start.elapsed(),
+        if iterations == 1 { "" } else { "s" }
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("a", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+}

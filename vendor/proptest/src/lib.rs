@@ -1,0 +1,308 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the macro surface this workspace's property tests use
+//! (`proptest!`, `prop_assert!`, `prop_assert_eq!`, `any`, ranges,
+//! tuples, `collection::vec`) running each test body over a
+//! deterministic sequence of generated cases. There is no shrinking:
+//! a failing case panics immediately with the generated inputs left to
+//! the assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`cases` is the only knob the stand-in honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The per-test deterministic generator.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Seeds the runner from the test name, so every test sees a fixed
+    /// but distinct case sequence.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen::<$ty>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        // Finite, broadly ranged values (no NaN/inf: the consumers
+        // assert finite math).
+        runner.rng().gen_range(-1e6f64..1e6)
+    }
+}
+
+/// Strategy producing unconstrained values of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_strategy_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, runner: &mut TestRunner) -> $ty {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, runner: &mut TestRunner) -> $ty {
+                runner.rng().gen_range(*self.start()..*self.end())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Element-count specifications accepted by [`vec`]: a fixed size
+    /// or a range of sizes.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _runner: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with the given element strategy and size.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Generates vectors of `element` values with lengths drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = self.size.pick(runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Boolean property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn` runs its body for every
+/// generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            n in 3usize..9,
+            x in -1.5f64..2.5,
+            flag in any::<bool>(),
+            items in crate::collection::vec(0u64..10, 2..5),
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-1.5..2.5).contains(&x));
+            prop_assert!(flag == true || flag == false);
+            prop_assert!(items.len() >= 2 && items.len() < 5);
+            prop_assert!(items.iter().all(|&v| v < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRunner::deterministic("x");
+        let mut b = crate::TestRunner::deterministic("x");
+        let s = 0usize..100;
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the workspace vendors a minimal, dependency-free
+//! re-implementation of the serde surface it actually uses: the
+//! [`Serialize`] / [`Deserialize`] traits, a JSON-shaped [`Value`]
+//! data model, and (behind the `derive` feature) `#[derive(Serialize,
+//! Deserialize)]` for structs and enums.
+//!
+//! The data model intentionally mirrors `serde_json`'s conventions so
+//! the NDJSON telemetry schema stays conventional:
+//!
+//! * structs → objects with fields in declaration order;
+//! * unit enum variants → strings (`"Cpu"`);
+//! * newtype variants → `{"Variant": value}`;
+//! * struct variants → `{"Variant": {..}}`;
+//! * newtype structs are transparent (serialize as their inner value);
+//! * maps with integer keys → objects with stringified keys.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for negative values).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    /// Convenience for "expected X" errors.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError::new(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the serde data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// --- Derive support helpers (used by generated code). -----------------
+
+/// Fetches a required object field during derived deserialization.
+pub fn field<'a>(value: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+    value
+        .get(name)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Fetches an optional object field (missing ⇒ `Null`), so derived
+/// `Option` fields tolerate omission.
+pub fn field_or_null<'a>(value: &'a Value, name: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    value.get(name).unwrap_or(&NULL)
+}
+
+// --- Primitive impls. -------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value.as_u64().ok_or_else(|| DeError::expected("unsigned integer", value))?;
+                <$ty>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value.as_i64().ok_or_else(|| DeError::expected("integer", value))?;
+                <$ty>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().map(|v| v as f32).ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value.as_str().ok_or_else(|| DeError::expected("single-char string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", value)),
+        }
+    }
+}
+
+// --- Composite impls. -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let expect = 0usize $(+ { let _ = $idx; 1 })+;
+                        if items.len() != expect {
+                            return Err(DeError::new(format!(
+                                "expected {expect}-tuple, got array of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected("array (tuple)", value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys: rendered as JSON object keys (strings).
+pub trait MapKey: Sized {
+    /// The key as an object-field name.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a field name.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_map_key_int {
+    ($($ty:ty),*) => {$(
+        impl MapKey for $ty {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::new(format!("invalid integer key `{key}`")))
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", value)),
+        }
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", value)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Some(3u64).to_value(), Value::UInt(3));
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let v = vec![1u64, 2, 3].to_value();
+        assert_eq!(Vec::<u64>::from_value(&v).unwrap(), vec![1, 2, 3]);
+        let arr: [f64; 2] = [0.5, -1.5];
+        assert_eq!(<[f64; 2]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(7usize, vec![1u64]);
+        let v = m.to_value();
+        assert_eq!(v.get("7"), Some(&Value::Array(vec![Value::UInt(1)])));
+        assert_eq!(BTreeMap::<usize, Vec<u64>>::from_value(&v).unwrap(), m);
+    }
+}

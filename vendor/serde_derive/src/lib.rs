@@ -1,0 +1,473 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implements just the shapes this workspace uses, parsing the derive
+//! input token stream by hand (the real `syn`/`quote` crates are not
+//! available offline):
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching `serde_json`'s default representation).
+//!
+//! Generics are not supported and produce a compile error naming the
+//! offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// --- Parsing ----------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips attributes, returning true if any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                skip |= attr_is_serde_skip(&g.stream());
+            }
+        }
+        skip
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skips type tokens until a comma at angle-bracket depth zero (or
+    /// the end of the stream).
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let mut iter = stream.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde stand-in derive: generics on `{name}` are unsupported"));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other} {name}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let skip = cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        cur.skip_type();
+        cur.next(); // consume trailing comma if present
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.next();
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// --- Code generation --------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } if fields.iter().all(|f| f.skip) => {
+            impl_serialize(name, "::serde::Value::Object(Vec::new())")
+        }
+        Input::NamedStruct { name, fields } => {
+            let mut body = String::from(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(fields)");
+            impl_serialize(name, &body)
+        }
+        Input::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(name, &format!("::serde::Value::Array(vec![{}])", items.join(", ")))
+        }
+        Input::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_field_constructors(fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+        } else {
+            out.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(::serde::field_or_null({source}, \"{0}\"))\
+                 .map_err(|e| ::serde::DeError::new(format!(\"field `{0}`: {{e}}\")))?,\n",
+                f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let body = format!(
+                "if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                     return Err(::serde::DeError::expected(\"object ({name})\", value));\n\
+                 }}\n\
+                 Ok({name} {{\n{}}})",
+                named_field_constructors(fields, "value")
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         Ok({name}({})),\n\
+                     _ => Err(::serde::DeError::expected(\"array of {arity} ({name})\", value)),\n\
+                 }}",
+                items.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::UnitStruct { name } => impl_deserialize(name, &format!("Ok({name})")),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms
+                        .push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                                     Ok({name}::{vn}({})),\n\
+                                 _ => Err(::serde::DeError::expected(\
+                                     \"array of {arity} ({name}::{vn})\", inner)),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                             if !matches!(inner, ::serde::Value::Object(_)) {{\n\
+                                 return Err(::serde::DeError::expected(\
+                                     \"object ({name}::{vn})\", inner));\n\
+                             }}\n\
+                             Ok({name}::{vn} {{\n{}}})\n\
+                         }},\n",
+                        named_field_constructors(fields, "inner")
+                    )),
+                }
+            }
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                         let (tag, inner) = &tagged[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => Err(::serde::DeError::expected(\"enum ({name})\", value)),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
