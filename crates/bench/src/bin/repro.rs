@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation, plus `run` (a single
-//! evolve/evaluate run on one env/backend). `--full` uses paper-scale
+//! fig9b fig10a fig10b fig11 ablation exec, plus `run` (a single
+//! evolve/evaluate run on one env/backend; `--threads N` shards the
+//! evaluation across N worker threads with bit-identical results).
+//! `exec` sweeps the worker-thread count and writes the measured
+//! scaling to `BENCH_exec.json`. `--full` uses paper-scale
 //! parameters (population 200, full step budgets); the default quick
 //! scale finishes in seconds per experiment. `--svg DIR` additionally
 //! writes figure images for the sweep experiments. `--telemetry FILE`
@@ -21,7 +24,7 @@ use e3_bench::svg::{LineChart, Series};
 use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
 use e3_envs::EnvId;
 use e3_platform::experiments::{
-    ablation, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale,
+    ablation, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale,
 };
 use e3_platform::telemetry::{Collector, NdjsonWriter, NullCollector};
 use e3_platform::{BackendKind, E3Config, E3Platform, PowerModel};
@@ -38,6 +41,8 @@ struct Options {
     envs: Vec<EnvId>,
     /// Backend for the single-run experiment (`--backend`).
     backend: BackendKind,
+    /// Evaluation worker threads for `run` (`--threads`, default 1).
+    threads: usize,
 }
 
 fn main() -> ExitCode {
@@ -50,6 +55,7 @@ fn main() -> ExitCode {
         svg_dir: None,
         envs: Vec::new(),
         backend: BackendKind::Inax,
+        threads: 1,
     };
     let mut telemetry_path: Option<PathBuf> = None;
     let mut iter = args.iter();
@@ -91,6 +97,13 @@ fn main() -> ExitCode {
                 opts.backend = kind
                     .parse::<BackendKind>()
                     .unwrap_or_else(|e| usage(&e.to_string()));
+            }
+            "--threads" => {
+                opts.threads = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -165,10 +178,14 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
     }
     match name {
         "run" => {
-            let env = opts.envs[0];
+            let env = *opts
+                .envs
+                .first()
+                .expect("envs default to the paper suite when the flag is absent");
             let config = E3Config::builder(env)
                 .population_size(scale.population())
                 .max_generations(scale.max_generations())
+                .threads(opts.threads)
                 .build();
             let platform = E3Platform::new(config, opts.backend, seed);
             let outcome = try_run!(platform.run_with(collector));
@@ -322,6 +339,16 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
             emit!(result);
         }
         "ablation" => emit!(ablation::run()),
+        "exec" => {
+            let result = try_run!(exec::run(scale, seed));
+            let json = serde_json::to_string_pretty(&result).expect("scaling results serialize");
+            if let Err(e) = std::fs::write("BENCH_exec.json", &json) {
+                eprintln!("warning: could not write BENCH_exec.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_exec.json");
+            }
+            emit!(result);
+        }
         other => usage(&format!("unknown experiment: {other}")),
     }
 }
@@ -338,11 +365,12 @@ fn write_svg(dir: &Path, file: &str, svg: &str) {
 fn print_usage() {
     eprintln!(
         "usage: repro <experiment|run|all> [--full] [--json] [--seed N] \
-         [--envs LIST] [--backend KIND] [--telemetry FILE] [--svg DIR]"
+         [--envs LIST] [--backend KIND] [--threads N] [--telemetry FILE] [--svg DIR]"
     );
     eprintln!("experiments: {} run", EXPERIMENTS.join(" "));
     eprintln!("  --envs      comma-separated env names/indices (default: paper suite)");
     eprintln!("  --backend   cpu | gpu | inax (for `run`; default inax)");
+    eprintln!("  --threads   evaluation worker threads for `run` (default 1 = serial)");
     eprintln!("  --telemetry write NDJSON telemetry records to FILE");
 }
 

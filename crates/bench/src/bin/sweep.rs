@@ -2,21 +2,25 @@
 //!
 //! ```text
 //! sweep [--env NAME] [--inputs N] [--outputs N] [--hidden N]
-//!       [--population N] [--steps N] [--csv PATH] [--telemetry FILE]
+//!       [--population N] [--steps N] [--threads N] [--csv PATH]
+//!       [--telemetry FILE]
 //! ```
 //!
 //! Prints the Pareto frontier over {total cycles, LUTs} on the ZCU104
 //! and the paper's heuristic point for comparison; `--csv` dumps every
 //! evaluated point. `--env` sizes the workload from one of the paper's
 //! benchmark environments (observation size → inputs, policy outputs →
-//! outputs) instead of raw dimensions. `--telemetry` writes one
-//! `e3-telemetry` NDJSON `EvalRecord` per evaluated design point, with
-//! the accelerator counters in the `hw` field.
+//! outputs) instead of raw dimensions. `--threads` shards the (PU, PE)
+//! grid across worker threads (bit-identical results at any count).
+//! `--telemetry` writes one `e3-telemetry` NDJSON `EvalRecord` per
+//! evaluated design point, with the accelerator counters in the `hw`
+//! field.
 
 use e3_envs::EnvId;
 use e3_inax::synthetic::synthetic_population;
 use e3_inax::InaxConfig;
-use e3_platform::design_space::sweep_design_space;
+use e3_platform::design_space::sweep_design_space_with;
+use e3_platform::exec::AnyExecutor;
 use e3_platform::telemetry::{Collector, EvalRecord, HwCounters, NdjsonWriter, TelemetryEvent};
 use e3_platform::{BackendKind, FpgaBudget};
 use std::process::ExitCode;
@@ -28,6 +32,7 @@ struct Args {
     hidden: usize,
     population: usize,
     steps: u64,
+    threads: usize,
     csv: Option<String>,
     telemetry: Option<String>,
 }
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         hidden: 30,
         population: 200,
         steps: 100,
+        threads: 1,
         csv: None,
         telemetry: None,
     };
@@ -60,6 +66,12 @@ fn parse_args() -> Result<Args, String> {
                 args.population = take("--population")?.parse().map_err(|e| format!("{e}"))?
             }
             "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = take("--threads")?.parse().map_err(|e| format!("{e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads needs a positive integer".to_string());
+                }
+            }
             "--csv" => args.csv = Some(take("--csv")?),
             "--telemetry" => args.telemetry = Some(take("--telemetry")?),
             "--help" | "-h" => {
@@ -80,7 +92,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: sweep [--env NAME] [--inputs N] [--outputs N] [--hidden N] \
-                 [--population N] [--steps N] [--csv PATH] [--telemetry FILE]"
+                 [--population N] [--steps N] [--threads N] [--csv PATH] [--telemetry FILE]"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -104,7 +116,15 @@ fn main() -> ExitCode {
         .collect();
     let pe_options: Vec<usize> = (1..=2 * args.outputs.max(4)).collect();
     let budget = FpgaBudget::zcu104();
-    let sweep = sweep_design_space(&nets, args.steps, &pu_options, &pe_options, &budget);
+    let mut exec = AnyExecutor::new(args.threads);
+    let sweep = sweep_design_space_with(
+        &nets,
+        args.steps,
+        &pu_options,
+        &pe_options,
+        &budget,
+        &mut exec,
+    );
 
     let workload = args
         .env

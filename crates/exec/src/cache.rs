@@ -1,0 +1,190 @@
+//! Per-worker decoded-network cache.
+//!
+//! Unchanged elites and champions survive generations verbatim, so
+//! re-running genome→[`Network`] decoding for them every generation is
+//! wasted work. Each worker keeps a cache keyed by
+//! [`Genome::fingerprint`]: a lookup for an unchanged genome returns
+//! the previously decoded network; any mutation changes the
+//! fingerprint, so a mutated genome can never be served a stale
+//! phenotype.
+//!
+//! Reusing a decoded [`Network`] across episodes is safe because
+//! `Network::activate` overwrites every node value on each pass — the
+//! network carries no hidden episode state.
+
+use e3_neat::{DecodeError, Genome, Network};
+use std::collections::HashMap;
+
+struct CacheEntry {
+    net: Network,
+    last_used: u64,
+}
+
+/// A genome-fingerprint-keyed cache of decoded networks.
+///
+/// Entries not used for two consecutive jobs (generations) are evicted
+/// at the next [`DecodeCache::begin_job`], bounding the cache to the
+/// working set of the current population.
+#[derive(Default)]
+pub struct DecodeCache {
+    entries: HashMap<u64, CacheEntry>,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DecodeCache::default()
+    }
+
+    /// Starts a new job (generation): advances the epoch and evicts
+    /// every entry not used in the previous job.
+    pub fn begin_job(&mut self) {
+        self.epoch += 1;
+        let horizon = self.epoch.saturating_sub(1);
+        self.entries.retain(|_, e| e.last_used >= horizon);
+    }
+
+    /// Returns the decoded network for `genome`, decoding and caching
+    /// it on first sight of the fingerprint.
+    ///
+    /// The returned reference is mutable so callers can run inference
+    /// in place; `activate` fully overwrites node state, so reuse
+    /// across episodes cannot leak results between genomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the genome is not feed-forward.
+    pub fn get_or_decode(&mut self, genome: &Genome) -> Result<&mut Network, DecodeError> {
+        let key = genome.fingerprint();
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.hits += 1;
+                let entry = slot.into_mut();
+                entry.last_used = self.epoch;
+                Ok(&mut entry.net)
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.misses += 1;
+                let net = genome.decode()?;
+                let entry = slot.insert(CacheEntry {
+                    net,
+                    last_used: self.epoch,
+                });
+                Ok(&mut entry.net)
+            }
+        }
+    }
+
+    /// Number of cached networks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Takes and resets the `(hits, misses)` counters.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.hits),
+            std::mem::take(&mut self.misses),
+        )
+    }
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeCache")
+            .field("entries", &self.entries.len())
+            .field("epoch", &self.epoch)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_neat::{Genome, InnovationTracker, NeatConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn genome() -> (Genome, NeatConfig, InnovationTracker, StdRng) {
+        let config = NeatConfig::new(3, 2);
+        let mut tracker = InnovationTracker::with_reserved_nodes(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Genome::initial(&config, &mut tracker, &mut rng);
+        (g, config, tracker, rng)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let (g, _, _, _) = genome();
+        let mut cache = DecodeCache::new();
+        cache.begin_job();
+        cache.get_or_decode(&g).expect("decodes");
+        cache.get_or_decode(&g).expect("decodes");
+        assert_eq!(cache.take_counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mutated_genome_never_served_stale_network() {
+        let (mut g, config, mut tracker, mut rng) = genome();
+        let mut cache = DecodeCache::new();
+        cache.begin_job();
+        let inputs = vec![0.25, -0.5, 1.0];
+        let before = cache.get_or_decode(&g).expect("decodes").activate(&inputs);
+        // Mutate until the phenotype output actually changes.
+        let mut after = before.clone();
+        for _ in 0..100 {
+            g.mutate(&config, &mut tracker, &mut rng);
+            after = cache.get_or_decode(&g).expect("decodes").activate(&inputs);
+            if after != before {
+                break;
+            }
+        }
+        assert_ne!(
+            before, after,
+            "mutated genome decoded fresh, not from cache"
+        );
+        // The cached entry for the pre-mutation genome must equal a
+        // fresh decode of it too (the entry itself is never mutated).
+        let unmutated = genome().0;
+        let cached = cache
+            .get_or_decode(&unmutated)
+            .expect("decodes")
+            .activate(&inputs);
+        let fresh = unmutated.decode().expect("decodes").activate(&inputs);
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn eviction_drops_entries_unused_for_two_jobs() {
+        let (g, config, mut tracker, mut rng) = genome();
+        let mut other = g.clone();
+        for _ in 0..20 {
+            other.mutate(&config, &mut tracker, &mut rng);
+        }
+        assert_ne!(g.fingerprint(), other.fingerprint());
+        let mut cache = DecodeCache::new();
+        cache.begin_job(); // epoch 1
+        cache.get_or_decode(&g).expect("decodes");
+        cache.get_or_decode(&other).expect("decodes");
+        assert_eq!(cache.len(), 2);
+        cache.begin_job(); // epoch 2: both used at epoch 1, kept
+        cache.get_or_decode(&g).expect("decodes");
+        assert_eq!(cache.len(), 2);
+        cache.begin_job(); // epoch 3: `other` last used at epoch 1, evicted
+        assert_eq!(cache.len(), 1);
+        let _ = cache.take_counters();
+        cache.get_or_decode(&other).expect("decodes");
+        assert_eq!(cache.take_counters(), (0, 1), "evicted entry re-decodes");
+    }
+}

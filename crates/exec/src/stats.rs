@@ -1,0 +1,103 @@
+//! Execution statistics — the host-side analogue of the INAX `U(r)`
+//! utilization counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Observability counters for one [`crate::Executor::run_shards`] call.
+///
+/// Stats are **write-only**: they describe how the work was executed
+/// (which is nondeterministic under a thread pool — wall times and
+/// steal counts vary run to run) and are never fed back into the
+/// computation, so they cannot perturb the bit-identical results
+/// contract.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Number of workers (virtual PUs) the executor runs.
+    pub workers: usize,
+    /// Number of shards the item range was split into.
+    pub shards: usize,
+    /// Total items processed.
+    pub items: usize,
+    /// Wall-clock seconds per shard, in shard order.
+    pub shard_seconds: Vec<f64>,
+    /// Shards executed by a worker other than their home worker
+    /// (always 0 for the serial executor).
+    pub steal_count: u64,
+    /// Decode-cache hits across all workers for this call.
+    pub cache_hits: u64,
+    /// Decode-cache misses across all workers for this call.
+    pub cache_misses: u64,
+    /// Seconds each worker spent running shard bodies, by worker index.
+    pub busy_seconds: Vec<f64>,
+    /// Wall-clock seconds for the whole call (submit to reduce).
+    pub wall_seconds: f64,
+}
+
+impl ExecStats {
+    /// Fraction of decode lookups served from cache (0 when no lookups
+    /// happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean fraction of the call's wall-clock each worker spent busy —
+    /// the host-side analogue of the INAX PU utilization `U(r)`.
+    /// Returns 0 when the call did no timed work.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_seconds.iter().sum();
+        (busy / (self.workers as f64 * self.wall_seconds)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut stats = ExecStats::default();
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        stats.cache_hits = 3;
+        stats.cache_misses = 1;
+        assert!((stats.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let stats = ExecStats {
+            workers: 2,
+            wall_seconds: 1.0,
+            busy_seconds: vec![0.9, 0.7],
+            ..ExecStats::default()
+        };
+        let u = stats.worker_utilization();
+        assert!(u > 0.0 && u <= 1.0);
+        assert!((u - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let stats = ExecStats {
+            workers: 4,
+            shards: 8,
+            items: 32,
+            shard_seconds: vec![0.1; 8],
+            steal_count: 2,
+            cache_hits: 10,
+            cache_misses: 22,
+            busy_seconds: vec![0.2; 4],
+            wall_seconds: 0.3,
+        };
+        let json = serde_json::to_string(&stats).expect("serialize");
+        let back: ExecStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(stats, back);
+    }
+}

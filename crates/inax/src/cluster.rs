@@ -32,6 +32,27 @@ pub struct EpisodeRunReport {
     pub steps: u64,
 }
 
+impl EpisodeRunReport {
+    /// Accumulates another report into this one.
+    ///
+    /// Every field is an additive counter (utilization reports add
+    /// their `active`/`total` resource-cycles), so merging the per-wave
+    /// reports of several accelerator instances in wave order is
+    /// exactly the accounting a single accelerator running all waves
+    /// would produce — the property the parallel INAX backend relies
+    /// on for bit-identical results.
+    pub fn merge(&mut self, other: &EpisodeRunReport) {
+        self.total_cycles += other.total_cycles;
+        self.breakdown.setup += other.breakdown.setup;
+        self.breakdown.pe_active += other.breakdown.pe_active;
+        self.breakdown.evaluate_control += other.breakdown.evaluate_control;
+        self.pu_utilization.merge(other.pu_utilization);
+        self.pe_utilization.merge(other.pe_utilization);
+        self.dma_cycles += other.dma_cycles;
+        self.steps += other.steps;
+    }
+}
+
 impl From<&EpisodeRunReport> for e3_telemetry::HwCounters {
     /// Flattens the cycle accounting into the plain telemetry
     /// counters (utilization reports become their rates).
@@ -380,6 +401,32 @@ mod tests {
     fn oversized_batch_rejected() {
         let mut acc = InaxAccelerator::new(InaxConfig::builder().num_pu(1).build());
         acc.load_batch(synthetic_population(2, 4, 2, 4, 0.4, 1));
+    }
+
+    #[test]
+    fn merged_per_wave_reports_equal_single_accelerator_accounting() {
+        // Two waves on one accelerator vs one accelerator per wave,
+        // merged in wave order: the accounting must be identical.
+        let config = InaxConfig::builder().num_pu(2).num_pe(2).build();
+        let nets = synthetic_population(4, 4, 2, 6, 0.5, 9);
+        let inputs = |n: usize| vec![Some(vec![0.25; 4]); n];
+
+        let mut single = InaxAccelerator::new(config.clone());
+        for wave in nets.chunks(2) {
+            single.load_batch(wave.to_vec());
+            single.step(&inputs(wave.len()));
+            single.unload_batch();
+        }
+
+        let mut merged = EpisodeRunReport::default();
+        for wave in nets.chunks(2) {
+            let mut acc = InaxAccelerator::new(config.clone());
+            acc.load_batch(wave.to_vec());
+            acc.step(&inputs(wave.len()));
+            acc.unload_batch();
+            merged.merge(&acc.report());
+        }
+        assert_eq!(merged, single.report());
     }
 
     #[test]

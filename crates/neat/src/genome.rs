@@ -885,6 +885,45 @@ impl Genome {
         }
     }
 
+    /// A 64-bit structural fingerprint over every gene (FNV-1a).
+    ///
+    /// Two genomes that compare equal hash identically; any change to a
+    /// node (bias, activation) or connection (weight, enabled flag,
+    /// endpoints, innovation) changes the fingerprint with overwhelming
+    /// probability. Float parameters are hashed through their IEEE-754
+    /// bit patterns, so the fingerprint is deterministic across
+    /// processes and platforms. Used as the key of the decoded-network
+    /// cache in `e3-exec`.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.num_inputs as u64);
+        mix(self.num_outputs as u64);
+        mix(self.nodes.len() as u64);
+        for node in &self.nodes {
+            mix(node.id as u64);
+            mix(node.kind as u64);
+            mix(node.bias.to_bits());
+            mix(node.activation as u64);
+        }
+        mix(self.connections.len() as u64);
+        for conn in &self.connections {
+            mix(conn.innovation.0);
+            mix(conn.from as u64);
+            mix(conn.to as u64);
+            mix(conn.weight.to_bits());
+            mix(u64::from(conn.enabled));
+        }
+        hash
+    }
+
     /// Directly sets a node's bias (used by tests and tools).
     ///
     /// # Errors
@@ -1125,6 +1164,37 @@ mod tests {
         let d_ab = a.compatibility_distance(&b, &config);
         let d_ba = b.compatibility_distance(&a, &config);
         assert!((d_ab - d_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_clones_and_changes_on_mutation() {
+        let (config, mut tracker, mut rng) = setup();
+        let g = Genome::initial(&config, &mut tracker, &mut rng);
+        assert_eq!(g.fingerprint(), g.clone().fingerprint());
+
+        // Any parameter change moves the fingerprint.
+        let mut weight_changed = g.clone();
+        let c = weight_changed.connections()[0];
+        weight_changed
+            .set_weight(c.from, c.to, c.weight + 1.0)
+            .unwrap();
+        assert_ne!(g.fingerprint(), weight_changed.fingerprint());
+
+        let mut bias_changed = g.clone();
+        let out = g.num_inputs(); // first output node id
+        bias_changed.set_bias(out, 42.0).unwrap();
+        assert_ne!(g.fingerprint(), bias_changed.fingerprint());
+
+        // Full mutation suite: repeated mutation keeps diverging.
+        let mut mutated = g.clone();
+        let mut seen = vec![g.fingerprint()];
+        for _ in 0..20 {
+            mutated.mutate(&config, &mut tracker, &mut rng);
+            seen.push(mutated.fingerprint());
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() > 10, "fingerprints track mutations");
     }
 
     #[test]

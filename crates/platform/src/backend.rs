@@ -18,11 +18,13 @@
 
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::{decode_action, EnvId, Environment};
+use e3_exec::{AnyExecutor, ExecError, ExecStats, Executor};
 use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet};
 use e3_neat::{DecodeError, Genome, Network};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Which backend executes "evaluate".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -107,6 +109,9 @@ pub enum EvalError {
         /// Why decoding failed.
         reason: DecodeError,
     },
+    /// The parallel executor failed (a shard task panicked or a worker
+    /// thread was lost).
+    ExecFailed(ExecError),
 }
 
 impl fmt::Display for EvalError {
@@ -116,7 +121,14 @@ impl fmt::Display for EvalError {
                 genome_index,
                 reason,
             } => write!(f, "genome {genome_index} is not feed-forward: {reason}"),
+            EvalError::ExecFailed(err) => write!(f, "parallel evaluation failed: {err}"),
         }
+    }
+}
+
+impl From<ExecError> for EvalError {
+    fn from(err: ExecError) -> Self {
+        EvalError::ExecFailed(err)
     }
 }
 
@@ -124,6 +136,7 @@ impl std::error::Error for EvalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EvalError::NotFeedForward { reason, .. } => Some(reason),
+            EvalError::ExecFailed(err) => Some(err),
         }
     }
 }
@@ -179,6 +192,17 @@ pub trait EvalBackend {
             Err(err) => panic!("population evaluation failed: {err}"),
         }
     }
+
+    /// Takes (consumes) the executor statistics of the most recent
+    /// successful `try_evaluate_population` call, or `None` if the
+    /// backend has not evaluated yet.
+    ///
+    /// Stats are observability only: they describe the nondeterministic
+    /// execution schedule (wall times, steals, cache hits), never the
+    /// results, which are bit-identical across thread counts.
+    fn take_exec_stats(&mut self) -> Option<ExecStats> {
+        None
+    }
 }
 
 /// Runs one decoded network's episode in software, returning
@@ -205,69 +229,150 @@ fn run_software_episode(
     }
 }
 
+/// Per-genome `(fitness, steps, inference_seconds)` row of a software
+/// evaluation, or the decode failure for that genome.
+type SoftwareRow = Result<(f64, u64, f64), (usize, DecodeError)>;
+
+/// Population-order `(fitness, steps, inference_seconds)` rows plus the
+/// executor's observability counters for the run.
+type SoftwareRun = (Vec<(f64, u64, f64)>, ExecStats);
+
+/// Shard size for software evaluation: ~4 shards per worker so work
+/// stealing can absorb episode-length imbalance without flooding the
+/// queues. Depends only on the population size and worker count, never
+/// on timing, so every run produces the same shard plan.
+fn software_shard_size(items: usize, workers: usize) -> usize {
+    items.div_ceil(workers.max(1) * 4).max(1)
+}
+
+/// Evaluates every genome in software on the given executor: decode
+/// (through the per-worker cache) then run one episode, pricing each
+/// inference with `cost`. Returns per-genome rows in population order
+/// plus the executor stats.
+///
+/// Bit-identical to a serial loop: shard tasks depend only on genome
+/// index, and rows are reduced lowest-index-first (see `e3-exec`'s
+/// determinism contract).
+fn run_software_population<C>(
+    exec: &mut AnyExecutor,
+    genomes: &[Genome],
+    env_id: EnvId,
+    episode_seed: u64,
+    cost: C,
+) -> Result<SoftwareRun, EvalError>
+where
+    C: Fn(&Network) -> f64 + Send + Sync + 'static,
+{
+    let pop: Arc<[Genome]> = genomes.into();
+    let shard_size = software_shard_size(genomes.len(), exec.workers());
+    let run = exec.run_shards(genomes.len(), shard_size, move |scratch, range| {
+        let mut env = env_id.make();
+        range
+            .map(|i| -> SoftwareRow {
+                let net = scratch
+                    .cache()
+                    .get_or_decode(&pop[i])
+                    .map_err(|reason| (i, reason))?;
+                let per_inference = cost(net);
+                let (fitness, steps) = run_software_episode(net, env.as_mut(), episode_seed);
+                Ok((fitness, steps, per_inference * steps as f64))
+            })
+            .collect()
+    })?;
+    let mut rows = Vec::with_capacity(run.results.len());
+    for row in run.results {
+        match row {
+            Ok(values) => rows.push(values),
+            // Index-ordered scan: the first error seen is the
+            // lowest-indexed one, matching the serial loop's
+            // first-failure semantics.
+            Err((genome_index, reason)) => {
+                return Err(EvalError::NotFeedForward {
+                    genome_index,
+                    reason,
+                })
+            }
+        }
+    }
+    Ok((rows, run.stats))
+}
+
+/// Reduces software rows into an [`EvalOutcome`], accumulating modeled
+/// seconds in population order (the serial summation order).
+fn reduce_software_rows(rows: Vec<(f64, u64, f64)>, sec_per_env_step: f64) -> EvalOutcome {
+    let mut fitnesses = Vec::with_capacity(rows.len());
+    let mut steps_per_genome = Vec::with_capacity(rows.len());
+    let mut eval_seconds = 0.0;
+    let mut total_steps = 0u64;
+    for (fitness, steps, seconds) in rows {
+        fitnesses.push(fitness);
+        steps_per_genome.push(steps);
+        eval_seconds += seconds;
+        total_steps += steps;
+    }
+    EvalOutcome {
+        fitnesses,
+        steps_per_genome,
+        eval_seconds,
+        env_seconds: total_steps as f64 * sec_per_env_step,
+        total_steps,
+        hw_report: None,
+    }
+}
+
 /// E3-CPU: software evaluation with the interpreted-runtime cost
 /// model. Optionally evaluates genomes on multiple host threads —
 /// NE's embarrassing parallelism is one of the properties the paper
 /// cites ([35], [43]) — without changing the *modeled* single-CPU
 /// time, so timing comparisons stay faithful to the baseline platform.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct CpuBackend {
     model: SwCostModel,
-    threads: usize,
+    exec: AnyExecutor,
+    last_exec: Option<ExecStats>,
 }
 
 impl CpuBackend {
     /// Creates the backend with the given cost model (single-threaded
     /// host execution).
     pub fn new(model: SwCostModel) -> Self {
-        CpuBackend { model, threads: 1 }
+        CpuBackend::with_threads(model, 1)
     }
 
     /// Creates the backend with host-side parallel evaluation across
-    /// `threads` worker threads. Fitness values are identical to the
-    /// sequential backend (each genome's episode is independent and
-    /// deterministic); only the harness's wall-clock changes.
+    /// `threads` virtual PUs. Fitness values are bit-identical to the
+    /// serial backend (see `e3-exec`); only the harness's wall-clock
+    /// changes.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn with_threads(model: SwCostModel, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
-        CpuBackend { model, threads }
+        CpuBackend {
+            model,
+            exec: AnyExecutor::new(threads),
+            last_exec: None,
+        }
+    }
+
+    /// Number of host worker threads.
+    pub fn threads(&self) -> usize {
+        self.exec.workers()
     }
 }
 
-/// Per-genome `(fitness, steps, inference_seconds)` rows for one chunk
-/// of the population, or the first decode failure within it.
-type ChunkResult = Result<Vec<(f64, u64, f64)>, EvalError>;
+impl Clone for CpuBackend {
+    /// Clones the configuration; the clone gets a fresh executor of
+    /// the same width (worker pools are never shared).
+    fn clone(&self) -> Self {
+        CpuBackend::with_threads(self.model, self.exec.workers())
+    }
+}
 
-impl CpuBackend {
-    /// Evaluates a chunk of genomes sequentially, returning per-genome
-    /// `(fitness, steps, inference_seconds)`. `base_index` locates the
-    /// chunk in the full population for error reporting.
-    fn run_chunk(
-        model: &SwCostModel,
-        genomes: &[Genome],
-        env_id: EnvId,
-        episode_seed: u64,
-        base_index: usize,
-    ) -> ChunkResult {
-        let mut env = env_id.make();
-        genomes
-            .iter()
-            .enumerate()
-            .map(|(offset, genome)| {
-                let mut net = genome
-                    .decode()
-                    .map_err(|reason| EvalError::NotFeedForward {
-                        genome_index: base_index + offset,
-                        reason,
-                    })?;
-                let per_inference = model.inference_seconds(&net);
-                let (fitness, steps) = run_software_episode(&mut net, env.as_mut(), episode_seed);
-                Ok((fitness, steps, per_inference * steps as f64))
-            })
-            .collect()
+impl Default for CpuBackend {
+    fn default() -> Self {
+        CpuBackend::new(SwCostModel::default())
     }
 }
 
@@ -282,72 +387,65 @@ impl EvalBackend for CpuBackend {
         env_id: EnvId,
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError> {
-        let results: Vec<(f64, u64, f64)> = if self.threads <= 1 || genomes.len() < 2 {
-            Self::run_chunk(&self.model, genomes, env_id, episode_seed, 0)?
-        } else {
-            let chunk_len = genomes.len().div_ceil(self.threads);
-            let model = self.model;
-            let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
-                let handles: Vec<_> = genomes
-                    .chunks(chunk_len)
-                    .enumerate()
-                    .map(|(chunk_idx, chunk)| {
-                        scope.spawn(move || {
-                            Self::run_chunk(
-                                &model,
-                                chunk,
-                                env_id,
-                                episode_seed,
-                                chunk_idx * chunk_len,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            let mut merged = Vec::with_capacity(genomes.len());
-            for chunk in chunks {
-                merged.extend(chunk?);
-            }
-            merged
-        };
-        let mut fitnesses = Vec::with_capacity(genomes.len());
-        let mut steps_per_genome = Vec::with_capacity(genomes.len());
-        let mut eval_seconds = 0.0;
-        let mut total_steps = 0u64;
-        for (fitness, steps, seconds) in results {
-            fitnesses.push(fitness);
-            steps_per_genome.push(steps);
-            eval_seconds += seconds;
-            total_steps += steps;
-        }
-        Ok(EvalOutcome {
-            fitnesses,
-            steps_per_genome,
-            eval_seconds,
-            env_seconds: total_steps as f64 * self.model.sec_per_env_step,
-            total_steps,
-            hw_report: None,
-        })
+        let model = self.model;
+        let (rows, stats) =
+            run_software_population(&mut self.exec, genomes, env_id, episode_seed, move |net| {
+                model.inference_seconds(net)
+            })?;
+        self.last_exec = Some(stats);
+        Ok(reduce_software_rows(rows, self.model.sec_per_env_step))
+    }
+
+    fn take_exec_stats(&mut self) -> Option<ExecStats> {
+        self.last_exec.take()
     }
 }
 
 /// E3-GPU: functionally identical to software evaluation, but timed
 /// with the launch-bound GPU cost model.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct GpuBackend {
     sw: SwCostModel,
     gpu: GpuCostModel,
+    exec: AnyExecutor,
+    last_exec: Option<ExecStats>,
 }
 
 impl GpuBackend {
     /// Creates the backend with the given cost models (`sw` prices the
     /// CPU-side env stepping).
     pub fn new(sw: SwCostModel, gpu: GpuCostModel) -> Self {
-        GpuBackend { sw, gpu }
+        GpuBackend::with_threads(sw, gpu, 1)
+    }
+
+    /// Creates the backend with host-side parallel evaluation across
+    /// `threads` virtual PUs; results are bit-identical to serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(sw: SwCostModel, gpu: GpuCostModel, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        GpuBackend {
+            sw,
+            gpu,
+            exec: AnyExecutor::new(threads),
+            last_exec: None,
+        }
+    }
+}
+
+impl Clone for GpuBackend {
+    /// Clones the configuration; the clone gets a fresh executor of
+    /// the same width (worker pools are never shared).
+    fn clone(&self) -> Self {
+        GpuBackend::with_threads(self.sw, self.gpu, self.exec.workers())
+    }
+}
+
+impl Default for GpuBackend {
+    fn default() -> Self {
+        GpuBackend::new(SwCostModel::default(), GpuCostModel::default())
     }
 }
 
@@ -362,50 +460,68 @@ impl EvalBackend for GpuBackend {
         env_id: EnvId,
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError> {
-        let mut env = env_id.make();
-        let mut fitnesses = Vec::with_capacity(genomes.len());
-        let mut steps_per_genome = Vec::with_capacity(genomes.len());
-        let mut eval_seconds = 0.0;
-        let mut total_steps = 0u64;
-        for (genome_index, genome) in genomes.iter().enumerate() {
-            let mut net = genome
-                .decode()
-                .map_err(|reason| EvalError::NotFeedForward {
-                    genome_index,
-                    reason,
-                })?;
-            let per_inference = self.gpu.inference_seconds(&net);
-            let (fitness, steps) = run_software_episode(&mut net, env.as_mut(), episode_seed);
-            fitnesses.push(fitness);
-            steps_per_genome.push(steps);
-            eval_seconds += per_inference * steps as f64;
-            total_steps += steps;
-        }
-        Ok(EvalOutcome {
-            fitnesses,
-            steps_per_genome,
-            eval_seconds,
-            env_seconds: total_steps as f64 * self.sw.sec_per_env_step,
-            total_steps,
-            hw_report: None,
-        })
+        let gpu = self.gpu;
+        let (rows, stats) =
+            run_software_population(&mut self.exec, genomes, env_id, episode_seed, move |net| {
+                gpu.inference_seconds(net)
+            })?;
+        self.last_exec = Some(stats);
+        Ok(reduce_software_rows(rows, self.sw.sec_per_env_step))
+    }
+
+    fn take_exec_stats(&mut self) -> Option<ExecStats> {
+        self.last_exec.take()
     }
 }
 
 /// E3-INAX: batches the population onto the INAX simulator, one
 /// individual per PU, and drives the closed CPU↔FPGA loop of paper
 /// Fig. 5.
+///
+/// Under a parallel executor, each **wave** (one batch of `num_pu`
+/// individuals) runs on its own simulated accelerator instance and the
+/// per-wave [`EpisodeRunReport`]s are merged in wave order — every
+/// counter is additive, so the accounting is bit-identical to one
+/// accelerator executing all waves serially.
 #[derive(Debug)]
 pub struct InaxBackend {
     config: InaxConfig,
     sw: SwCostModel,
+    exec: AnyExecutor,
+    last_exec: Option<ExecStats>,
+}
+
+/// Everything one INAX wave produces: per-resident fitness and episode
+/// lengths, the wave's cycle accounting, and its env-step count.
+struct WaveResult {
+    fitnesses: Vec<f64>,
+    steps: Vec<u64>,
+    report: EpisodeRunReport,
+    total_steps: u64,
 }
 
 impl InaxBackend {
     /// Creates the backend. `sw` prices the CPU-side env stepping (the
     /// env stays a CPU program in all settings).
     pub fn new(config: InaxConfig, sw: SwCostModel) -> Self {
-        InaxBackend { config, sw }
+        InaxBackend::with_threads(config, sw, 1)
+    }
+
+    /// Creates the backend with waves simulated across `threads`
+    /// host workers; results and accounting are bit-identical to
+    /// serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(config: InaxConfig, sw: SwCostModel, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        InaxBackend {
+            config,
+            sw,
+            exec: AnyExecutor::new(threads),
+            last_exec: None,
+        }
     }
 
     /// The accelerator configuration.
@@ -425,6 +541,8 @@ impl EvalBackend for InaxBackend {
         env_id: EnvId,
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError> {
+        // Lowering stays serial so the first non-feed-forward genome
+        // (lowest index) is reported exactly as before.
         let nets: Vec<IrregularNet> = genomes
             .iter()
             .enumerate()
@@ -435,43 +553,75 @@ impl EvalBackend for InaxBackend {
                 })
             })
             .collect::<Result<_, _>>()?;
-        let mut accelerator = InaxAccelerator::new(self.config.clone());
         let num_pu = self.config.num_pu;
-        let mut fitnesses = vec![0.0f64; genomes.len()];
-        let mut steps_per_genome = vec![0u64; genomes.len()];
+        let num_waves = nets.len().div_ceil(num_pu.max(1));
+        let nets: Arc<Vec<IrregularNet>> = Arc::new(nets);
+        let config = self.config.clone();
+
+        // One work item per wave: each runs its batch on a private
+        // accelerator instance (a "virtual PU cluster").
+        let run = self.exec.run_shards(num_waves, 1, move |_scratch, range| {
+            range
+                .map(|wave| {
+                    let base = wave * num_pu;
+                    let end = (base + num_pu).min(nets.len());
+                    let batch = &nets[base..end];
+                    let mut accelerator = InaxAccelerator::new(config.clone());
+                    accelerator.load_batch(batch.to_vec());
+                    // One environment instance per resident individual.
+                    let mut envs: Vec<Box<dyn Environment>> =
+                        (0..batch.len()).map(|_| env_id.make()).collect();
+                    let space = envs
+                        .first()
+                        .expect("waves are non-empty by construction")
+                        .action_space();
+                    let mut fitnesses = vec![0.0f64; batch.len()];
+                    let mut steps_per_genome = vec![0u64; batch.len()];
+                    let mut total_steps = 0u64;
+                    let mut observations: Vec<Option<Vec<f64>>> = envs
+                        .iter_mut()
+                        .map(|e| Some(e.reset(episode_seed)))
+                        .collect();
+                    while observations.iter().any(Option::is_some) {
+                        let outputs = accelerator.step(&observations);
+                        for (i, output) in outputs.into_iter().enumerate() {
+                            let Some(out) = output else { continue };
+                            let action = decode_action(&out, &space);
+                            let step = envs[i].step(&action);
+                            fitnesses[i] += step.reward;
+                            steps_per_genome[i] += 1;
+                            total_steps += 1;
+                            observations[i] = if step.terminated || step.truncated {
+                                None
+                            } else {
+                                Some(step.observation)
+                            };
+                        }
+                    }
+                    accelerator.unload_batch();
+                    WaveResult {
+                        fitnesses,
+                        steps: steps_per_genome,
+                        report: accelerator.report(),
+                        total_steps,
+                    }
+                })
+                .collect()
+        })?;
+
+        // Wave-ordered reduction: counters are additive, so this is
+        // the accounting a single accelerator would have produced.
+        let mut fitnesses = Vec::with_capacity(genomes.len());
+        let mut steps_per_genome = Vec::with_capacity(genomes.len());
         let mut total_steps = 0u64;
-
-        for (batch_idx, batch) in nets.chunks(num_pu).enumerate() {
-            let base = batch_idx * num_pu;
-            accelerator.load_batch(batch.to_vec());
-            // One environment instance per resident individual.
-            let mut envs: Vec<Box<dyn Environment>> =
-                (0..batch.len()).map(|_| env_id.make()).collect();
-            let space = envs[0].action_space();
-            let mut observations: Vec<Option<Vec<f64>>> = envs
-                .iter_mut()
-                .map(|e| Some(e.reset(episode_seed)))
-                .collect();
-            while observations.iter().any(Option::is_some) {
-                let outputs = accelerator.step(&observations);
-                for (i, output) in outputs.into_iter().enumerate() {
-                    let Some(out) = output else { continue };
-                    let action = decode_action(&out, &space);
-                    let step = envs[i].step(&action);
-                    fitnesses[base + i] += step.reward;
-                    steps_per_genome[base + i] += 1;
-                    total_steps += 1;
-                    observations[i] = if step.terminated || step.truncated {
-                        None
-                    } else {
-                        Some(step.observation)
-                    };
-                }
-            }
-            accelerator.unload_batch();
+        let mut report = EpisodeRunReport::default();
+        for wave in run.results {
+            fitnesses.extend(wave.fitnesses);
+            steps_per_genome.extend(wave.steps);
+            total_steps += wave.total_steps;
+            report.merge(&wave.report);
         }
-
-        let report = accelerator.report();
+        self.last_exec = Some(run.stats);
         Ok(EvalOutcome {
             fitnesses,
             steps_per_genome,
@@ -480,6 +630,10 @@ impl EvalBackend for InaxBackend {
             total_steps,
             hw_report: Some(report),
         })
+    }
+
+    fn take_exec_stats(&mut self) -> Option<ExecStats> {
+        self.last_exec.take()
     }
 }
 
@@ -517,6 +671,14 @@ impl EvalBackend for AnyBackend {
             AnyBackend::Cpu(b) => b.try_evaluate_population(genomes, env, episode_seed),
             AnyBackend::Gpu(b) => b.try_evaluate_population(genomes, env, episode_seed),
             AnyBackend::Inax(b) => b.try_evaluate_population(genomes, env, episode_seed),
+        }
+    }
+
+    fn take_exec_stats(&mut self) -> Option<ExecStats> {
+        match self {
+            AnyBackend::Cpu(b) => b.take_exec_stats(),
+            AnyBackend::Gpu(b) => b.take_exec_stats(),
+            AnyBackend::Inax(b) => b.take_exec_stats(),
         }
     }
 }
@@ -576,7 +738,9 @@ impl BackendBuilder {
         self
     }
 
-    /// Sets the number of host worker threads (E3-CPU only).
+    /// Sets the number of host worker threads ("virtual PUs") the
+    /// backend evaluates on. Applies to every backend kind; results
+    /// are bit-identical to `threads = 1`.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -590,8 +754,12 @@ impl BackendBuilder {
     pub fn build(self) -> AnyBackend {
         match self.kind {
             BackendKind::Cpu => AnyBackend::Cpu(CpuBackend::with_threads(self.sw, self.threads)),
-            BackendKind::Gpu => AnyBackend::Gpu(GpuBackend::new(self.sw, self.gpu)),
-            BackendKind::Inax => AnyBackend::Inax(InaxBackend::new(self.inax, self.sw)),
+            BackendKind::Gpu => {
+                AnyBackend::Gpu(GpuBackend::with_threads(self.sw, self.gpu, self.threads))
+            }
+            BackendKind::Inax => {
+                AnyBackend::Inax(InaxBackend::with_threads(self.inax, self.sw, self.threads))
+            }
         }
     }
 }
@@ -783,6 +951,7 @@ mod tests {
                         "index points at the cyclic genome ({kind})"
                     )
                 }
+                other => panic!("expected NotFeedForward, got {other:?}"),
             }
         }
     }

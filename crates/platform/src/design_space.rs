@@ -8,9 +8,11 @@
 //! loop the paper's heuristics shortcut.
 
 use crate::fpga::{FpgaBudget, FpgaResources};
+use e3_exec::{AnyExecutor, Executor};
 use e3_inax::cluster::{analyze_pu_parallelism, EpisodeWork};
 use e3_inax::{schedule_inference, InaxConfig, IrregularNet};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,35 +99,75 @@ pub fn sweep_design_space(
     pe_options: &[usize],
     budget: &FpgaBudget,
 ) -> DesignSweep {
+    sweep_design_space_with(
+        nets,
+        steps,
+        pu_options,
+        pe_options,
+        budget,
+        &mut AnyExecutor::new(1),
+    )
+}
+
+/// [`sweep_design_space`] with the grid sharded across `exec`'s worker
+/// threads. Each `(PU, PE)` point is priced independently and the
+/// results are reduced in grid order, so the sweep is bit-identical at
+/// every worker count.
+///
+/// # Panics
+///
+/// Panics if any option list is empty or the population is empty.
+pub fn sweep_design_space_with(
+    nets: &[IrregularNet],
+    steps: u64,
+    pu_options: &[usize],
+    pe_options: &[usize],
+    budget: &FpgaBudget,
+    exec: &mut AnyExecutor,
+) -> DesignSweep {
     assert!(!nets.is_empty(), "need a workload population");
     assert!(
         !pu_options.is_empty() && !pe_options.is_empty(),
         "need sweep options"
     );
-    let mut points = Vec::with_capacity(pu_options.len() * pe_options.len());
-    for &num_pu in pu_options {
-        for &num_pe in pe_options {
-            let config = InaxConfig::builder().num_pu(num_pu).num_pe(num_pe).build();
-            let episodes: Vec<EpisodeWork> = nets
-                .iter()
-                .map(|net| EpisodeWork {
-                    inference_cycles: schedule_inference(&config, net).wall_cycles,
-                    steps,
+    let grid: Arc<Vec<(usize, usize)>> = Arc::new(
+        pu_options
+            .iter()
+            .flat_map(|&num_pu| pe_options.iter().map(move |&num_pe| (num_pu, num_pe)))
+            .collect(),
+    );
+    let nets: Arc<[IrregularNet]> = nets.into();
+    let budget = *budget;
+    let run = exec
+        .run_shards(grid.len(), 1, move |_scratch, range| {
+            range
+                .map(|i| {
+                    let (num_pu, num_pe) = grid[i];
+                    let config = InaxConfig::builder().num_pu(num_pu).num_pe(num_pe).build();
+                    let episodes: Vec<EpisodeWork> = nets
+                        .iter()
+                        .map(|net| EpisodeWork {
+                            inference_cycles: schedule_inference(&config, net).wall_cycles,
+                            steps,
+                        })
+                        .collect();
+                    let (total_cycles, util) = analyze_pu_parallelism(num_pu, &episodes);
+                    let resources = FpgaResources::of_inax(&config);
+                    DesignPoint {
+                        num_pu,
+                        num_pe,
+                        total_cycles,
+                        pu_utilization: util.rate(),
+                        fits: budget.fits(&resources),
+                        resources,
+                    }
                 })
-                .collect();
-            let (total_cycles, util) = analyze_pu_parallelism(num_pu, &episodes);
-            let resources = FpgaResources::of_inax(&config);
-            points.push(DesignPoint {
-                num_pu,
-                num_pe,
-                total_cycles,
-                pu_utilization: util.rate(),
-                fits: budget.fits(&resources),
-                resources,
-            });
-        }
+                .collect()
+        })
+        .expect("design-point pricing does not panic");
+    DesignSweep {
+        points: run.results,
     }
-    DesignSweep { points }
 }
 
 #[cfg(test)]
@@ -174,6 +216,19 @@ mod tests {
                 pair[1].resources.lut < pair[0].resources.lut,
                 "frontier trades area for time"
             );
+        }
+    }
+
+    #[test]
+    fn threaded_sweep_is_bit_identical_to_serial() {
+        let nets = synthetic_population(30, 8, 4, 20, 0.2, 7);
+        let budget = FpgaBudget::zcu104();
+        let serial = sweep_design_space(&nets, 50, &[10, 20, 50], &[1, 2, 4], &budget);
+        for threads in [2usize, 4] {
+            let mut exec = AnyExecutor::new(threads);
+            let pooled =
+                sweep_design_space_with(&nets, 50, &[10, 20, 50], &[1, 2, 4], &budget, &mut exec);
+            assert_eq!(pooled, serial, "threads={threads}");
         }
     }
 

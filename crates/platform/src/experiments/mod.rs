@@ -18,8 +18,12 @@
 //! | Fig. 9(a–d) (INAX breakdown, runtime comparison) | [`fig9`] |
 //! | Fig. 10(a,b) (energy, FPGA utilization) | [`fig10`] |
 //! | Fig. 11 (INAX vs systolic array) | [`fig11`] |
+//!
+//! [`exec`] is reproduction-specific: the host-side thread-scaling
+//! sweep of the `e3-exec` evaluation engine (a software Fig. 7).
 
 pub mod ablation;
+pub mod exec;
 pub mod fig10;
 pub mod fig11;
 pub mod fig1b;

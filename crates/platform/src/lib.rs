@@ -48,6 +48,14 @@
 //! Evaluation is fallible — a malformed (non-feed-forward) genome
 //! surfaces as [`EvalError::NotFeedForward`] through
 //! [`platform::RunError`] instead of a panic.
+//!
+//! ## Parallel evaluation
+//!
+//! Every backend evaluates its population through the [`exec`]
+//! engine (re-export of `e3-exec`): `E3Config::builder(...)
+//! .threads(n)` shards the population across `n` worker threads
+//! ("virtual PUs") with results bit-identical to the serial reference
+//! at any thread count (see `tests/exec_parity.rs`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -64,7 +72,8 @@ pub use backend::{
     AnyBackend, BackendBuilder, BackendKind, CpuBackend, EvalBackend, EvalError, EvalOutcome,
     GpuBackend, InaxBackend, ParseBackendKindError,
 };
-pub use design_space::{sweep_design_space, DesignPoint, DesignSweep};
+pub use design_space::{sweep_design_space, sweep_design_space_with, DesignPoint, DesignSweep};
+pub use e3_exec as exec;
 pub use e3_telemetry as telemetry;
 pub use energy::{EnergyReport, PowerModel};
 pub use fpga::{FpgaBudget, FpgaResources};

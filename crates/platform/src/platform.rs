@@ -17,8 +17,8 @@ use e3_inax::{EpisodeRunReport, InaxConfig};
 use e3_neat::stats::ComplexityStats;
 use e3_neat::{NeatConfig, Population};
 use e3_telemetry::{
-    Collector, EvalRecord, FunctionSplit, GenerationRecord, HwCounters, NullCollector, RunSummary,
-    TelemetryError, TelemetryEvent,
+    Collector, EvalRecord, ExecRecord, FunctionSplit, GenerationRecord, HwCounters, NullCollector,
+    RunSummary, TelemetryError, TelemetryEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -167,6 +167,9 @@ pub struct E3Config {
     pub sw: SwCostModel,
     /// GPU cost model.
     pub gpu: GpuCostModel,
+    /// Evaluation worker threads ("virtual PUs"); `1` is the serial
+    /// reference executor. Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl E3Config {
@@ -190,6 +193,7 @@ impl E3Config {
                 inax,
                 sw: SwCostModel::default(),
                 gpu: GpuCostModel::default(),
+                threads: 1,
             },
         }
     }
@@ -232,6 +236,12 @@ impl E3ConfigBuilder {
         self
     }
 
+    /// Sets the number of evaluation worker threads (must be ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -251,6 +261,7 @@ impl E3ConfigBuilder {
             "NEAT outputs must match env"
         );
         assert!(c.max_generations > 0, "need at least one generation");
+        assert!(c.threads > 0, "need at least one evaluation thread");
         c
     }
 }
@@ -315,6 +326,7 @@ impl E3Platform {
             .sw(config.sw)
             .gpu(config.gpu)
             .inax(config.inax.clone())
+            .threads(config.threads)
             .build();
         let population = Population::new(config.neat.clone(), seed);
         E3Platform {
@@ -388,19 +400,10 @@ impl E3Platform {
         self.profile.evaluate += outcome.eval_seconds;
         self.profile.env += outcome.env_seconds;
         if let Some(report) = outcome.hw_report {
-            let merged = match self.hw_report {
-                Some(mut acc) => {
-                    acc.total_cycles += report.total_cycles;
-                    acc.breakdown += report.breakdown;
-                    acc.pu_utilization.merge(report.pu_utilization);
-                    acc.pe_utilization.merge(report.pe_utilization);
-                    acc.dma_cycles += report.dma_cycles;
-                    acc.steps += report.steps;
-                    acc
-                }
-                None => report,
-            };
-            self.hw_report = Some(merged);
+            match &mut self.hw_report {
+                Some(acc) => acc.merge(&report),
+                None => self.hw_report = Some(report),
+            }
         }
         let best = outcome
             .fitnesses
@@ -424,6 +427,21 @@ impl E3Platform {
             mean_fitness: mean,
             hw: outcome.hw_report.as_ref().map(HwCounters::from),
         }))?;
+        if let Some(exec) = self.backend.take_exec_stats() {
+            collector.record(&TelemetryEvent::Exec(ExecRecord {
+                generation: self.generation,
+                backend: self.backend.kind().name().to_string(),
+                workers: exec.workers,
+                shards: exec.shards,
+                shard_seconds: exec.shard_seconds.clone(),
+                steal_count: exec.steal_count,
+                cache_hits: exec.cache_hits,
+                cache_misses: exec.cache_misses,
+                cache_hit_rate: exec.cache_hit_rate(),
+                worker_utilization: exec.worker_utilization(),
+                wall_seconds: exec.wall_seconds,
+            }))?;
+        }
         self.population.assign_fitnesses(outcome.fitnesses);
         let best_ever = self.population.best().map_or(best, |b| b.fitness);
         self.trace.push((self.profile.total(), best_ever));

@@ -1,0 +1,92 @@
+//! The determinism contract of the parallel evaluation engine: for any
+//! backend, seed, and environment, a run sharded across N worker
+//! threads is bit-identical to the serial reference — same fitness
+//! vectors, same telemetry fitness statistics, same final champion.
+//!
+//! Per-individual RNG streams are derived from
+//! `(run_seed, generation, genome_index)` and reduction is
+//! index-ordered, so worker count and steal schedule can never leak
+//! into results (the software analogue of the paper's claim that PU
+//! count only changes wave latency, not episode outcomes).
+
+use e3_envs::EnvId;
+use e3_platform::telemetry::MemoryCollector;
+use e3_platform::{BackendKind, E3Config, E3Platform, RunOutcome};
+use proptest::prelude::*;
+
+const ENVS: [EnvId; 3] = [EnvId::CartPole, EnvId::MountainCar, EnvId::Pendulum];
+
+fn config(env: EnvId, threads: usize) -> E3Config {
+    E3Config::builder(env)
+        .population_size(24)
+        .max_generations(3)
+        .threads(threads)
+        .build()
+}
+
+fn run(env: EnvId, kind: BackendKind, seed: u64, threads: usize) -> (RunOutcome, MemoryCollector) {
+    let mut telemetry = MemoryCollector::new();
+    let outcome = E3Platform::new(config(env, threads), kind, seed)
+        .run_with(&mut telemetry)
+        .expect("quick populations are feed-forward");
+    (outcome, telemetry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// ThreadPoolExecutor at 2/4/8 workers reproduces the serial run
+    /// bit for bit on every backend.
+    #[test]
+    fn threaded_runs_are_bit_identical_to_serial(
+        env_index in 0usize..3,
+        backend_index in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let env = ENVS[env_index];
+        let kind = BackendKind::ALL[backend_index];
+        let (reference, ref_telemetry) = run(env, kind, seed, 1);
+        let ref_fitness: Vec<(f64, f64)> = ref_telemetry
+            .evals()
+            .map(|e| (e.best_fitness, e.mean_fitness))
+            .collect();
+        for threads in [2usize, 4, 8] {
+            let (outcome, telemetry) = run(env, kind, seed, threads);
+            // The full outcome — fitness trajectory, modeled seconds,
+            // hardware counters, complexity stats — is bit-identical.
+            prop_assert_eq!(&outcome, &reference, "threads={}", threads);
+            let fitness: Vec<(f64, f64)> = telemetry
+                .evals()
+                .map(|e| (e.best_fitness, e.mean_fitness))
+                .collect();
+            prop_assert_eq!(&fitness, &ref_fitness, "threads={}", threads);
+            // Observability is write-only but must still describe the
+            // pool that actually ran.
+            prop_assert!(telemetry.execs().count() > 0);
+            prop_assert!(telemetry.execs().all(|x| x.workers == threads));
+        }
+    }
+}
+
+/// The evolved champion genome (not just its fitness) is identical
+/// whichever executor evaluated the population.
+#[test]
+fn final_champion_is_identical_across_worker_counts() {
+    for kind in BackendKind::ALL {
+        let mut serial = E3Platform::new(config(EnvId::CartPole, 1), kind, 42);
+        let mut pooled = E3Platform::new(config(EnvId::CartPole, 4), kind, 42);
+        for _ in 0..3 {
+            serial.step_generation().expect("serial step");
+            pooled.step_generation().expect("pooled step");
+        }
+        let a = serial.population().best().expect("champion exists");
+        let b = pooled.population().best().expect("champion exists");
+        assert_eq!(a.fitness, b.fitness, "{kind:?}");
+        assert_eq!(a.genome, b.genome, "{kind:?}");
+        assert_eq!(
+            serial.population().genomes(),
+            pooled.population().genomes(),
+            "{kind:?}: whole population evolves identically"
+        );
+    }
+}

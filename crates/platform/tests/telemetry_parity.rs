@@ -116,6 +116,23 @@ fn ndjson_schema_is_stable() {
                 );
             }
             kinds.push("Generation");
+        } else if let Some(exec) = value.get("Exec") {
+            for key in [
+                "generation",
+                "backend",
+                "workers",
+                "shards",
+                "shard_seconds",
+                "steal_count",
+                "cache_hits",
+                "cache_misses",
+                "cache_hit_rate",
+                "worker_utilization",
+                "wall_seconds",
+            ] {
+                assert!(exec.get(key).is_some(), "Exec record missing {key}: {line}");
+            }
+            kinds.push("Exec");
         } else if let Some(summary) = value.get("Summary") {
             for key in [
                 "backend",
@@ -182,6 +199,7 @@ fn recurrent_genome_surfaces_as_run_error() {
         .expect_err("cycle must be rejected");
     match err {
         EvalError::NotFeedForward { genome_index, .. } => assert_eq!(genome_index, 0),
+        other => panic!("expected NotFeedForward, got {other:?}"),
     }
     // And the platform-level wrapper carries it as RunError::Eval.
     let run_err = RunError::from(err);
@@ -207,17 +225,18 @@ fn collector_forwarding_preserves_order() {
         .iter()
         .map(|event| match event {
             TelemetryEvent::Eval(_) => "eval",
+            TelemetryEvent::Exec(_) => "exec",
             TelemetryEvent::Generation(_) => "generation",
             TelemetryEvent::Summary(_) => "summary",
         })
         .collect();
-    assert!(kinds.len() >= 3);
+    assert!(kinds.len() >= 4);
     assert_eq!(kinds.last(), Some(&"summary"));
-    for pair in kinds[..kinds.len() - 1].chunks(2) {
+    for triple in kinds[..kinds.len() - 1].chunks(3) {
         assert_eq!(
-            pair,
-            ["eval", "generation"],
-            "evals and generations alternate"
+            triple,
+            ["eval", "exec", "generation"],
+            "each generation emits eval, exec, generation in order"
         );
     }
 }

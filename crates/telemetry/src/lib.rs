@@ -138,6 +138,41 @@ pub struct EvalRecord {
     pub hw: Option<HwCounters>,
 }
 
+/// Host-side execution counters for one population evaluation,
+/// mirrored from `e3-exec`'s `ExecStats` as plain data (the host
+/// analogue of the INAX `U(r)` utilization counters). Emitted only
+/// when the platform runs with a parallel executor installed.
+///
+/// All fields describe the (nondeterministic) execution schedule —
+/// wall times and steal counts vary run to run — and never the
+/// results, which are bit-identical across thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecRecord {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Number of workers (virtual PUs).
+    pub workers: usize,
+    /// Number of shards the population was split into.
+    pub shards: usize,
+    /// Wall-clock seconds per shard, in shard order.
+    pub shard_seconds: Vec<f64>,
+    /// Shards executed by a worker other than their home worker.
+    pub steal_count: u64,
+    /// Decode-cache hits across all workers.
+    pub cache_hits: u64,
+    /// Decode-cache misses across all workers.
+    pub cache_misses: u64,
+    /// Fraction of decode lookups served from cache, in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Mean fraction of the wall-clock each worker spent busy,
+    /// in `[0, 1]`.
+    pub worker_utilization: f64,
+    /// Wall-clock seconds for the whole evaluation call.
+    pub wall_seconds: f64,
+}
+
 /// One completed generation of the evolve/evaluate loop.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GenerationRecord {
@@ -187,6 +222,8 @@ pub struct RunSummary {
 pub enum TelemetryEvent {
     /// A population evaluation finished.
     Eval(EvalRecord),
+    /// Host-side executor counters for a population evaluation.
+    Exec(ExecRecord),
     /// A generation finished.
     Generation(GenerationRecord),
     /// A run finished.
@@ -240,6 +277,14 @@ impl MemoryCollector {
     pub fn evals(&self) -> impl Iterator<Item = &EvalRecord> {
         self.events.iter().filter_map(|event| match event {
             TelemetryEvent::Eval(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered executor records.
+    pub fn execs(&self) -> impl Iterator<Item = &ExecRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Exec(record) => Some(record),
             _ => None,
         })
     }
@@ -423,6 +468,34 @@ mod tests {
             let back: TelemetryEvent = serde_json::from_str(&json).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    #[test]
+    fn exec_records_are_collected_and_round_trip() {
+        let record = ExecRecord {
+            generation: 2,
+            backend: "E3-CPU".to_string(),
+            workers: 4,
+            shards: 10,
+            shard_seconds: vec![0.01; 10],
+            steal_count: 3,
+            cache_hits: 120,
+            cache_misses: 30,
+            cache_hit_rate: 0.8,
+            worker_utilization: 0.9,
+            wall_seconds: 0.04,
+        };
+        let json = serde_json::to_string(&TelemetryEvent::Exec(record.clone())).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TelemetryEvent::Exec(record.clone()));
+
+        let mut collector = MemoryCollector::new();
+        collector.record(&TelemetryEvent::Exec(record)).unwrap();
+        collector
+            .record(&TelemetryEvent::Generation(GenerationRecord::default()))
+            .unwrap();
+        assert_eq!(collector.execs().count(), 1);
+        assert_eq!(collector.execs().next().unwrap().workers, 4);
     }
 
     #[test]

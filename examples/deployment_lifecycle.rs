@@ -16,24 +16,33 @@ use e3::envs::wrappers::{ActionRepeat, ObservationNoise};
 use e3::envs::{run_episode, CartPole, Environment};
 use e3::inax::quant::{evaluate_fixed_point, FixedPointFormat};
 use e3::inax::IrregularNet;
-use e3::neat::{NeatConfig, Population, PopulationSnapshot};
+use e3::neat::{DecodeError, NeatConfig, Population, PopulationSnapshot};
 
-fn evaluate_population(population: &mut Population, env: &mut dyn Environment, seed: u64) -> f64 {
-    population.evaluate(|genome| {
-        let mut net = genome.decode().expect("feed-forward");
+/// Fallible population evaluation, mirroring the platform's
+/// `try_evaluate_population`: a malformed genome surfaces as a typed
+/// error instead of a panic.
+fn try_evaluate_population(
+    population: &mut Population,
+    env: &mut dyn Environment,
+    seed: u64,
+) -> Result<f64, DecodeError> {
+    let mut fitnesses = Vec::with_capacity(population.genomes().len());
+    for genome in population.genomes() {
+        let mut net = genome.decode()?;
         let mut policy = |obs: &[f64]| net.activate(obs);
-        run_episode(env, &mut policy, seed).total_reward
-    });
-    population.best().map_or(f64::NEG_INFINITY, |b| b.fitness)
+        fitnesses.push(run_episode(env, &mut policy, seed).total_reward);
+    }
+    population.assign_fitnesses(fitnesses);
+    Ok(population.best().map_or(f64::NEG_INFINITY, |b| b.fitness))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. learn on-device -------------------------------------------------
     let config = NeatConfig::builder(4, 2).population_size(80).build();
     let mut population = Population::new(config, 21);
     let mut env = CartPole::new();
     for generation in 0..30 {
-        let best = evaluate_population(&mut population, &mut env, 500 + generation);
+        let best = try_evaluate_population(&mut population, &mut env, 500 + generation)?;
         if best >= 475.0 {
             println!("learned cartpole in {generation} generations (best {best})");
             break;
@@ -51,11 +60,11 @@ fn main() {
     let mut tuned = restored.restore(99);
     // The deployed plant differs: noisy sensors, half-rate control.
     let mut shifted = ActionRepeat::new(ObservationNoise::new(CartPole::new(), 0.1), 3);
-    let before = evaluate_population(&mut tuned, &mut shifted, 900);
+    let before = try_evaluate_population(&mut tuned, &mut shifted, 900)?;
     let mut after = before;
     for generation in 0..20 {
         tuned.evolve();
-        after = evaluate_population(&mut tuned, &mut shifted, 900 + generation);
+        after = try_evaluate_population(&mut tuned, &mut shifted, 900 + generation)?;
         if after >= 240.0 {
             break;
         }
@@ -67,7 +76,7 @@ fn main() {
 
     // --- 4. quantize the champion for the PE datapath ----------------------
     let champion = tuned.best().expect("evaluated").genome.clone();
-    let hw = IrregularNet::try_from(&champion).expect("feed-forward");
+    let hw = IrregularNet::try_from(&champion)?;
     let probe = vec![0.01, -0.02, 0.03, 0.0];
     let exact = hw.evaluate(&probe);
     for format in [
@@ -94,4 +103,5 @@ fn main() {
         hw.num_connections(),
         hw.weight_stream_bytes()
     );
+    Ok(())
 }

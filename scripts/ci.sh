@@ -9,6 +9,20 @@ cargo build --release --offline
 echo "== tier-1: test suite =="
 cargo test -q --offline
 
+echo "== examples build =="
+cargo build --release --offline --examples
+
+echo "== exec determinism: parity at 1 and 4 worker threads =="
+# The parity property test covers 2/4/8 threads internally; the repro
+# binary re-checks end-to-end that --threads does not change results.
+cargo test -q --offline -p e3-platform --test exec_parity
+out1=$(cargo run --release --offline -q -p e3-bench --bin repro -- run --env cartpole --backend cpu --threads 1 --json)
+out4=$(cargo run --release --offline -q -p e3-bench --bin repro -- run --env cartpole --backend cpu --threads 4 --json)
+if [ "$out1" != "$out4" ]; then
+    echo "error: repro run differs between --threads 1 and --threads 4" >&2
+    exit 1
+fi
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -18,9 +18,12 @@
 //! * [`platform`] — the E3 platform tying evolve (SW) and evaluate (HW)
 //!   together: backends, DMA, timing, energy, and every experiment
 //!   driver of the paper's evaluation section;
+//! * [`exec`] — the deterministic parallel evaluation engine: a
+//!   work-stealing thread pool that shards populations across worker
+//!   threads ("virtual PUs") with results bit-identical to serial;
 //! * [`telemetry`] — typed instrumentation of the evolve/evaluate loop
-//!   (per-eval, per-generation, per-run records; in-memory or NDJSON
-//!   sinks).
+//!   (per-eval, per-exec, per-generation, per-run records; in-memory
+//!   or NDJSON sinks).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 //! ```
 
 pub use e3_envs as envs;
+pub use e3_exec as exec;
 pub use e3_inax as inax;
 pub use e3_neat as neat;
 pub use e3_platform as platform;

@@ -1,0 +1,454 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Implements the API surface this workspace uses — [`channel`]
+//! (MPMC unbounded channels with disconnect semantics) and [`deque`]
+//! (the `Injector`/`Worker`/`Stealer` work-stealing triple) — over
+//! `std::sync` primitives and the vendored `parking_lot`. The lock-free
+//! fast paths of the real crate are replaced with short critical
+//! sections; blocking behaviour, ownership rules, and the `Steal`
+//! contract match upstream.
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely across threads.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `message`, failing only when all receivers dropped.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(message));
+            }
+            self.shared.queue.lock().push_back(message);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake receivers so they observe disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock();
+            loop {
+                if let Some(message) = queue.pop_front() {
+                    return Ok(message);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                self.shared.ready.wait(&mut queue);
+            }
+        }
+
+        /// Dequeues a message if one is ready right now.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock();
+            if let Some(message) = queue.pop_front() {
+                return Ok(message);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques: a global [`Injector`] plus per-worker
+    //! [`Worker`]/[`Stealer`] pairs.
+
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Arc;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Whether the source was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A global FIFO task injector shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        /// Steals the front task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local deque, returning
+        /// the first of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock();
+            let Some(first) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half of the remainder, as upstream does.
+            let extra = queue.len().div_ceil(2).min(16);
+            let mut local = dest.inner.lock();
+            for _ in 0..extra {
+                match queue.pop_front() {
+                    Some(task) => local.push_back(task),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Injector { .. }")
+        }
+    }
+
+    /// The owner end of a worker's deque: push and pop are reserved for
+    /// the owning thread; other threads steal through [`Stealer`]s.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task on the owner side.
+        pub fn push(&self, task: T) {
+            self.inner.lock().push_back(task);
+        }
+
+        /// Dequeues the next task on the owner side.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().pop_front()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    impl<T> fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Worker { .. }")
+        }
+    }
+
+    /// A handle for stealing from another worker's deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the task at the opposite end from the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().pop_back() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Stealer { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::Arc;
+
+    #[test]
+    fn channel_is_fifo_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().expect("sender alive")).collect();
+        producer.join().expect("producer finishes");
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_reports_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn injector_batch_steal_fills_local_deque() {
+        let injector = Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        let local = Worker::new_fifo();
+        let first = injector.steal_batch_and_pop(&local);
+        assert_eq!(first, Steal::Success(0));
+        assert!(!local.is_empty(), "batch moved tasks locally");
+        let mut rest: Vec<i32> = std::iter::from_fn(|| local.pop()).collect();
+        while let Steal::Success(task) = injector.steal() {
+            rest.push(task);
+        }
+        rest.sort_unstable();
+        assert_eq!(rest, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealers_drain_a_worker_concurrently() {
+        let owner = Worker::new_fifo();
+        for i in 0..1000 {
+            owner.push(i);
+        }
+        let stealer = Arc::new(owner.stealer());
+        let thieves: Vec<_> = (0..4)
+            .map(|_| {
+                let stealer = Arc::clone(&stealer);
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while let Steal::Success(_) = stealer.steal() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let stolen: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+        let mut remaining = 0usize;
+        while owner.pop().is_some() {
+            remaining += 1;
+        }
+        assert_eq!(stolen + remaining, 1000, "every task claimed exactly once");
+    }
+}

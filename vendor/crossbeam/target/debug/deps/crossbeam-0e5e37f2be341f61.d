@@ -1,0 +1,7 @@
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-0e5e37f2be341f61.d: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libcrossbeam-0e5e37f2be341f61.rlib: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libcrossbeam-0e5e37f2be341f61.rmeta: src/lib.rs
+
+src/lib.rs:

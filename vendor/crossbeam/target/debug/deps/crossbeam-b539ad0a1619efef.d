@@ -1,0 +1,5 @@
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-b539ad0a1619efef.d: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-b539ad0a1619efef: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/crossbeam/target/debug/deps/parking_lot-96757e83175e55ab.d: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libparking_lot-96757e83175e55ab.rlib: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libparking_lot-96757e83175e55ab.rmeta: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/vendor/parking_lot/src/lib.rs:

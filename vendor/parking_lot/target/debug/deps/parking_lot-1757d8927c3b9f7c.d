@@ -1,0 +1,5 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-1757d8927c3b9f7c.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-1757d8927c3b9f7c: src/lib.rs
+
+src/lib.rs:

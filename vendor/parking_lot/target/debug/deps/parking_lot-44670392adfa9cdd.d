@@ -1,0 +1,7 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-44670392adfa9cdd.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-44670392adfa9cdd.rlib: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-44670392adfa9cdd.rmeta: src/lib.rs
+
+src/lib.rs:
