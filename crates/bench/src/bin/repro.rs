@@ -26,7 +26,7 @@ use e3_envs::EnvId;
 use e3_platform::experiments::{
     ablation, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, table4, table5, Scale,
 };
-use e3_platform::telemetry::{Collector, NdjsonWriter, NullCollector};
+use e3_platform::telemetry::{Collector, MeteredCollector, NdjsonWriter, NullCollector, Tracer};
 use e3_platform::{BackendKind, E3Config, E3Platform, PowerModel};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -43,6 +43,8 @@ struct Options {
     backend: BackendKind,
     /// Evaluation worker threads for `run` (`--threads`, default 1).
     threads: usize,
+    /// Span tracer (`--trace`); disabled (zero-cost) by default.
+    tracer: Tracer,
 }
 
 fn main() -> ExitCode {
@@ -56,8 +58,11 @@ fn main() -> ExitCode {
         envs: Vec::new(),
         backend: BackendKind::Inax,
         threads: 1,
+        tracer: Tracer::disabled(),
     };
     let mut telemetry_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -79,6 +84,18 @@ fn main() -> ExitCode {
                 telemetry_path = Some(PathBuf::from(
                     iter.next()
                         .unwrap_or_else(|| usage("--telemetry needs a file path")),
+                ));
+            }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--trace needs a file path")),
+                ));
+            }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--metrics needs a file path")),
                 ));
             }
             "--envs" | "--env" => {
@@ -134,21 +151,47 @@ fn main() -> ExitCode {
     if let Some(dir) = &opts.svg_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| usage(&format!("--svg dir: {e}")));
     }
-    let mut sink: Box<dyn Collector> = match &telemetry_path {
+    if trace_path.is_some() {
+        opts.tracer = Tracer::enabled();
+    }
+    let inner: Box<dyn Collector> = match &telemetry_path {
         Some(path) => Box::new(
             NdjsonWriter::create(path)
                 .unwrap_or_else(|e| usage(&format!("--telemetry {}: {e}", path.display()))),
         ),
         None => Box::new(NullCollector),
     };
+    // Tee every record through the metrics registry; the inner
+    // collector sees the identical stream.
+    let mut sink = MeteredCollector::new(inner);
     for target in targets {
-        run_experiment(target, &opts, sink.as_mut());
+        run_experiment(target, &opts, &mut sink);
     }
     if let Err(e) = sink.flush() {
         usage(&format!("telemetry flush failed: {e}"));
     }
     if let Some(path) = &telemetry_path {
         eprintln!("wrote telemetry to {}", path.display());
+    }
+    let (_, registry) = sink.into_parts();
+    if let Some(path) = &metrics_path {
+        if let Err(e) = std::fs::write(path, registry.prometheus_text()) {
+            usage(&format!("--metrics {}: {e}", path.display()));
+        }
+        eprintln!("wrote metrics to {}", path.display());
+        if !registry.is_empty() {
+            eprint!("{}", registry.summary_table());
+        }
+    }
+    if let Some(path) = &trace_path {
+        if let Err(e) = opts.tracer.write_chrome_trace(path) {
+            usage(&format!("--trace {}: {e}", path.display()));
+        }
+        eprintln!(
+            "wrote {} spans to {} (load in https://ui.perfetto.dev)",
+            opts.tracer.span_count(),
+            path.display()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -187,7 +230,8 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 .max_generations(scale.max_generations())
                 .threads(opts.threads)
                 .build();
-            let platform = E3Platform::new(config, opts.backend, seed);
+            let mut platform = E3Platform::new(config, opts.backend, seed);
+            platform.set_tracer(opts.tracer.clone());
             let outcome = try_run!(platform.run_with(collector));
             if json {
                 println!(
@@ -203,6 +247,11 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                     outcome.best_fitness,
                     outcome.modeled_seconds
                 );
+                if let Some(util) = &outcome.hw_utilization {
+                    let total_cycles = outcome.hw_report.map_or(0, |r| r.total_cycles);
+                    let report = util.to_telemetry(opts.backend.name(), env.name(), total_cycles);
+                    print!("{}", report.summary_table());
+                }
             }
         }
         "table4" => emit!(table4::run_on(&opts.envs, scale, seed)),
@@ -365,13 +414,16 @@ fn write_svg(dir: &Path, file: &str, svg: &str) {
 fn print_usage() {
     eprintln!(
         "usage: repro <experiment|run|all> [--full] [--json] [--seed N] \
-         [--envs LIST] [--backend KIND] [--threads N] [--telemetry FILE] [--svg DIR]"
+         [--envs LIST] [--backend KIND] [--threads N] [--telemetry FILE] \
+         [--trace FILE] [--metrics FILE] [--svg DIR]"
     );
     eprintln!("experiments: {} run", EXPERIMENTS.join(" "));
     eprintln!("  --envs      comma-separated env names/indices (default: paper suite)");
     eprintln!("  --backend   cpu | gpu | inax (for `run`; default inax)");
     eprintln!("  --threads   evaluation worker threads for `run` (default 1 = serial)");
     eprintln!("  --telemetry write NDJSON telemetry records to FILE");
+    eprintln!("  --trace     write Chrome trace-event JSON spans to FILE (Perfetto)");
+    eprintln!("  --metrics   write a Prometheus text metrics dump to FILE");
 }
 
 fn usage(msg: &str) -> ! {

@@ -3,7 +3,7 @@
 //! ```text
 //! sweep [--env NAME] [--inputs N] [--outputs N] [--hidden N]
 //!       [--population N] [--steps N] [--threads N] [--csv PATH]
-//!       [--telemetry FILE]
+//!       [--telemetry FILE] [--trace FILE]
 //! ```
 //!
 //! Prints the Pareto frontier over {total cycles, LUTs} on the ZCU104
@@ -14,14 +14,17 @@
 //! grid across worker threads (bit-identical results at any count).
 //! `--telemetry` writes one `e3-telemetry` NDJSON `EvalRecord` per
 //! evaluated design point, with the accelerator counters in the `hw`
-//! field.
+//! field. `--trace` writes a Chrome trace-event JSON file of the sweep
+//! phases (grid pricing, report writing) loadable in Perfetto.
 
 use e3_envs::EnvId;
 use e3_inax::synthetic::synthetic_population;
 use e3_inax::InaxConfig;
 use e3_platform::design_space::sweep_design_space_with;
 use e3_platform::exec::AnyExecutor;
-use e3_platform::telemetry::{Collector, EvalRecord, HwCounters, NdjsonWriter, TelemetryEvent};
+use e3_platform::telemetry::{
+    Collector, EvalRecord, HwCounters, NdjsonWriter, TelemetryEvent, Tracer,
+};
 use e3_platform::{BackendKind, FpgaBudget};
 use std::process::ExitCode;
 
@@ -35,6 +38,7 @@ struct Args {
     threads: usize,
     csv: Option<String>,
     telemetry: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         csv: None,
         telemetry: None,
+        trace: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => args.csv = Some(take("--csv")?),
             "--telemetry" => args.telemetry = Some(take("--telemetry")?),
+            "--trace" => args.trace = Some(take("--trace")?),
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -92,7 +98,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: sweep [--env NAME] [--inputs N] [--outputs N] [--hidden N] \
-                 [--population N] [--steps N] [--threads N] [--csv PATH] [--telemetry FILE]"
+                 [--population N] [--steps N] [--threads N] [--csv PATH] [--telemetry FILE] \
+                 [--trace FILE]"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -101,6 +108,13 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    let tracer = if args.trace.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let mut sweep_span = tracer.start("sweep", "platform");
 
     let nets = synthetic_population(
         args.population,
@@ -117,6 +131,9 @@ fn main() -> ExitCode {
     let pe_options: Vec<usize> = (1..=2 * args.outputs.max(4)).collect();
     let budget = FpgaBudget::zcu104();
     let mut exec = AnyExecutor::new(args.threads);
+    let mut price_span = tracer.start("price_grid", "exec");
+    price_span.arg("points", (pu_options.len() * pe_options.len()) as f64);
+    price_span.arg("threads", args.threads as f64);
     let sweep = sweep_design_space_with(
         &nets,
         args.steps,
@@ -125,6 +142,9 @@ fn main() -> ExitCode {
         &budget,
         &mut exec,
     );
+    price_span.finish();
+    sweep_span.arg("points", sweep.points.len() as f64);
+    sweep_span.arg("feasible", sweep.feasible().count() as f64);
 
     let workload = args
         .env
@@ -171,6 +191,7 @@ fn main() -> ExitCode {
         );
     }
     if let Some(path) = &args.telemetry {
+        let _span = tracer.span("write_telemetry", "platform");
         match write_telemetry(path, &args, &workload, &sweep.points) {
             Ok(()) => println!("wrote telemetry to {path}"),
             Err(e) => {
@@ -179,11 +200,25 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(path) = args.csv {
-        match std::fs::write(&path, sweep.to_csv()) {
+    if let Some(path) = &args.csv {
+        let _span = tracer.span("write_csv", "platform");
+        match std::fs::write(path, sweep.to_csv()) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    sweep_span.finish();
+    if let Some(path) = &args.trace {
+        match tracer.write_chrome_trace(path) {
+            Ok(()) => eprintln!(
+                "wrote {} spans to {path} (load in https://ui.perfetto.dev)",
+                tracer.span_count()
+            ),
+            Err(e) => {
+                eprintln!("error: could not write trace {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,175 @@
+//! `trace_check` — validate observability artifacts from a traced run.
+//!
+//! ```text
+//! trace_check TRACE.json [METRICS.prom]
+//! ```
+//!
+//! Checks that `TRACE.json` is a well-formed Chrome trace-event file
+//! (the `{"traceEvents": [...]}` shape `repro --trace` and
+//! `sweep --trace` emit): the event array is non-empty, every event is
+//! a complete-phase (`"ph": "X"`) slice with `name`, `cat`, `ts`,
+//! `dur`, `pid`, and `tid`, and end times (`ts + dur`) are
+//! monotonically nondecreasing in array order — the tracer records
+//! spans in completion order, so a violation means the export is
+//! broken, not merely reordered.
+//!
+//! With a second argument, also checks that `METRICS.prom` parses as
+//! Prometheus text exposition: every line is either a `# TYPE`/`# HELP`
+//! comment or a `name value` sample with a finite numeric value, and
+//! at least one sample is present.
+//!
+//! Exits 0 when everything holds, 1 with a diagnostic on stderr
+//! otherwise. CI runs this after a short traced `repro` run.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, metrics_path) = match args.as_slice() {
+        [trace] => (trace.as_str(), None),
+        [trace, metrics] => (trace.as_str(), Some(metrics.as_str())),
+        _ => {
+            eprintln!("usage: trace_check TRACE.json [METRICS.prom]");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Err(msg) = check_trace(trace_path) {
+        eprintln!("trace_check: {trace_path}: {msg}");
+        return ExitCode::FAILURE;
+    }
+    println!("{trace_path}: OK");
+    if let Some(path) = metrics_path {
+        if let Err(msg) = check_metrics(path) {
+            eprintln!("trace_check: {path}: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("{path}: OK");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Validates a Chrome trace-event JSON file; returns a diagnostic on
+/// the first violation.
+fn check_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = value
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty — the tracer recorded no spans".to_string());
+    }
+    let mut prev_end = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        let context = |key: &str| format!("event {i}: missing or malformed {key}");
+        event
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| context("name"))?;
+        event
+            .get("cat")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| context("cat"))?;
+        let phase = event
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| context("ph"))?;
+        if phase != "X" {
+            return Err(format!(
+                "event {i}: ph is {phase:?}, expected complete slice \"X\""
+            ));
+        }
+        let ts = event
+            .get("ts")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| context("ts"))?;
+        let dur = event
+            .get("dur")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| context("dur"))?;
+        event
+            .get("pid")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| context("pid"))?;
+        event
+            .get("tid")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| context("tid"))?;
+        let end = ts
+            .checked_add(dur)
+            .ok_or_else(|| format!("event {i}: ts + dur overflows"))?;
+        if end < prev_end {
+            return Err(format!(
+                "event {i}: end time {end}us precedes previous end {prev_end}us — \
+                 spans must be completion-ordered"
+            ));
+        }
+        prev_end = end;
+    }
+    println!(
+        "  {} spans, completion-ordered, {prev_end}us total",
+        events.len()
+    );
+    Ok(())
+}
+
+/// Validates a Prometheus text exposition dump; returns a diagnostic
+/// on the first violation.
+fn check_metrics(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match words.next() {
+                Some("TYPE") => {
+                    let name = words
+                        .next()
+                        .ok_or(format!("line {}: # TYPE without a metric name", lineno + 1))?;
+                    let kind = words
+                        .next()
+                        .ok_or(format!("line {}: # TYPE {name} without a kind", lineno + 1))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {}: unknown metric type {kind:?}", lineno + 1));
+                    }
+                }
+                Some("HELP") => {}
+                _ => return Err(format!("line {}: unrecognized comment: {line}", lineno + 1)),
+            }
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').ok_or(format!(
+            "line {}: sample is not `name value`: {line}",
+            lineno + 1
+        ))?;
+        if name.is_empty() {
+            return Err(format!("line {}: empty metric name", lineno + 1));
+        }
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: value {value:?} is not a number", lineno + 1))?;
+        if !parsed.is_finite() {
+            return Err(format!(
+                "line {}: value {value:?} is not finite",
+                lineno + 1
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples — the metrics registry recorded nothing".to_string());
+    }
+    println!("  {samples} samples");
+    Ok(())
+}

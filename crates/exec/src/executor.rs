@@ -211,6 +211,7 @@ impl Executor for SerialExecutor {
                 cache_hits,
                 cache_misses,
                 busy_seconds: vec![busy],
+                queue_depths: vec![plan.len()],
                 wall_seconds: t0.elapsed().as_secs_f64(),
             },
         })

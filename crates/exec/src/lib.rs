@@ -45,4 +45,4 @@ pub use executor::{
     shard_plan, AnyExecutor, ExecError, Executor, SerialExecutor, ShardRun, WorkerScratch,
 };
 pub use pool::ThreadPoolExecutor;
-pub use stats::ExecStats;
+pub use stats::{ExecStats, ExecStatsState};

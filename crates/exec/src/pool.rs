@@ -203,8 +203,10 @@ impl Executor for ThreadPoolExecutor {
         });
         // Round-robin home assignment: shard s is "resident" on virtual
         // PU s % workers, mirroring the INAX wave layout.
+        let mut queue_depths = vec![0usize; workers];
         for (shard_idx, &shard) in plan.iter().enumerate() {
             job.queues[shard_idx % workers].push(shard);
+            queue_depths[shard_idx % workers] += 1;
         }
         for tx in &self.senders {
             if tx.send(WorkerMsg::Run(Arc::clone(&job))).is_err() {
@@ -220,6 +222,7 @@ impl Executor for ThreadPoolExecutor {
             items: num_items,
             shard_seconds: vec![0.0; num_shards],
             busy_seconds: vec![0.0; workers],
+            queue_depths,
             ..ExecStats::default()
         };
         let mut first_panic: Option<(usize, String)> = None;
@@ -370,6 +373,8 @@ mod tests {
         assert_eq!(run.stats.shards, 8);
         assert_eq!(run.stats.shard_seconds.len(), 8);
         assert_eq!(run.stats.busy_seconds.len(), 2);
+        // Round-robin home assignment: 8 shards over 2 workers.
+        assert_eq!(run.stats.queue_depths, vec![4, 4]);
         assert!(run.stats.wall_seconds >= 0.0);
         assert!(run.stats.worker_utilization() <= 1.0);
     }

@@ -29,6 +29,10 @@ pub struct ExecStats {
     pub cache_misses: u64,
     /// Seconds each worker spent running shard bodies, by worker index.
     pub busy_seconds: Vec<f64>,
+    /// Shards enqueued on each worker's home queue at submit time
+    /// (before any stealing), by worker index. The serial executor
+    /// reports a single entry holding every shard.
+    pub queue_depths: Vec<usize>,
     /// Wall-clock seconds for the whole call (submit to reduce).
     pub wall_seconds: f64,
 }
@@ -57,9 +61,61 @@ impl ExecStats {
     }
 }
 
+/// What a backend's `take_exec_stats` call can report.
+///
+/// The old API returned `Option<ExecStats>`, which conflated "this
+/// backend never produces stats" with "no evaluation ran since the
+/// last take" — both came back `None`, silently dropping the
+/// distinction. This enum keeps the three states apart so callers can
+/// tell a misconfigured pipeline from a merely quiet one.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ExecStatsState {
+    /// The backend does not run through an executor at all; it will
+    /// never produce stats. This is the trait default.
+    #[default]
+    Unavailable,
+    /// The backend has an executor but no evaluation completed since
+    /// stats were last taken.
+    Idle,
+    /// Stats from the most recent evaluation; taking them resets the
+    /// backend to [`ExecStatsState::Idle`].
+    Ready(ExecStats),
+}
+
+impl ExecStatsState {
+    /// The stats, if ready — the shape most telemetry call sites want.
+    pub fn into_option(self) -> Option<ExecStats> {
+        match self {
+            ExecStatsState::Ready(stats) => Some(stats),
+            ExecStatsState::Unavailable | ExecStatsState::Idle => None,
+        }
+    }
+
+    /// True when the producer can never yield stats.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, ExecStatsState::Unavailable)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_state_separates_never_from_not_yet() {
+        assert!(ExecStatsState::Unavailable.is_unavailable());
+        assert!(!ExecStatsState::Idle.is_unavailable());
+        assert_eq!(ExecStatsState::Unavailable.into_option(), None);
+        assert_eq!(ExecStatsState::Idle.into_option(), None);
+        let stats = ExecStats {
+            workers: 2,
+            ..ExecStats::default()
+        };
+        assert_eq!(
+            ExecStatsState::Ready(stats.clone()).into_option(),
+            Some(stats)
+        );
+    }
 
     #[test]
     fn hit_rate_handles_empty_and_mixed() {
@@ -94,6 +150,7 @@ mod tests {
             cache_hits: 10,
             cache_misses: 22,
             busy_seconds: vec![0.2; 4],
+            queue_depths: vec![2; 4],
             wall_seconds: 0.3,
         };
         let json = serde_json::to_string(&stats).expect("serialize");

@@ -9,9 +9,9 @@
 //! batch finishes (issue 2).
 
 use crate::config::InaxConfig;
-use crate::dma::DmaModel;
+use crate::dma::{DmaModel, DmaTraffic};
 use crate::net::IrregularNet;
-use crate::profile::{CycleBreakdown, UtilizationReport};
+use crate::profile::{CycleBreakdown, UtilizationBreakdown, UtilizationReport};
 use crate::pu::PuSim;
 use serde::{Deserialize, Serialize};
 
@@ -98,19 +98,24 @@ impl From<&EpisodeRunReport> for e3_telemetry::HwCounters {
 pub struct InaxAccelerator {
     config: InaxConfig,
     dma: DmaModel,
+    traffic: DmaTraffic,
     pus: Vec<PuSim>,
     report: EpisodeRunReport,
+    util: UtilizationBreakdown,
 }
 
 impl InaxAccelerator {
     /// Creates an empty accelerator.
     pub fn new(config: InaxConfig) -> Self {
         let dma = DmaModel::new(config.dma_bytes_per_cycle, config.dma_latency_cycles);
+        let util = UtilizationBreakdown::new(config.num_pu.max(1), config.num_pe.max(1));
         InaxAccelerator {
             config,
             dma,
+            traffic: DmaTraffic::default(),
             pus: Vec::new(),
             report: EpisodeRunReport::default(),
+            util,
         }
     }
 
@@ -135,13 +140,34 @@ impl InaxAccelerator {
         );
         let mut dma_cycles = 0u64;
         for net in &nets {
-            dma_cycles += self.dma.transfer_cycles(net.weight_stream_bytes());
+            let bytes = net.weight_stream_bytes();
+            dma_cycles += self.traffic.transfer(&self.dma, bytes);
+            self.util.weight_buffer_hwm_bytes = self.util.weight_buffer_hwm_bytes.max(bytes);
         }
         self.pus = nets
             .into_iter()
             .map(|n| PuSim::new(&self.config, n))
             .collect();
         let decode = self.pus.iter().map(PuSim::setup_cycles).max().unwrap_or(0);
+        for pu in &self.pus {
+            self.util.value_buffer_hwm_slots = self
+                .util
+                .value_buffer_hwm_slots
+                .max(pu.net().value_buffer_slots() as u64);
+        }
+        // Per-PU states over the set-up phase: a resident PU computes
+        // its own decode, then stalls on the shared weight channel
+        // (peer decodes + DMA); empty PUs idle through the whole phase.
+        for (index, cycles) in self.util.per_pu.iter_mut().enumerate() {
+            if let Some(pu) = self.pus.get(index) {
+                let own = pu.setup_cycles();
+                cycles.busy += own;
+                cycles.stall += (decode - own) + dma_cycles;
+            } else {
+                cycles.idle += decode + dma_cycles;
+            }
+        }
+        self.util.dma_bytes = self.traffic.bytes;
         self.report.dma_cycles += dma_cycles;
         self.report.breakdown.setup += decode + dma_cycles;
         self.report.total_cycles += decode + dma_cycles;
@@ -169,12 +195,13 @@ impl InaxAccelerator {
         // Input DMA: observations for alive individuals move serially
         // over the input channel (8 bytes per f64 value).
         let in_bytes: u64 = inputs.iter().flatten().map(|v| 8 * v.len() as u64).sum();
-        let input_dma = self.dma.transfer_cycles(in_bytes);
+        let input_dma = self.traffic.transfer(&self.dma, in_bytes);
 
         let mut outputs = Vec::with_capacity(self.pus.len());
         let mut wave_wall = 0u64;
         let mut pu_active = 0u64;
         let mut out_bytes = 0u64;
+        let mut pu_walls: Vec<Option<u64>> = Vec::with_capacity(self.pus.len());
         for (pu, input) in self.pus.iter_mut().zip(inputs) {
             match input {
                 Some(obs) => {
@@ -186,12 +213,44 @@ impl InaxAccelerator {
                     self.report.breakdown.pe_active += profile.pe_active_cycles;
                     self.report.breakdown.evaluate_control += profile.control_cycles();
                     self.report.pe_utilization.merge(profile.pe_utilization());
+                    pu_walls.push(Some(profile.wall_cycles));
                 }
-                None => outputs.push(None),
+                None => {
+                    outputs.push(None);
+                    pu_walls.push(None);
+                }
             }
         }
-        let output_dma = self.dma.transfer_cycles(out_bytes);
+        let output_dma = self.traffic.transfer(&self.dma, out_bytes);
         let dma = input_dma + output_dma;
+
+        // Per-PE-lane states while each alive PU infers: lane `j` is
+        // busy for its node assignments and idles out the rest of its
+        // PU's wall time, so Σ lane busy reconciles with the aggregate
+        // `pe_active` counter and Σ lane idle with `evaluate_control`.
+        for (pu, wall) in self.pus.iter().zip(&pu_walls) {
+            if let Some(wall) = wall {
+                for (lane, &busy) in pu.per_pe_active().iter().enumerate() {
+                    let cycles = &mut self.util.per_pe[lane];
+                    cycles.busy += busy;
+                    cycles.idle += wall.saturating_sub(busy);
+                }
+            }
+        }
+        // Per-PU states over the wave: an alive PU computes its own
+        // inference, idles at the barrier until the slowest resident
+        // finishes, and stalls on the serial observation/action DMA;
+        // dead and empty PUs idle through the whole wave.
+        for (index, cycles) in self.util.per_pu.iter_mut().enumerate() {
+            match pu_walls.get(index).copied().flatten() {
+                Some(wall) => {
+                    cycles.busy += wall;
+                    cycles.idle += wave_wall - wall;
+                    cycles.stall += dma;
+                }
+                None => cycles.idle += wave_wall + dma,
+            }
+        }
 
         // Idle PU time within the wave (slow-network lag + dead
         // episodes across the whole provisioned cluster) is charged to
@@ -201,6 +260,7 @@ impl InaxAccelerator {
             active: pu_active,
             total: provisioned,
         });
+        self.util.dma_bytes = self.traffic.bytes;
         self.report.dma_cycles += dma;
         self.report.total_cycles += wave_wall + dma;
         self.report.steps += 1;
@@ -217,9 +277,19 @@ impl InaxAccelerator {
         self.report
     }
 
+    /// Cumulative cycle-level utilization breakdown. Reconciles with
+    /// [`InaxAccelerator::report`]: every PU's `busy + idle + stall`
+    /// equals the report's `total_cycles`, and the PE lanes' summed
+    /// `busy` equals the report's `pe_active` breakdown.
+    pub fn utilization(&self) -> &UtilizationBreakdown {
+        &self.util
+    }
+
     /// Resets the cumulative accounting (e.g. between experiments).
     pub fn reset_report(&mut self) {
         self.report = EpisodeRunReport::default();
+        self.traffic = DmaTraffic::default();
+        self.util = UtilizationBreakdown::new(self.config.num_pu.max(1), self.config.num_pe.max(1));
     }
 }
 
@@ -401,6 +471,68 @@ mod tests {
     fn oversized_batch_rejected() {
         let mut acc = InaxAccelerator::new(InaxConfig::builder().num_pu(1).build());
         acc.load_batch(synthetic_population(2, 4, 2, 4, 0.4, 1));
+    }
+
+    #[test]
+    fn utilization_reconciles_with_aggregate_cycle_counts() {
+        // Mixed life cycle: load 3 of 4 PUs, one full wave, one wave
+        // with a dead episode — every PU's busy+idle+stall must still
+        // equal the aggregate wall cycles, and summed PE-lane busy
+        // must equal the pe_active breakdown.
+        let config = InaxConfig::builder().num_pu(4).num_pe(3).build();
+        let mut acc = InaxAccelerator::new(config);
+        let nets = synthetic_population(3, 4, 2, 8, 0.4, 21);
+        acc.load_batch(nets);
+        acc.step(&vec![Some(vec![0.1; 4]); 3]);
+        acc.step(&[Some(vec![0.2; 4]), None, Some(vec![0.3; 4])]);
+        acc.unload_batch();
+
+        let report = acc.report();
+        let util = acc.utilization();
+        assert_eq!(util.per_pu.len(), 4);
+        assert_eq!(util.per_pe.len(), 3);
+        for (pu, cycles) in util.per_pu.iter().enumerate() {
+            assert_eq!(
+                cycles.total(),
+                report.total_cycles,
+                "PU {pu} accounting must partition the wall cycles"
+            );
+        }
+        // PU 3 never held an individual; PU 1 additionally idled
+        // through wave 2.
+        assert_eq!(util.per_pu[3].busy, 0);
+        assert!(util.per_pu[1].idle > util.per_pu[0].idle);
+        let lane_busy: u64 = util.per_pe.iter().map(|c| c.busy).sum();
+        assert_eq!(lane_busy, report.breakdown.pe_active);
+        let lane_idle: u64 = util.per_pe.iter().map(|c| c.idle).sum();
+        assert_eq!(lane_idle, report.breakdown.evaluate_control);
+        assert!(util.dma_bytes > 0);
+        assert!(util.weight_buffer_hwm_bytes > 0);
+        assert!(util.value_buffer_hwm_slots >= 8, "hidden + io slots");
+    }
+
+    #[test]
+    fn merged_per_wave_utilization_equals_single_accelerator() {
+        let config = InaxConfig::builder().num_pu(2).num_pe(2).build();
+        let nets = synthetic_population(4, 4, 2, 6, 0.5, 9);
+        let inputs = |n: usize| vec![Some(vec![0.25; 4]); n];
+
+        let mut single = InaxAccelerator::new(config.clone());
+        for wave in nets.chunks(2) {
+            single.load_batch(wave.to_vec());
+            single.step(&inputs(wave.len()));
+            single.unload_batch();
+        }
+
+        let mut merged = UtilizationBreakdown::default();
+        for wave in nets.chunks(2) {
+            let mut acc = InaxAccelerator::new(config.clone());
+            acc.load_batch(wave.to_vec());
+            acc.step(&inputs(wave.len()));
+            acc.unload_batch();
+            merged.merge(acc.utilization());
+        }
+        assert_eq!(&merged, single.utilization());
     }
 
     #[test]

@@ -42,6 +42,27 @@ impl Default for DmaModel {
     }
 }
 
+/// Running byte/cycle totals for a set of DMA channels — the source of
+/// the `dma_bytes` utilization counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaTraffic {
+    /// Payload bytes moved so far.
+    pub bytes: u64,
+    /// Cycles spent on transfers so far.
+    pub cycles: u64,
+}
+
+impl DmaTraffic {
+    /// Accounts one transfer of `bytes` under `model` and returns its
+    /// cycle cost (0-byte transfers cost and count nothing).
+    pub fn transfer(&mut self, model: &DmaModel, bytes: u64) -> u64 {
+        let cycles = model.transfer_cycles(bytes);
+        self.bytes += bytes;
+        self.cycles += cycles;
+        cycles
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +93,20 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let _ = DmaModel::new(0, 1);
+    }
+
+    #[test]
+    fn traffic_accumulates_bytes_and_cycles() {
+        let dma = DmaModel::new(8, 32);
+        let mut traffic = DmaTraffic::default();
+        assert_eq!(traffic.transfer(&dma, 0), 0);
+        let c = traffic.transfer(&dma, 64);
+        assert_eq!(c, dma.transfer_cycles(64));
+        traffic.transfer(&dma, 16);
+        assert_eq!(traffic.bytes, 80);
+        assert_eq!(
+            traffic.cycles,
+            dma.transfer_cycles(64) + dma.transfer_cycles(16)
+        );
     }
 }

@@ -62,11 +62,16 @@ pub mod trace;
 
 pub use cluster::{EpisodeRunReport, InaxAccelerator};
 pub use config::{Dataflow, InaxConfig, InaxConfigBuilder};
-pub use dma::DmaModel;
+pub use dma::{DmaModel, DmaTraffic};
 pub use net::IrregularNet;
 pub use pipeline::{analyze_double_buffering, BatchWork, PipelineReport};
-pub use profile::{CycleBreakdown, UtilizationReport};
-pub use pu::{schedule_inference, PuInferenceProfile, PuSim};
+pub use profile::{
+    CycleBreakdown, PeLaneCycles, PuCycles, UtilizationBreakdown, UtilizationReport,
+};
+pub use pu::{
+    schedule_inference, schedule_inference_detailed, DetailedInferenceProfile, PuInferenceProfile,
+    PuSim,
+};
 pub use quant::FixedPointFormat;
 pub use sparsity::SparsityReport;
 pub use trace::{trace_inference, InferenceTrace};

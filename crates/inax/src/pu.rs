@@ -75,6 +75,7 @@ pub struct PuSim {
     net: IrregularNet,
     value_buffer: Vec<f64>,
     profile: PuInferenceProfile,
+    per_pe_active: Vec<u64>,
     setup_cycles: u64,
 }
 
@@ -82,14 +83,15 @@ impl PuSim {
     /// Creates a PU with `net` resident (the set-up phase cost is
     /// recorded in [`PuSim::setup_cycles`]).
     pub fn new(config: &InaxConfig, net: IrregularNet) -> Self {
-        let profile = schedule_inference(config, &net);
+        let detailed = schedule_inference_detailed(config, &net);
         let setup_cycles = net.num_connections() as u64 * config.setup_cycles_per_connection
             + net.num_compute_nodes() as u64 * config.setup_cycles_per_node;
         PuSim {
             config: config.clone(),
             value_buffer: vec![0.0; net.value_buffer_slots()],
             net,
-            profile,
+            profile: detailed.profile,
+            per_pe_active: detailed.per_pe_active,
             setup_cycles,
         }
     }
@@ -107,6 +109,12 @@ impl PuSim {
     /// Cycle profile of one inference (input-independent).
     pub fn inference_profile(&self) -> PuInferenceProfile {
         self.profile
+    }
+
+    /// Active cycles of each PE lane for one inference; sums to
+    /// [`PuInferenceProfile::pe_active_cycles`].
+    pub fn per_pe_active(&self) -> &[u64] {
+        &self.per_pe_active
     }
 
     /// Runs one inference: returns the outputs (bit-identical to the
@@ -146,10 +154,33 @@ impl PuSim {
 /// variance shows up as idle PE cycles. A level barrier and per-wave
 /// launch overhead are charged on top.
 pub fn schedule_inference(config: &InaxConfig, net: &IrregularNet) -> PuInferenceProfile {
+    schedule_inference_detailed(config, net).profile
+}
+
+/// [`schedule_inference`] plus the per-PE-lane activity it implies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetailedInferenceProfile {
+    /// The aggregate profile (what [`schedule_inference`] returns).
+    pub profile: PuInferenceProfile,
+    /// Active cycles of each PE lane (`num_pe` entries); lane `j`
+    /// computes the `j`-th node of every wave. Sums to
+    /// `profile.pe_active_cycles`.
+    pub per_pe_active: Vec<u64>,
+}
+
+/// Computes the inference schedule with per-PE-lane cycle attribution:
+/// within each wave, chunk position `j` is executed by PE lane `j`, so
+/// lane occupancy skew (degree variance, ragged last waves) is visible
+/// per lane instead of only as an aggregate idle total.
+pub fn schedule_inference_detailed(
+    config: &InaxConfig,
+    net: &IrregularNet,
+) -> DetailedInferenceProfile {
     let n = config.num_pe.max(1);
     let mut wall = 0u64;
     let mut active = 0u64;
     let mut waves = 0u64;
+    let mut per_pe_active = vec![0u64; n];
     match config.dataflow {
         Dataflow::OutputStationary | Dataflow::WeightStationary => {
             // WS differs only in the per-node cost: with zero weight
@@ -163,9 +194,10 @@ pub fn schedule_inference(config: &InaxConfig, net: &IrregularNet) -> PuInferenc
             for &(start, end) in net.levels() {
                 for wave in net.nodes()[start..end].chunks(n) {
                     let mut wave_max = 0u64;
-                    for node in wave {
+                    for (lane, node) in wave.iter().enumerate() {
                         let c = node_cycles(config, node) * penalty;
                         active += c;
+                        per_pe_active[lane] += c;
                         wave_max = wave_max.max(c);
                     }
                     wall += wave_max + config.wave_overhead_cycles;
@@ -190,24 +222,33 @@ pub fn schedule_inference(config: &InaxConfig, net: &IrregularNet) -> PuInferenc
                 if wave_max == 0 {
                     continue;
                 }
-                active += wave.iter().sum::<u64>();
+                for (lane, &c) in wave.iter().enumerate() {
+                    active += c;
+                    per_pe_active[lane] += c;
+                }
                 wall += wave_max + config.wave_overhead_cycles;
                 waves += 1;
             }
             // Activation pass over compute nodes.
             for wave in net.nodes().chunks(n) {
-                active += wave.len() as u64 * config.activation_cycles;
+                for lane_active in per_pe_active.iter_mut().take(wave.len()) {
+                    active += config.activation_cycles;
+                    *lane_active += config.activation_cycles;
+                }
                 wall += config.activation_cycles + config.wave_overhead_cycles;
                 waves += 1;
             }
             wall += config.level_sync_cycles;
         }
     }
-    PuInferenceProfile {
-        wall_cycles: wall,
-        pe_active_cycles: active,
-        pe_total_cycles: wall * n as u64,
-        waves,
+    DetailedInferenceProfile {
+        profile: PuInferenceProfile {
+            wall_cycles: wall,
+            pe_active_cycles: active,
+            pe_total_cycles: wall * n as u64,
+            waves,
+        },
+        per_pe_active,
     }
 }
 
@@ -325,6 +366,40 @@ mod tests {
         let p = schedule_inference(&config, &net);
         // All 6 MAC cycles + 3 activations appear as active work.
         assert_eq!(p.pe_active_cycles, 6 + 3 * config.activation_cycles);
+    }
+
+    #[test]
+    fn per_lane_activity_sums_to_aggregate_for_every_dataflow() {
+        let net = synthetic_net(8, 4, 30, 0.2, 11);
+        for dataflow in [
+            Dataflow::OutputStationary,
+            Dataflow::WeightStationary,
+            Dataflow::InputStationary,
+        ] {
+            for num_pe in [1, 3, 8] {
+                let config = InaxConfig::builder()
+                    .num_pe(num_pe)
+                    .dataflow(dataflow)
+                    .build();
+                let detailed = schedule_inference_detailed(&config, &net);
+                assert_eq!(detailed.per_pe_active.len(), num_pe);
+                assert_eq!(
+                    detailed.per_pe_active.iter().sum::<u64>(),
+                    detailed.profile.pe_active_cycles,
+                    "{dataflow:?} with {num_pe} PEs"
+                );
+                // Chunks fill from lane 0, so lane 0 works whenever
+                // any lane does.
+                if detailed.profile.pe_active_cycles > 0 {
+                    assert!(detailed.per_pe_active[0] > 0);
+                }
+                assert_eq!(
+                    detailed.profile,
+                    schedule_inference(&config, &net),
+                    "the aggregate schedule is the detailed one's summary"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::{decode_action, EnvId, Environment};
-use e3_exec::{AnyExecutor, ExecError, ExecStats, Executor};
-use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet};
+use e3_exec::{AnyExecutor, ExecError, ExecStats, ExecStatsState, Executor};
+use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet, UtilizationBreakdown};
 use e3_neat::{DecodeError, Genome, Network};
+use e3_telemetry::Tracer;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -156,6 +157,9 @@ pub struct EvalOutcome {
     pub total_steps: u64,
     /// Accelerator accounting (INAX backend only).
     pub hw_report: Option<EpisodeRunReport>,
+    /// Cycle-level per-PU/per-PE utilization accounting (INAX backend
+    /// only).
+    pub hw_utilization: Option<UtilizationBreakdown>,
 }
 
 /// The "evaluate" phase executor.
@@ -194,15 +198,28 @@ pub trait EvalBackend {
     }
 
     /// Takes (consumes) the executor statistics of the most recent
-    /// successful `try_evaluate_population` call, or `None` if the
-    /// backend has not evaluated yet.
+    /// successful `try_evaluate_population` call.
+    ///
+    /// The default returns [`ExecStatsState::Unavailable`]: the backend
+    /// runs no executor and can never produce stats. Backends that *do*
+    /// run one return [`ExecStatsState::Idle`] when no evaluation has
+    /// completed since the last take, and [`ExecStatsState::Ready`]
+    /// otherwise — so callers can tell "this backend has no stats to
+    /// offer" from "nothing has run yet" instead of both collapsing to
+    /// a silently dropped `None`.
     ///
     /// Stats are observability only: they describe the nondeterministic
     /// execution schedule (wall times, steals, cache hits), never the
     /// results, which are bit-identical across thread counts.
-    fn take_exec_stats(&mut self) -> Option<ExecStats> {
-        None
+    fn take_exec_stats(&mut self) -> ExecStatsState {
+        ExecStatsState::Unavailable
     }
+
+    /// Installs a tracer; subsequent evaluations record `shard` /
+    /// `individual` / `episode` spans into it. The default ignores the
+    /// tracer (backends without instrumentation stay valid). Tracing is
+    /// write-only: results are bit-identical with any tracer installed.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// Runs one decoded network's episode in software, returning
@@ -258,6 +275,7 @@ fn run_software_population<C>(
     genomes: &[Genome],
     env_id: EnvId,
     episode_seed: u64,
+    tracer: Tracer,
     cost: C,
 ) -> Result<SoftwareRun, EvalError>
 where
@@ -266,15 +284,23 @@ where
     let pop: Arc<[Genome]> = genomes.into();
     let shard_size = software_shard_size(genomes.len(), exec.workers());
     let run = exec.run_shards(genomes.len(), shard_size, move |scratch, range| {
+        let mut shard_span = tracer.span("shard", "exec");
+        shard_span.arg("start", range.start as f64);
+        shard_span.arg("items", range.len() as f64);
         let mut env = env_id.make();
         range
             .map(|i| -> SoftwareRow {
+                let mut individual_span = tracer.span("individual", "eval");
+                individual_span.arg("genome_index", i as f64);
                 let net = scratch
                     .cache()
                     .get_or_decode(&pop[i])
                     .map_err(|reason| (i, reason))?;
                 let per_inference = cost(net);
+                let mut episode_span = tracer.start("episode", "env");
                 let (fitness, steps) = run_software_episode(net, env.as_mut(), episode_seed);
+                episode_span.arg("steps", steps as f64);
+                episode_span.finish();
                 Ok((fitness, steps, per_inference * steps as f64))
             })
             .collect()
@@ -317,6 +343,7 @@ fn reduce_software_rows(rows: Vec<(f64, u64, f64)>, sec_per_env_step: f64) -> Ev
         env_seconds: total_steps as f64 * sec_per_env_step,
         total_steps,
         hw_report: None,
+        hw_utilization: None,
     }
 }
 
@@ -330,6 +357,7 @@ pub struct CpuBackend {
     model: SwCostModel,
     exec: AnyExecutor,
     last_exec: Option<ExecStats>,
+    tracer: Tracer,
 }
 
 impl CpuBackend {
@@ -353,6 +381,7 @@ impl CpuBackend {
             model,
             exec: AnyExecutor::new(threads),
             last_exec: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -364,9 +393,12 @@ impl CpuBackend {
 
 impl Clone for CpuBackend {
     /// Clones the configuration; the clone gets a fresh executor of
-    /// the same width (worker pools are never shared).
+    /// the same width (worker pools are never shared) and shares the
+    /// installed tracer.
     fn clone(&self) -> Self {
-        CpuBackend::with_threads(self.model, self.exec.workers())
+        let mut clone = CpuBackend::with_threads(self.model, self.exec.workers());
+        clone.tracer = self.tracer.clone();
+        clone
     }
 }
 
@@ -388,16 +420,27 @@ impl EvalBackend for CpuBackend {
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError> {
         let model = self.model;
-        let (rows, stats) =
-            run_software_population(&mut self.exec, genomes, env_id, episode_seed, move |net| {
-                model.inference_seconds(net)
-            })?;
+        let (rows, stats) = run_software_population(
+            &mut self.exec,
+            genomes,
+            env_id,
+            episode_seed,
+            self.tracer.clone(),
+            move |net| model.inference_seconds(net),
+        )?;
         self.last_exec = Some(stats);
         Ok(reduce_software_rows(rows, self.model.sec_per_env_step))
     }
 
-    fn take_exec_stats(&mut self) -> Option<ExecStats> {
-        self.last_exec.take()
+    fn take_exec_stats(&mut self) -> ExecStatsState {
+        match self.last_exec.take() {
+            Some(stats) => ExecStatsState::Ready(stats),
+            None => ExecStatsState::Idle,
+        }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -409,6 +452,7 @@ pub struct GpuBackend {
     gpu: GpuCostModel,
     exec: AnyExecutor,
     last_exec: Option<ExecStats>,
+    tracer: Tracer,
 }
 
 impl GpuBackend {
@@ -431,15 +475,19 @@ impl GpuBackend {
             gpu,
             exec: AnyExecutor::new(threads),
             last_exec: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
 
 impl Clone for GpuBackend {
     /// Clones the configuration; the clone gets a fresh executor of
-    /// the same width (worker pools are never shared).
+    /// the same width (worker pools are never shared) and shares the
+    /// installed tracer.
     fn clone(&self) -> Self {
-        GpuBackend::with_threads(self.sw, self.gpu, self.exec.workers())
+        let mut clone = GpuBackend::with_threads(self.sw, self.gpu, self.exec.workers());
+        clone.tracer = self.tracer.clone();
+        clone
     }
 }
 
@@ -461,16 +509,27 @@ impl EvalBackend for GpuBackend {
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError> {
         let gpu = self.gpu;
-        let (rows, stats) =
-            run_software_population(&mut self.exec, genomes, env_id, episode_seed, move |net| {
-                gpu.inference_seconds(net)
-            })?;
+        let (rows, stats) = run_software_population(
+            &mut self.exec,
+            genomes,
+            env_id,
+            episode_seed,
+            self.tracer.clone(),
+            move |net| gpu.inference_seconds(net),
+        )?;
         self.last_exec = Some(stats);
         Ok(reduce_software_rows(rows, self.sw.sec_per_env_step))
     }
 
-    fn take_exec_stats(&mut self) -> Option<ExecStats> {
-        self.last_exec.take()
+    fn take_exec_stats(&mut self) -> ExecStatsState {
+        match self.last_exec.take() {
+            Some(stats) => ExecStatsState::Ready(stats),
+            None => ExecStatsState::Idle,
+        }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -489,14 +548,17 @@ pub struct InaxBackend {
     sw: SwCostModel,
     exec: AnyExecutor,
     last_exec: Option<ExecStats>,
+    tracer: Tracer,
 }
 
 /// Everything one INAX wave produces: per-resident fitness and episode
-/// lengths, the wave's cycle accounting, and its env-step count.
+/// lengths, the wave's cycle accounting and utilization breakdown, and
+/// its env-step count.
 struct WaveResult {
     fitnesses: Vec<f64>,
     steps: Vec<u64>,
     report: EpisodeRunReport,
+    util: UtilizationBreakdown,
     total_steps: u64,
 }
 
@@ -521,6 +583,7 @@ impl InaxBackend {
             sw,
             exec: AnyExecutor::new(threads),
             last_exec: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -557,6 +620,7 @@ impl EvalBackend for InaxBackend {
         let num_waves = nets.len().div_ceil(num_pu.max(1));
         let nets: Arc<Vec<IrregularNet>> = Arc::new(nets);
         let config = self.config.clone();
+        let tracer = self.tracer.clone();
 
         // One work item per wave: each runs its batch on a private
         // accelerator instance (a "virtual PU cluster").
@@ -566,6 +630,9 @@ impl EvalBackend for InaxBackend {
                     let base = wave * num_pu;
                     let end = (base + num_pu).min(nets.len());
                     let batch = &nets[base..end];
+                    let mut wave_span = tracer.span("shard", "exec");
+                    wave_span.arg("wave", wave as f64);
+                    wave_span.arg("items", batch.len() as f64);
                     let mut accelerator = InaxAccelerator::new(config.clone());
                     accelerator.load_batch(batch.to_vec());
                     // One environment instance per resident individual.
@@ -582,6 +649,17 @@ impl EvalBackend for InaxBackend {
                         .iter_mut()
                         .map(|e| Some(e.reset(episode_seed)))
                         .collect();
+                    // Episodes in a wave interleave in lock-step, so
+                    // their spans cannot nest lexically: one explicit
+                    // timer per resident, finished when its episode
+                    // terminates. Inert (no clock) when disabled.
+                    let mut episode_timers: Vec<Option<e3_telemetry::SpanTimer>> = (0..batch.len())
+                        .map(|i| {
+                            let mut timer = tracer.start("episode", "env");
+                            timer.arg("genome_index", (base + i) as f64);
+                            Some(timer)
+                        })
+                        .collect();
                     while observations.iter().any(Option::is_some) {
                         let outputs = accelerator.step(&observations);
                         for (i, output) in outputs.into_iter().enumerate() {
@@ -592,6 +670,10 @@ impl EvalBackend for InaxBackend {
                             steps_per_genome[i] += 1;
                             total_steps += 1;
                             observations[i] = if step.terminated || step.truncated {
+                                if let Some(mut timer) = episode_timers[i].take() {
+                                    timer.arg("steps", steps_per_genome[i] as f64);
+                                    timer.finish();
+                                }
                                 None
                             } else {
                                 Some(step.observation)
@@ -603,6 +685,7 @@ impl EvalBackend for InaxBackend {
                         fitnesses,
                         steps: steps_per_genome,
                         report: accelerator.report(),
+                        util: accelerator.utilization().clone(),
                         total_steps,
                     }
                 })
@@ -615,11 +698,13 @@ impl EvalBackend for InaxBackend {
         let mut steps_per_genome = Vec::with_capacity(genomes.len());
         let mut total_steps = 0u64;
         let mut report = EpisodeRunReport::default();
+        let mut util = UtilizationBreakdown::default();
         for wave in run.results {
             fitnesses.extend(wave.fitnesses);
             steps_per_genome.extend(wave.steps);
             total_steps += wave.total_steps;
             report.merge(&wave.report);
+            util.merge(&wave.util);
         }
         self.last_exec = Some(run.stats);
         Ok(EvalOutcome {
@@ -629,11 +714,19 @@ impl EvalBackend for InaxBackend {
             env_seconds: total_steps as f64 * self.sw.sec_per_env_step,
             total_steps,
             hw_report: Some(report),
+            hw_utilization: Some(util),
         })
     }
 
-    fn take_exec_stats(&mut self) -> Option<ExecStats> {
-        self.last_exec.take()
+    fn take_exec_stats(&mut self) -> ExecStatsState {
+        match self.last_exec.take() {
+            Some(stats) => ExecStatsState::Ready(stats),
+            None => ExecStatsState::Idle,
+        }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -674,11 +767,19 @@ impl EvalBackend for AnyBackend {
         }
     }
 
-    fn take_exec_stats(&mut self) -> Option<ExecStats> {
+    fn take_exec_stats(&mut self) -> ExecStatsState {
         match self {
             AnyBackend::Cpu(b) => b.take_exec_stats(),
             AnyBackend::Gpu(b) => b.take_exec_stats(),
             AnyBackend::Inax(b) => b.take_exec_stats(),
+        }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        match self {
+            AnyBackend::Cpu(b) => b.set_tracer(tracer),
+            AnyBackend::Gpu(b) => b.set_tracer(tracer),
+            AnyBackend::Inax(b) => b.set_tracer(tracer),
         }
     }
 }
@@ -704,6 +805,7 @@ pub struct BackendBuilder {
     gpu: GpuCostModel,
     inax: InaxConfig,
     threads: usize,
+    tracer: Tracer,
 }
 
 impl BackendBuilder {
@@ -716,6 +818,7 @@ impl BackendBuilder {
             gpu: GpuCostModel::default(),
             inax: InaxConfig::default(),
             threads: 1,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -746,13 +849,21 @@ impl BackendBuilder {
         self
     }
 
+    /// Installs a span tracer on the built backend (defaults to the
+    /// zero-cost disabled tracer). Tracing is write-only: results are
+    /// bit-identical with any tracer.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Builds the backend.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn build(self) -> AnyBackend {
-        match self.kind {
+        let mut backend = match self.kind {
             BackendKind::Cpu => AnyBackend::Cpu(CpuBackend::with_threads(self.sw, self.threads)),
             BackendKind::Gpu => {
                 AnyBackend::Gpu(GpuBackend::with_threads(self.sw, self.gpu, self.threads))
@@ -760,7 +871,9 @@ impl BackendBuilder {
             BackendKind::Inax => {
                 AnyBackend::Inax(InaxBackend::with_threads(self.inax, self.sw, self.threads))
             }
-        }
+        };
+        backend.set_tracer(self.tracer);
+        backend
     }
 }
 
@@ -845,6 +958,134 @@ mod tests {
             a.fitnesses.iter().all(|f| *f < 0.0),
             "pendulum rewards are negative"
         );
+    }
+
+    #[test]
+    fn exec_stats_state_distinguishes_idle_from_ready() {
+        let mut cpu = CpuBackend::default();
+        assert_eq!(
+            cpu.take_exec_stats(),
+            ExecStatsState::Idle,
+            "executor exists but nothing ran yet"
+        );
+        let pop = genomes(EnvId::CartPole, 4);
+        let _ = eval(&mut cpu, &pop, EnvId::CartPole, 7);
+        assert!(matches!(cpu.take_exec_stats(), ExecStatsState::Ready(_)));
+        assert_eq!(
+            cpu.take_exec_stats(),
+            ExecStatsState::Idle,
+            "take consumes the stats"
+        );
+    }
+
+    /// A backend with no executor at all: the trait default must say
+    /// so explicitly instead of masquerading as "nothing ran".
+    struct StatlessBackend;
+
+    impl EvalBackend for StatlessBackend {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Cpu
+        }
+
+        fn try_evaluate_population(
+            &mut self,
+            genomes: &[Genome],
+            _env: EnvId,
+            _episode_seed: u64,
+        ) -> Result<EvalOutcome, EvalError> {
+            Ok(reduce_software_rows(
+                vec![(0.0, 0, 0.0); genomes.len()],
+                0.0,
+            ))
+        }
+    }
+
+    #[test]
+    fn backend_without_executor_reports_unavailable() {
+        let mut backend = StatlessBackend;
+        let pop = genomes(EnvId::CartPole, 2);
+        let _ = eval(&mut backend, &pop, EnvId::CartPole, 1);
+        let state = backend.take_exec_stats();
+        assert!(state.is_unavailable());
+        assert_eq!(state.into_option(), None);
+    }
+
+    #[test]
+    fn tracing_records_spans_without_changing_results() {
+        let pop = genomes(EnvId::CartPole, 12);
+        let config = InaxConfig::builder().num_pu(5).num_pe(2).build();
+        let mut plain = InaxBackend::new(config.clone(), SwCostModel::default());
+        let mut traced = InaxBackend::new(config, SwCostModel::default());
+        let tracer = Tracer::enabled();
+        traced.set_tracer(tracer.clone());
+        let a = eval(&mut plain, &pop, EnvId::CartPole, 7);
+        let b = eval(&mut traced, &pop, EnvId::CartPole, 7);
+        assert_eq!(a, b, "tracing is write-only");
+        let spans = tracer.spans();
+        assert!(!spans.is_empty());
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"shard"), "wave spans recorded");
+        assert!(names.contains(&"episode"), "episode spans recorded");
+        assert_eq!(
+            names.iter().filter(|n| **n == "episode").count(),
+            pop.len(),
+            "one episode span per genome"
+        );
+    }
+
+    #[test]
+    fn software_backends_trace_individual_spans() {
+        let pop = genomes(EnvId::CartPole, 6);
+        let mut cpu = CpuBackend::default();
+        let tracer = Tracer::enabled();
+        cpu.set_tracer(tracer.clone());
+        let _ = eval(&mut cpu, &pop, EnvId::CartPole, 3);
+        let names: Vec<String> = tracer.spans().into_iter().map(|s| s.name).collect();
+        for expected in ["shard", "individual", "episode"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn inax_utilization_reconciles_at_backend_level() {
+        // 12 genomes on 5 PUs ⇒ 3 waves merged: the invariant must
+        // survive the wave-ordered reduction.
+        let pop = genomes(EnvId::CartPole, 12);
+        let mut inax = InaxBackend::new(
+            InaxConfig::builder().num_pu(5).num_pe(2).build(),
+            SwCostModel::default(),
+        );
+        let out = eval(&mut inax, &pop, EnvId::CartPole, 7);
+        let report = out.hw_report.expect("INAX reports HW accounting");
+        let util = out.hw_utilization.expect("INAX reports utilization");
+        assert_eq!(util.per_pu.len(), 5);
+        assert_eq!(util.per_pe.len(), 2);
+        for (pu, cycles) in util.per_pu.iter().enumerate() {
+            assert_eq!(
+                cycles.total(),
+                report.total_cycles,
+                "PU {pu} cycle states must partition the wall cycles"
+            );
+        }
+        let lane_busy: u64 = util.per_pe.iter().map(|l| l.busy).sum();
+        assert_eq!(lane_busy, report.breakdown.pe_active);
+        assert!(util.dma_bytes > 0);
+        assert!(util.weight_buffer_hwm_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_inax_utilization_matches_serial() {
+        let pop = genomes(EnvId::CartPole, 13);
+        let config = InaxConfig::builder().num_pu(3).num_pe(2).build();
+        let mut serial = InaxBackend::new(config.clone(), SwCostModel::default());
+        let mut parallel = InaxBackend::with_threads(config, SwCostModel::default(), 4);
+        let a = eval(&mut serial, &pop, EnvId::CartPole, 9);
+        let b = eval(&mut parallel, &pop, EnvId::CartPole, 9);
+        assert_eq!(
+            a.hw_utilization, b.hw_utilization,
+            "accounting is deterministic"
+        );
+        assert_eq!(a.hw_report, b.hw_report);
     }
 
     #[test]

@@ -13,12 +13,13 @@ use crate::backend::{AnyBackend, BackendKind, EvalBackend, EvalError};
 use crate::energy::PowerModel;
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::EnvId;
-use e3_inax::{EpisodeRunReport, InaxConfig};
+use e3_exec::ExecStatsState;
+use e3_inax::{EpisodeRunReport, InaxConfig, UtilizationBreakdown};
 use e3_neat::stats::ComplexityStats;
 use e3_neat::{NeatConfig, Population};
 use e3_telemetry::{
     Collector, EvalRecord, ExecRecord, FunctionSplit, GenerationRecord, HwCounters, NullCollector,
-    RunSummary, TelemetryError, TelemetryEvent,
+    RunSummary, TelemetryError, TelemetryEvent, Tracer,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -284,6 +285,10 @@ pub struct RunOutcome {
     pub trace: Vec<(f64, f64)>,
     /// Aggregated accelerator accounting (INAX backend only).
     pub hw_report: Option<EpisodeRunReport>,
+    /// Aggregated cycle-level per-PU/per-PE utilization accounting
+    /// (INAX backend only). Deterministic: identical across thread
+    /// counts and collector choices.
+    pub hw_utilization: Option<UtilizationBreakdown>,
     /// Structural statistics of the evolved populations (Fig. 4,
     /// Table V).
     pub complexity: ComplexityStats,
@@ -313,9 +318,11 @@ pub struct E3Platform {
     profile: FunctionProfile,
     complexity: ComplexityStats,
     hw_report: Option<EpisodeRunReport>,
+    hw_utilization: Option<UtilizationBreakdown>,
     trace: Vec<(f64, f64)>,
     episode_seed: u64,
     generation: usize,
+    tracer: Tracer,
 }
 
 impl E3Platform {
@@ -336,10 +343,23 @@ impl E3Platform {
             profile: FunctionProfile::default(),
             complexity: ComplexityStats::new(),
             hw_report: None,
+            hw_utilization: None,
             trace: Vec::new(),
             episode_seed: seed.wrapping_add(1000),
             generation: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a span tracer; the platform records `run` /
+    /// `generation` / `eval` / `evolve` spans and the backend records
+    /// `shard` / `individual` / `episode` spans beneath them. Tracing
+    /// is write-only: results are bit-identical with any tracer (see
+    /// `tests/telemetry_parity.rs`). Keep a clone of the tracer to
+    /// export the trace after the run.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.backend.set_tracer(tracer);
     }
 
     /// Which backend this platform runs on.
@@ -379,8 +399,12 @@ impl E3Platform {
     /// population and [`RunError::Telemetry`] if the collector rejects
     /// a record.
     pub fn step_with(&mut self, collector: &mut dyn Collector) -> Result<f64, RunError> {
+        let mut generation_span = self.tracer.start("generation", "platform");
+        generation_span.arg("generation", self.generation as f64);
         // --- Evaluate phase (CreateNet + inference + env). ---
+        let mut eval_span = self.tracer.start("eval", "platform");
         let genomes = self.population.genomes().to_vec();
+        eval_span.arg("population", genomes.len() as f64);
         self.complexity.record_generation(&genomes);
         for genome in &genomes {
             self.profile.createnet += self
@@ -405,6 +429,12 @@ impl E3Platform {
                 None => self.hw_report = Some(report),
             }
         }
+        if let Some(util) = outcome.hw_utilization {
+            match &mut self.hw_utilization {
+                Some(acc) => acc.merge(&util),
+                None => self.hw_utilization = Some(util),
+            }
+        }
         let best = outcome
             .fitnesses
             .iter()
@@ -427,7 +457,11 @@ impl E3Platform {
             mean_fitness: mean,
             hw: outcome.hw_report.as_ref().map(HwCounters::from),
         }))?;
-        if let Some(exec) = self.backend.take_exec_stats() {
+        // `Idle` (nothing ran since the last take) and `Unavailable`
+        // (the backend has no executor) both mean "no record this
+        // generation" — but the states stay distinguishable for
+        // callers that need to know why.
+        if let ExecStatsState::Ready(exec) = self.backend.take_exec_stats() {
             collector.record(&TelemetryEvent::Exec(ExecRecord {
                 generation: self.generation,
                 backend: self.backend.kind().name().to_string(),
@@ -439,14 +473,17 @@ impl E3Platform {
                 cache_misses: exec.cache_misses,
                 cache_hit_rate: exec.cache_hit_rate(),
                 worker_utilization: exec.worker_utilization(),
+                queue_depths: exec.queue_depths.clone(),
                 wall_seconds: exec.wall_seconds,
             }))?;
         }
         self.population.assign_fitnesses(outcome.fitnesses);
         let best_ever = self.population.best().map_or(best, |b| b.fitness);
         self.trace.push((self.profile.total(), best_ever));
+        eval_span.finish();
 
         // --- Evolve phase (modeled costs; the actual work runs too). ---
+        let evolve_span = self.tracer.start("evolve", "platform");
         let pop = self.config.neat.population_size as f64;
         let species_count = self.population.species().len();
         let species = species_count.max(1) as f64;
@@ -455,6 +492,7 @@ impl E3Platform {
         self.profile.crossover +=
             pop * self.config.neat.crossover_rate * self.config.sw.sec_crossover_per_child;
         self.population.evolve();
+        evolve_span.finish();
         collector.record(&TelemetryEvent::Generation(GenerationRecord {
             generation: self.generation,
             backend: self.backend.kind().name().to_string(),
@@ -466,6 +504,7 @@ impl E3Platform {
             split: self.profile.to_split(),
         }))?;
         self.generation += 1;
+        generation_span.finish();
         Ok(best)
     }
 
@@ -490,6 +529,8 @@ impl E3Platform {
     /// Returns [`RunError::Eval`] if the backend rejects a population
     /// and [`RunError::Telemetry`] if the collector rejects a record.
     pub fn run_with(mut self, collector: &mut dyn Collector) -> Result<RunOutcome, RunError> {
+        let mut run_span = self.tracer.start("run", "platform");
+        run_span.arg("max_generations", self.config.max_generations as f64);
         let mut solved = false;
         let mut generations_run = 0;
         for _ in 0..self.config.max_generations {
@@ -506,6 +547,16 @@ impl E3Platform {
             .map_or(f64::NEG_INFINITY, |b| b.fitness);
         let kind = self.backend.kind();
         let energy = PowerModel::default().energy(kind, &self.profile);
+        // One utilization record per run, before the summary, and only
+        // when the backend produced cycle-level accounting (INAX).
+        if let Some(util) = &self.hw_utilization {
+            let total_cycles = self.hw_report.map_or(0, |r| r.total_cycles);
+            collector.record(&TelemetryEvent::Utilization(util.to_telemetry(
+                kind.name(),
+                self.config.env.name(),
+                total_cycles,
+            )))?;
+        }
         collector.record(&TelemetryEvent::Summary(RunSummary {
             backend: kind.name().to_string(),
             env: self.config.env.name().to_string(),
@@ -518,6 +569,7 @@ impl E3Platform {
             split: self.profile.to_split(),
         }))?;
         collector.flush()?;
+        run_span.finish();
         Ok(RunOutcome {
             solved,
             generations_run,
@@ -526,6 +578,7 @@ impl E3Platform {
             profile: self.profile,
             trace: self.trace,
             hw_report: self.hw_report,
+            hw_utilization: self.hw_utilization,
             complexity: self.complexity,
         })
     }
@@ -608,6 +661,46 @@ mod tests {
             "INAX accelerates the run"
         );
         assert!(b.hw_report.is_some());
+    }
+
+    #[test]
+    fn inax_run_reports_utilization_that_reconciles() {
+        let outcome = E3Platform::new(small(EnvId::CartPole), BackendKind::Inax, 9)
+            .run()
+            .unwrap();
+        let report = outcome.hw_report.expect("INAX cycle accounting");
+        let util = outcome.hw_utilization.expect("INAX utilization accounting");
+        assert!(!util.per_pu.is_empty());
+        for cycles in &util.per_pu {
+            assert_eq!(cycles.total(), report.total_cycles);
+        }
+        let lane_busy: u64 = util.per_pe.iter().map(|l| l.busy).sum();
+        assert_eq!(lane_busy, report.breakdown.pe_active);
+        // Software runs carry no cycle-level accounting.
+        let cpu = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 9)
+            .run()
+            .unwrap();
+        assert!(cpu.hw_utilization.is_none());
+    }
+
+    #[test]
+    fn traced_run_records_full_span_hierarchy() {
+        let tracer = Tracer::enabled();
+        let mut platform = E3Platform::new(small(EnvId::CartPole), BackendKind::Inax, 9);
+        platform.set_tracer(tracer.clone());
+        let traced = platform.run().unwrap();
+        let names: Vec<String> = tracer.spans().into_iter().map(|s| s.name).collect();
+        for expected in ["run", "generation", "eval", "evolve", "shard", "episode"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected} span"
+            );
+        }
+        // Tracing is write-only: same outcome as the untraced run.
+        let plain = E3Platform::new(small(EnvId::CartPole), BackendKind::Inax, 9)
+            .run()
+            .unwrap();
+        assert_eq!(traced, plain);
     }
 
     #[test]

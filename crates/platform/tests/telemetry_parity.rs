@@ -2,7 +2,7 @@
 //! bit-identical runs, and the NDJSON schema stays stable.
 
 use e3_envs::EnvId;
-use e3_platform::telemetry::{Collector, MemoryCollector, NdjsonWriter, TelemetryEvent};
+use e3_platform::telemetry::{Collector, MemoryCollector, NdjsonWriter, TelemetryEvent, Tracer};
 use e3_platform::{BackendKind, E3Config, E3Platform, EvalBackend, EvalError, RunError};
 use proptest::prelude::*;
 
@@ -57,6 +57,53 @@ proptest! {
         let trace: Vec<f64> = memory.generations().map(|g| g.best_fitness).collect();
         let expected: Vec<f64> = plain.trace.iter().map(|t| t.1).collect();
         prop_assert_eq!(trace, expected);
+    }
+
+    /// Span tracing must be write-only exactly like collectors: a run
+    /// with an enabled tracer produces the same fitness trajectory,
+    /// timing, and accounting as the untraced `NullCollector` run —
+    /// and the recorded spans are well-formed (completion-ordered end
+    /// times, the property `trace_check` validates on exported files).
+    #[test]
+    fn tracing_leaves_the_run_bit_identical(
+        env_index in 0usize..3,
+        backend_index in 0usize..3,
+        seed in 0u64..1_000,
+        threads in 1usize..4,
+    ) {
+        let env = ENVS[env_index];
+        let kind = BackendKind::ALL[backend_index];
+
+        let plain = E3Platform::new(quick_config(env), kind, seed)
+            .run()
+            .expect("quick populations are feed-forward");
+        let tracer = Tracer::enabled();
+        let mut config = quick_config(env);
+        config.threads = threads;
+        let mut traced_platform = E3Platform::new(config, kind, seed);
+        traced_platform.set_tracer(tracer.clone());
+        let traced = traced_platform
+            .run()
+            .expect("quick populations are feed-forward");
+
+        prop_assert_eq!(&plain, &traced);
+        let spans = tracer.spans();
+        prop_assert!(!spans.is_empty(), "enabled tracer records spans");
+        let mut prev_end = 0u64;
+        for span in &spans {
+            let end = span.start_us + span.dur_us;
+            prop_assert!(end >= prev_end, "spans are completion-ordered");
+            prev_end = end;
+        }
+        prop_assert_eq!(
+            spans.iter().filter(|s| s.name == "run").count(), 1,
+            "exactly one run span"
+        );
+        prop_assert_eq!(
+            spans.iter().filter(|s| s.name == "generation").count(),
+            plain.generations_run,
+            "one generation span per generation"
+        );
     }
 }
 
@@ -128,11 +175,51 @@ fn ndjson_schema_is_stable() {
                 "cache_misses",
                 "cache_hit_rate",
                 "worker_utilization",
+                "queue_depths",
                 "wall_seconds",
             ] {
                 assert!(exec.get(key).is_some(), "Exec record missing {key}: {line}");
             }
             kinds.push("Exec");
+        } else if let Some(util) = value.get("Utilization") {
+            for key in [
+                "backend",
+                "env",
+                "num_pu",
+                "num_pe",
+                "per_pu",
+                "per_pe",
+                "weight_buffer_hwm_bytes",
+                "value_buffer_hwm_slots",
+                "dma_bytes",
+                "total_cycles",
+            ] {
+                assert!(
+                    util.get(key).is_some(),
+                    "Utilization record missing {key}: {line}"
+                );
+            }
+            let row = util
+                .get("per_pu")
+                .unwrap()
+                .as_array()
+                .expect("per_pu is an array")
+                .first()
+                .expect("at least one PU row");
+            for key in ["pu", "busy_cycles", "idle_cycles", "stall_cycles"] {
+                assert!(row.get(key).is_some(), "PuCycleRow missing {key}");
+            }
+            let row = util
+                .get("per_pe")
+                .unwrap()
+                .as_array()
+                .expect("per_pe is an array")
+                .first()
+                .expect("at least one PE row");
+            for key in ["pe", "busy_cycles", "idle_cycles"] {
+                assert!(row.get(key).is_some(), "PeCycleRow missing {key}");
+            }
+            kinds.push("Utilization");
         } else if let Some(summary) = value.get("Summary") {
             for key in [
                 "backend",
@@ -170,6 +257,16 @@ fn ndjson_schema_is_stable() {
     }
     assert_eq!(kinds.last(), Some(&"Summary"), "summary closes the stream");
     assert_eq!(kinds.iter().filter(|k| **k == "Summary").count(), 1);
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "Utilization").count(),
+        1,
+        "INAX runs emit exactly one utilization record"
+    );
+    assert_eq!(
+        kinds[kinds.len() - 2],
+        "Utilization",
+        "utilization precedes the summary"
+    );
 }
 
 /// A recurrent genome is reported as a typed error end-to-end through
@@ -227,6 +324,7 @@ fn collector_forwarding_preserves_order() {
             TelemetryEvent::Eval(_) => "eval",
             TelemetryEvent::Exec(_) => "exec",
             TelemetryEvent::Generation(_) => "generation",
+            TelemetryEvent::Utilization(_) => "utilization",
             TelemetryEvent::Summary(_) => "summary",
         })
         .collect();

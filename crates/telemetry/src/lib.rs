@@ -24,6 +24,12 @@
 //! ([`HwCounters`], [`FunctionSplit`]) so that `e3-inax` and
 //! `e3-platform` can both depend on it without a cycle.
 
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Histogram, MeteredCollector, MetricsRegistry};
+pub use span::{SpanArg, SpanGuard, SpanRecord, SpanTimer, Tracer};
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::File;
@@ -169,8 +175,130 @@ pub struct ExecRecord {
     /// Mean fraction of the wall-clock each worker spent busy,
     /// in `[0, 1]`.
     pub worker_utilization: f64,
+    /// Shards initially enqueued on each worker's home queue
+    /// (before stealing), in worker order.
+    pub queue_depths: Vec<usize>,
     /// Wall-clock seconds for the whole evaluation call.
     pub wall_seconds: f64,
+}
+
+/// Cycle accounting for one processing unit over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PuCycleRow {
+    /// PU index within the cluster.
+    pub pu: usize,
+    /// Cycles the PU spent computing its own inference waves.
+    pub busy_cycles: u64,
+    /// Cycles the PU sat idle (no resident individual, or waiting on
+    /// slower PUs at a wave barrier).
+    pub idle_cycles: u64,
+    /// Cycles the PU was blocked on shared resources (weight decode
+    /// for other PUs, DMA transfers).
+    pub stall_cycles: u64,
+}
+
+impl PuCycleRow {
+    /// Total accounted cycles (`busy + idle + stall`).
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles + self.idle_cycles + self.stall_cycles
+    }
+}
+
+/// Cycle accounting for one processing element lane (aggregated over
+/// every PU, since all PUs share the PE-array shape).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeCycleRow {
+    /// PE lane index within a PU.
+    pub pe: usize,
+    /// Cycles this lane spent on MACs/activations.
+    pub busy_cycles: u64,
+    /// Cycles this lane idled while its PU was busy (short waves,
+    /// level syncs).
+    pub idle_cycles: u64,
+}
+
+/// Cycle-level utilization breakdown for a whole run on the INAX
+/// accelerator: where every cycle of every PU went, per-PE-lane
+/// activity, buffer high-water marks, and DMA traffic. Emitted once
+/// per run, just before [`RunSummary`]. The per-PU rows reconcile with
+/// the aggregate counters: `busy + idle + stall` of each PU equals
+/// [`UtilizationReport::total_cycles`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Backend name (currently always `"E3-INAX"`).
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// Number of PUs in the cluster.
+    pub num_pu: usize,
+    /// Number of PE lanes per PU.
+    pub num_pe: usize,
+    /// Per-PU busy/idle/stall cycles, indexed by PU.
+    pub per_pu: Vec<PuCycleRow>,
+    /// Per-PE-lane busy/idle cycles, aggregated across PUs.
+    pub per_pe: Vec<PeCycleRow>,
+    /// Largest weight-stream footprint loaded onto any PU, in bytes.
+    pub weight_buffer_hwm_bytes: u64,
+    /// Largest value-buffer occupancy on any PU, in slots.
+    pub value_buffer_hwm_slots: u64,
+    /// Total bytes moved by DMA (weights in, observations in, actions
+    /// out).
+    pub dma_bytes: u64,
+    /// Total accelerator wall cycles over the run.
+    pub total_cycles: u64,
+}
+
+impl UtilizationReport {
+    /// A human-readable per-PU / per-PE utilization table (the
+    /// end-of-run dump `repro run` prints for INAX runs).
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "INAX utilization — {} on {} ({} PU × {} PE, {} wall cycles)",
+            self.backend, self.env, self.num_pu, self.num_pe, self.total_cycles
+        );
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>12}  {:>12}  {:>12}  {:>6}",
+            "PU", "busy", "idle", "stall", "busy%"
+        );
+        for row in &self.per_pu {
+            let total = row.total_cycles().max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>12}  {:>12}  {:>12}  {:>5.1}%",
+                row.pu,
+                row.busy_cycles,
+                row.idle_cycles,
+                row.stall_cycles,
+                100.0 * row.busy_cycles as f64 / total
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>12}  {:>12}  {:>6}",
+            "PE", "busy", "idle", "busy%"
+        );
+        for row in &self.per_pe {
+            let total = (row.busy_cycles + row.idle_cycles).max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>12}  {:>12}  {:>5.1}%",
+                row.pe,
+                row.busy_cycles,
+                row.idle_cycles,
+                100.0 * row.busy_cycles as f64 / total
+            );
+        }
+        let _ = writeln!(
+            out,
+            "weight buffer HWM {} B, value buffer HWM {} slots, DMA {} B",
+            self.weight_buffer_hwm_bytes, self.value_buffer_hwm_slots, self.dma_bytes
+        );
+        out
+    }
 }
 
 /// One completed generation of the evolve/evaluate loop.
@@ -226,6 +354,8 @@ pub enum TelemetryEvent {
     Exec(ExecRecord),
     /// A generation finished.
     Generation(GenerationRecord),
+    /// Cycle-level accelerator utilization for a whole run.
+    Utilization(UtilizationReport),
     /// A run finished.
     Summary(RunSummary),
 }
@@ -297,6 +427,14 @@ impl MemoryCollector {
         })
     }
 
+    /// The buffered utilization reports.
+    pub fn utilizations(&self) -> impl Iterator<Item = &UtilizationReport> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Utilization(record) => Some(record),
+            _ => None,
+        })
+    }
+
     /// The buffered run summaries.
     pub fn summaries(&self) -> impl Iterator<Item = &RunSummary> {
         self.events.iter().filter_map(|event| match event {
@@ -360,6 +498,16 @@ impl<W: Write> Collector for NdjsonWriter<W> {
 }
 
 impl<C: Collector + ?Sized> Collector for &mut C {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        (**self).record(event)
+    }
+
+    fn flush(&mut self) -> Result<(), TelemetryError> {
+        (**self).flush()
+    }
+}
+
+impl Collector for Box<dyn Collector + '_> {
     fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
         (**self).record(event)
     }
@@ -483,6 +631,7 @@ mod tests {
             cache_misses: 30,
             cache_hit_rate: 0.8,
             worker_utilization: 0.9,
+            queue_depths: vec![3, 3, 2, 2],
             wall_seconds: 0.04,
         };
         let json = serde_json::to_string(&TelemetryEvent::Exec(record.clone())).unwrap();

@@ -1,0 +1,502 @@
+//! A metrics registry: counters, gauges, and log-bucketed histograms
+//! with Prometheus-style text exposition and a human-readable summary
+//! table.
+//!
+//! The registry is a plain in-process data structure — no background
+//! threads, no global state. [`MetricsRegistry::observe`] defines the
+//! canonical mapping from [`TelemetryEvent`]s to metrics, and
+//! [`MeteredCollector`] tees any collector through that mapping, so
+//! `repro --metrics <path>` gets the same numbers whatever sink the
+//! run writes to.
+//!
+//! Metric names follow Prometheus conventions (`e3_` prefix,
+//! `_total` suffix on counters) and may carry a label set inline in
+//! the name, e.g. `e3_pu_busy_cycles_total{pu="3"}` — the exposition
+//! dump groups `# TYPE` lines by the base name before the `{`.
+
+use crate::{Collector, TelemetryError, TelemetryEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Smallest histogram bucket upper bound, as a power of two
+/// (`2^-20` ≈ 1 µs when observing seconds).
+const MIN_EXP: i32 = -20;
+/// Largest finite bucket upper bound, as a power of two
+/// (`2^40` ≈ 1.1e12 — enough for cycle counts).
+const MAX_EXP: i32 = 40;
+/// Finite buckets plus the `+Inf` overflow bucket.
+const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize + 1;
+
+/// A log2-bucketed histogram: bucket `i` counts observations `v` with
+/// `v <= 2^(MIN_EXP + i)`, plus a `+Inf` overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let index = if !value.is_finite() {
+            NUM_BUCKETS - 1
+        } else if value <= 2f64.powi(MIN_EXP) {
+            0
+        } else {
+            let exp = value.log2().ceil() as i32;
+            if exp > MAX_EXP {
+                NUM_BUCKETS - 1
+            } else {
+                (exp - MIN_EXP) as usize
+            }
+        };
+        self.buckets[index] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs for every non-empty
+    /// prefix of buckets, ending with the `+Inf` bucket.
+    fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut running = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            running += n;
+            let bound = if i == NUM_BUCKETS - 1 {
+                f64::INFINITY
+            } else {
+                2f64.powi(MIN_EXP + i as i32)
+            };
+            // Keep the dump compact: only bucket boundaries where the
+            // cumulative count changes, plus the final +Inf bucket.
+            if n > 0 || i == NUM_BUCKETS - 1 {
+                out.push((bound, running));
+            }
+        }
+        out
+    }
+}
+
+/// Counters, gauges, and histograms keyed by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn histogram_observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The canonical [`TelemetryEvent`] → metrics mapping.
+    pub fn observe(&mut self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::Eval(eval) => {
+                self.counter_add("e3_evals_total", 1);
+                self.counter_add("e3_env_steps_total", eval.total_steps);
+                self.gauge_set("e3_best_fitness", eval.best_fitness);
+                self.gauge_set("e3_mean_fitness", eval.mean_fitness);
+                self.histogram_observe("e3_eval_seconds", eval.eval_seconds);
+                self.histogram_observe("e3_env_seconds", eval.env_seconds);
+                if let Some(hw) = &eval.hw {
+                    self.counter_add("e3_inax_cycles_total", hw.total_cycles);
+                    self.counter_add("e3_inax_setup_cycles_total", hw.setup_cycles);
+                    self.counter_add("e3_inax_pe_active_cycles_total", hw.pe_active_cycles);
+                    self.counter_add("e3_inax_dma_cycles_total", hw.dma_cycles);
+                    self.gauge_set("e3_inax_pu_utilization", hw.pu_utilization);
+                    self.gauge_set("e3_inax_pe_utilization", hw.pe_utilization);
+                }
+            }
+            TelemetryEvent::Exec(exec) => {
+                self.counter_add("e3_exec_steals_total", exec.steal_count);
+                self.counter_add("e3_exec_cache_hits_total", exec.cache_hits);
+                self.counter_add("e3_exec_cache_misses_total", exec.cache_misses);
+                self.gauge_set("e3_exec_workers", exec.workers as f64);
+                self.gauge_set("e3_exec_cache_hit_rate", exec.cache_hit_rate);
+                self.gauge_set("e3_exec_worker_utilization", exec.worker_utilization);
+                if let Some(&depth) = exec.queue_depths.iter().max() {
+                    self.gauge_set("e3_exec_queue_depth_max", depth as f64);
+                }
+                for &seconds in &exec.shard_seconds {
+                    self.histogram_observe("e3_exec_shard_seconds", seconds);
+                }
+                self.histogram_observe("e3_exec_wall_seconds", exec.wall_seconds);
+            }
+            TelemetryEvent::Generation(generation) => {
+                self.counter_add("e3_generations_total", 1);
+                self.gauge_set("e3_species", generation.species as f64);
+                self.gauge_set("e3_modeled_seconds", generation.modeled_seconds);
+            }
+            TelemetryEvent::Summary(summary) => {
+                self.counter_add("e3_runs_total", 1);
+                self.gauge_set("e3_solved", if summary.solved { 1.0 } else { 0.0 });
+                if let Some(joules) = summary.energy_joules {
+                    self.gauge_set("e3_energy_joules", joules);
+                }
+            }
+            TelemetryEvent::Utilization(report) => {
+                self.counter_add("e3_inax_dma_bytes_total", report.dma_bytes);
+                self.gauge_set(
+                    "e3_inax_weight_buffer_hwm_bytes",
+                    report.weight_buffer_hwm_bytes as f64,
+                );
+                self.gauge_set(
+                    "e3_inax_value_buffer_hwm_slots",
+                    report.value_buffer_hwm_slots as f64,
+                );
+                for row in &report.per_pu {
+                    let label = format!("{{pu=\"{}\"}}", row.pu);
+                    self.counter_add(&format!("e3_pu_busy_cycles_total{label}"), row.busy_cycles);
+                    self.counter_add(&format!("e3_pu_idle_cycles_total{label}"), row.idle_cycles);
+                    self.counter_add(
+                        &format!("e3_pu_stall_cycles_total{label}"),
+                        row.stall_cycles,
+                    );
+                }
+                for row in &report.per_pe {
+                    let label = format!("{{pe=\"{}\"}}", row.pe);
+                    self.counter_add(&format!("e3_pe_busy_cycles_total{label}"), row.busy_cycles);
+                    self.counter_add(&format!("e3_pe_idle_cycles_total{label}"), row.idle_cycles);
+                }
+            }
+        }
+    }
+
+    /// Prometheus text exposition of every metric in the registry.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut typed: BTreeMap<&str, &str> = BTreeMap::new();
+        for name in self.counters.keys() {
+            typed.entry(base_name(name)).or_insert("counter");
+        }
+        for name in self.gauges.keys() {
+            typed.entry(base_name(name)).or_insert("gauge");
+        }
+        for name in self.histograms.keys() {
+            typed.entry(base_name(name)).or_insert("histogram");
+        }
+        let mut type_written: std::collections::BTreeSet<String> = Default::default();
+        let mut write_type = |out: &mut String, name: &str| {
+            let base = base_name(name);
+            if !type_written.contains(base) {
+                let kind = typed.get(base).copied().unwrap_or("untyped");
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                type_written.insert(base.to_string());
+            }
+        };
+        for (name, value) in &self.counters {
+            write_type(&mut out, name);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            write_type(&mut out, name);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            write_type(&mut out, name);
+            for (bound, cumulative) in hist.cumulative() {
+                if bound.is_infinite() {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                } else {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// A human-readable end-of-run table of every metric.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|name| name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<width$}  {:>14}", "counter", "value");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<width$}  {value:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<width$}  {:>14}", "gauge", "value");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "{name:<width$}  {value:>14.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>10}  {:>14}  {:>14}",
+                "histogram", "count", "mean", "max"
+            );
+            for (name, hist) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:<width$}  {:>10}  {:>14.6}  {:>14.6}",
+                    hist.count(),
+                    hist.mean(),
+                    hist.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The metric name up to (not including) any `{label}` suffix.
+fn base_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(index) => &name[..index],
+        None => name,
+    }
+}
+
+/// Tees every event through a [`MetricsRegistry`] before forwarding it
+/// to the wrapped collector. Purely additive: the inner collector sees
+/// the exact same event stream it would without the wrapper.
+#[derive(Debug)]
+pub struct MeteredCollector<C> {
+    inner: C,
+    registry: MetricsRegistry,
+}
+
+impl<C> MeteredCollector<C> {
+    /// Wraps `inner`, starting from an empty registry.
+    pub fn new(inner: C) -> Self {
+        MeteredCollector {
+            inner,
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// The accumulated metrics.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Unwraps into the inner collector and the registry.
+    pub fn into_parts(self) -> (C, MetricsRegistry) {
+        (self.inner, self.registry)
+    }
+}
+
+impl<C: Collector> Collector for MeteredCollector<C> {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        self.registry.observe(event);
+        self.inner.record(event)
+    }
+
+    fn flush(&mut self) -> Result<(), TelemetryError> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        EvalRecord, ExecRecord, HwCounters, MemoryCollector, PeCycleRow, PuCycleRow, RunSummary,
+        UtilizationReport,
+    };
+
+    #[test]
+    fn histogram_buckets_observations_by_log2() {
+        let mut hist = Histogram::default();
+        hist.observe(0.5);
+        hist.observe(0.5);
+        hist.observe(3.0);
+        hist.observe(1e20); // overflow bucket
+        assert_eq!(hist.count(), 4);
+        assert!((hist.sum() - (0.5 + 0.5 + 3.0 + 1e20)).abs() < 1e6);
+        assert_eq!(hist.max(), 1e20);
+        let cumulative = hist.cumulative();
+        let last = cumulative.last().unwrap();
+        assert!(last.0.is_infinite());
+        assert_eq!(last.1, 4);
+        // 0.5 lands at le=0.5, 3.0 at le=4.
+        assert!(cumulative.contains(&(0.5, 2)));
+        assert!(cumulative.contains(&(4.0, 3)));
+    }
+
+    #[test]
+    fn prometheus_text_groups_labeled_series_under_one_type_line() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("e3_pu_busy_cycles_total{pu=\"0\"}", 10);
+        registry.counter_add("e3_pu_busy_cycles_total{pu=\"1\"}", 20);
+        registry.gauge_set("e3_solved", 1.0);
+        registry.histogram_observe("e3_eval_seconds", 0.25);
+        let text = registry.prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE e3_pu_busy_cycles_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("e3_pu_busy_cycles_total{pu=\"0\"} 10"));
+        assert!(text.contains("e3_pu_busy_cycles_total{pu=\"1\"} 20"));
+        assert!(text.contains("# TYPE e3_solved gauge"));
+        assert!(text.contains("# TYPE e3_eval_seconds histogram"));
+        assert!(text.contains("e3_eval_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("e3_eval_seconds_count 1"));
+    }
+
+    #[test]
+    fn observe_maps_every_event_kind() {
+        let mut registry = MetricsRegistry::new();
+        registry.observe(&TelemetryEvent::Eval(EvalRecord {
+            total_steps: 500,
+            best_fitness: 9.0,
+            hw: Some(HwCounters {
+                total_cycles: 1000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }));
+        registry.observe(&TelemetryEvent::Exec(ExecRecord {
+            steal_count: 3,
+            cache_hits: 7,
+            queue_depths: vec![2, 5, 1],
+            shard_seconds: vec![0.1, 0.2],
+            ..Default::default()
+        }));
+        registry.observe(&TelemetryEvent::Utilization(UtilizationReport {
+            per_pu: vec![PuCycleRow {
+                pu: 0,
+                busy_cycles: 600,
+                idle_cycles: 300,
+                stall_cycles: 100,
+            }],
+            per_pe: vec![PeCycleRow {
+                pe: 0,
+                busy_cycles: 400,
+                idle_cycles: 200,
+            }],
+            dma_bytes: 4096,
+            ..Default::default()
+        }));
+        registry.observe(&TelemetryEvent::Summary(RunSummary {
+            solved: true,
+            ..Default::default()
+        }));
+        assert_eq!(registry.counter("e3_evals_total"), 1);
+        assert_eq!(registry.counter("e3_env_steps_total"), 500);
+        assert_eq!(registry.counter("e3_inax_cycles_total"), 1000);
+        assert_eq!(registry.counter("e3_exec_steals_total"), 3);
+        assert_eq!(registry.gauge("e3_exec_queue_depth_max"), Some(5.0));
+        assert_eq!(
+            registry.histogram("e3_exec_shard_seconds").unwrap().count(),
+            2
+        );
+        assert_eq!(registry.counter("e3_pu_busy_cycles_total{pu=\"0\"}"), 600);
+        assert_eq!(registry.counter("e3_pe_idle_cycles_total{pe=\"0\"}"), 200);
+        assert_eq!(registry.counter("e3_inax_dma_bytes_total"), 4096);
+        assert_eq!(registry.gauge("e3_solved"), Some(1.0));
+        assert_eq!(registry.counter("e3_runs_total"), 1);
+        let table = registry.summary_table();
+        assert!(table.contains("e3_evals_total"));
+        assert!(table.contains("e3_exec_shard_seconds"));
+    }
+
+    #[test]
+    fn metered_collector_forwards_the_identical_stream() {
+        let mut metered = MeteredCollector::new(MemoryCollector::new());
+        let event = TelemetryEvent::Summary(RunSummary::default());
+        metered.record(&event).unwrap();
+        metered.flush().unwrap();
+        let (inner, registry) = metered.into_parts();
+        assert_eq!(inner.events(), std::slice::from_ref(&event));
+        assert_eq!(registry.counter("e3_runs_total"), 1);
+    }
+}

@@ -23,6 +23,18 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
+echo "== observability: traced run exports valid artifacts =="
+# A short traced run must produce Perfetto-loadable trace JSON
+# (well-formed, non-empty, monotonic span end times) and a parseable
+# Prometheus metrics dump; trace_check exits nonzero otherwise.
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run --release --offline -q -p e3-bench --bin repro -- \
+    run --env cartpole --trace "$trace_tmp/trace.json" \
+    --metrics "$trace_tmp/metrics.prom" >/dev/null
+cargo run --release --offline -q -p e3-bench --bin trace_check -- \
+    "$trace_tmp/trace.json" "$trace_tmp/metrics.prom"
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

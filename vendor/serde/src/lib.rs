@@ -88,6 +88,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Deserialization failure: what was expected and what was found.
