@@ -1,0 +1,87 @@
+//! plan_activate bench: the flat-CSR `NetPlan` executor vs the
+//! preserved per-node reference decoder.
+//!
+//! Times one forward pass (`activate`) of CartPole- and
+//! LunarLander-sized evolved genomes through three paths:
+//!
+//! * `reference` — `ReferenceNetwork`, the verbatim pre-refactor
+//!   per-node executor kept as the bit-identity oracle;
+//! * `plan` — `NetPlan::execute_into` with a caller-owned scratch
+//!   buffer (the production hot path inside `Network::activate`);
+//! * `compile` — `NetPlan::compile`, the CreateNet cost the
+//!   `DecodeCache` amortizes across generations.
+//!
+//! The acceptance target is plan ≥ 1.2x the reference on these sizes
+//! (`repro -- plan` records the measured ratio in `BENCH_plan.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e3_envs::EnvId;
+use e3_neat::{Genome, NeatConfig, NetPlan, Population, ReferenceNetwork};
+use std::hint::black_box;
+
+/// Evolves a genome with `env`-shaped IO and grown hidden structure —
+/// the same size class `repro -- plan` measures.
+fn evolved_genome(env: EnvId, seed: u64) -> Genome {
+    let config = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+        .population_size(48)
+        .build();
+    let mut pop = Population::new(config, seed);
+    for _ in 0..15 {
+        pop.evaluate(|g| (g.num_enabled_connections() + g.nodes().len()) as f64);
+        pop.evolve();
+    }
+    pop.genomes()
+        .iter()
+        .max_by_key(|g| (g.num_enabled_connections(), g.nodes().len()))
+        .expect("population is non-empty")
+        .clone()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_activate");
+    for env in [EnvId::CartPole, EnvId::LunarLander] {
+        let genome = evolved_genome(env, 7);
+        let plan = NetPlan::compile(&genome).expect("evolved genomes decode");
+        let mut reference = ReferenceNetwork::from_genome(&genome).expect("decodes");
+        let inputs: Vec<f64> = (0..env.observation_size())
+            .map(|j| (j as f64).sin() * 0.5)
+            .collect();
+        // Sanity: both executors agree bit for bit before timing.
+        let want = reference.activate(&inputs);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            plan.execute(&inputs)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "plan drifted from the reference on {env}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", env.name()),
+            &inputs,
+            |b, x| b.iter(|| black_box(reference.activate(black_box(x)))),
+        );
+        let mut values = vec![0.0; plan.value_buffer_slots()];
+        group.bench_with_input(BenchmarkId::new("plan", env.name()), &inputs, |b, x| {
+            b.iter(|| black_box(plan.execute_into(black_box(x), &mut values)))
+        });
+        let mut outputs = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("plan_noalloc", env.name()),
+            &inputs,
+            |b, x| {
+                b.iter(|| {
+                    plan.execute_into_buf(black_box(x), &mut values, &mut outputs);
+                    black_box(outputs.as_slice());
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("compile", env.name()), &genome, |b, g| {
+            b.iter(|| black_box(NetPlan::compile(black_box(g)).expect("decodes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

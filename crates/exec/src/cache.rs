@@ -1,18 +1,22 @@
-//! Per-worker decoded-network cache.
+//! Per-worker compiled-plan cache.
 //!
 //! Unchanged elites and champions survive generations verbatim, so
-//! re-running genome→[`Network`] decoding for them every generation is
-//! wasted work. Each worker keeps a cache keyed by
+//! re-running genome→[`NetPlan`] compilation for them every generation
+//! is wasted work. Each worker keeps a cache keyed by
 //! [`Genome::fingerprint`]: a lookup for an unchanged genome returns
-//! the previously decoded network; any mutation changes the
-//! fingerprint, so a mutated genome can never be served a stale
-//! phenotype.
+//! the previously compiled plan (wrapped in its [`Network`] executor);
+//! any mutation changes the fingerprint, so a mutated genome can never
+//! be served a stale phenotype.
 //!
-//! Reusing a decoded [`Network`] across episodes is safe because
-//! `Network::activate` overwrites every node value on each pass — the
-//! network carries no hidden episode state.
+//! The cache stores the **plan**, the one CreateNet artifact every
+//! backend consumes: software backends run it through
+//! [`Network::activate`], and the INAX path lowers it to the hardware
+//! layout via [`DecodeCache::get_or_plan`] — one cache feeds all
+//! backends. Reusing a cached [`Network`] across episodes is safe
+//! because `activate` overwrites every value-buffer slot on each pass —
+//! the executor carries no hidden episode state.
 
-use e3_neat::{DecodeError, Genome, Network};
+use e3_neat::{DecodeError, Genome, NetPlan, Network};
 use std::collections::HashMap;
 
 struct CacheEntry {
@@ -20,7 +24,19 @@ struct CacheEntry {
     last_used: u64,
 }
 
-/// A genome-fingerprint-keyed cache of decoded networks.
+/// Counters drained from a [`DecodeCache`] by
+/// [`DecodeCache::take_counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a fresh plan.
+    pub misses: u64,
+    /// Entries evicted by [`DecodeCache::begin_job`] epoch turnover.
+    pub evictions: u64,
+}
+
+/// A genome-fingerprint-keyed cache of compiled network plans.
 ///
 /// Entries not used for two consecutive jobs (generations) are evicted
 /// at the next [`DecodeCache::begin_job`], bounding the cache to the
@@ -31,6 +47,7 @@ pub struct DecodeCache {
     epoch: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl DecodeCache {
@@ -44,14 +61,16 @@ impl DecodeCache {
     pub fn begin_job(&mut self) {
         self.epoch += 1;
         let horizon = self.epoch.saturating_sub(1);
+        let before = self.entries.len();
         self.entries.retain(|_, e| e.last_used >= horizon);
+        self.evictions += (before - self.entries.len()) as u64;
     }
 
-    /// Returns the decoded network for `genome`, decoding and caching
-    /// it on first sight of the fingerprint.
+    /// Returns the plan-backed executor for `genome`, compiling and
+    /// caching the plan on first sight of the fingerprint.
     ///
     /// The returned reference is mutable so callers can run inference
-    /// in place; `activate` fully overwrites node state, so reuse
+    /// in place; `activate` fully overwrites the value buffer, so reuse
     /// across episodes cannot leak results between genomes.
     ///
     /// # Errors
@@ -78,7 +97,20 @@ impl DecodeCache {
         }
     }
 
-    /// Number of cached networks.
+    /// Returns the compiled [`NetPlan`] for `genome` — the entry point
+    /// for backends that lower the plan to another representation
+    /// (e.g. the INAX hardware layout) instead of executing it in
+    /// software. Shares entries and counters with
+    /// [`DecodeCache::get_or_decode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the genome is not feed-forward.
+    pub fn get_or_plan(&mut self, genome: &Genome) -> Result<&NetPlan, DecodeError> {
+        Ok(self.get_or_decode(genome)?.plan())
+    }
+
+    /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -88,12 +120,15 @@ impl DecodeCache {
         self.entries.is_empty()
     }
 
-    /// Takes and resets the `(hits, misses)` counters.
-    pub fn take_counters(&mut self) -> (u64, u64) {
-        (
-            std::mem::take(&mut self.hits),
-            std::mem::take(&mut self.misses),
-        )
+    /// Takes and resets the hit/miss/eviction counters. The current
+    /// entry count is *not* reset — it is a gauge, read via
+    /// [`DecodeCache::len`].
+    pub fn take_counters(&mut self) -> CacheCounters {
+        CacheCounters {
+            hits: std::mem::take(&mut self.hits),
+            misses: std::mem::take(&mut self.misses),
+            evictions: std::mem::take(&mut self.evictions),
+        }
     }
 }
 
@@ -104,6 +139,7 @@ impl std::fmt::Debug for DecodeCache {
             .field("epoch", &self.epoch)
             .field("hits", &self.hits)
             .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
             .finish()
     }
 }
@@ -114,6 +150,14 @@ mod tests {
     use e3_neat::{Genome, InnovationTracker, NeatConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn counters(hits: u64, misses: u64, evictions: u64) -> CacheCounters {
+        CacheCounters {
+            hits,
+            misses,
+            evictions,
+        }
+    }
 
     fn genome() -> (Genome, NeatConfig, InnovationTracker, StdRng) {
         let config = NeatConfig::new(3, 2);
@@ -130,7 +174,20 @@ mod tests {
         cache.begin_job();
         cache.get_or_decode(&g).expect("decodes");
         cache.get_or_decode(&g).expect("decodes");
-        assert_eq!(cache.take_counters(), (1, 1));
+        assert_eq!(cache.take_counters(), counters(1, 1, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn plan_lookup_shares_entries_with_decode() {
+        let (g, _, _, _) = genome();
+        let mut cache = DecodeCache::new();
+        cache.begin_job();
+        let plan = cache.get_or_plan(&g).expect("compiles").clone();
+        assert_eq!(plan, *g.decode().expect("decodes").plan());
+        // The software path hits the entry the plan lookup created.
+        cache.get_or_decode(&g).expect("decodes");
+        assert_eq!(cache.take_counters(), counters(1, 1, 0));
         assert_eq!(cache.len(), 1);
     }
 
@@ -183,8 +240,16 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.begin_job(); // epoch 3: `other` last used at epoch 1, evicted
         assert_eq!(cache.len(), 1);
-        let _ = cache.take_counters();
+        assert_eq!(
+            cache.take_counters(),
+            counters(1, 2, 1),
+            "the epoch turnover is counted as one eviction"
+        );
         cache.get_or_decode(&other).expect("decodes");
-        assert_eq!(cache.take_counters(), (0, 1), "evicted entry re-decodes");
+        assert_eq!(
+            cache.take_counters(),
+            counters(0, 1, 0),
+            "evicted entry re-decodes"
+        );
     }
 }

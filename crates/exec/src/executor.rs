@@ -198,7 +198,7 @@ impl Executor for SerialExecutor {
             results.extend(shard);
             shard_seconds.push(shard_t0.elapsed().as_secs_f64());
         }
-        let (cache_hits, cache_misses) = self.scratch.cache.take_counters();
+        let cache = self.scratch.cache.take_counters();
         let busy = shard_seconds.iter().sum();
         Ok(ShardRun {
             results,
@@ -208,8 +208,10 @@ impl Executor for SerialExecutor {
                 items: num_items,
                 shard_seconds,
                 steal_count: 0,
-                cache_hits,
-                cache_misses,
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                cache_entries: self.scratch.cache.len() as u64,
+                cache_evictions: cache.evictions,
                 busy_seconds: vec![busy],
                 queue_depths: vec![plan.len()],
                 wall_seconds: t0.elapsed().as_secs_f64(),

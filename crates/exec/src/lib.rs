@@ -29,8 +29,10 @@
 //! `parking_lot`). [`AnyExecutor`] is the enum-dispatch wrapper the
 //! platform backends hold.
 //!
-//! Each worker keeps a [`DecodeCache`] so unchanged elites and
-//! champions skip genome→network decoding across generations.
+//! Each worker keeps a [`DecodeCache`] of compiled `NetPlan`s so
+//! unchanged elites and champions skip genome→plan compilation across
+//! generations — the same cache feeds the software executors and the
+//! hardware lowering paths.
 
 #![warn(missing_docs)]
 
@@ -40,7 +42,7 @@ mod pool;
 pub mod rng;
 mod stats;
 
-pub use cache::DecodeCache;
+pub use cache::{CacheCounters, DecodeCache};
 pub use executor::{
     shard_plan, AnyExecutor, ExecError, Executor, SerialExecutor, ShardRun, WorkerScratch,
 };

@@ -55,6 +55,8 @@ enum PoolMsg {
         busy_seconds: f64,
         cache_hits: u64,
         cache_misses: u64,
+        cache_entries: u64,
+        cache_evictions: u64,
     },
 }
 
@@ -154,12 +156,15 @@ fn worker_main(index: usize, rx: Receiver<WorkerMsg>) {
                 break; // submitter gave up on the job
             }
         }
-        let (cache_hits, cache_misses) = scratch.cache().take_counters();
+        let cache = scratch.cache().take_counters();
+        let cache_entries = scratch.cache().len() as u64;
         let _ = job.done_tx.send(PoolMsg::WorkerDone {
             worker: index,
             busy_seconds,
-            cache_hits,
-            cache_misses,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries,
+            cache_evictions: cache.evictions,
         });
     }
 }
@@ -264,11 +269,15 @@ impl Executor for ThreadPoolExecutor {
                     busy_seconds,
                     cache_hits,
                     cache_misses,
+                    cache_entries,
+                    cache_evictions,
                 } => {
                     workers_done += 1;
                     stats.busy_seconds[worker] = busy_seconds;
                     stats.cache_hits += cache_hits;
                     stats.cache_misses += cache_misses;
+                    stats.cache_entries += cache_entries;
+                    stats.cache_evictions += cache_evictions;
                 }
             }
         }

@@ -27,6 +27,14 @@ pub struct ExecStats {
     pub cache_hits: u64,
     /// Decode-cache misses across all workers for this call.
     pub cache_misses: u64,
+    /// Compiled plans resident across all workers' decode caches at
+    /// the end of this call (a gauge, not a rate).
+    #[serde(default)]
+    pub cache_entries: u64,
+    /// Decode-cache entries evicted by epoch turnover during this call,
+    /// summed across workers.
+    #[serde(default)]
+    pub cache_evictions: u64,
     /// Seconds each worker spent running shard bodies, by worker index.
     pub busy_seconds: Vec<f64>,
     /// Shards enqueued on each worker's home queue at submit time
@@ -149,6 +157,8 @@ mod tests {
             steal_count: 2,
             cache_hits: 10,
             cache_misses: 22,
+            cache_entries: 16,
+            cache_evictions: 3,
             busy_seconds: vec![0.2; 4],
             queue_depths: vec![2; 4],
             wall_seconds: 0.3,

@@ -5,10 +5,11 @@
 //! level-major topological order, each with its resolved ingress list
 //! into the shared *value buffer*. Value-buffer slot `i` holds input
 //! `i` for `i < num_inputs` and the output of compute node
-//! `i - num_inputs` otherwise — exactly the layout
-//! [`e3_neat::Network`] produces, so conversion is direct.
+//! `i - num_inputs` otherwise — the [`e3_neat::NetPlan`] slot
+//! convention, so conversion from a compiled plan is a direct copy
+//! (no second genome decode).
 
-use e3_neat::{Activation, DecodeError, Genome, Network, NodeKind};
+use e3_neat::{Activation, DecodeError, Genome, NetPlan, Network};
 use serde::{Deserialize, Serialize};
 
 /// One compute node as seen by the hardware.
@@ -51,54 +52,41 @@ pub struct IrregularNet {
 }
 
 impl IrregularNet {
-    /// Compiles a decoded software network into the hardware layout.
-    pub fn from_network(network: &Network) -> Self {
-        let num_inputs = network.num_inputs();
-        let all = network.nodes();
-        // Network nodes are level-major with the inputs occupying the
-        // first `num_inputs` slots, so network index == value slot.
-        let mut nodes = Vec::with_capacity(all.len() - num_inputs);
-        let mut levels: Vec<(usize, usize)> = Vec::new();
-        let mut output_nodes = Vec::new();
-        let mut current_level = usize::MAX;
-        for (net_idx, n) in all.iter().enumerate().skip(num_inputs) {
-            debug_assert_ne!(n.kind, NodeKind::Input, "inputs occupy the leading slots");
-            let compute_idx = net_idx - num_inputs;
-            if n.kind == NodeKind::Output {
-                output_nodes.push(compute_idx);
-            }
-            if n.level != current_level {
-                levels.push((compute_idx, compute_idx + 1));
-                current_level = n.level;
-            } else {
-                levels.last_mut().expect("just pushed").1 = compute_idx + 1;
-            }
-            nodes.push(HwNode {
-                ingress: n.incoming.clone(),
-                bias: n.bias,
-                activation: n.activation,
-            });
-        }
-        // Output order must follow genome id order (like Network's).
-        let mut net = IrregularNet {
-            num_inputs,
-            num_outputs: network.num_outputs(),
-            nodes,
-            levels,
-            output_nodes,
-        };
-        let ids: Vec<usize> = all
-            .iter()
-            .skip(num_inputs)
-            .enumerate()
-            .filter(|(_, n)| n.kind == NodeKind::Output)
-            .map(|(i, _)| i)
+    /// Lowers a compiled [`NetPlan`] into the hardware layout.
+    ///
+    /// The plan already uses the value-buffer slot convention and
+    /// level-major compute-node order, so this is a per-node copy of
+    /// the CSR arena into the weight-channel shape — no re-decoding,
+    /// no re-sorting.
+    pub fn from_plan(plan: &NetPlan) -> Self {
+        let nodes = (0..plan.num_compute_nodes())
+            .map(|i| HwNode {
+                ingress: plan
+                    .node_edges(i)
+                    .iter()
+                    .map(|&(slot, weight)| (slot as usize, weight))
+                    .collect(),
+                bias: plan.bias(i),
+                activation: plan.activation(i),
+            })
             .collect();
-        let mut with_ids: Vec<(usize, usize)> =
-            ids.iter().map(|&i| (all[i + num_inputs].id, i)).collect();
-        with_ids.sort_unstable();
-        net.output_nodes = with_ids.into_iter().map(|(_, i)| i).collect();
-        net
+        IrregularNet {
+            num_inputs: plan.num_inputs(),
+            num_outputs: plan.num_outputs(),
+            nodes,
+            levels: plan
+                .levels()
+                .iter()
+                .map(|&(start, end)| (start as usize, end as usize))
+                .collect(),
+            output_nodes: plan.outputs().iter().map(|&i| i as usize).collect(),
+        }
+    }
+
+    /// Compiles a decoded software network into the hardware layout
+    /// (both views share the network's [`NetPlan`]).
+    pub fn from_network(network: &Network) -> Self {
+        Self::from_plan(network.plan())
     }
 
     /// Number of input slots.
@@ -189,14 +177,22 @@ impl IrregularNet {
 impl TryFrom<&Genome> for IrregularNet {
     type Error = DecodeError;
 
+    /// Compiles the genome to a [`NetPlan`] once and lowers it —
+    /// genome decoding happens exactly once on this path.
     fn try_from(genome: &Genome) -> Result<Self, DecodeError> {
-        Ok(Self::from_network(&genome.decode()?))
+        Ok(Self::from_plan(&NetPlan::compile(genome)?))
     }
 }
 
 impl From<&Network> for IrregularNet {
     fn from(network: &Network) -> Self {
         Self::from_network(network)
+    }
+}
+
+impl From<&NetPlan> for IrregularNet {
+    fn from(plan: &NetPlan) -> Self {
+        Self::from_plan(plan)
     }
 }
 

@@ -3,6 +3,7 @@
 
 use e3_inax::synthetic::synthetic_genome_with_mutations;
 use e3_inax::{schedule_inference, InaxAccelerator, InaxConfig, IrregularNet, PuSim};
+use e3_neat::NetPlan;
 use proptest::prelude::*;
 
 proptest! {
@@ -24,6 +25,27 @@ proptest! {
         let hw = IrregularNet::try_from(&genome).expect("compiles");
         let inputs = [x0, x1, x0 * 0.5, x1 - x0];
         prop_assert_eq!(sw.activate(&inputs), hw.evaluate(&inputs));
+    }
+
+    /// Lowering through the shared [`NetPlan`] IR is lossless: the
+    /// plan's own executor, an `IrregularNet` built from the plan, and
+    /// the genome-level `TryFrom` conversion all agree bit-for-bit.
+    #[test]
+    fn plan_lowering_is_lossless(
+        seed in any::<u64>(),
+        hidden in 0usize..25,
+        mutations in 0usize..8,
+        density in 0.1f64..0.9,
+        x0 in -5.0f64..5.0,
+        x1 in -5.0f64..5.0,
+    ) {
+        let genome = synthetic_genome_with_mutations(4, 3, hidden, density, mutations, seed);
+        let plan = NetPlan::compile(&genome).expect("feed-forward");
+        let via_plan = IrregularNet::from_plan(&plan);
+        let via_genome = IrregularNet::try_from(&genome).expect("compiles");
+        prop_assert_eq!(&via_plan, &via_genome, "both lowering routes build the same net");
+        let inputs = [x0, x1, x0 * 0.5, x1 - x0];
+        prop_assert_eq!(plan.execute(&inputs), via_plan.evaluate(&inputs));
     }
 
     /// Cycle accounting: active ≤ total, utilization in (0, 1], and the

@@ -17,9 +17,11 @@
 //!   in E3 this is offloaded to the INAX accelerator), groups them into
 //!   [`Species`] by topological similarity, and reproduces the next
 //!   generation with elitism, crossover and mutation;
-//! * a decoded [`Network`] is the inference-ready form of a genome:
-//!   nodes in topological order grouped into *levels*, which is exactly
-//!   the schedulable unit the INAX accelerator consumes.
+//! * decoding a genome produces a [`NetPlan`] — a flat CSR compiled
+//!   IR with nodes in topological order grouped into *levels*, which
+//!   is exactly the schedulable unit the INAX accelerator consumes —
+//!   and a [`Network`] executes that plan in software with a reusable
+//!   value buffer (see [`plan`] for the layout and slot convention).
 //!
 //! The networks NEAT evolves are **irregular**: connections may skip
 //! levels and fan in from any earlier node, which is the central
@@ -62,8 +64,10 @@ pub mod genome;
 pub mod innovation;
 pub mod lineage;
 pub mod network;
+pub mod plan;
 pub mod population;
 pub mod recurrent;
+pub mod reference;
 pub mod species;
 pub mod stats;
 
@@ -77,6 +81,8 @@ pub use genome::{ConnectionGene, Genome, NodeGene, NodeId, NodeKind};
 pub use innovation::{Innovation, InnovationTracker};
 pub use lineage::SpeciesHistory;
 pub use network::Network;
+pub use plan::NetPlan;
 pub use population::{EvaluatedGenome, Population};
 pub use recurrent::RecurrentNetwork;
+pub use reference::ReferenceNetwork;
 pub use species::Species;

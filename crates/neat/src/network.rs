@@ -1,42 +1,27 @@
-//! Decoded, inference-ready networks (the paper's "CreateNet" output).
+//! The software executor over a compiled [`NetPlan`] (the paper's
+//! "CreateNet" output, software view).
 //!
-//! A [`Network`] is the phenotype of a [`Genome`](crate::Genome): nodes
-//! sorted topologically and grouped into *levels* (all nodes whose
-//! inputs are produced by strictly earlier levels). Levels are exactly
-//! what the INAX accelerator schedules: within a level nodes are
-//! independent and can run on parallel PEs; between levels a
-//! synchronization barrier is required.
+//! A [`Network`] is the phenotype of a [`Genome`](crate::Genome): a
+//! flat CSR [`NetPlan`] plus a reusable scratch *value buffer*, so
+//! repeated [`Network::activate`] calls allocate nothing but the
+//! output vector ([`Network::activate_into`] not even that).
+//! Decoding itself — topological sort, level
+//! assignment, CSR packing — lives in [`NetPlan::compile`]; this type
+//! only executes and reports structural metrics.
 //!
 //! Because evolved networks are irregular, a connection may span any
-//! number of levels — which is why the evaluation keeps **every**
+//! number of levels — which is why evaluation keeps **every**
 //! intermediate activation live (the accelerator's *value buffer*)
-//! instead of only the previous layer's.
+//! instead of only the previous layer's. The value-buffer slot
+//! convention is documented on [`crate::plan`].
 
 use crate::error::DecodeError;
-use crate::genome::{Genome, NodeId, NodeKind};
-use crate::Activation;
+use crate::genome::Genome;
+use crate::plan::NetPlan;
 use serde::{Deserialize, Serialize};
 
-/// One decoded node: its parameters plus resolved incoming edges.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct NetNode {
-    /// Genome node id this node was decoded from.
-    pub id: NodeId,
-    /// Role of the node.
-    pub kind: NodeKind,
-    /// Additive bias.
-    pub bias: f64,
-    /// Activation function.
-    pub activation: Activation,
-    /// Incoming edges as `(source_index, weight)` pairs, where
-    /// `source_index` indexes [`Network::nodes`].
-    pub incoming: Vec<(usize, f64)>,
-    /// Topological level: 0 for inputs, `1 + max(level of sources)`
-    /// otherwise (isolated non-input nodes get level 1).
-    pub level: usize,
-}
-
-/// An inference-ready irregular feed-forward network.
+/// An inference-ready irregular feed-forward network: a compiled
+/// [`NetPlan`] plus its scratch value buffer.
 ///
 /// # Example
 ///
@@ -52,22 +37,27 @@ pub struct NetNode {
 /// assert_eq!(out.len(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
-    num_inputs: usize,
-    num_outputs: usize,
-    nodes: Vec<NetNode>,
-    /// Node indices grouped by level; `levels[0]` is the inputs.
-    levels: Vec<Vec<usize>>,
-    /// Indices of the output nodes in genome id order.
-    output_indices: Vec<usize>,
+    plan: NetPlan,
     /// Scratch activation values (the "value buffer").
     values: Vec<f64>,
+    /// Scratch output vector for [`Network::activate_into`].
+    #[serde(default)]
+    outputs: Vec<f64>,
+}
+
+/// Two executors are equal when they execute the same [`NetPlan`];
+/// scratch-buffer contents are transient and excluded.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.plan == other.plan
+    }
 }
 
 impl Network {
-    /// Decodes a genome: resolves node dependencies, topologically
-    /// sorts, and assigns levels.
+    /// Decodes a genome: compiles it to a [`NetPlan`] and attaches a
+    /// scratch value buffer.
     ///
     /// # Errors
     ///
@@ -75,174 +65,78 @@ impl Network {
     /// cyclic, or [`DecodeError::DanglingConnection`] if a connection
     /// references a missing node.
     pub fn from_genome(genome: &Genome) -> Result<Self, DecodeError> {
-        let genome_nodes = genome.nodes();
-        let index_of =
-            |id: NodeId| -> Option<usize> { genome_nodes.binary_search_by_key(&id, |n| n.id).ok() };
+        Ok(Network::from_plan(NetPlan::compile(genome)?))
+    }
 
-        // Adjacency over genome node indices using enabled connections.
-        let n = genome_nodes.len();
-        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut in_degree = vec![0usize; n];
-        for c in genome.connections().iter().filter(|c| c.enabled) {
-            let (from, to) = match (index_of(c.from), index_of(c.to)) {
-                (Some(f), Some(t)) => (f, t),
-                _ => {
-                    return Err(DecodeError::DanglingConnection {
-                        from: c.from,
-                        to: c.to,
-                    })
-                }
-            };
-            incoming[to].push((from, c.weight));
-            out_edges[from].push(to);
-            in_degree[to] += 1;
+    /// Wraps an already compiled plan in an executor (for callers that
+    /// cache or share plans, e.g. `e3-exec`'s decode cache).
+    pub fn from_plan(plan: NetPlan) -> Self {
+        Network {
+            values: vec![0.0; plan.value_buffer_slots()],
+            outputs: Vec::with_capacity(plan.num_outputs()),
+            plan,
         }
+    }
 
-        // Kahn topological sort, inputs first, then by readiness. Level =
-        // longest path from any source.
-        let mut level = vec![0usize; n];
-        let mut order: Vec<usize> = Vec::with_capacity(n);
-        let mut ready: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
-        // Deterministic order: process by genome node id.
-        ready.sort_unstable();
-        let mut remaining = in_degree.clone();
-        let mut queue = std::collections::VecDeque::from(ready);
-        while let Some(i) = queue.pop_front() {
-            order.push(i);
-            // Non-input sources (isolated hidden/outputs) sit at level 1+.
-            if genome_nodes[i].kind != NodeKind::Input && incoming[i].is_empty() {
-                level[i] = level[i].max(1);
-            }
-            for &succ in &out_edges[i] {
-                level[succ] = level[succ].max(level[i] + 1);
-                remaining[succ] -= 1;
-                if remaining[succ] == 0 {
-                    queue.push_back(succ);
-                }
-            }
-        }
-        if order.len() != n {
-            let stuck = (0..n).find(|&i| remaining[i] > 0).unwrap_or(0);
-            return Err(DecodeError::Cycle(genome_nodes[stuck].id));
-        }
+    /// The compiled plan backing this executor.
+    pub fn plan(&self) -> &NetPlan {
+        &self.plan
+    }
 
-        // Emit nodes sorted by (level, genome id) so indices increase
-        // monotonically with level — evaluation is then a single sweep.
-        let mut by_level: Vec<usize> = (0..n).collect();
-        by_level.sort_by_key(|&i| (level[i], genome_nodes[i].id));
-        let mut new_index = vec![0usize; n];
-        for (new_i, &old_i) in by_level.iter().enumerate() {
-            new_index[old_i] = new_i;
-        }
-        let mut nodes: Vec<NetNode> = Vec::with_capacity(n);
-        for &old_i in &by_level {
-            let g = genome_nodes[old_i];
-            let mut inc: Vec<(usize, f64)> = incoming[old_i]
-                .iter()
-                .map(|&(src, w)| (new_index[src], w))
-                .collect();
-            inc.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-            nodes.push(NetNode {
-                id: g.id,
-                kind: g.kind,
-                bias: g.bias,
-                activation: g.activation,
-                incoming: inc,
-                level: level[old_i],
-            });
-        }
-        let max_level = nodes.last().map_or(0, |node| node.level);
-        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
-        for (i, node) in nodes.iter().enumerate() {
-            levels[node.level].push(i);
-        }
-        let mut output_indices: Vec<usize> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, node)| node.kind == NodeKind::Output)
-            .map(|(i, _)| i)
-            .collect();
-        output_indices.sort_by_key(|&i| nodes[i].id);
-
-        Ok(Network {
-            num_inputs: genome.num_inputs(),
-            num_outputs: genome.num_outputs(),
-            values: vec![0.0; nodes.len()],
-            nodes,
-            levels,
-            output_indices,
-        })
+    /// Unwraps the executor back into its plan.
+    pub fn into_plan(self) -> NetPlan {
+        self.plan
     }
 
     /// Runs one forward pass and returns the output node values in
-    /// genome id order.
+    /// genome id order. Reuses the internal value buffer — no per-call
+    /// allocation beyond the returned vector.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the genome's input count.
     pub fn activate(&mut self, inputs: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            inputs.len(),
-            self.num_inputs,
-            "expected {} inputs, got {}",
-            self.num_inputs,
-            inputs.len()
-        );
-        for node_idx in 0..self.nodes.len() {
-            let node = &self.nodes[node_idx];
-            self.values[node_idx] = match node.kind {
-                NodeKind::Input => inputs[node.id],
-                _ => {
-                    let mut sum = node.bias;
-                    for &(src, weight) in &node.incoming {
-                        debug_assert!(src < node_idx, "topological order violated");
-                        sum += self.values[src] * weight;
-                    }
-                    node.activation.apply(sum)
-                }
-            };
-        }
-        self.output_indices
-            .iter()
-            .map(|&i| self.values[i])
-            .collect()
+        self.plan.execute_into(inputs, &mut self.values)
+    }
+
+    /// Runs one forward pass with **zero allocation** and returns the
+    /// output node values (genome id order) as a slice into an internal
+    /// reusable buffer — bit-identical to [`Network::activate`]. This
+    /// is the hot path for episode loops that call the network once per
+    /// environment step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the genome's input count.
+    pub fn activate_into(&mut self, inputs: &[f64]) -> &[f64] {
+        self.plan
+            .execute_into_buf(inputs, &mut self.values, &mut self.outputs);
+        &self.outputs
     }
 
     /// Number of input nodes.
     pub fn num_inputs(&self) -> usize {
-        self.num_inputs
+        self.plan.num_inputs()
     }
 
     /// Number of output nodes.
     pub fn num_outputs(&self) -> usize {
-        self.num_outputs
-    }
-
-    /// All decoded nodes in topological (level-major) order.
-    pub fn nodes(&self) -> &[NetNode] {
-        &self.nodes
-    }
-
-    /// Node indices grouped by level. `levels()[0]` contains the input
-    /// nodes; each subsequent level only depends on earlier levels.
-    pub fn levels(&self) -> &[Vec<usize>] {
-        &self.levels
+        self.plan.num_outputs()
     }
 
     /// Number of *compute* levels (levels excluding the input level).
     pub fn num_compute_levels(&self) -> usize {
-        self.levels.len().saturating_sub(1)
+        self.plan.num_compute_levels()
     }
 
     /// Total number of enabled connections (MACs per inference).
     pub fn num_connections(&self) -> usize {
-        self.nodes.iter().map(|n| n.incoming.len()).sum()
+        self.plan.num_connections()
     }
 
     /// Total number of nodes (including inputs).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.plan.num_nodes()
     }
 
     /// The paper's density metric: enabled connections divided by the
@@ -251,36 +145,27 @@ impl Network {
     /// Irregular nets with long skip connections can exceed 1.0
     /// (Fig. 4(c)).
     pub fn density(&self) -> f64 {
-        let widths: Vec<usize> = self.levels.iter().map(|l| l.len()).collect();
-        let dense: usize = widths.windows(2).map(|w| w[0] * w[1]).sum();
-        if dense == 0 {
-            return 0.0;
-        }
-        self.num_connections() as f64 / dense as f64
+        self.plan.density()
     }
 
     /// In-degree ("degree of node") for each non-input node, the
     /// statistic of Fig. 4(e). Variable in-degree is what makes PE
     /// execution time variable in INAX.
     pub fn in_degrees(&self) -> Vec<usize> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind != NodeKind::Input)
-            .map(|n| n.incoming.len())
-            .collect()
+        self.plan.in_degrees()
     }
 
     /// Nodes per compute level, the statistic of Fig. 4(f) and the
     /// quantity that bounds useful PE parallelism.
     pub fn level_widths(&self) -> Vec<usize> {
-        self.levels.iter().skip(1).map(|l| l.len()).collect()
+        self.plan.level_widths()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Genome, InnovationTracker};
+    use crate::{Activation, Genome, InnovationTracker};
 
     fn chain_genome() -> (Genome, InnovationTracker) {
         // 2 inputs -> hidden -> output, plus a skip connection 0 -> out.
@@ -301,10 +186,10 @@ mod tests {
         let net = g.decode().unwrap();
         // inputs at level 0, hidden at 1, output at 2 (longest path
         // through the hidden node wins over the direct skip).
-        assert_eq!(net.levels().len(), 3);
-        assert_eq!(net.levels()[0].len(), 2);
+        assert_eq!(net.plan().levels(), &[(0, 1), (1, 2)]);
         assert_eq!(net.level_widths(), vec![1, 1]);
         assert_eq!(net.num_compute_levels(), 2);
+        assert_eq!(net.num_nodes(), 4);
     }
 
     #[test]
@@ -344,11 +229,7 @@ mod tests {
     fn density_matches_fig4a_example() {
         // Fig. 4(a): 3 inputs, 3 hidden, 3 outputs, 9 connections,
         // density 9/18 = 0.5. Construct exactly that topology.
-        let g = Genome::bare(3, 3);
         let mut tracker = InnovationTracker::with_reserved_nodes(6);
-        let h: Vec<usize> = (0..3).map(|_| tracker.fresh_node_id()).collect();
-        // Wire 3 hidden via splits is cumbersome; instead: add hidden by
-        // splitting three distinct input->output edges.
         let mut g2 = Genome::bare(3, 3);
         let i1 = g2.add_connection(0, 3, 1.0, &mut tracker).unwrap();
         let i2 = g2.add_connection(1, 4, 1.0, &mut tracker).unwrap();
@@ -370,7 +251,6 @@ mod tests {
         assert_eq!(net.num_connections(), 9);
         assert_eq!(net.level_widths(), vec![3, 3]);
         assert!((net.density() - 0.5).abs() < 1e-12);
-        let _ = (g, h);
     }
 
     #[test]
@@ -393,5 +273,40 @@ mod tests {
             bad.decode(),
             Err(DecodeError::DanglingConnection { .. })
         ));
+    }
+
+    #[test]
+    fn activate_into_is_bit_identical_and_reuses_buffers() {
+        let (g, _) = chain_genome();
+        let mut net = g.decode().unwrap();
+        let inputs = [[0.8, 0.4], [-1.2, 0.05], [3.0, -3.0]];
+        for x in &inputs {
+            let allocating = net.activate(x);
+            let borrowed = net.activate_into(x).to_vec();
+            assert_eq!(
+                allocating.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                borrowed.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_state_does_not_affect_equality() {
+        let (g, _) = chain_genome();
+        let mut a = g.decode().unwrap();
+        let b = g.decode().unwrap();
+        a.activate(&[1.0, -1.0]);
+        assert_eq!(a, b, "activation scratch must not break equality");
+    }
+
+    #[test]
+    fn plan_round_trips_through_executor() {
+        let (g, _) = chain_genome();
+        let plan = NetPlan::compile(&g).unwrap();
+        let mut net = Network::from_plan(plan.clone());
+        assert_eq!(net.plan(), &plan);
+        let out = net.activate(&[0.3, -0.7]);
+        assert_eq!(out, plan.execute(&[0.3, -0.7]));
+        assert_eq!(net.into_plan(), plan);
     }
 }

@@ -1,0 +1,219 @@
+//! The legacy per-node decoder and executor, kept as a test oracle.
+//!
+//! Before the flat CSR [`crate::NetPlan`] IR existed, genomes decoded
+//! into a per-node representation (each node owning its own
+//! `Vec<(source_index, weight)>` edge list) walked directly by
+//! `activate`. That implementation is preserved here **verbatim** as
+//! an independent reference: parity tests and the `plan_activate`
+//! benchmark compare [`NetPlan`](crate::NetPlan) execution against it
+//! bit for bit. It shares no decoding or execution code with the plan
+//! path, so agreement between the two is meaningful evidence.
+//!
+//! Production code must use [`Genome::decode`] /
+//! [`crate::Network`]; this module exists only for verification and
+//! benchmarking.
+
+use crate::error::DecodeError;
+use crate::genome::{Genome, NodeId, NodeKind};
+use crate::Activation;
+
+/// One decoded node of the legacy representation: parameters plus an
+/// owned incoming edge list.
+#[derive(Debug, Clone, PartialEq)]
+struct RefNode {
+    id: NodeId,
+    kind: NodeKind,
+    bias: f64,
+    activation: Activation,
+    /// Incoming edges as `(source_index, weight)` pairs indexing the
+    /// node array.
+    incoming: Vec<(usize, f64)>,
+    level: usize,
+}
+
+/// The legacy array-of-structs network: the pre-`NetPlan` decoder and
+/// executor, preserved as an independent oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceNetwork {
+    num_inputs: usize,
+    num_outputs: usize,
+    nodes: Vec<RefNode>,
+    output_indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl ReferenceNetwork {
+    /// Decodes a genome with the legacy algorithm (identical Kahn sort
+    /// and `(level, genome id)` emit order as [`crate::NetPlan::compile`],
+    /// implemented independently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Cycle`] if the enabled connections are
+    /// cyclic, or [`DecodeError::DanglingConnection`] if a connection
+    /// references a missing node.
+    pub fn from_genome(genome: &Genome) -> Result<Self, DecodeError> {
+        let genome_nodes = genome.nodes();
+        let index_of =
+            |id: NodeId| -> Option<usize> { genome_nodes.binary_search_by_key(&id, |n| n.id).ok() };
+
+        let n = genome_nodes.len();
+        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut in_degree = vec![0usize; n];
+        for c in genome.connections().iter().filter(|c| c.enabled) {
+            let (from, to) = match (index_of(c.from), index_of(c.to)) {
+                (Some(f), Some(t)) => (f, t),
+                _ => {
+                    return Err(DecodeError::DanglingConnection {
+                        from: c.from,
+                        to: c.to,
+                    })
+                }
+            };
+            incoming[to].push((from, c.weight));
+            out_edges[from].push(to);
+            in_degree[to] += 1;
+        }
+
+        let mut level = vec![0usize; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+        ready.sort_unstable();
+        let mut remaining = in_degree.clone();
+        let mut queue = std::collections::VecDeque::from(ready);
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            if genome_nodes[i].kind != NodeKind::Input && incoming[i].is_empty() {
+                level[i] = level[i].max(1);
+            }
+            for &succ in &out_edges[i] {
+                level[succ] = level[succ].max(level[i] + 1);
+                remaining[succ] -= 1;
+                if remaining[succ] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|&i| remaining[i] > 0).unwrap_or(0);
+            return Err(DecodeError::Cycle(genome_nodes[stuck].id));
+        }
+
+        let mut by_level: Vec<usize> = (0..n).collect();
+        by_level.sort_by_key(|&i| (level[i], genome_nodes[i].id));
+        let mut new_index = vec![0usize; n];
+        for (new_i, &old_i) in by_level.iter().enumerate() {
+            new_index[old_i] = new_i;
+        }
+        let mut nodes: Vec<RefNode> = Vec::with_capacity(n);
+        for &old_i in &by_level {
+            let g = genome_nodes[old_i];
+            let mut inc: Vec<(usize, f64)> = incoming[old_i]
+                .iter()
+                .map(|&(src, w)| (new_index[src], w))
+                .collect();
+            inc.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            nodes.push(RefNode {
+                id: g.id,
+                kind: g.kind,
+                bias: g.bias,
+                activation: g.activation,
+                incoming: inc,
+                level: level[old_i],
+            });
+        }
+        let mut output_indices: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.kind == NodeKind::Output)
+            .map(|(i, _)| i)
+            .collect();
+        output_indices.sort_by_key(|&i| nodes[i].id);
+
+        Ok(ReferenceNetwork {
+            num_inputs: genome.num_inputs(),
+            num_outputs: genome.num_outputs(),
+            values: vec![0.0; nodes.len()],
+            nodes,
+            output_indices,
+        })
+    }
+
+    /// Runs one forward pass with the legacy per-node walk and returns
+    /// the output node values in genome id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the genome's input count.
+    pub fn activate(&mut self, inputs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs,
+            "expected {} inputs, got {}",
+            self.num_inputs,
+            inputs.len()
+        );
+        for node_idx in 0..self.nodes.len() {
+            let node = &self.nodes[node_idx];
+            self.values[node_idx] = match node.kind {
+                NodeKind::Input => inputs[node.id],
+                _ => {
+                    let mut sum = node.bias;
+                    for &(src, weight) in &node.incoming {
+                        debug_assert!(src < node_idx, "topological order violated");
+                        sum += self.values[src] * weight;
+                    }
+                    node.activation.apply(sum)
+                }
+            };
+        }
+        self.output_indices
+            .iter()
+            .map(|&i| self.values[i])
+            .collect()
+    }
+
+    /// Number of input nodes.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output nodes.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Total number of nodes (including inputs).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of enabled connections.
+    pub fn num_connections(&self) -> usize {
+        self.nodes.iter().map(|n| n.incoming.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InnovationTracker, NetPlan};
+
+    #[test]
+    fn reference_agrees_with_plan_on_a_skip_topology() {
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        let innovation = g.add_connection(0, 2, 0.5, &mut tracker).unwrap();
+        g.add_connection(1, 2, 0.25, &mut tracker).unwrap();
+        g.split_connection(innovation, Activation::Relu, &mut tracker)
+            .unwrap();
+        let mut reference = ReferenceNetwork::from_genome(&g).unwrap();
+        let plan = NetPlan::compile(&g).unwrap();
+        for input in [[0.0, 0.0], [1.0, -1.0], [0.3, 0.7], [-2.0, 5.0]] {
+            assert_eq!(reference.activate(&input), plan.execute(&input));
+        }
+        assert_eq!(reference.num_nodes(), plan.num_nodes());
+        assert_eq!(reference.num_connections(), plan.num_connections());
+    }
+}

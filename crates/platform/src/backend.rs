@@ -234,8 +234,8 @@ fn run_software_episode(
     let mut fitness = 0.0;
     let mut steps = 0u64;
     loop {
-        let outputs = net.activate(&obs);
-        let action = decode_action(&outputs, &space);
+        let outputs = net.activate_into(&obs);
+        let action = decode_action(outputs, &space);
         let step = env.step(&action);
         fitness += step.reward;
         steps += 1;
@@ -604,46 +604,47 @@ impl EvalBackend for InaxBackend {
         env_id: EnvId,
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError> {
-        // Lowering stays serial so the first non-feed-forward genome
-        // (lowest index) is reported exactly as before.
-        let nets: Vec<IrregularNet> = genomes
-            .iter()
-            .enumerate()
-            .map(|(genome_index, g)| {
-                IrregularNet::try_from(g).map_err(|reason| EvalError::NotFeedForward {
-                    genome_index,
-                    reason,
-                })
-            })
-            .collect::<Result<_, _>>()?;
         let num_pu = self.config.num_pu;
-        let num_waves = nets.len().div_ceil(num_pu.max(1));
-        let nets: Arc<Vec<IrregularNet>> = Arc::new(nets);
+        let num_waves = genomes.len().div_ceil(num_pu.max(1));
+        let pop: Arc<[Genome]> = genomes.into();
         let config = self.config.clone();
         let tracer = self.tracer.clone();
 
         // One work item per wave: each runs its batch on a private
-        // accelerator instance (a "virtual PU cluster").
-        let run = self.exec.run_shards(num_waves, 1, move |_scratch, range| {
+        // accelerator instance (a "virtual PU cluster"). Residents are
+        // lowered inside the wave through the worker's plan cache —
+        // genome→NetPlan compiles once per fingerprint and the
+        // hardware view is a direct copy of the plan — so unchanged
+        // elites skip CreateNet here exactly like on the software
+        // backends.
+        let run = self.exec.run_shards(num_waves, 1, move |scratch, range| {
             range
-                .map(|wave| {
+                .map(|wave| -> Result<WaveResult, (usize, DecodeError)> {
                     let base = wave * num_pu;
-                    let end = (base + num_pu).min(nets.len());
-                    let batch = &nets[base..end];
+                    let end = (base + num_pu).min(pop.len());
+                    let mut batch = Vec::with_capacity(end - base);
+                    for i in base..end {
+                        let plan = scratch
+                            .cache()
+                            .get_or_plan(&pop[i])
+                            .map_err(|reason| (i, reason))?;
+                        batch.push(IrregularNet::from_plan(plan));
+                    }
+                    let residents = batch.len();
                     let mut wave_span = tracer.span("shard", "exec");
                     wave_span.arg("wave", wave as f64);
-                    wave_span.arg("items", batch.len() as f64);
+                    wave_span.arg("items", residents as f64);
                     let mut accelerator = InaxAccelerator::new(config.clone());
-                    accelerator.load_batch(batch.to_vec());
+                    accelerator.load_batch(batch);
                     // One environment instance per resident individual.
                     let mut envs: Vec<Box<dyn Environment>> =
-                        (0..batch.len()).map(|_| env_id.make()).collect();
+                        (0..residents).map(|_| env_id.make()).collect();
                     let space = envs
                         .first()
                         .expect("waves are non-empty by construction")
                         .action_space();
-                    let mut fitnesses = vec![0.0f64; batch.len()];
-                    let mut steps_per_genome = vec![0u64; batch.len()];
+                    let mut fitnesses = vec![0.0f64; residents];
+                    let mut steps_per_genome = vec![0u64; residents];
                     let mut total_steps = 0u64;
                     let mut observations: Vec<Option<Vec<f64>>> = envs
                         .iter_mut()
@@ -653,7 +654,7 @@ impl EvalBackend for InaxBackend {
                     // their spans cannot nest lexically: one explicit
                     // timer per resident, finished when its episode
                     // terminates. Inert (no clock) when disabled.
-                    let mut episode_timers: Vec<Option<e3_telemetry::SpanTimer>> = (0..batch.len())
+                    let mut episode_timers: Vec<Option<e3_telemetry::SpanTimer>> = (0..residents)
                         .map(|i| {
                             let mut timer = tracer.start("episode", "env");
                             timer.arg("genome_index", (base + i) as f64);
@@ -681,25 +682,33 @@ impl EvalBackend for InaxBackend {
                         }
                     }
                     accelerator.unload_batch();
-                    WaveResult {
+                    Ok(WaveResult {
                         fitnesses,
                         steps: steps_per_genome,
                         report: accelerator.report(),
                         util: accelerator.utilization().clone(),
                         total_steps,
-                    }
+                    })
                 })
                 .collect()
         })?;
 
         // Wave-ordered reduction: counters are additive, so this is
         // the accounting a single accelerator would have produced.
+        // Waves are contiguous index ranges and each wave lowers its
+        // residents in index order, so scanning results in order
+        // reports the lowest-indexed non-feed-forward genome — the
+        // same error the old serial pre-decode produced.
         let mut fitnesses = Vec::with_capacity(genomes.len());
         let mut steps_per_genome = Vec::with_capacity(genomes.len());
         let mut total_steps = 0u64;
         let mut report = EpisodeRunReport::default();
         let mut util = UtilizationBreakdown::default();
         for wave in run.results {
+            let wave = wave.map_err(|(genome_index, reason)| EvalError::NotFeedForward {
+                genome_index,
+                reason,
+            })?;
             fitnesses.extend(wave.fitnesses);
             steps_per_genome.extend(wave.steps);
             total_steps += wave.total_steps;

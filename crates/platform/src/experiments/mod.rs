@@ -19,8 +19,10 @@
 //! | Fig. 10(a,b) (energy, FPGA utilization) | [`fig10`] |
 //! | Fig. 11 (INAX vs systolic array) | [`fig11`] |
 //!
-//! [`exec`] is reproduction-specific: the host-side thread-scaling
-//! sweep of the `e3-exec` evaluation engine (a software Fig. 7).
+//! [`exec`] and [`plan`] are reproduction-specific: the host-side
+//! thread-scaling sweep of the `e3-exec` evaluation engine (a software
+//! Fig. 7) and the CSR `NetPlan` executor microbenchmark with its
+//! end-to-end repro parity re-check.
 
 pub mod ablation;
 pub mod exec;
@@ -33,6 +35,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod plan;
 pub mod table4;
 pub mod table5;
 

@@ -1,0 +1,326 @@
+//! plan — NetPlan executor microbenchmark and repro parity.
+//!
+//! Reproduction-specific companion to [`crate::experiments::exec`]:
+//! measures the flat-CSR [`e3_neat::NetPlan`] executor against the
+//! preserved per-node reference decoder
+//! ([`e3_neat::ReferenceNetwork`]) on genomes evolved to
+//! CartPole/LunarLander sizes, re-checking bit-identical outputs along
+//! the way; then re-runs the seeded CartPole-class repro end to end at
+//! 1 and 4 worker threads to confirm the plan-backed pipeline did not
+//! move a single fitness bit (the PR-2 determinism contract).
+
+use crate::backend::BackendKind;
+use crate::experiments::Scale;
+use crate::platform::{E3Config, E3Platform, RunError};
+use e3_envs::EnvId;
+use e3_neat::{Genome, NeatConfig, Network, Population, ReferenceNetwork};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Thread counts the end-to-end parity re-check visits.
+pub const THREAD_PARITY: [usize; 2] = [1, 4];
+
+/// One microbenchmark row: the plan executor vs the reference decoder
+/// on a genome evolved to this environment's size class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanBenchRow {
+    /// Environment whose IO dimensions sized the genome.
+    pub env: EnvId,
+    /// Genome node genes.
+    pub nodes: usize,
+    /// Enabled connection genes.
+    pub connections: usize,
+    /// Compute levels of the decoded network.
+    pub levels: usize,
+    /// Mean nanoseconds per `ReferenceNetwork::activate`.
+    pub reference_ns_per_activate: f64,
+    /// Mean nanoseconds per plan-backed `Network::activate_into` (the
+    /// zero-allocation production hot path episode loops use).
+    pub plan_ns_per_activate: f64,
+    /// `reference_ns_per_activate / plan_ns_per_activate`.
+    pub speedup: f64,
+    /// Nanoseconds per pass spent purely in the activation functions —
+    /// a bit-contractual floor both executors share (tanh dominates on
+    /// paper-sized genomes).
+    pub activation_floor_ns: f64,
+    /// Speedup on the addressable (non-activation) portion:
+    /// `(reference - floor) / (plan - floor)`. This is what the CSR
+    /// layout actually buys.
+    pub addressable_speedup: f64,
+    /// Every probed input produced the same f64 bit pattern on both
+    /// executors.
+    pub bit_identical: bool,
+}
+
+/// One end-to-end parity measurement: a seeded run's best fitness at a
+/// given worker-thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanParityRow {
+    /// Environment.
+    pub env: EnvId,
+    /// Worker threads.
+    pub threads: usize,
+    /// Best fitness of the run.
+    pub best_fitness: f64,
+}
+
+/// The plan benchmark result (`BENCH_plan.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanBenchResult {
+    /// One microbenchmark row per environment size class.
+    pub rows: Vec<PlanBenchRow>,
+    /// End-to-end fitness per `(environment, thread count)`.
+    pub parity: Vec<PlanParityRow>,
+    /// All executors agreed bitwise and every environment's fitness was
+    /// identical across [`THREAD_PARITY`].
+    pub parity_ok: bool,
+}
+
+impl PlanBenchResult {
+    /// Geometric-mean speedup of the plan executor over the reference.
+    pub fn mean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| r.speedup.ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+}
+
+/// Evolves a genome whose IO dimensions match `env` and whose hidden
+/// structure grew under a complexity-rewarding fitness — a stand-in
+/// for the topologies NEAT reaches mid-run on that task.
+fn evolved_genome_for(env: EnvId, scale: Scale, seed: u64) -> Genome {
+    let (population, generations) = match scale {
+        Scale::Quick => (32, 10),
+        Scale::Full => (96, 40),
+    };
+    let config = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+        .population_size(population)
+        .build();
+    let mut pop = Population::new(config, seed);
+    for _ in 0..generations {
+        pop.evaluate(|g| (g.num_enabled_connections() + g.nodes().len()) as f64);
+        pop.evolve();
+    }
+    pop.genomes()
+        .iter()
+        .max_by_key(|g| (g.num_enabled_connections(), g.nodes().len()))
+        .expect("population is non-empty")
+        .clone()
+}
+
+/// Deterministic probe inputs (no RNG: the bench must not perturb any
+/// seeded state and must time the same workload on every run).
+fn probe_inputs(dim: usize, count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * 31 + j * 7 + 3) % 17) as f64 * 0.125 - 1.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_row(env: EnvId, scale: Scale, seed: u64) -> PlanBenchRow {
+    let genome = evolved_genome_for(env, scale, seed);
+    let mut reference = ReferenceNetwork::from_genome(&genome).expect("evolved genomes decode");
+    let mut net = Network::from_genome(&genome).expect("evolved genomes decode");
+    let inputs = probe_inputs(env.observation_size(), 16);
+    let bit_identical = inputs.iter().all(|x| {
+        let a = reference.activate(x);
+        let b = net.activate(x);
+        let c = net.activate_into(x).to_vec();
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter().zip(&c))
+                .all(|(va, (vb, vc))| va.to_bits() == vb.to_bits() && vb.to_bits() == vc.to_bits())
+    });
+    let (reps, rounds) = match scale {
+        Scale::Quick => (20_000, 8),
+        Scale::Full => (100_000, 16),
+    };
+    // Warm both executors (page in code and scratch buffers), then
+    // time alternating rounds and keep each executor's *minimum*
+    // per-call time — the standard robust estimator against scheduler
+    // and frequency noise, which dwarfs the sub-microsecond signal.
+    for x in &inputs {
+        black_box(reference.activate(x));
+        black_box(net.activate(x));
+    }
+    let mut reference_ns = f64::INFINITY;
+    let mut plan_ns = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for i in 0..reps {
+            black_box(reference.activate(&inputs[i % inputs.len()]));
+        }
+        reference_ns = reference_ns.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
+        let start = Instant::now();
+        for i in 0..reps {
+            // The production hot path: zero-allocation activate.
+            black_box(net.activate_into(&inputs[i % inputs.len()]));
+        }
+        plan_ns = plan_ns.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
+    }
+    // Per-pass activation-function floor: one independent apply per
+    // compute node (summed so none is dead code). Independent calls
+    // pipeline like the executors' per-level applies do; a chained
+    // version would overstate the floor by serializing every tanh.
+    let activations: Vec<_> = (0..net.plan().num_compute_nodes())
+        .map(|i| net.plan().activation(i))
+        .collect();
+    let mut floor_ns = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for i in 0..reps {
+            let x = inputs[i % inputs.len()][0];
+            let mut acc = 0.0;
+            for (k, a) in activations.iter().enumerate() {
+                acc += a.apply(x + k as f64 * 0.01);
+            }
+            black_box(acc);
+        }
+        floor_ns = floor_ns.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
+    }
+    PlanBenchRow {
+        env,
+        nodes: genome.nodes().len(),
+        connections: genome.num_enabled_connections(),
+        levels: net.num_compute_levels(),
+        reference_ns_per_activate: reference_ns,
+        plan_ns_per_activate: plan_ns,
+        speedup: if plan_ns > 0.0 {
+            reference_ns / plan_ns
+        } else {
+            1.0
+        },
+        activation_floor_ns: floor_ns,
+        addressable_speedup: if plan_ns - floor_ns > 0.0 {
+            (reference_ns - floor_ns) / (plan_ns - floor_ns)
+        } else {
+            1.0
+        },
+        bit_identical,
+    }
+}
+
+/// Runs the microbenchmark and the threaded parity re-check on `envs`.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if one of the end-to-end parity runs fails.
+pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Result<PlanBenchResult, RunError> {
+    let rows: Vec<PlanBenchRow> = envs.iter().map(|&e| bench_row(e, scale, seed)).collect();
+    let mut parity = Vec::with_capacity(envs.len() * THREAD_PARITY.len());
+    let mut parity_ok = rows.iter().all(|r| r.bit_identical);
+    for &env in envs {
+        let mut serial_best = f64::NEG_INFINITY;
+        for threads in THREAD_PARITY {
+            let config = E3Config::builder(env)
+                .population_size(scale.population())
+                .max_generations(scale.max_generations())
+                .threads(threads)
+                .build();
+            let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run()?;
+            if threads == THREAD_PARITY[0] {
+                serial_best = outcome.best_fitness;
+            } else if outcome.best_fitness.to_bits() != serial_best.to_bits() {
+                parity_ok = false;
+            }
+            parity.push(PlanParityRow {
+                env,
+                threads,
+                best_fitness: outcome.best_fitness,
+            });
+        }
+    }
+    Ok(PlanBenchResult {
+        rows,
+        parity,
+        parity_ok,
+    })
+}
+
+/// Runs on the two size classes the paper's episodes span (CartPole:
+/// small IO, LunarLander: the largest non-visual IO).
+pub fn run(scale: Scale, seed: u64) -> Result<PlanBenchResult, RunError> {
+    run_on(&[EnvId::CartPole, EnvId::LunarLander], scale, seed)
+}
+
+impl fmt::Display for PlanBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan — CSR NetPlan executor vs per-node reference")?;
+        writeln!(
+            f,
+            "  {:<22} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7} {:>5}",
+            "env",
+            "nodes",
+            "conns",
+            "lvls",
+            "ref ns",
+            "plan ns",
+            "tanh ns",
+            "speedup",
+            "addr",
+            "bits"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<22} {:>6} {:>6} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>7.2}x {:>6.2}x {:>5}",
+                row.env.to_string(),
+                row.nodes,
+                row.connections,
+                row.levels,
+                row.reference_ns_per_activate,
+                row.plan_ns_per_activate,
+                row.activation_floor_ns,
+                row.speedup,
+                row.addressable_speedup,
+                if row.bit_identical { "ok" } else { "DRIFT" }
+            )?;
+        }
+        writeln!(f, "  end-to-end parity (CPU backend):")?;
+        for row in &self.parity {
+            writeln!(
+                f,
+                "    {:<22} threads={} best={}",
+                row.env.to_string(),
+                row.threads,
+                row.best_fitness
+            )?;
+        }
+        writeln!(
+            f,
+            "  parity {} — geometric-mean speedup {:.2}x (target ≥1.2x on the \
+             addressable portion; 'tanh ns' is the shared bit-contractual \
+             activation floor neither executor can reduce)",
+            if self.parity_ok { "OK" } else { "FAILED" },
+            self.mean_speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_are_bit_identical_and_timed() {
+        let row = bench_row(EnvId::CartPole, Scale::Quick, 11);
+        assert!(row.bit_identical, "plan executor drifted from reference");
+        assert!(row.reference_ns_per_activate > 0.0);
+        assert!(row.plan_ns_per_activate > 0.0);
+        assert!(row.nodes >= 3, "evolved genome has structure");
+    }
+
+    #[test]
+    fn parity_holds_on_quick_cartpole() {
+        let result = run_on(&[EnvId::CartPole], Scale::Quick, 5).expect("runs");
+        assert!(result.parity_ok, "threaded repro parity broke: {result}");
+        assert_eq!(result.parity.len(), THREAD_PARITY.len());
+    }
+}

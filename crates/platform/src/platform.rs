@@ -407,10 +407,7 @@ impl E3Platform {
         eval_span.arg("population", genomes.len() as f64);
         self.complexity.record_generation(&genomes);
         for genome in &genomes {
-            self.profile.createnet += self
-                .config
-                .sw
-                .createnet_seconds(genome.nodes().len(), genome.connections().len());
+            self.profile.createnet += self.config.sw.createnet_seconds_for(genome);
         }
         // Episode conditions follow a deterministic per-generation
         // schedule: reproducible across backends (identical seeds ⇒
@@ -471,6 +468,8 @@ impl E3Platform {
                 steal_count: exec.steal_count,
                 cache_hits: exec.cache_hits,
                 cache_misses: exec.cache_misses,
+                cache_entries: exec.cache_entries,
+                cache_evictions: exec.cache_evictions,
                 cache_hit_rate: exec.cache_hit_rate(),
                 worker_utilization: exec.worker_utilization(),
                 queue_depths: exec.queue_depths.clone(),

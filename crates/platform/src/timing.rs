@@ -15,7 +15,7 @@
 //! runtime (Fig. 1(b)), and a GPU that *loses* to the CPU on small
 //! irregular workloads (Fig. 9(b)).
 
-use e3_neat::Network;
+use e3_neat::{Genome, Network};
 use serde::{Deserialize, Serialize};
 
 /// Cost model of the interpreted software runtime (CPU-side NEAT).
@@ -38,8 +38,23 @@ pub struct SwCostModel {
     /// during speciation.
     pub sec_speciate_per_comparison: f64,
     /// Seconds of fixed CreateNet cost per genome.
+    ///
+    /// Provenance: neat-python's `FeedForwardNetwork.create` pays a
+    /// fixed interpreter cost per genome (required-node discovery,
+    /// layer computation entry) before touching any gene; 50 µs is the
+    /// same magnitude class as [`SwCostModel::sec_per_inference`],
+    /// which models the analogous fixed dispatch cost of one forward
+    /// pass.
     pub sec_createnet_per_genome: f64,
     /// Seconds of CreateNet cost per gene (node or connection).
+    ///
+    /// Provenance: every decode — neat-python's `create` and this
+    /// repo's [`e3_neat::NetPlan::compile`] alike — reads each node
+    /// and each connection gene a small constant number of times
+    /// (topological sort, per-node fan-in grouping), so CreateNet is
+    /// affine in total gene count. 1 µs/gene is the interpreted
+    /// per-item loop cost, matching
+    /// [`SwCostModel::sec_speciate_per_comparison`].
     pub sec_createnet_per_gene: f64,
 }
 
@@ -52,8 +67,26 @@ impl SwCostModel {
     }
 
     /// Modeled CreateNet (genome → network decode) time.
+    ///
+    /// CreateNet in this repo is [`e3_neat::NetPlan::compile`]: a Kahn
+    /// topological sort over all genes followed by CSR packing, both
+    /// linear in `nodes + connections`. The model is therefore affine
+    /// in total gene count — a fixed per-genome dispatch term plus a
+    /// per-gene term (see the field docs for constant provenance).
     pub fn createnet_seconds(&self, nodes: usize, connections: usize) -> f64 {
         self.sec_createnet_per_genome + (nodes + connections) as f64 * self.sec_createnet_per_gene
+    }
+
+    /// Modeled CreateNet time for compiling `genome` into a
+    /// [`e3_neat::NetPlan`].
+    ///
+    /// Convenience over [`SwCostModel::createnet_seconds`] that makes
+    /// the convention explicit: plan compilation reads *every* gene of
+    /// the genome (enabled or not, the sort still visits them), so the
+    /// cost is charged on the full gene counts, not the decoded
+    /// network's.
+    pub fn createnet_seconds_for(&self, genome: &Genome) -> f64 {
+        self.createnet_seconds(genome.nodes().len(), genome.connections().len())
     }
 }
 
@@ -160,5 +193,18 @@ mod tests {
     fn createnet_cost_grows_with_genome() {
         let model = SwCostModel::default();
         assert!(model.createnet_seconds(100, 500) > model.createnet_seconds(5, 5));
+    }
+
+    #[test]
+    fn createnet_for_genome_charges_full_gene_count() {
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        g.add_connection(0, 2, 1.0, &mut tracker).unwrap();
+        g.add_connection(1, 2, 1.0, &mut tracker).unwrap();
+        let model = SwCostModel::default();
+        assert_eq!(
+            model.createnet_seconds_for(&g),
+            model.createnet_seconds(g.nodes().len(), g.connections().len())
+        );
     }
 }

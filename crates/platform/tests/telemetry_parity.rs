@@ -173,6 +173,8 @@ fn ndjson_schema_is_stable() {
                 "steal_count",
                 "cache_hits",
                 "cache_misses",
+                "cache_entries",
+                "cache_evictions",
                 "cache_hit_rate",
                 "worker_utilization",
                 "queue_depths",

@@ -14,9 +14,14 @@
 //! The lowering is semantics-preserving: evaluating the dense
 //! counterpart produces bit-identical outputs to the irregular
 //! network, which the tests verify.
+//!
+//! Like every backend view, the lowering starts from the compiled
+//! [`NetPlan`] IR: [`DensePaddedNet::from_plan`] consumes the plan's
+//! level ranges and value-buffer slot convention (via the hardware
+//! view [`IrregularNet`], which is itself a direct copy of the plan).
 
 use e3_inax::IrregularNet;
-use e3_neat::Activation;
+use e3_neat::{Activation, NetPlan};
 use serde::{Deserialize, Serialize};
 
 /// One dense layer of the padded counterpart.
@@ -74,6 +79,13 @@ pub struct DensePaddedNet {
 }
 
 impl DensePaddedNet {
+    /// Lowers a compiled [`NetPlan`] into its dense counterpart: the
+    /// plan's compute-level ranges become the dense layers, and its
+    /// value-buffer slots become the carried values.
+    pub fn from_plan(plan: &NetPlan) -> Self {
+        Self::from_irregular(&IrregularNet::from_plan(plan))
+    }
+
     /// Lowers an irregular network into its dense counterpart.
     pub fn from_irregular(net: &IrregularNet) -> Self {
         let num_inputs = net.num_inputs();
@@ -242,6 +254,25 @@ mod tests {
             .unwrap();
         g.add_connection(1, 2, -0.5, &mut tracker).unwrap();
         IrregularNet::try_from(&g).unwrap()
+    }
+
+    #[test]
+    fn from_plan_matches_plan_execution_bit_for_bit() {
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        let i1 = g.add_connection(0, 2, 0.8, &mut tracker).unwrap();
+        g.split_connection(i1, Activation::Relu, &mut tracker)
+            .unwrap();
+        g.add_connection(1, 2, -0.5, &mut tracker).unwrap();
+        let plan = NetPlan::compile(&g).unwrap();
+        let padded = DensePaddedNet::from_plan(&plan);
+        assert_eq!(
+            padded,
+            DensePaddedNet::from_irregular(&IrregularNet::from_plan(&plan))
+        );
+        for input in [[0.0, 0.0], [1.0, -1.0], [0.3, 0.7]] {
+            assert_eq!(padded.evaluate(&input), plan.execute(&input));
+        }
     }
 
     #[test]

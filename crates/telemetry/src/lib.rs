@@ -170,6 +170,13 @@ pub struct ExecRecord {
     pub cache_hits: u64,
     /// Decode-cache misses across all workers.
     pub cache_misses: u64,
+    /// Compiled plans resident across all workers' decode caches at
+    /// the end of the call (a gauge).
+    #[serde(default)]
+    pub cache_entries: u64,
+    /// Decode-cache entries evicted by epoch turnover during the call.
+    #[serde(default)]
+    pub cache_evictions: u64,
     /// Fraction of decode lookups served from cache, in `[0, 1]`.
     pub cache_hit_rate: f64,
     /// Mean fraction of the wall-clock each worker spent busy,
@@ -629,6 +636,8 @@ mod tests {
             steal_count: 3,
             cache_hits: 120,
             cache_misses: 30,
+            cache_entries: 40,
+            cache_evictions: 6,
             cache_hit_rate: 0.8,
             worker_utilization: 0.9,
             queue_depths: vec![3, 3, 2, 2],

@@ -196,7 +196,9 @@ impl MetricsRegistry {
                 self.counter_add("e3_exec_steals_total", exec.steal_count);
                 self.counter_add("e3_exec_cache_hits_total", exec.cache_hits);
                 self.counter_add("e3_exec_cache_misses_total", exec.cache_misses);
+                self.counter_add("e3_exec_cache_evictions_total", exec.cache_evictions);
                 self.gauge_set("e3_exec_workers", exec.workers as f64);
+                self.gauge_set("e3_exec_cache_entries", exec.cache_entries as f64);
                 self.gauge_set("e3_exec_cache_hit_rate", exec.cache_hit_rate);
                 self.gauge_set("e3_exec_worker_utilization", exec.worker_utilization);
                 if let Some(&depth) = exec.queue_depths.iter().max() {
@@ -447,6 +449,8 @@ mod tests {
         registry.observe(&TelemetryEvent::Exec(ExecRecord {
             steal_count: 3,
             cache_hits: 7,
+            cache_entries: 12,
+            cache_evictions: 4,
             queue_depths: vec![2, 5, 1],
             shard_seconds: vec![0.1, 0.2],
             ..Default::default()
@@ -474,6 +478,8 @@ mod tests {
         assert_eq!(registry.counter("e3_env_steps_total"), 500);
         assert_eq!(registry.counter("e3_inax_cycles_total"), 1000);
         assert_eq!(registry.counter("e3_exec_steals_total"), 3);
+        assert_eq!(registry.counter("e3_exec_cache_evictions_total"), 4);
+        assert_eq!(registry.gauge("e3_exec_cache_entries"), Some(12.0));
         assert_eq!(registry.gauge("e3_exec_queue_depth_max"), Some(5.0));
         assert_eq!(
             registry.histogram("e3_exec_shard_seconds").unwrap().count(),

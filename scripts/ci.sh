@@ -23,6 +23,14 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
+echo "== plan executor: parity vs legacy reference, threads 1 and 4 =="
+# `repro plan` times the CSR NetPlan executor against the preserved
+# per-node reference (bit-identical outputs required), then re-runs the
+# seeded CartPole/LunarLander repro end to end at 1 and 4 worker
+# threads; the binary exits nonzero if any output or fitness bit
+# differs. Results land in BENCH_plan.json.
+cargo run --release --offline -q -p e3-bench --bin repro -- plan >/dev/null
+
 echo "== observability: traced run exports valid artifacts =="
 # A short traced run must produce Perfetto-loadable trace JSON
 # (well-formed, non-empty, monotonic span end times) and a parseable
