@@ -21,7 +21,12 @@
 //! (fig1b, fig9a, fig9b, fig10a, run) as NDJSON. `--envs` takes a
 //! comma-separated list of environment names or paper indices
 //! (`cartpole,env3,...`); `--backend` picks the backend for `run`
-//! (`cpu`, `gpu`, or `inax`).
+//! (`cpu`, `gpu`, or `inax`). `--checkpoint-dir DIR` snapshots `run`
+//! state into the crash-safe `e3-store` after every
+//! `--checkpoint-every N` generations; `--resume` restarts from the
+//! newest intact snapshot and reproduces the uninterrupted run
+//! bit-identically; `--crash-after N` simulates a mid-run kill (stops
+//! after N generations without writing a summary).
 
 use e3_bench::svg::{LineChart, Series};
 use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
@@ -31,7 +36,7 @@ use e3_platform::experiments::{
     Scale,
 };
 use e3_platform::telemetry::{Collector, MeteredCollector, NdjsonWriter, NullCollector, Tracer};
-use e3_platform::{BackendKind, E3Config, E3Platform, PowerModel};
+use e3_platform::{BackendKind, CheckpointPolicy, E3Config, E3Platform, PowerModel};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -49,6 +54,16 @@ struct Options {
     threads: usize,
     /// Span tracer (`--trace`); disabled (zero-cost) by default.
     tracer: Tracer,
+    /// Snapshot directory for `run` (`--checkpoint-dir`); no
+    /// checkpointing when absent.
+    checkpoint_dir: Option<PathBuf>,
+    /// Generations between snapshots (`--checkpoint-every`, default 1).
+    checkpoint_every: usize,
+    /// Resume `run` from the newest intact snapshot (`--resume`).
+    resume: bool,
+    /// Simulate a crash: stop `run` after N generations without a
+    /// summary (`--crash-after`, for the kill-and-resume smoke test).
+    crash_after: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -63,6 +78,10 @@ fn main() -> ExitCode {
         backend: BackendKind::Inax,
         threads: 1,
         tracer: Tracer::disabled(),
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: false,
+        crash_after: None,
     };
     let mut telemetry_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -125,6 +144,27 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir =
+                    Some(PathBuf::from(iter.next().unwrap_or_else(|| {
+                        usage("--checkpoint-dir needs a directory")
+                    })));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--checkpoint-every needs a positive integer"));
+            }
+            "--resume" => opts.resume = true,
+            "--crash-after" => {
+                opts.crash_after = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--crash-after needs an integer")),
+                );
             }
             "--help" | "-h" => {
                 print_usage();
@@ -229,13 +269,56 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 .envs
                 .first()
                 .expect("envs default to the paper suite when the flag is absent");
-            let config = E3Config::builder(env)
+            let mut builder = E3Config::builder(env)
                 .population_size(scale.population())
                 .max_generations(scale.max_generations())
-                .threads(opts.threads)
-                .build();
-            let mut platform = E3Platform::new(config, opts.backend, seed);
+                .threads(opts.threads);
+            if let Some(dir) = &opts.checkpoint_dir {
+                builder = builder.checkpoint(
+                    CheckpointPolicy::new(dir.to_string_lossy().into_owned())
+                        .every(opts.checkpoint_every),
+                );
+            }
+            let config = builder.build();
+            let target_fitness = config.target_fitness;
+            let max_generations = config.max_generations;
+            let mut platform = if opts.resume {
+                if opts.checkpoint_dir.is_none() {
+                    usage("--resume needs --checkpoint-dir");
+                }
+                match try_run!(E3Platform::resume(config.clone(), opts.backend, seed)) {
+                    Some(platform) => {
+                        eprintln!("resuming from generation {}", platform.generation());
+                        platform
+                    }
+                    None => {
+                        eprintln!("no intact snapshot found; starting fresh");
+                        E3Platform::new(config, opts.backend, seed)
+                    }
+                }
+            } else {
+                E3Platform::new(config, opts.backend, seed)
+            };
             platform.set_tracer(opts.tracer.clone());
+            if let Some(crash_after) = opts.crash_after {
+                // Simulated crash: step the loop, then drop the
+                // platform without emitting a summary — exactly the
+                // state a killed process leaves behind on disk.
+                for _ in 0..crash_after {
+                    if platform.generation() >= max_generations {
+                        break;
+                    }
+                    let best = try_run!(platform.step_with(collector));
+                    if best >= target_fitness {
+                        break;
+                    }
+                }
+                eprintln!(
+                    "simulated crash after generation {} (no summary written)",
+                    platform.generation()
+                );
+                return;
+            }
             let outcome = try_run!(platform.run_with(collector));
             if json {
                 println!(
@@ -435,7 +518,8 @@ fn print_usage() {
     eprintln!(
         "usage: repro <experiment|run|all> [--full] [--json] [--seed N] \
          [--envs LIST] [--backend KIND] [--threads N] [--telemetry FILE] \
-         [--trace FILE] [--metrics FILE] [--svg DIR]"
+         [--trace FILE] [--metrics FILE] [--svg DIR] [--checkpoint-dir DIR] \
+         [--checkpoint-every N] [--resume] [--crash-after N]"
     );
     eprintln!("experiments: {} run", EXPERIMENTS.join(" "));
     eprintln!("  --envs      comma-separated env names/indices (default: paper suite)");
@@ -444,6 +528,10 @@ fn print_usage() {
     eprintln!("  --telemetry write NDJSON telemetry records to FILE");
     eprintln!("  --trace     write Chrome trace-event JSON spans to FILE (Perfetto)");
     eprintln!("  --metrics   write a Prometheus text metrics dump to FILE");
+    eprintln!("  --checkpoint-dir   snapshot `run` state into DIR (crash-safe store)");
+    eprintln!("  --checkpoint-every snapshot every N generations (default 1)");
+    eprintln!("  --resume           resume `run` from the newest intact snapshot");
+    eprintln!("  --crash-after      stop `run` after N generations without a summary");
 }
 
 fn usage(msg: &str) -> ! {

@@ -3,11 +3,22 @@
 //! Edge deployments of E3 need to survive power cycles: the paper's
 //! model-tuning scenario assumes a previously learned population can
 //! be reloaded and evolution resumed on-device. A
-//! [`PopulationSnapshot`] captures everything semantic about a run —
-//! genomes, species representatives, innovation bookkeeping,
-//! generation counter, all-time best — in a serde-serializable form.
-//! RNG state is *not* captured; resuming takes a fresh seed, so a
-//! restored run is a valid (not bit-identical) continuation.
+//! [`PopulationSnapshot`] captures everything about a run — genomes,
+//! species representatives, innovation bookkeeping, generation
+//! counter, all-time best, *and the evolve-phase RNG stream* — in a
+//! serde-serializable form. Because the RNG state rides along,
+//! restoring a snapshot continues evolution **bit-identically**: the
+//! resumed population produces exactly the genomes, species, and
+//! fitness trajectory the uninterrupted run would have. This is the
+//! contract the `e3-store` crash-safe run store builds on.
+//!
+//! # `v0` compatibility
+//!
+//! Snapshots serialized before RNG capture landed (`v0` JSON, no
+//! `rng_state` field) still deserialize: [`PopulationSnapshot::restore`]
+//! falls back to reseeding from its `seed` argument, so a `v0` restore
+//! is a valid — but not bit-identical — continuation, exactly as
+//! documented when those snapshots were written.
 
 use crate::config::NeatConfig;
 use crate::genome::Genome;
@@ -20,6 +31,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// # Example
 ///
+/// A restored population replays the captured RNG stream, so the
+/// continuation is bit-identical to never having snapshotted at all:
+///
 /// ```
 /// use e3_neat::{NeatConfig, Population};
 /// use e3_neat::checkpoint::PopulationSnapshot;
@@ -29,10 +43,10 @@ use serde::{Deserialize, Serialize};
 /// let snapshot = PopulationSnapshot::capture(&pop);
 /// let json = serde_json::to_string(&snapshot)?;
 /// let restored: PopulationSnapshot = serde_json::from_str(&json)?;
-/// let mut resumed = restored.restore(7);
-/// resumed.evaluate(|g| g.num_enabled_connections() as f64);
+/// let mut resumed = restored.restore(7); // seed ignored: RNG state is captured
 /// resumed.evolve();
-/// assert_eq!(resumed.genomes().len(), 10);
+/// pop.evolve();
+/// assert_eq!(resumed.genomes(), pop.genomes());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,6 +67,10 @@ pub struct PopulationSnapshot {
     pub best: Option<EvaluatedGenome>,
     /// Innovation bookkeeping (counters and per-generation caches).
     pub tracker: InnovationTracker,
+    /// Evolve-phase RNG state (xoshiro256++ words). `None` only in
+    /// `v0` snapshots serialized before RNG capture; restoring those
+    /// reseeds instead of resuming the stream.
+    pub rng_state: Option<[u64; 4]>,
 }
 
 impl PopulationSnapshot {
@@ -61,8 +79,14 @@ impl PopulationSnapshot {
         population.snapshot()
     }
 
-    /// Rebuilds a population from this snapshot. `seed` reseeds the
-    /// RNG for the resumed evolution.
+    /// Rebuilds a population from this snapshot.
+    ///
+    /// When the snapshot carries [`PopulationSnapshot::rng_state`]
+    /// (always, for snapshots captured by this version), the resumed
+    /// evolution is bit-identical to the uninterrupted run and `seed`
+    /// is ignored. For `v0` snapshots without RNG state, `seed`
+    /// reseeds the RNG and the continuation is valid but not
+    /// bit-identical.
     pub fn restore(self, seed: u64) -> Population {
         Population::from_snapshot(self, seed)
     }
@@ -111,6 +135,56 @@ mod tests {
         }
         assert_eq!(resumed.genomes().len(), 20);
         assert!(resumed.best().unwrap().fitness >= best_before.min(0.0));
+    }
+
+    #[test]
+    fn restored_population_continues_bit_identically() {
+        // The captured RNG state makes the snapshot+restore path
+        // indistinguishable from never snapshotting: every subsequent
+        // generation is genome-for-genome identical.
+        let mut pop = evolved();
+        let mut resumed = PopulationSnapshot::capture(&pop).restore(12345);
+        for _ in 0..4 {
+            pop.evolve();
+            resumed.evolve();
+            assert_eq!(pop.genomes(), resumed.genomes());
+            pop.evaluate(|g| g.num_hidden() as f64);
+            resumed.evaluate(|g| g.num_hidden() as f64);
+            assert_eq!(pop.fitnesses(), resumed.fitnesses());
+        }
+        assert_eq!(
+            pop.best().map(|b| b.fitness),
+            resumed.best().map(|b| b.fitness)
+        );
+    }
+
+    #[test]
+    fn v0_snapshot_without_rng_state_still_restores() {
+        // Old JSON snapshots predate the `rng_state` field; they must
+        // keep deserializing and restoring (reseeded, not
+        // bit-identical).
+        let pop = evolved();
+        let snapshot = PopulationSnapshot::capture(&pop);
+        // A v0 file simply lacks the field entirely — strip it from
+        // the serialized object to reproduce one.
+        let value = serde_json::to_value(&snapshot).unwrap();
+        let serde_json::Value::Object(fields) = value else {
+            panic!("snapshot serializes as an object");
+        };
+        let v0 = serde_json::Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "rng_state")
+                .collect(),
+        );
+        let json = serde_json::to_string(&v0).unwrap();
+        assert!(!json.contains("rng_state"));
+        let back: PopulationSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rng_state, None);
+        let mut resumed = back.restore(17);
+        assert_eq!(resumed.generation(), pop.generation());
+        resumed.evolve();
+        assert_eq!(resumed.genomes().len(), pop.genomes().len());
     }
 
     #[test]

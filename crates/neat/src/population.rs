@@ -326,7 +326,8 @@ impl Population {
         self.generation += 1;
     }
 
-    /// Captures the population's semantic state for
+    /// Captures the population's full state — including the evolve-
+    /// phase RNG stream — for
     /// [`crate::checkpoint::PopulationSnapshot`] serialization.
     pub(crate) fn snapshot(&self) -> crate::checkpoint::PopulationSnapshot {
         crate::checkpoint::PopulationSnapshot {
@@ -338,18 +339,30 @@ impl Population {
             next_species_id: self.next_species_id,
             best: self.best_ever.clone(),
             tracker: self.tracker.clone(),
+            rng_state: Some(self.rng.state()),
         }
     }
 
-    /// Rebuilds a population from a snapshot with a fresh RNG seed.
+    /// Rebuilds a population from a snapshot.
+    ///
+    /// When the snapshot carries the captured RNG state (every
+    /// snapshot written since RNG capture landed), the restored
+    /// population continues the exact random stream and evolution is
+    /// bit-identical to an uninterrupted run; `seed` is ignored. For
+    /// `v0` snapshots without RNG state, the RNG is reseeded from
+    /// `seed` and the continuation is valid but not bit-identical.
     pub(crate) fn from_snapshot(
         snapshot: crate::checkpoint::PopulationSnapshot,
         seed: u64,
     ) -> Self {
+        let rng = match snapshot.rng_state {
+            Some(state) => StdRng::from_state(state),
+            None => StdRng::seed_from_u64(seed),
+        };
         Population {
             config: snapshot.config,
             tracker: snapshot.tracker,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             genomes: snapshot.genomes,
             fitnesses: snapshot.fitnesses,
             species: snapshot.species,

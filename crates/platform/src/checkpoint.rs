@@ -1,0 +1,117 @@
+//! Whole-run state capture for crash-safe, bit-identical resume.
+//!
+//! A [`RunState`] is everything [`crate::E3Platform`] accumulates
+//! while running: the population snapshot (including the evolve-phase
+//! RNG stream), the per-function time profile, complexity statistics,
+//! accelerator accounting, the convergence trace, the episode-seed
+//! schedule position, and the generation counter. Restoring one into
+//! a fresh platform makes the continuation **bit-identical** to a run
+//! that was never interrupted: same fitness trajectory, same modeled
+//! seconds, same end-of-run telemetry `Summary`, at any thread count.
+//!
+//! `e3-store` persists these states generically; this module supplies
+//! the platform-specific payload and the [`fingerprint`] that ties a
+//! checkpoint directory to one `(config, backend, seed)` triple so a
+//! snapshot can never be resumed into a different run.
+
+use crate::backend::BackendKind;
+use crate::platform::{E3Config, FunctionProfile};
+use e3_inax::{EpisodeRunReport, UtilizationBreakdown};
+use e3_neat::checkpoint::PopulationSnapshot;
+use e3_neat::stats::ComplexityStats;
+use e3_store::format::fnv1a;
+use e3_store::RunFingerprint;
+use serde::{Deserialize, Serialize};
+
+/// Complete resumable state of an [`crate::E3Platform`] between two
+/// generations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunState {
+    /// Population, species, innovation counters, and the evolve-phase
+    /// RNG stream.
+    pub population: PopulationSnapshot,
+    /// Accumulated per-function modeled seconds.
+    pub profile: FunctionProfile,
+    /// Accumulated structural statistics.
+    pub complexity: ComplexityStats,
+    /// Accumulated accelerator cycle accounting (INAX runs).
+    pub hw_report: Option<EpisodeRunReport>,
+    /// Accumulated per-PU/per-PE utilization accounting (INAX runs).
+    pub hw_utilization: Option<UtilizationBreakdown>,
+    /// Convergence trace so far.
+    pub trace: Vec<(f64, f64)>,
+    /// Next value of the deterministic episode-seed schedule.
+    pub episode_seed: u64,
+    /// Generations completed.
+    pub generation: usize,
+    /// Best fitness returned by the most recent step, used to decide
+    /// whether a resumed run already hit its target.
+    pub last_step_best: Option<f64>,
+}
+
+/// The identity a checkpoint directory is bound to.
+///
+/// Hashes the canonical configuration JSON with the two
+/// result-irrelevant fields neutralized: `threads` (results are
+/// bit-identical at any thread count) and the checkpoint policy
+/// itself (tuning retention or cadence must not orphan existing
+/// snapshots). Everything else — env, NEAT hyperparameters, cost
+/// models, INAX geometry, generation cap, target — participates, so
+/// a snapshot from a differently configured run is refused at
+/// recovery.
+pub fn fingerprint(config: &E3Config, backend: BackendKind, seed: u64) -> RunFingerprint {
+    let mut canonical = config.clone();
+    canonical.threads = 1;
+    canonical.checkpoint = None;
+    let json = serde_json::to_string(&canonical).expect("E3Config serializes");
+    RunFingerprint {
+        config_hash: fnv1a(json.as_bytes()),
+        backend: backend.name().to_string(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_envs::EnvId;
+    use e3_store::CheckpointPolicy;
+
+    fn config() -> E3Config {
+        E3Config::builder(EnvId::CartPole)
+            .population_size(20)
+            .max_generations(3)
+            .build()
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_and_checkpoint_policy() {
+        let base = fingerprint(&config(), BackendKind::Cpu, 7);
+        let mut threaded = config();
+        threaded.threads = 8;
+        threaded.checkpoint = Some(CheckpointPolicy::new("/tmp/ckpt").every(5));
+        assert_eq!(fingerprint(&threaded, BackendKind::Cpu, 7), base);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_run_identity() {
+        let base = fingerprint(&config(), BackendKind::Cpu, 7);
+        assert_ne!(fingerprint(&config(), BackendKind::Cpu, 8), base);
+        assert_ne!(fingerprint(&config(), BackendKind::Inax, 7), base);
+        let mut bigger = config();
+        bigger.neat.population_size = 21;
+        assert_ne!(fingerprint(&bigger, BackendKind::Cpu, 7), base);
+    }
+
+    #[test]
+    fn run_state_round_trips_through_json() {
+        let platform = crate::E3Platform::new(config(), BackendKind::Cpu, 7);
+        let state = platform.capture_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: RunState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.generation, state.generation);
+        assert_eq!(back.episode_seed, state.episode_seed);
+        assert_eq!(back.population.genomes, state.population.genomes);
+        assert_eq!(back.trace, state.trace);
+    }
+}

@@ -56,11 +56,25 @@
 //! .threads(n)` shards the population across `n` worker threads
 //! ("virtual PUs") with results bit-identical to the serial reference
 //! at any thread count (see `tests/exec_parity.rs`).
+//!
+//! ## Checkpointing & resume
+//!
+//! `E3Config::builder(...).checkpoint(CheckpointPolicy::new(dir))`
+//! snapshots the full run state into a crash-safe [`store`] directory
+//! (re-export of `e3-store`) every N generations;
+//! [`E3Platform::resume`] recovers the newest intact snapshot and the
+//! resumed run reproduces the uninterrupted run **bit-identically** —
+//! same fitness trajectory, [`platform::RunOutcome`], and telemetry
+//! `Summary`, on every backend and at any thread count (see
+//! `tests/resume_parity.rs`). A config/backend/seed fingerprint
+//! embedded in each snapshot makes resuming the wrong run a typed
+//! error.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod design_space;
 pub mod energy;
 pub mod experiments;
@@ -72,8 +86,11 @@ pub use backend::{
     AnyBackend, BackendBuilder, BackendKind, CpuBackend, EvalBackend, EvalError, EvalOutcome,
     GpuBackend, InaxBackend, ParseBackendKindError,
 };
+pub use checkpoint::RunState;
 pub use design_space::{sweep_design_space, sweep_design_space_with, DesignPoint, DesignSweep};
 pub use e3_exec as exec;
+pub use e3_store as store;
+pub use e3_store::CheckpointPolicy;
 pub use e3_telemetry as telemetry;
 pub use energy::{EnergyReport, PowerModel};
 pub use fpga::{FpgaBudget, FpgaResources};

@@ -10,16 +10,19 @@
 //! property tests in `tests/telemetry_parity.rs`).
 
 use crate::backend::{AnyBackend, BackendKind, EvalBackend, EvalError};
+use crate::checkpoint::{fingerprint, RunState};
 use crate::energy::PowerModel;
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::EnvId;
 use e3_exec::ExecStatsState;
 use e3_inax::{EpisodeRunReport, InaxConfig, UtilizationBreakdown};
+use e3_neat::checkpoint::PopulationSnapshot;
 use e3_neat::stats::ComplexityStats;
 use e3_neat::{NeatConfig, Population};
+use e3_store::{CheckpointPolicy, RunStore, StoreError};
 use e3_telemetry::{
-    Collector, EvalRecord, ExecRecord, FunctionSplit, GenerationRecord, HwCounters, NullCollector,
-    RunSummary, TelemetryError, TelemetryEvent, Tracer,
+    CheckpointRecord, Collector, EvalRecord, ExecRecord, FunctionSplit, GenerationRecord,
+    HwCounters, NullCollector, ResumeRecord, RunSummary, TelemetryError, TelemetryEvent, Tracer,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -31,6 +34,8 @@ pub enum RunError {
     Eval(EvalError),
     /// The installed telemetry collector failed to accept a record.
     Telemetry(TelemetryError),
+    /// The checkpoint store failed to persist or recover run state.
+    Store(StoreError),
 }
 
 impl fmt::Display for RunError {
@@ -38,6 +43,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::Eval(err) => write!(f, "evaluation failed: {err}"),
             RunError::Telemetry(err) => write!(f, "telemetry failed: {err}"),
+            RunError::Store(err) => write!(f, "checkpoint store failed: {err}"),
         }
     }
 }
@@ -47,6 +53,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Eval(err) => Some(err),
             RunError::Telemetry(err) => Some(err),
+            RunError::Store(err) => Some(err),
         }
     }
 }
@@ -60,6 +67,12 @@ impl From<EvalError> for RunError {
 impl From<TelemetryError> for RunError {
     fn from(err: TelemetryError) -> Self {
         RunError::Telemetry(err)
+    }
+}
+
+impl From<StoreError> for RunError {
+    fn from(err: StoreError) -> Self {
+        RunError::Store(err)
     }
 }
 
@@ -171,6 +184,12 @@ pub struct E3Config {
     /// Evaluation worker threads ("virtual PUs"); `1` is the serial
     /// reference executor. Results are bit-identical for any value.
     pub threads: usize,
+    /// Crash-safe checkpointing policy. `None` (the default) disables
+    /// persistence entirely; with a policy installed the platform
+    /// snapshots its full run state every `every` generations, and
+    /// [`E3Platform::resume`] continues bit-identically after a crash.
+    /// Like `threads`, this never affects results.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl E3Config {
@@ -195,6 +214,7 @@ impl E3Config {
                 sw: SwCostModel::default(),
                 gpu: GpuCostModel::default(),
                 threads: 1,
+                checkpoint: None,
             },
         }
     }
@@ -240,6 +260,12 @@ impl E3ConfigBuilder {
     /// Sets the number of evaluation worker threads (must be ≥ 1).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Installs a crash-safe checkpointing policy.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.config.checkpoint = Some(policy);
         self
     }
 
@@ -323,6 +349,10 @@ pub struct E3Platform {
     episode_seed: u64,
     generation: usize,
     tracer: Tracer,
+    seed: u64,
+    last_step_best: Option<f64>,
+    store: Option<RunStore>,
+    pending_resume: Option<ResumeRecord>,
 }
 
 impl E3Platform {
@@ -348,7 +378,58 @@ impl E3Platform {
             episode_seed: seed.wrapping_add(1000),
             generation: 0,
             tracer: Tracer::disabled(),
+            seed,
+            last_step_best: None,
+            store: None,
+            pending_resume: None,
         }
+    }
+
+    /// Resumes a run from the newest intact snapshot in the
+    /// configuration's checkpoint directory.
+    ///
+    /// Returns `Ok(None)` when there is nothing to resume — no
+    /// checkpoint policy configured, the directory holds no intact
+    /// snapshot, or every snapshot is torn/corrupt. Callers fall back
+    /// to [`E3Platform::new`] in that case; a fresh start is itself
+    /// bit-identical, so resuming "from nothing" is always safe.
+    ///
+    /// The resumed platform continues **bit-identically**: the fitness
+    /// trajectory, modeled runtime, and final telemetry `Summary`
+    /// match an uninterrupted run of the same `(config, backend,
+    /// seed)` at any thread count. A `Resume` telemetry record is
+    /// emitted at the start of the next step (or run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Store`] when the directory is unreadable or
+    /// holds state from a *different* run (config/backend/seed
+    /// fingerprint mismatch) — resuming that would silently change
+    /// results, so it is refused rather than skipped.
+    pub fn resume(
+        config: E3Config,
+        backend: BackendKind,
+        seed: u64,
+    ) -> Result<Option<Self>, RunError> {
+        let Some(policy) = config.checkpoint.clone() else {
+            return Ok(None);
+        };
+        let fp = fingerprint(&config, backend, seed);
+        let mut store = RunStore::open(&policy.dir, fp, policy.keep_last)?;
+        let Some(recovered) = store.recover::<RunState>()? else {
+            return Ok(None);
+        };
+        let mut platform = E3Platform::new(config, backend, seed);
+        platform.pending_resume = Some(ResumeRecord {
+            generation: recovered.generation,
+            backend: platform.backend.kind().name().to_string(),
+            env: platform.config.env.name().to_string(),
+            path: recovered.path.display().to_string(),
+            skipped_corrupt: recovered.skipped_corrupt,
+        });
+        platform.apply_state(recovered.state);
+        platform.store = Some(store);
+        Ok(Some(platform))
     }
 
     /// Installs a span tracer; the platform records `run` /
@@ -377,6 +458,77 @@ impl E3Platform {
         &self.population
     }
 
+    /// Generations completed so far (continues across resume).
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Captures the complete resumable state of this platform. This
+    /// is what checkpoints persist; restoring it (see
+    /// [`E3Platform::resume`]) continues the run bit-identically.
+    pub fn capture_state(&self) -> RunState {
+        RunState {
+            population: PopulationSnapshot::capture(&self.population),
+            profile: self.profile,
+            complexity: self.complexity.clone(),
+            hw_report: self.hw_report,
+            hw_utilization: self.hw_utilization.clone(),
+            trace: self.trace.clone(),
+            episode_seed: self.episode_seed,
+            generation: self.generation,
+            last_step_best: self.last_step_best,
+        }
+    }
+
+    fn apply_state(&mut self, state: RunState) {
+        // The snapshot carries the RNG stream, so the seed argument to
+        // `restore` is only the v0-compatibility fallback.
+        self.population = state.population.restore(self.seed);
+        self.profile = state.profile;
+        self.complexity = state.complexity;
+        self.hw_report = state.hw_report;
+        self.hw_utilization = state.hw_utilization;
+        self.trace = state.trace;
+        self.episode_seed = state.episode_seed;
+        self.generation = state.generation;
+        self.last_step_best = state.last_step_best;
+    }
+
+    /// Opens the run store on first use (checkpointing configured but
+    /// the platform was not created through [`E3Platform::resume`]).
+    fn ensure_store(&mut self) -> Result<&mut RunStore, RunError> {
+        if self.store.is_none() {
+            let policy = self
+                .config
+                .checkpoint
+                .as_ref()
+                .expect("ensure_store is only called with a checkpoint policy");
+            let fp = fingerprint(&self.config, self.backend.kind(), self.seed);
+            self.store = Some(RunStore::open(&policy.dir, fp, policy.keep_last)?);
+        }
+        Ok(self.store.as_mut().expect("just ensured"))
+    }
+
+    /// Persists the current run state and emits a `Checkpoint` record.
+    fn write_checkpoint(&mut self, collector: &mut dyn Collector) -> Result<(), RunError> {
+        let state = self.capture_state();
+        let generation = self.generation;
+        let best_fitness = self.population.best().map(|b| b.fitness);
+        let store = self.ensure_store()?;
+        let bytes_before = store.stats().bytes_written;
+        let path = store.save(generation, best_fitness, &state)?;
+        let bytes = store.stats().bytes_written - bytes_before;
+        collector.record(&TelemetryEvent::Checkpoint(CheckpointRecord {
+            generation,
+            backend: self.backend.kind().name().to_string(),
+            env: self.config.env.name().to_string(),
+            path: path.display().to_string(),
+            bytes,
+            best_fitness: best_fitness.filter(|f| f.is_finite()),
+        }))?;
+        Ok(())
+    }
+
     /// Executes one evaluate + evolve cycle; returns the best fitness
     /// of the evaluated generation. Telemetry is discarded; see
     /// [`E3Platform::step_with`].
@@ -399,6 +551,11 @@ impl E3Platform {
     /// population and [`RunError::Telemetry`] if the collector rejects
     /// a record.
     pub fn step_with(&mut self, collector: &mut dyn Collector) -> Result<f64, RunError> {
+        // A resumed platform announces where it picked up before any
+        // event of the continued run reaches the collector.
+        if let Some(resume) = self.pending_resume.take() {
+            collector.record(&TelemetryEvent::Resume(resume))?;
+        }
         let mut generation_span = self.tracer.start("generation", "platform");
         generation_span.arg("generation", self.generation as f64);
         // --- Evaluate phase (CreateNet + inference + env). ---
@@ -503,7 +660,16 @@ impl E3Platform {
             split: self.profile.to_split(),
         }))?;
         self.generation += 1;
+        self.last_step_best = Some(best);
         generation_span.finish();
+        // Generation-granular autocheckpoint: persist after the evolve
+        // phase so the snapshot sits exactly on the generation
+        // boundary the next step starts from.
+        if let Some(every) = self.config.checkpoint.as_ref().map(|p| p.every) {
+            if self.generation.is_multiple_of(every.max(1)) {
+                self.write_checkpoint(collector)?;
+            }
+        }
         Ok(best)
     }
 
@@ -530,16 +696,24 @@ impl E3Platform {
     pub fn run_with(mut self, collector: &mut dyn Collector) -> Result<RunOutcome, RunError> {
         let mut run_span = self.tracer.start("run", "platform");
         run_span.arg("max_generations", self.config.max_generations as f64);
-        let mut solved = false;
-        let mut generations_run = 0;
-        for _ in 0..self.config.max_generations {
+        // A resumed run may already be finished (checkpointed right
+        // after the solving generation); announce the resume even when
+        // the loop body never executes.
+        if let Some(resume) = self.pending_resume.take() {
+            collector.record(&TelemetryEvent::Resume(resume))?;
+        }
+        // `generation` counts completed steps across resume, so a
+        // resumed run reports the same totals as an uninterrupted one.
+        let mut solved = self
+            .last_step_best
+            .is_some_and(|best| best >= self.config.target_fitness);
+        while !solved && self.generation < self.config.max_generations {
             let best = self.step_with(collector)?;
-            generations_run += 1;
             if best >= self.config.target_fitness {
                 solved = true;
-                break;
             }
         }
+        let generations_run = self.generation;
         let best_fitness = self
             .population
             .best()
@@ -720,5 +894,109 @@ mod tests {
     fn mismatched_neat_config_is_rejected() {
         let neat = NeatConfig::new(3, 2);
         let _ = E3Config::builder(EnvId::CartPole).neat(neat).build();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("e3-platform-ckpt-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn resume_without_policy_or_snapshots_is_none() {
+        assert!(
+            E3Platform::resume(small(EnvId::CartPole), BackendKind::Cpu, 5)
+                .unwrap()
+                .is_none(),
+            "no checkpoint policy means nothing to resume"
+        );
+        let dir = scratch_dir("fresh");
+        let mut config = small(EnvId::CartPole);
+        config.checkpoint = Some(CheckpointPolicy::new(dir.to_string_lossy().into_owned()));
+        assert!(
+            E3Platform::resume(config, BackendKind::Cpu, 5)
+                .unwrap()
+                .is_none(),
+            "an empty directory means nothing to resume"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let reference = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 5)
+            .run()
+            .unwrap();
+
+        let dir = scratch_dir("resume");
+        let mut config = small(EnvId::CartPole);
+        config.checkpoint = Some(CheckpointPolicy::new(dir.to_string_lossy().into_owned()));
+        {
+            // Run one generation (checkpointed), then "crash" by
+            // dropping the platform.
+            let mut interrupted = E3Platform::new(config.clone(), BackendKind::Cpu, 5);
+            interrupted.step_generation().unwrap();
+        }
+        let resumed = E3Platform::resume(config, BackendKind::Cpu, 5)
+            .unwrap()
+            .expect("one checkpoint on disk");
+        assert_eq!(resumed.generation(), 1);
+        let outcome = resumed.run().unwrap();
+        // Checkpointing never affects results: the resumed outcome is
+        // the uninterrupted outcome, field for field.
+        assert_eq!(outcome, reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_a_different_run() {
+        let dir = scratch_dir("refuse");
+        let mut config = small(EnvId::CartPole);
+        config.checkpoint = Some(CheckpointPolicy::new(dir.to_string_lossy().into_owned()));
+        {
+            let mut platform = E3Platform::new(config.clone(), BackendKind::Cpu, 5);
+            platform.step_generation().unwrap();
+        }
+        // Same directory, different seed: a silent resume would change
+        // results, so it must error instead.
+        let err = E3Platform::resume(config, BackendKind::Cpu, 6).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Store(StoreError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_cadence_and_telemetry_records() {
+        use e3_telemetry::MemoryCollector;
+        let dir = scratch_dir("cadence");
+        let mut config = small(EnvId::CartPole);
+        config.max_generations = 4;
+        config.target_fitness = f64::INFINITY;
+        config.checkpoint =
+            Some(CheckpointPolicy::new(dir.to_string_lossy().into_owned()).every(2));
+        let mut collector = MemoryCollector::new();
+        E3Platform::new(config.clone(), BackendKind::Cpu, 5)
+            .run_with(&mut collector)
+            .unwrap();
+        // 4 generations at every=2 ⇒ checkpoints after generations 2 and 4.
+        let checkpoints: Vec<usize> = collector.checkpoints().map(|c| c.generation).collect();
+        assert_eq!(checkpoints, vec![2, 4]);
+        assert!(collector.checkpoints().all(|c| c.bytes > 0));
+
+        let mut resumed_collector = MemoryCollector::new();
+        let resumed = E3Platform::resume(config, BackendKind::Cpu, 5)
+            .unwrap()
+            .expect("snapshots on disk");
+        resumed.run_with(&mut resumed_collector).unwrap();
+        // The run was already complete, so the continuation emits the
+        // Resume record, no further generations, and the Summary.
+        assert_eq!(resumed_collector.resumes().count(), 1);
+        assert_eq!(resumed_collector.resumes().next().unwrap().generation, 4);
+        assert_eq!(resumed_collector.generations().count(), 0);
+        assert_eq!(resumed_collector.summaries().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,7 +3,9 @@
 
 use e3_envs::EnvId;
 use e3_platform::telemetry::{Collector, MemoryCollector, NdjsonWriter, TelemetryEvent, Tracer};
-use e3_platform::{BackendKind, E3Config, E3Platform, EvalBackend, EvalError, RunError};
+use e3_platform::{
+    BackendKind, CheckpointPolicy, E3Config, E3Platform, EvalBackend, EvalError, RunError,
+};
 use proptest::prelude::*;
 
 /// Cheap environments so the property runs many cases quickly.
@@ -107,18 +109,10 @@ proptest! {
     }
 }
 
-/// Pins the NDJSON wire format: record kinds, required keys, and the
-/// presence of hardware counters on INAX evaluations.
-#[test]
-fn ndjson_schema_is_stable() {
-    let mut sink = NdjsonWriter::new(Vec::new());
-    E3Platform::new(quick_config(EnvId::CartPole), BackendKind::Inax, 7)
-        .run_with(&mut sink)
-        .unwrap();
-    let text = String::from_utf8(sink.into_inner()).unwrap();
+/// Validates every line of an NDJSON stream against the pinned wire
+/// format and returns the record kinds in stream order.
+fn validate_ndjson_stream(text: &str) -> Vec<&'static str> {
     let lines: Vec<&str> = text.lines().collect();
-    assert!(lines.len() >= 3, "at least eval + generation + summary");
-
     let mut kinds = Vec::new();
     for line in &lines {
         let value: serde_json::Value = serde_json::from_str(line).expect("valid JSON per line");
@@ -222,6 +216,33 @@ fn ndjson_schema_is_stable() {
                 assert!(row.get(key).is_some(), "PeCycleRow missing {key}");
             }
             kinds.push("Utilization");
+        } else if let Some(checkpoint) = value.get("Checkpoint") {
+            for key in [
+                "generation",
+                "backend",
+                "env",
+                "path",
+                "bytes",
+                "best_fitness",
+            ] {
+                assert!(
+                    checkpoint.get(key).is_some(),
+                    "Checkpoint record missing {key}: {line}"
+                );
+            }
+            assert!(
+                checkpoint.get("bytes").unwrap().as_u64().unwrap_or(0) > 0,
+                "checkpoints report their on-disk size"
+            );
+            kinds.push("Checkpoint");
+        } else if let Some(resume) = value.get("Resume") {
+            for key in ["generation", "backend", "env", "path", "skipped_corrupt"] {
+                assert!(
+                    resume.get(key).is_some(),
+                    "Resume record missing {key}: {line}"
+                );
+            }
+            kinds.push("Resume");
         } else if let Some(summary) = value.get("Summary") {
             for key in [
                 "backend",
@@ -257,6 +278,30 @@ fn ndjson_schema_is_stable() {
             serde_json::from_str::<serde_json::Value>(&json).unwrap()
         });
     }
+    kinds
+}
+
+/// Pins the NDJSON wire format: record kinds, required keys, the
+/// presence of hardware counters on INAX evaluations, and the
+/// checkpoint/resume records a persisted run adds to the stream.
+#[test]
+fn ndjson_schema_is_stable() {
+    let dir = std::env::temp_dir().join(format!("e3-ndjson-schema-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut config = quick_config(EnvId::CartPole);
+    config.checkpoint = Some(CheckpointPolicy::new(dir.to_string_lossy().into_owned()).every(1));
+
+    let mut sink = NdjsonWriter::new(Vec::new());
+    E3Platform::new(config.clone(), BackendKind::Inax, 7)
+        .run_with(&mut sink)
+        .unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert!(
+        text.lines().count() >= 3,
+        "at least eval + generation + summary"
+    );
+    let kinds = validate_ndjson_stream(&text);
+
     assert_eq!(kinds.last(), Some(&"Summary"), "summary closes the stream");
     assert_eq!(kinds.iter().filter(|k| **k == "Summary").count(), 1);
     assert_eq!(
@@ -269,6 +314,37 @@ fn ndjson_schema_is_stable() {
         "Utilization",
         "utilization precedes the summary"
     );
+    // `every(1)` checkpoints once per generation, right after the
+    // Generation record.
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "Checkpoint").count(),
+        kinds.iter().filter(|k| **k == "Generation").count(),
+        "one checkpoint per generation at every(1)"
+    );
+    for pair in kinds.windows(2) {
+        if pair[1] == "Checkpoint" {
+            assert_eq!(pair[0], "Generation", "checkpoints follow generations");
+        }
+    }
+    assert!(!kinds.contains(&"Resume"), "a fresh run never resumes");
+
+    // The resumed stream opens with a Resume record and closes with
+    // the same Summary an uninterrupted run would emit.
+    let mut resumed_sink = NdjsonWriter::new(Vec::new());
+    E3Platform::resume(config, BackendKind::Inax, 7)
+        .unwrap()
+        .expect("checkpoints on disk")
+        .run_with(&mut resumed_sink)
+        .unwrap();
+    let resumed_text = String::from_utf8(resumed_sink.into_inner()).unwrap();
+    let resumed_kinds = validate_ndjson_stream(&resumed_text);
+    assert_eq!(
+        resumed_kinds.first(),
+        Some(&"Resume"),
+        "resume opens the stream"
+    );
+    assert_eq!(resumed_kinds.last(), Some(&"Summary"));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A recurrent genome is reported as a typed error end-to-end through
@@ -327,6 +403,8 @@ fn collector_forwarding_preserves_order() {
             TelemetryEvent::Exec(_) => "exec",
             TelemetryEvent::Generation(_) => "generation",
             TelemetryEvent::Utilization(_) => "utilization",
+            TelemetryEvent::Checkpoint(_) => "checkpoint",
+            TelemetryEvent::Resume(_) => "resume",
             TelemetryEvent::Summary(_) => "summary",
         })
         .collect();

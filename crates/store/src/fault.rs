@@ -1,0 +1,76 @@
+//! Fault injection for crash-safety testing.
+//!
+//! A [`StoreFault`] armed via [`crate::RunStore::inject_fault`]
+//! sabotages the *next* [`crate::RunStore::save`] call, reproducing
+//! the on-disk wreckage a power cut can leave behind. Every fault
+//! models a crash at a specific point in the write protocol, so a
+//! faulted save also skips the manifest update — exactly what a real
+//! crash before the manifest rename would do.
+
+/// A simulated crash mode, applied to the next snapshot write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The payload section is truncated mid-write: the magic and
+    /// header land intact but `payload_len` disagrees with the bytes
+    /// present. Models a crash while streaming the payload.
+    TornWrite,
+    /// The file is cut inside the magic/header lines — only a few
+    /// bytes land. Models a crash immediately after file creation.
+    ShortWrite,
+    /// The full file lands but one payload bit is flipped. Models
+    /// silent media corruption (or a firmware write bug).
+    ChecksumCorruption,
+    /// The snapshot itself lands intact, but the crash happens before
+    /// `manifest.json` is updated — the manifest still points at the
+    /// previous generation. Recovery must prefer the directory scan
+    /// over the manifest to find the newer snapshot.
+    StaleManifest,
+}
+
+impl StoreFault {
+    /// All fault modes, for exhaustive harness sweeps.
+    pub const ALL: [StoreFault; 4] = [
+        StoreFault::TornWrite,
+        StoreFault::ShortWrite,
+        StoreFault::ChecksumCorruption,
+        StoreFault::StaleManifest,
+    ];
+
+    /// Short display name (used in test output and telemetry).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreFault::TornWrite => "torn-write",
+            StoreFault::ShortWrite => "short-write",
+            StoreFault::ChecksumCorruption => "checksum-corruption",
+            StoreFault::StaleManifest => "stale-manifest",
+        }
+    }
+
+    /// Applies this fault to an encoded snapshot, returning the bytes
+    /// that actually reach disk. `header_end` is the offset one past
+    /// the header line's newline (the start of the payload section).
+    pub(crate) fn corrupt(&self, bytes: &[u8], header_end: usize) -> Vec<u8> {
+        match self {
+            StoreFault::TornWrite => {
+                // Keep the header intact, drop the tail of the payload.
+                let payload_len = bytes.len() - header_end;
+                let keep = header_end + (payload_len * 3) / 5;
+                bytes[..keep].to_vec()
+            }
+            StoreFault::ShortWrite => bytes[..bytes.len().min(4)].to_vec(),
+            StoreFault::ChecksumCorruption => {
+                let mut out = bytes.to_vec();
+                let last = out.len() - 1;
+                out[last] ^= 0x01;
+                out
+            }
+            StoreFault::StaleManifest => bytes.to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

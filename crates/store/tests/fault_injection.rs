@@ -1,0 +1,155 @@
+//! Fault-injection harness: every simulated crash mode must leave the
+//! store recoverable, landing on the newest *intact* snapshot, and
+//! must never panic.
+
+use e3_store::{RunFingerprint, RunStore, StoreFault};
+use std::fs;
+use std::path::PathBuf;
+
+fn fp() -> RunFingerprint {
+    RunFingerprint {
+        config_hash: 0x5eed,
+        backend: "E3-CPU".to_string(),
+        seed: 42,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("e3-store-fault-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A faulted final save must fall back to the last intact generation
+/// (stale-manifest is the exception: its snapshot is intact, so the
+/// newest generation itself must be recovered despite the manifest
+/// still pointing at an older one).
+#[test]
+fn every_fault_mode_recovers_to_the_newest_intact_snapshot() {
+    for fault in StoreFault::ALL {
+        let dir = scratch(fault.name());
+        let mut store = RunStore::open(&dir, fp(), 5).unwrap();
+        store.save(0, Some(1.0), &vec![0u64]).unwrap();
+        store.save(1, Some(2.0), &vec![1u64]).unwrap();
+        store.inject_fault(fault);
+        store.save(2, Some(3.0), &vec![2u64]).unwrap();
+
+        // Recover through a fresh store, as a restarted process would.
+        let mut reopened = RunStore::open(&dir, fp(), 5).unwrap();
+        let recovered = reopened
+            .recover::<Vec<u64>>()
+            .unwrap_or_else(|e| panic!("{fault}: recovery errored: {e}"))
+            .unwrap_or_else(|| panic!("{fault}: no snapshot recovered"));
+
+        let expect_generation = match fault {
+            StoreFault::StaleManifest => 2,
+            _ => 1,
+        };
+        assert_eq!(
+            recovered.generation, expect_generation,
+            "{fault}: wrong generation recovered"
+        );
+        assert_eq!(recovered.state, vec![expect_generation as u64]);
+        let expect_skipped = usize::from(fault != StoreFault::StaleManifest);
+        assert_eq!(
+            recovered.skipped_corrupt, expect_skipped,
+            "{fault}: wrong skip count"
+        );
+        assert_eq!(reopened.stats().corrupt_skipped, expect_skipped as u64);
+        assert_eq!(reopened.stats().recoveries, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A run of consecutive damaged snapshots must all be skipped — the
+/// scan keeps walking back until something validates.
+#[test]
+fn recovery_walks_past_multiple_corrupt_generations() {
+    let dir = scratch("multi");
+    let mut store = RunStore::open(&dir, fp(), 10).unwrap();
+    store.save(0, Some(1.0), &"intact".to_string()).unwrap();
+    for (generation, fault) in [
+        (1, StoreFault::TornWrite),
+        (2, StoreFault::ShortWrite),
+        (3, StoreFault::ChecksumCorruption),
+    ] {
+        store.inject_fault(fault);
+        store
+            .save(generation, Some(2.0), &"damaged".to_string())
+            .unwrap();
+    }
+    let recovered = store.recover::<String>().unwrap().unwrap();
+    assert_eq!(recovered.generation, 0);
+    assert_eq!(recovered.state, "intact");
+    assert_eq!(recovered.skipped_corrupt, 3);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// If *every* snapshot is damaged, recovery reports "nothing to
+/// resume" — it must not panic and must not fabricate state.
+#[test]
+fn all_snapshots_damaged_recovers_to_none() {
+    let dir = scratch("all-damaged");
+    let mut store = RunStore::open(&dir, fp(), 10).unwrap();
+    for (generation, fault) in StoreFault::ALL.iter().enumerate() {
+        if *fault == StoreFault::StaleManifest {
+            continue; // leaves an intact snapshot by design
+        }
+        store.inject_fault(*fault);
+        store.save(generation, None, &0u8).unwrap();
+    }
+    assert!(store.recover::<u8>().unwrap().is_none());
+    assert_eq!(store.stats().corrupt_skipped, 3);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// After recovering from a faulted write, saving the same generation
+/// again must overwrite the wreckage and become recoverable.
+#[test]
+fn rewriting_a_damaged_generation_heals_it() {
+    let dir = scratch("heal");
+    let mut store = RunStore::open(&dir, fp(), 5).unwrap();
+    store.inject_fault(StoreFault::TornWrite);
+    store.save(7, Some(1.0), &"first try".to_string()).unwrap();
+    assert!(store.recover::<String>().unwrap().is_none());
+    store.save(7, Some(1.0), &"second try".to_string()).unwrap();
+    let recovered = store.recover::<String>().unwrap().unwrap();
+    assert_eq!(recovered.generation, 7);
+    assert_eq!(recovered.state, "second try");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Recovery from a stale manifest repairs the manifest: a subsequent
+/// open sees the true latest generation.
+#[test]
+fn stale_manifest_is_reconciled_by_recovery() {
+    let dir = scratch("reconcile");
+    let mut store = RunStore::open(&dir, fp(), 5).unwrap();
+    store.save(0, Some(1.0), &0u32).unwrap();
+    store.inject_fault(StoreFault::StaleManifest);
+    store.save(1, Some(2.0), &1u32).unwrap();
+
+    let mut reopened = RunStore::open(&dir, fp(), 5).unwrap();
+    assert_eq!(reopened.latest_generation(), Some(0)); // stale view
+    let recovered = reopened.recover::<u32>().unwrap().unwrap();
+    assert_eq!(recovered.generation, 1);
+
+    let repaired = RunStore::open(&dir, fp(), 5).unwrap();
+    assert_eq!(repaired.latest_generation(), Some(1));
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Faults disarm after firing once: the save after a faulted one is
+/// clean without re-arming.
+#[test]
+fn faults_fire_once() {
+    let dir = scratch("once");
+    let mut store = RunStore::open(&dir, fp(), 5).unwrap();
+    store.inject_fault(StoreFault::ChecksumCorruption);
+    store.save(0, None, &0u32).unwrap();
+    store.save(1, None, &1u32).unwrap();
+    let recovered = store.recover::<u32>().unwrap().unwrap();
+    assert_eq!(recovered.generation, 1);
+    assert_eq!(store.stats().snapshots_written, 1);
+    fs::remove_dir_all(&dir).ok();
+}

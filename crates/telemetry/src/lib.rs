@@ -329,6 +329,41 @@ pub struct GenerationRecord {
     pub split: FunctionSplit,
 }
 
+/// One snapshot written by the crash-safe run store (`e3-store`).
+/// Emitted right after the snapshot file is durably on disk.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Generation the snapshot captured.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// Snapshot file path.
+    pub path: String,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+    /// Best fitness at capture time, when finite.
+    pub best_fitness: Option<f64>,
+}
+
+/// A run resumed from a store snapshot. Emitted once, before any
+/// event of the resumed portion, so an NDJSON stream records where
+/// the continuation picked up.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResumeRecord {
+    /// Generation the run resumed from.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// Snapshot file the state was recovered from.
+    pub path: String,
+    /// Corrupt or torn snapshots skipped before this one validated.
+    pub skipped_corrupt: usize,
+}
+
 /// Whole-run summary emitted once when a run finishes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -363,6 +398,10 @@ pub enum TelemetryEvent {
     Generation(GenerationRecord),
     /// Cycle-level accelerator utilization for a whole run.
     Utilization(UtilizationReport),
+    /// A snapshot was durably written by the run store.
+    Checkpoint(CheckpointRecord),
+    /// The run resumed from a store snapshot.
+    Resume(ResumeRecord),
     /// A run finished.
     Summary(RunSummary),
 }
@@ -438,6 +477,22 @@ impl MemoryCollector {
     pub fn utilizations(&self) -> impl Iterator<Item = &UtilizationReport> {
         self.events.iter().filter_map(|event| match event {
             TelemetryEvent::Utilization(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered checkpoint records.
+    pub fn checkpoints(&self) -> impl Iterator<Item = &CheckpointRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Checkpoint(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered resume records.
+    pub fn resumes(&self) -> impl Iterator<Item = &ResumeRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Resume(record) => Some(record),
             _ => None,
         })
     }
@@ -654,6 +709,45 @@ mod tests {
             .unwrap();
         assert_eq!(collector.execs().count(), 1);
         assert_eq!(collector.execs().next().unwrap().workers, 4);
+    }
+
+    #[test]
+    fn checkpoint_and_resume_records_round_trip_and_collect() {
+        let checkpoint = CheckpointRecord {
+            generation: 12,
+            backend: "E3-INAX".to_string(),
+            env: "cartpole".to_string(),
+            path: "ckpt/gen-00000012.e3snap".to_string(),
+            bytes: 48_213,
+            best_fitness: Some(321.5),
+        };
+        let resume = ResumeRecord {
+            generation: 12,
+            backend: "E3-INAX".to_string(),
+            env: "cartpole".to_string(),
+            path: "ckpt/gen-00000012.e3snap".to_string(),
+            skipped_corrupt: 1,
+        };
+        for event in [
+            TelemetryEvent::Checkpoint(checkpoint.clone()),
+            TelemetryEvent::Resume(resume.clone()),
+        ] {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: TelemetryEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+        }
+
+        let mut collector = MemoryCollector::new();
+        collector
+            .record(&TelemetryEvent::Resume(resume.clone()))
+            .unwrap();
+        collector
+            .record(&TelemetryEvent::Checkpoint(checkpoint.clone()))
+            .unwrap();
+        assert_eq!(collector.checkpoints().count(), 1);
+        assert_eq!(collector.resumes().count(), 1);
+        assert_eq!(collector.checkpoints().next().unwrap().bytes, 48_213);
+        assert_eq!(collector.resumes().next().unwrap().skipped_corrupt, 1);
     }
 
     #[test]

@@ -214,6 +214,18 @@ impl MetricsRegistry {
                 self.gauge_set("e3_species", generation.species as f64);
                 self.gauge_set("e3_modeled_seconds", generation.modeled_seconds);
             }
+            TelemetryEvent::Checkpoint(checkpoint) => {
+                self.counter_add("e3_store_snapshots_written_total", 1);
+                self.counter_add("e3_store_bytes_written_total", checkpoint.bytes);
+                self.gauge_set("e3_store_latest_generation", checkpoint.generation as f64);
+            }
+            TelemetryEvent::Resume(resume) => {
+                self.counter_add("e3_store_recoveries_total", 1);
+                self.counter_add(
+                    "e3_store_corrupt_skipped_total",
+                    resume.skipped_corrupt as u64,
+                );
+            }
             TelemetryEvent::Summary(summary) => {
                 self.counter_add("e3_runs_total", 1);
                 self.gauge_set("e3_solved", if summary.solved { 1.0 } else { 0.0 });
@@ -390,8 +402,8 @@ impl<C: Collector> Collector for MeteredCollector<C> {
 mod tests {
     use super::*;
     use crate::{
-        EvalRecord, ExecRecord, HwCounters, MemoryCollector, PeCycleRow, PuCycleRow, RunSummary,
-        UtilizationReport,
+        CheckpointRecord, EvalRecord, ExecRecord, HwCounters, MemoryCollector, PeCycleRow,
+        PuCycleRow, ResumeRecord, RunSummary, UtilizationReport,
     };
 
     #[test]
@@ -470,6 +482,21 @@ mod tests {
             dma_bytes: 4096,
             ..Default::default()
         }));
+        registry.observe(&TelemetryEvent::Checkpoint(CheckpointRecord {
+            generation: 9,
+            bytes: 2048,
+            ..Default::default()
+        }));
+        registry.observe(&TelemetryEvent::Checkpoint(CheckpointRecord {
+            generation: 10,
+            bytes: 1024,
+            ..Default::default()
+        }));
+        registry.observe(&TelemetryEvent::Resume(ResumeRecord {
+            generation: 10,
+            skipped_corrupt: 2,
+            ..Default::default()
+        }));
         registry.observe(&TelemetryEvent::Summary(RunSummary {
             solved: true,
             ..Default::default()
@@ -490,6 +517,11 @@ mod tests {
         assert_eq!(registry.counter("e3_inax_dma_bytes_total"), 4096);
         assert_eq!(registry.gauge("e3_solved"), Some(1.0));
         assert_eq!(registry.counter("e3_runs_total"), 1);
+        assert_eq!(registry.counter("e3_store_snapshots_written_total"), 2);
+        assert_eq!(registry.counter("e3_store_bytes_written_total"), 3072);
+        assert_eq!(registry.counter("e3_store_recoveries_total"), 1);
+        assert_eq!(registry.counter("e3_store_corrupt_skipped_total"), 2);
+        assert_eq!(registry.gauge("e3_store_latest_generation"), Some(10.0));
         let table = registry.summary_table();
         assert!(table.contains("e3_evals_total"));
         assert!(table.contains("e3_exec_shard_seconds"));

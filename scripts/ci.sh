@@ -43,6 +43,25 @@ cargo run --release --offline -q -p e3-bench --bin repro -- \
 cargo run --release --offline -q -p e3-bench --bin trace_check -- \
     "$trace_tmp/trace.json" "$trace_tmp/metrics.prom"
 
+echo "== crash-safe store: kill-and-resume reproduces the uninterrupted run =="
+# A seeded CartPole run is checkpointed every generation and killed
+# after two; resuming from the newest intact snapshot must produce the
+# exact RunOutcome JSON of the uninterrupted reference run
+# (bit-identical resume contract, see crates/store).
+store_dir="$trace_tmp/store"
+ref=$(cargo run --release --offline -q -p e3-bench --bin repro -- \
+    run --env cartpole --backend inax --seed 7 --json)
+cargo run --release --offline -q -p e3-bench --bin repro -- \
+    run --env cartpole --backend inax --seed 7 \
+    --checkpoint-dir "$store_dir" --crash-after 2 >/dev/null
+resumed=$(cargo run --release --offline -q -p e3-bench --bin repro -- \
+    run --env cartpole --backend inax --seed 7 \
+    --checkpoint-dir "$store_dir" --resume --json)
+if [ "$ref" != "$resumed" ]; then
+    echo "error: resumed run diverged from the uninterrupted reference" >&2
+    exit 1
+fi
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
