@@ -1,0 +1,128 @@
+//! batch_activate bench: the population-major `PlanBatch` kernel vs
+//! per-individual `NetPlan` execution.
+//!
+//! Times one lockstep forward pass of a whole population (one call to
+//! `PlanBatch::activate_batch_into` with every lane active) against
+//! the equivalent loop of solo `NetPlan::execute_into_buf` calls, on
+//! CartPole- and LunarLander-sized evolved populations. The batched
+//! kernel's win is structural — one level sweep over SoA buffers
+//! instead of per-individual dispatch — and its outputs are
+//! bit-identical to the solo loop (asserted before timing; `fast-math`
+//! would trade that for approximate activations but is off here).
+//!
+//! A half-parked variant times the lane-masked sweep the eval loop
+//! actually runs once episodes start finishing at different steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e3_envs::EnvId;
+use e3_neat::{Genome, NeatConfig, NetPlan, PlanBatch, Population};
+use std::hint::black_box;
+
+const LANES: usize = 48;
+
+/// Evolves a population with `env`-shaped IO and grown hidden
+/// structure — the same workload class `repro -- batch` measures.
+fn evolved_population(env: EnvId, seed: u64) -> Vec<Genome> {
+    let config = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+        .population_size(LANES)
+        .build();
+    let mut pop = Population::new(config, seed);
+    for _ in 0..10 {
+        pop.evaluate(|g| (g.num_enabled_connections() + g.nodes().len()) as f64);
+        pop.evolve();
+    }
+    pop.genomes().to_vec()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_activate");
+    for env in [EnvId::CartPole, EnvId::LunarLander] {
+        let genomes = evolved_population(env, 7);
+        let plans: Vec<NetPlan> = genomes
+            .iter()
+            .map(|g| NetPlan::compile(g).expect("evolved genomes decode"))
+            .collect();
+        let refs: Vec<&NetPlan> = plans.iter().collect();
+        let batch = PlanBatch::build(&refs);
+        let n = env.observation_size();
+        let k = batch.num_outputs();
+        let inputs: Vec<f64> = (0..LANES * n).map(|j| (j as f64).sin() * 0.5).collect();
+        let active = vec![true; LANES];
+        let mut values = vec![0.0; batch.value_buffer_slots()];
+        let mut outputs = vec![0.0; LANES * k];
+        // Sanity: the batched kernel agrees with the solo loop bit for
+        // bit before timing (fast-math off in benches).
+        batch.activate_batch_into(&inputs, &active, &mut values, &mut outputs);
+        let mut solo_values = Vec::new();
+        let mut solo_out = Vec::new();
+        for (b, plan) in plans.iter().enumerate() {
+            solo_values.resize(plan.value_buffer_slots(), 0.0);
+            plan.execute_into_buf(&inputs[b * n..(b + 1) * n], &mut solo_values, &mut solo_out);
+            assert_eq!(
+                solo_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                outputs[b * k..(b + 1) * k]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "batched kernel drifted from solo execution on {env} lane {b}"
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("solo_loop", env.name()),
+            &inputs,
+            |bch, x| {
+                bch.iter(|| {
+                    for (b, plan) in plans.iter().enumerate() {
+                        solo_values.resize(plan.value_buffer_slots(), 0.0);
+                        plan.execute_into_buf(
+                            black_box(&x[b * n..(b + 1) * n]),
+                            &mut solo_values,
+                            &mut solo_out,
+                        );
+                        black_box(solo_out.as_slice());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", env.name()),
+            &inputs,
+            |bch, x| {
+                bch.iter(|| {
+                    batch.activate_batch_into(black_box(x), &active, &mut values, &mut outputs);
+                    black_box(outputs.as_slice());
+                })
+            },
+        );
+        let half_parked: Vec<bool> = (0..LANES).map(|b| b % 2 == 0).collect();
+        group.bench_with_input(
+            BenchmarkId::new("batched_half_parked", env.name()),
+            &inputs,
+            |bch, x| {
+                bch.iter(|| {
+                    batch.activate_batch_into(
+                        black_box(x),
+                        &half_parked,
+                        &mut values,
+                        &mut outputs,
+                    );
+                    black_box(outputs.as_slice());
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build", env.name()),
+            &plans,
+            |bch, plans| {
+                bch.iter(|| {
+                    let refs: Vec<&NetPlan> = plans.iter().collect();
+                    black_box(PlanBatch::build(black_box(&refs)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

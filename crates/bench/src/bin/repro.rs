@@ -6,14 +6,17 @@
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation exec plan, plus `run` (a single
-//! evolve/evaluate run on one env/backend; `--threads N` shards the
-//! evaluation across N worker threads with bit-identical results).
+//! fig9b fig10a fig10b fig11 ablation exec plan batch, plus `run` (a
+//! single evolve/evaluate run on one env/backend; `--threads N` shards
+//! the evaluation across N worker threads with bit-identical results).
 //! `exec` sweeps the worker-thread count and writes the measured
 //! scaling to `BENCH_exec.json`; `plan` times the CSR `NetPlan`
 //! executor against the preserved per-node reference, re-checks
 //! threaded repro parity, and writes `BENCH_plan.json` (nonzero exit
-//! on parity failure). `--full` uses paper-scale
+//! on parity failure); `batch` times the population-major batched
+//! evaluation against the scalar path across thread counts, re-checks
+//! bitwise parity, and writes `BENCH_batch.json` (nonzero exit on
+//! parity failure). `--full` uses paper-scale
 //! parameters (population 200, full step budgets); the default quick
 //! scale finishes in seconds per experiment. `--svg DIR` additionally
 //! writes figure images for the sweep experiments. `--telemetry FILE`
@@ -32,8 +35,8 @@ use e3_bench::svg::{LineChart, Series};
 use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
 use e3_envs::EnvId;
 use e3_platform::experiments::{
-    ablation, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, plan, table4, table5,
-    Scale,
+    ablation, batch, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, plan, table4,
+    table5, Scale,
 };
 use e3_platform::telemetry::{Collector, MeteredCollector, NdjsonWriter, NullCollector, Tracer};
 use e3_platform::{BackendKind, CheckpointPolicy, E3Config, E3Platform, PowerModel};
@@ -498,6 +501,22 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 // the reference or the threaded repro changed fitness —
                 // fail loudly so CI catches it.
                 usage("plan executor parity FAILED (see BENCH_plan.json)");
+            }
+            emit!(result);
+        }
+        "batch" => {
+            let result = try_run!(batch::run(scale, seed));
+            let json = serde_json::to_string_pretty(&result).expect("bench results serialize");
+            if let Err(e) = std::fs::write("BENCH_batch.json", &json) {
+                eprintln!("warning: could not write BENCH_batch.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_batch.json");
+            }
+            if !result.parity_ok {
+                // The batched eval contract is bit-identity with the
+                // scalar serial path — a drift is a correctness bug,
+                // not a perf regression; fail loudly so CI catches it.
+                usage("batched evaluation parity FAILED (see BENCH_batch.json)");
             }
             emit!(result);
         }

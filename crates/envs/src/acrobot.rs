@@ -131,6 +131,11 @@ impl Environment for Acrobot {
         self.observation()
     }
 
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished (terminated or
+    /// truncated) without an intervening reset, or if the action is
+    /// not `Discrete(0..=2)`.
     fn step(&mut self, action: &Action) -> Step {
         assert!(!self.done, "acrobot: step() called on a finished episode");
         let torque = TORQUES[expect_discrete(action, 3, "acrobot")];

@@ -155,6 +155,11 @@ impl Environment for BipedalWalker {
         self.observation()
     }
 
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished (terminated or
+    /// truncated) without an intervening reset, or if the action is
+    /// not a four-dimensional `Continuous` torque vector.
     fn step(&mut self, action: &Action) -> Step {
         assert!(
             !self.done,

@@ -100,6 +100,32 @@ pub trait Environment {
     fn name(&self) -> &'static str;
 }
 
+impl<E: Environment + ?Sized> Environment for Box<E> {
+    fn observation_size(&self) -> usize {
+        (**self).observation_size()
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        (**self).action_space()
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        (**self).reset(seed)
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        (**self).step(action)
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        (**self).max_episode_steps()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Helper shared by implementations: validates and extracts a discrete
 /// action index.
 ///

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod acrobot;
+pub mod batch;
 pub mod bipedal_walker;
 pub mod cartpole;
 pub mod env;
@@ -44,11 +45,12 @@ pub mod suite;
 pub mod wrappers;
 
 pub use acrobot::Acrobot;
+pub use batch::{BatchEnv, ScalarBatch, StepBatch};
 pub use bipedal_walker::BipedalWalker;
-pub use cartpole::CartPole;
+pub use cartpole::{CartPole, CartPoleBatch};
 pub use env::{Action, ActionSpace, Environment, Step};
 pub use episode::{decode_action, run_episode, EpisodeResult, Policy};
-pub use lunar_lander::LunarLander;
+pub use lunar_lander::{LunarLander, LunarLanderBatch};
 pub use mountain_car::MountainCar;
 pub use pendulum::Pendulum;
 pub use pong::Pong;

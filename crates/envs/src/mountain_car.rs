@@ -72,6 +72,11 @@ impl Environment for MountainCar {
         vec![self.position, self.velocity]
     }
 
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished (terminated or
+    /// truncated) without an intervening reset, or if the action is
+    /// not `Discrete(0..=2)`.
     fn step(&mut self, action: &Action) -> Step {
         assert!(
             !self.done,

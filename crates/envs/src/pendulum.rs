@@ -86,6 +86,11 @@ impl Environment for Pendulum {
         self.observation()
     }
 
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished (truncated; this
+    /// environment never terminates) without an intervening reset, or
+    /// if the action is not a one-dimensional `Continuous` torque.
     fn step(&mut self, action: &Action) -> Step {
         assert!(!self.done, "pendulum: step() called on a finished episode");
         let u = expect_continuous(action, &[-MAX_TORQUE], &[MAX_TORQUE], "pendulum")[0];

@@ -114,6 +114,11 @@ impl Environment for Pong {
         self.observation()
     }
 
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished (terminated or
+    /// truncated) without an intervening reset, or if the action is
+    /// not `Discrete(0..=2)`.
     fn step(&mut self, action: &Action) -> Step {
         assert!(!self.done, "pong: step() called on a finished episode");
         let a = expect_discrete(action, 3, "pong");

@@ -3,7 +3,10 @@
 //! with their observation/action dimensions and required-fitness
 //! thresholds.
 
+use crate::batch::{BatchEnv, ScalarBatch};
+use crate::cartpole::CartPoleBatch;
 use crate::env::Environment;
+use crate::lunar_lander::LunarLanderBatch;
 use crate::{Acrobot, BipedalWalker, CartPole, LunarLander, MountainCar, Pendulum, Pong};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -63,6 +66,25 @@ impl EnvId {
             EnvId::LunarLander => Box::new(LunarLander::new()),
             EnvId::Pendulum => Box::new(Pendulum::new()),
             EnvId::Pong => Box::new(Pong::new()),
+        }
+    }
+
+    /// Instantiates a lockstep batch of `lanes` episodes.
+    ///
+    /// CartPole and LunarLander — the two scaling workloads — get
+    /// their hand-vectorized struct-of-arrays implementations; the
+    /// rest fall back to the generic [`ScalarBatch`] adapter. Either
+    /// way, every lane's trajectory is bit-identical to the scalar
+    /// [`EnvId::make`] environment given the same seed and actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn make_batch(self, lanes: usize) -> Box<dyn BatchEnv> {
+        match self {
+            EnvId::CartPole => Box::new(CartPoleBatch::new(lanes)),
+            EnvId::LunarLander => Box::new(LunarLanderBatch::new(lanes)),
+            other => Box::new(ScalarBatch::from_fn(lanes, |_| other.make())),
         }
     }
 
@@ -235,6 +257,19 @@ mod tests {
                 "{id} policy outputs"
             );
             assert_eq!(env.observation_size(), id.observation_size());
+        }
+    }
+
+    #[test]
+    fn make_batch_mirrors_scalar_metadata() {
+        for id in EnvId::ALL {
+            let env = id.make();
+            let batch = id.make_batch(3);
+            assert_eq!(batch.lanes(), 3);
+            assert_eq!(batch.observation_size(), env.observation_size(), "{id}");
+            assert_eq!(batch.action_space(), env.action_space(), "{id}");
+            assert_eq!(batch.max_episode_steps(), env.max_episode_steps(), "{id}");
+            assert_eq!(batch.name(), env.name(), "{id}");
         }
     }
 

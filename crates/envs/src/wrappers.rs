@@ -152,6 +152,7 @@ pub struct TimeLimit<E> {
     inner: E,
     limit: usize,
     steps: usize,
+    done: bool,
 }
 
 impl<E: Environment> TimeLimit<E> {
@@ -166,6 +167,7 @@ impl<E: Environment> TimeLimit<E> {
             inner,
             limit,
             steps: 0,
+            done: true,
         }
     }
 }
@@ -181,15 +183,29 @@ impl<E: Environment> Environment for TimeLimit<E> {
 
     fn reset(&mut self, seed: u64) -> Vec<f64> {
         self.steps = 0;
+        self.done = false;
         self.inner.reset(seed)
     }
 
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished — including after
+    /// the wrapper's *own* truncation, when the inner environment
+    /// would still accept steps. This keeps the uniform post-done
+    /// `step` contract of [`Environment::step`] intact under
+    /// wrapping.
     fn step(&mut self, action: &Action) -> Step {
+        assert!(
+            !self.done,
+            "{}: step() called on a finished episode (time limit)",
+            self.inner.name()
+        );
         let mut step = self.inner.step(action);
         self.steps += 1;
         if !step.terminated && self.steps >= self.limit {
             step.truncated = true;
         }
+        self.done = step.done();
         step
     }
 
@@ -274,5 +290,43 @@ mod tests {
             assert_eq!(s.truncated, i == 9, "truncate exactly at the new limit");
         }
         assert_eq!(env.max_episode_steps(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn time_limit_panics_after_its_own_truncation() {
+        // The inner pendulum would happily keep stepping (its own
+        // limit is 200); the wrapper must still enforce the uniform
+        // post-done panic contract after truncating at 5.
+        let mut env = TimeLimit::new(Pendulum::new(), 5);
+        env.reset(3);
+        for _ in 0..5 {
+            env.step(&Action::Continuous(vec![0.0]));
+        }
+        let _ = env.step(&Action::Continuous(vec![0.0]));
+    }
+
+    #[test]
+    fn time_limit_reset_clears_the_done_latch() {
+        let mut env = TimeLimit::new(Pendulum::new(), 2);
+        env.reset(1);
+        env.step(&Action::Continuous(vec![0.0]));
+        env.step(&Action::Continuous(vec![0.0]));
+        env.reset(1);
+        let s = env.step(&Action::Continuous(vec![0.0]));
+        assert!(!s.done());
+    }
+
+    #[test]
+    fn wrappers_propagate_inner_name() {
+        assert_eq!(
+            ObservationNoise::new(CartPole::new(), 0.1).name(),
+            "cartpole"
+        );
+        assert_eq!(ActionRepeat::new(Pendulum::new(), 2).name(), "pendulum");
+        assert_eq!(TimeLimit::new(CartPole::new(), 5).name(), "cartpole");
+        // Stacked wrappers still surface the innermost env's name.
+        let stacked = TimeLimit::new(ActionRepeat::new(CartPole::new(), 2), 5);
+        assert_eq!(stacked.name(), "cartpole");
     }
 }

@@ -65,6 +65,7 @@ pub mod innovation;
 pub mod lineage;
 pub mod network;
 pub mod plan;
+pub mod plan_batch;
 pub mod population;
 pub mod recurrent;
 pub mod reference;
@@ -82,6 +83,7 @@ pub use innovation::{Innovation, InnovationTracker};
 pub use lineage::SpeciesHistory;
 pub use network::Network;
 pub use plan::NetPlan;
+pub use plan_batch::PlanBatch;
 pub use population::{EvaluatedGenome, Population};
 pub use recurrent::RecurrentNetwork;
 pub use reference::ReferenceNetwork;

@@ -17,10 +17,10 @@
 //! which yields the type-erased [`AnyBackend`].
 
 use crate::timing::{GpuCostModel, SwCostModel};
-use e3_envs::{decode_action, EnvId, Environment};
+use e3_envs::{decode_action, Action, EnvId, Environment, StepBatch};
 use e3_exec::{AnyExecutor, ExecError, ExecStats, ExecStatsState, Executor};
 use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet, UtilizationBreakdown};
-use e3_neat::{DecodeError, Genome, Network};
+use e3_neat::{DecodeError, Genome, NetPlan, Network, PlanBatch};
 use e3_telemetry::Tracer;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -177,24 +177,29 @@ pub trait EvalBackend {
         episode_seed: u64,
     ) -> Result<EvalOutcome, EvalError>;
 
-    /// Panicking convenience wrapper around
-    /// [`EvalBackend::try_evaluate_population`], kept for source
-    /// compatibility with the pre-`Result` API.
+    /// Evaluates every genome through the population-major batched
+    /// pipeline where the backend supports it.
     ///
-    /// # Panics
+    /// The contract is strict: the returned [`EvalOutcome`] must be
+    /// **bit-identical** to [`EvalBackend::try_evaluate_population`]
+    /// on the same arguments (with the `fast-math` cargo feature off).
+    /// The default implementation simply delegates to the scalar path,
+    /// so backends without a batched kernel are automatically
+    /// conformant; the software backends (CPU, GPU) override it with
+    /// the [`e3_neat::PlanBatch`] + [`e3_envs::BatchEnv`] lockstep
+    /// kernel, which shards the population per-worker instead of
+    /// per-individual.
     ///
-    /// Panics if evaluation fails (e.g. a genome is not feed-forward).
-    #[deprecated(note = "use `try_evaluate_population` and handle `EvalError`")]
-    fn evaluate_population(
+    /// # Errors
+    ///
+    /// Same as [`EvalBackend::try_evaluate_population`].
+    fn try_evaluate_population_batched(
         &mut self,
         genomes: &[Genome],
         env: EnvId,
         episode_seed: u64,
-    ) -> EvalOutcome {
-        match self.try_evaluate_population(genomes, env, episode_seed) {
-            Ok(outcome) => outcome,
-            Err(err) => panic!("population evaluation failed: {err}"),
-        }
+    ) -> Result<EvalOutcome, EvalError> {
+        self.try_evaluate_population(genomes, env, episode_seed)
     }
 
     /// Takes (consumes) the executor statistics of the most recent
@@ -323,6 +328,140 @@ where
     Ok((rows, run.stats))
 }
 
+/// Shard size for **batched** software evaluation: one coarse shard per
+/// worker. Unlike the scalar path (which over-shards 4× for stealing),
+/// the batched kernel amortizes per-step overhead across its whole
+/// lane set, so bigger batches are strictly better and imbalance is
+/// absorbed by lane parking instead of work stealing. Depends only on
+/// the population size and worker count, never on timing.
+fn batch_shard_size(items: usize, workers: usize) -> usize {
+    items.div_ceil(workers.max(1)).max(1)
+}
+
+/// Evaluates every genome through the population-major batched
+/// pipeline: each shard packs its genomes' [`NetPlan`]s into one
+/// [`PlanBatch`], drives all lanes through a [`e3_envs::BatchEnv`] in
+/// lockstep, and parks lanes whose episodes finish early.
+///
+/// Bit-identical to [`run_software_population`] (with `fast-math`
+/// off): each lane's FP op order matches its solo execution, parked
+/// lanes contribute nothing, plans are priced identically to their
+/// decoded networks, and rows come back in population order.
+fn run_software_population_batched<C>(
+    exec: &mut AnyExecutor,
+    genomes: &[Genome],
+    env_id: EnvId,
+    episode_seed: u64,
+    tracer: Tracer,
+    cost: C,
+) -> Result<SoftwareRun, EvalError>
+where
+    C: Fn(&NetPlan) -> f64 + Send + Sync + 'static,
+{
+    let pop: Arc<[Genome]> = genomes.into();
+    let shard_size = batch_shard_size(genomes.len(), exec.workers());
+    let run = exec.run_shards(genomes.len(), shard_size, move |scratch, range| {
+        let mut shard_span = tracer.span("shard", "exec");
+        shard_span.arg("start", range.start as f64);
+        shard_span.arg("items", range.len() as f64);
+        let base = range.start;
+        // Decode every resident up front through the worker's plan
+        // cache. The cache hands out borrows tied to `&mut self`, so
+        // plans are cloned out before batching. On the first decode
+        // failure the shard still returns one row per item (the
+        // executor asserts that): an `Err` at the failing index and
+        // inert rows elsewhere — the index-ordered reduce below then
+        // surfaces the lowest-indexed failure, exactly like the
+        // scalar path.
+        let mut plans = Vec::with_capacity(range.len());
+        for i in range.clone() {
+            match scratch.cache().get_or_plan(&pop[i]) {
+                Ok(plan) => plans.push(plan.clone()),
+                Err(reason) => {
+                    return range
+                        .map(|j| -> SoftwareRow {
+                            if j == i {
+                                Err((i, reason.clone()))
+                            } else {
+                                Ok((0.0, 0, 0.0))
+                            }
+                        })
+                        .collect();
+                }
+            }
+        }
+        let lanes = plans.len();
+        let per_inference: Vec<f64> = plans.iter().map(&cost).collect();
+        let plan_refs: Vec<&NetPlan> = plans.iter().collect();
+        let batch = PlanBatch::build(&plan_refs);
+        let mut env = env_id.make_batch(lanes);
+        let space = env.action_space();
+        let mut sb = StepBatch::new(lanes, env.observation_size());
+        env.reset_batch(&vec![episode_seed; lanes], &mut sb);
+        let mut values = vec![0.0; batch.value_buffer_slots()];
+        let k = batch.num_outputs();
+        let mut outputs = vec![0.0; lanes * k];
+        let mut actions: Vec<Action> = vec![Action::Discrete(0); lanes];
+        let mut was_active = vec![false; lanes];
+        let mut fitness = vec![0.0f64; lanes];
+        let mut steps = vec![0u64; lanes];
+        // Lockstep episodes interleave, so their spans cannot nest
+        // lexically: one explicit timer per lane, finished when its
+        // episode parks (same convention as the INAX wave loop).
+        let mut episode_timers: Vec<Option<e3_telemetry::SpanTimer>> = (0..lanes)
+            .map(|b| {
+                let mut timer = tracer.start("episode", "env");
+                timer.arg("genome_index", (base + b) as f64);
+                Some(timer)
+            })
+            .collect();
+        while !sb.all_parked() {
+            batch.activate_batch_into(&sb.observations, &sb.active, &mut values, &mut outputs);
+            for b in 0..lanes {
+                if sb.active[b] {
+                    actions[b] = decode_action(&outputs[b * k..(b + 1) * k], &space);
+                    steps[b] += 1;
+                }
+            }
+            was_active.copy_from_slice(&sb.active);
+            env.step_batch(&actions, &mut sb);
+            for b in 0..lanes {
+                // Accumulate only lanes that actually stepped, so the
+                // sum is the exact FP sequence of the solo episode.
+                if was_active[b] {
+                    fitness[b] += sb.rewards[b];
+                    if !sb.active[b] {
+                        if let Some(mut timer) = episode_timers[b].take() {
+                            timer.arg("steps", steps[b] as f64);
+                            timer.finish();
+                        }
+                    }
+                }
+            }
+        }
+        (0..lanes)
+            .map(|b| Ok((fitness[b], steps[b], per_inference[b] * steps[b] as f64)))
+            .collect()
+    })?;
+    let mut rows = Vec::with_capacity(run.results.len());
+    for row in run.results {
+        match row {
+            Ok(values) => rows.push(values),
+            // Index-ordered scan: shards are contiguous ranges and
+            // each shard reports its lowest-indexed decode failure,
+            // so the first error seen here is the lowest-indexed one
+            // — the serial loop's first-failure semantics.
+            Err((genome_index, reason)) => {
+                return Err(EvalError::NotFeedForward {
+                    genome_index,
+                    reason,
+                })
+            }
+        }
+    }
+    Ok((rows, run.stats))
+}
+
 /// Reduces software rows into an [`EvalOutcome`], accumulating modeled
 /// seconds in population order (the serial summation order).
 fn reduce_software_rows(rows: Vec<(f64, u64, f64)>, sec_per_env_step: f64) -> EvalOutcome {
@@ -432,6 +571,25 @@ impl EvalBackend for CpuBackend {
         Ok(reduce_software_rows(rows, self.model.sec_per_env_step))
     }
 
+    fn try_evaluate_population_batched(
+        &mut self,
+        genomes: &[Genome],
+        env_id: EnvId,
+        episode_seed: u64,
+    ) -> Result<EvalOutcome, EvalError> {
+        let model = self.model;
+        let (rows, stats) = run_software_population_batched(
+            &mut self.exec,
+            genomes,
+            env_id,
+            episode_seed,
+            self.tracer.clone(),
+            move |plan| model.inference_seconds_plan(plan),
+        )?;
+        self.last_exec = Some(stats);
+        Ok(reduce_software_rows(rows, self.model.sec_per_env_step))
+    }
+
     fn take_exec_stats(&mut self) -> ExecStatsState {
         match self.last_exec.take() {
             Some(stats) => ExecStatsState::Ready(stats),
@@ -516,6 +674,25 @@ impl EvalBackend for GpuBackend {
             episode_seed,
             self.tracer.clone(),
             move |net| gpu.inference_seconds(net),
+        )?;
+        self.last_exec = Some(stats);
+        Ok(reduce_software_rows(rows, self.sw.sec_per_env_step))
+    }
+
+    fn try_evaluate_population_batched(
+        &mut self,
+        genomes: &[Genome],
+        env_id: EnvId,
+        episode_seed: u64,
+    ) -> Result<EvalOutcome, EvalError> {
+        let gpu = self.gpu;
+        let (rows, stats) = run_software_population_batched(
+            &mut self.exec,
+            genomes,
+            env_id,
+            episode_seed,
+            self.tracer.clone(),
+            move |plan| gpu.inference_seconds_plan(plan),
         )?;
         self.last_exec = Some(stats);
         Ok(reduce_software_rows(rows, self.sw.sec_per_env_step))
@@ -773,6 +950,21 @@ impl EvalBackend for AnyBackend {
             AnyBackend::Cpu(b) => b.try_evaluate_population(genomes, env, episode_seed),
             AnyBackend::Gpu(b) => b.try_evaluate_population(genomes, env, episode_seed),
             AnyBackend::Inax(b) => b.try_evaluate_population(genomes, env, episode_seed),
+        }
+    }
+
+    fn try_evaluate_population_batched(
+        &mut self,
+        genomes: &[Genome],
+        env: EnvId,
+        episode_seed: u64,
+    ) -> Result<EvalOutcome, EvalError> {
+        match self {
+            AnyBackend::Cpu(b) => b.try_evaluate_population_batched(genomes, env, episode_seed),
+            AnyBackend::Gpu(b) => b.try_evaluate_population_batched(genomes, env, episode_seed),
+            // INAX already batches onto the accelerator's PUs; the
+            // trait default routes it through its wave loop.
+            AnyBackend::Inax(b) => b.try_evaluate_population_batched(genomes, env, episode_seed),
         }
     }
 
@@ -1155,14 +1347,97 @@ mod tests {
         assert_eq!(a.fitnesses, b.fitnesses);
     }
 
+    #[cfg(not(feature = "fast-math"))]
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_still_evaluates() {
-        let pop = genomes(EnvId::CartPole, 4);
+    fn batched_eval_is_bit_identical_to_scalar() {
+        // Odd population sizes exercise shard remainders; 1/4/8
+        // threads exercise single-batch and multi-batch sharding.
+        for env in [EnvId::CartPole, EnvId::LunarLander, EnvId::Pendulum] {
+            let pop = genomes(env, 13);
+            for threads in [1usize, 4, 8] {
+                let mut scalar = CpuBackend::default();
+                let mut batched = CpuBackend::with_threads(SwCostModel::default(), threads);
+                let a = scalar
+                    .try_evaluate_population(&pop, env, 7)
+                    .expect("scalar eval succeeds");
+                let b = batched
+                    .try_evaluate_population_batched(&pop, env, 7)
+                    .expect("batched eval succeeds");
+                assert_eq!(
+                    a, b,
+                    "{env:?} batched@{threads} threads diverged from scalar"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fast-math"))]
+    #[test]
+    fn batched_gpu_pricing_matches_scalar_gpu() {
+        let pop = genomes(EnvId::CartPole, 9);
+        let mut scalar = GpuBackend::default();
+        let mut batched = GpuBackend::default();
+        let a = scalar
+            .try_evaluate_population(&pop, EnvId::CartPole, 11)
+            .expect("scalar eval succeeds");
+        let b = batched
+            .try_evaluate_population_batched(&pop, EnvId::CartPole, 11)
+            .expect("batched eval succeeds");
+        assert_eq!(a, b, "GPU cost model must price plans identically");
+    }
+
+    #[test]
+    fn batched_entry_point_works_on_every_backend_kind() {
+        let pop = genomes(EnvId::CartPole, 6);
+        for kind in BackendKind::ALL {
+            let mut scalar = kind.builder().build();
+            let mut batched = kind.builder().build();
+            let a = scalar
+                .try_evaluate_population(&pop, EnvId::CartPole, 7)
+                .expect("scalar eval succeeds");
+            let b = batched
+                .try_evaluate_population_batched(&pop, EnvId::CartPole, 7)
+                .expect("batched eval succeeds");
+            assert_eq!(a.fitnesses, b.fitnesses, "{kind} batched fitness diverged");
+            assert_eq!(a.steps_per_genome, b.steps_per_genome);
+        }
+    }
+
+    #[test]
+    fn batched_recurrent_genome_reports_lowest_index() {
+        let mut pop = genomes(EnvId::CartPole, 5);
+        pop[1] = make_cyclic(&pop[1]);
+        pop[3] = make_cyclic(&pop[3]);
+        for threads in [1usize, 4] {
+            let mut backend = CpuBackend::with_threads(SwCostModel::default(), threads);
+            let err = backend
+                .try_evaluate_population_batched(&pop, EnvId::CartPole, 7)
+                .expect_err("cyclic genome must be rejected");
+            match err {
+                EvalError::NotFeedForward { genome_index, .. } => {
+                    assert_eq!(genome_index, 1, "lowest-indexed failure wins")
+                }
+                other => panic!("expected NotFeedForward, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_eval_traces_shard_and_episode_spans() {
+        let pop = genomes(EnvId::CartPole, 6);
         let mut cpu = CpuBackend::default();
-        let a = cpu.evaluate_population(&pop, EnvId::CartPole, 7);
-        let b = eval(&mut cpu, &pop, EnvId::CartPole, 7);
-        assert_eq!(a.fitnesses, b.fitnesses);
+        let tracer = Tracer::enabled();
+        cpu.set_tracer(tracer.clone());
+        cpu.try_evaluate_population_batched(&pop, EnvId::CartPole, 3)
+            .expect("batched eval succeeds");
+        let spans = tracer.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"shard"), "shard spans recorded");
+        assert_eq!(
+            names.iter().filter(|n| **n == "episode").count(),
+            pop.len(),
+            "one episode span per genome"
+        );
     }
 
     /// Adds a recurrent self-loop on an output node, producing a

@@ -19,12 +19,14 @@
 //! | Fig. 10(a,b) (energy, FPGA utilization) | [`fig10`] |
 //! | Fig. 11 (INAX vs systolic array) | [`fig11`] |
 //!
-//! [`exec`] and [`plan`] are reproduction-specific: the host-side
-//! thread-scaling sweep of the `e3-exec` evaluation engine (a software
-//! Fig. 7) and the CSR `NetPlan` executor microbenchmark with its
-//! end-to-end repro parity re-check.
+//! [`exec`], [`plan`] and [`batch`] are reproduction-specific: the
+//! host-side thread-scaling sweep of the `e3-exec` evaluation engine
+//! (a software Fig. 7), the CSR `NetPlan` executor microbenchmark with
+//! its end-to-end repro parity re-check, and the population-major
+//! batched-evaluation throughput/parity sweep.
 
 pub mod ablation;
+pub mod batch;
 pub mod exec;
 pub mod fig10;
 pub mod fig11;

@@ -571,9 +571,14 @@ impl E3Platform {
         // identical trajectories) while exposing evolution to varied
         // start states — important for flat-reward tasks like
         // MountainCar where a single fixed condition stalls progress.
-        let outcome =
-            self.backend
-                .try_evaluate_population(&genomes, self.config.env, self.episode_seed)?;
+        // The batched entry point is bit-identical to the scalar one
+        // (software backends run the population-major kernel, INAX its
+        // wave loop), so the platform always takes it.
+        let outcome = self.backend.try_evaluate_population_batched(
+            &genomes,
+            self.config.env,
+            self.episode_seed,
+        )?;
         self.episode_seed = self.episode_seed.wrapping_add(1);
         self.profile.evaluate += outcome.eval_seconds;
         self.profile.env += outcome.env_seconds;

@@ -1,0 +1,142 @@
+//! The determinism contract of the batched evaluation API: for any
+//! backend, seed, environment, and worker-thread count,
+//! `try_evaluate_population_batched` is bit-identical to the scalar
+//! serial `try_evaluate_population` — same fitness vectors, same
+//! episode lengths, same modeled seconds. The population-major kernel
+//! (`PlanBatch` + `BatchEnv` lockstep stepping with lane parking) is a
+//! pure execution-layout change; results must never depend on batch
+//! composition or sharding.
+//!
+//! With the `fast-math` feature enabled the bit-exactness claim is
+//! forfeited by design, so these tests compile out.
+#![cfg(not(feature = "fast-math"))]
+
+use e3_envs::EnvId;
+use e3_neat::{Genome, NeatConfig, Population};
+use e3_platform::{
+    BackendKind, CpuBackend, E3Config, E3Platform, EvalBackend, EvalOutcome, GpuBackend,
+    SwCostModel,
+};
+use proptest::prelude::*;
+
+const ENVS: [EnvId; 3] = [EnvId::CartPole, EnvId::LunarLander, EnvId::Pendulum];
+const THREADS: [usize; 3] = [1, 4, 8];
+
+/// An evolved population (a few generations under a cheap structural
+/// fitness) so the batch packs heterogeneous topologies, not just the
+/// uniform generation-0 shapes.
+fn evolved_population(env: EnvId, size: usize, seed: u64, generations: usize) -> Vec<Genome> {
+    let config = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+        .population_size(size)
+        .build();
+    let mut pop = Population::new(config, seed);
+    for _ in 0..generations {
+        pop.evaluate(|g| (g.num_enabled_connections() + g.nodes().len()) as f64);
+        pop.evolve();
+    }
+    pop.genomes().to_vec()
+}
+
+fn assert_outcomes_bit_identical(a: &EvalOutcome, b: &EvalOutcome, what: &str) {
+    assert_eq!(a.fitnesses.len(), b.fitnesses.len(), "{what}: row count");
+    for (i, (x, y)) in a.fitnesses.iter().zip(&b.fitnesses).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: fitness {i}: {x} vs {y}");
+    }
+    assert_eq!(a.steps_per_genome, b.steps_per_genome, "{what}: steps");
+    assert_eq!(
+        a.eval_seconds.to_bits(),
+        b.eval_seconds.to_bits(),
+        "{what}: modeled eval seconds"
+    );
+    assert_eq!(
+        a.env_seconds.to_bits(),
+        b.env_seconds.to_bits(),
+        "{what}: modeled env seconds"
+    );
+    assert_eq!(a.total_steps, b.total_steps, "{what}: total steps");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// CPU backend: the batched kernel at 1/4/8 workers reproduces the
+    /// scalar serial evaluation bit for bit on heterogeneous evolved
+    /// populations, for arbitrary seeds and odd population sizes.
+    #[test]
+    fn cpu_batched_matches_scalar_serial(
+        seed in any::<u64>(),
+        pop_size in 5usize..20,
+        generations in 0usize..4,
+    ) {
+        for env in ENVS {
+            let genomes = evolved_population(env, pop_size, seed, generations);
+            let mut scalar = CpuBackend::new(SwCostModel::default());
+            let reference = scalar
+                .try_evaluate_population(&genomes, env, seed)
+                .expect("evolved populations are feed-forward");
+            for threads in THREADS {
+                let mut batched = CpuBackend::with_threads(SwCostModel::default(), threads);
+                let outcome = batched
+                    .try_evaluate_population_batched(&genomes, env, seed)
+                    .expect("batched eval succeeds");
+                assert_outcomes_bit_identical(
+                    &reference,
+                    &outcome,
+                    &format!("{env} batched@{threads}"),
+                );
+            }
+        }
+    }
+
+    /// GPU backend: same contract, with the launch-bound cost model
+    /// priced on plans instead of decoded networks.
+    #[test]
+    fn gpu_batched_matches_scalar_serial(
+        seed in any::<u64>(),
+        pop_size in 4usize..12,
+    ) {
+        let genomes = evolved_population(EnvId::CartPole, pop_size, seed, 2);
+        let mut scalar = GpuBackend::default();
+        let reference = scalar
+            .try_evaluate_population(&genomes, EnvId::CartPole, seed)
+            .expect("evolved populations are feed-forward");
+        let mut batched = GpuBackend::default();
+        let outcome = batched
+            .try_evaluate_population_batched(&genomes, EnvId::CartPole, seed)
+            .expect("batched eval succeeds");
+        assert_outcomes_bit_identical(&reference, &outcome, "gpu batched");
+    }
+}
+
+/// The whole platform loop — which now always calls the batched entry
+/// point — stays bit-identical across worker-thread counts on every
+/// backend kind, including INAX (whose batched default routes through
+/// its wave loop).
+#[test]
+fn platform_runs_are_thread_invariant_through_the_batched_path() {
+    for kind in BackendKind::ALL {
+        let mut reference = None;
+        for threads in THREADS {
+            let config = E3Config::builder(EnvId::CartPole)
+                .population_size(24)
+                .max_generations(3)
+                .threads(threads)
+                .build();
+            let outcome = E3Platform::new(config, kind, 11)
+                .run()
+                .expect("quick populations are feed-forward");
+            let key = (
+                outcome.best_fitness.to_bits(),
+                outcome.generations_run,
+                outcome.solved,
+            );
+            match reference {
+                None => reference = Some(key),
+                Some(want) => assert_eq!(
+                    key, want,
+                    "{kind} at {threads} threads diverged from serial"
+                ),
+            }
+        }
+    }
+}

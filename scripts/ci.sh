@@ -31,6 +31,23 @@ echo "== plan executor: parity vs legacy reference, threads 1 and 4 =="
 # differs. Results land in BENCH_plan.json.
 cargo run --release --offline -q -p e3-bench --bin repro -- plan >/dev/null
 
+echo "== batched eval: bitwise parity vs scalar serial, threads 1/4/8 =="
+# `repro batch` times the population-major batched kernel against the
+# scalar per-individual path across thread counts and exits nonzero if
+# any fitness or episode-length bit differs. Results land in
+# BENCH_batch.json.
+cargo run --release --offline -q -p e3-bench --bin repro -- batch >/dev/null
+
+echo "== fast-math: off by default, approximate kernel still in bounds =="
+# The fast-math feature forfeits batched/scalar bit-exactness, so it
+# must never be a default feature; the gated test suites then verify
+# the approximate kernel stays within its documented error envelope.
+if grep -Eq '^default *=.*fast-math' crates/neat/Cargo.toml crates/platform/Cargo.toml; then
+    echo "error: fast-math must not be a default cargo feature" >&2
+    exit 1
+fi
+cargo test -q --offline -p e3-neat --features fast-math
+
 echo "== observability: traced run exports valid artifacts =="
 # A short traced run must produce Perfetto-loadable trace JSON
 # (well-formed, non-empty, monotonic span end times) and a parseable
