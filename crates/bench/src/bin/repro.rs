@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation exec plan batch, plus `run` (a
+//! fig9b fig10a fig10b fig11 ablation exec plan batch islands, plus `run` (a
 //! single evolve/evaluate run on one env/backend; `--threads N` shards
 //! the evaluation across N worker threads with bit-identical results).
 //! `exec` sweeps the worker-thread count and writes the measured
@@ -16,7 +16,12 @@
 //! on parity failure); `batch` times the population-major batched
 //! evaluation against the scalar path across thread counts, re-checks
 //! bitwise parity, and writes `BENCH_batch.json` (nonzero exit on
-//! parity failure). `--full` uses paper-scale
+//! parity failure); `islands` sweeps the asynchronous archipelago
+//! over island counts and migration intervals, gates single-island
+//! parity against a plain run, determinism across driver counts and
+//! pickup orders, and the run-manager submit/stream/stop lifecycle,
+//! and writes `BENCH_islands.json` (nonzero exit on any gate
+//! failure). `--full` uses paper-scale
 //! parameters (population 200, full step budgets); the default quick
 //! scale finishes in seconds per experiment. `--svg DIR` additionally
 //! writes figure images for the sweep experiments. `--telemetry FILE`
@@ -501,6 +506,23 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 // the reference or the threaded repro changed fitness —
                 // fail loudly so CI catches it.
                 usage("plan executor parity FAILED (see BENCH_plan.json)");
+            }
+            emit!(result);
+        }
+        "islands" => {
+            let result = try_run!(e3_islands::bench::run(scale, seed));
+            let json = serde_json::to_string_pretty(&result).expect("bench results serialize");
+            if let Err(e) = std::fs::write("BENCH_islands.json", &json) {
+                eprintln!("warning: could not write BENCH_islands.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_islands.json");
+            }
+            if !result.parity_ok {
+                // A failed gate means the archipelago layer changed
+                // results (vs the plain platform, across schedules, or
+                // through the service boundary) — a correctness bug,
+                // so fail loudly for CI.
+                usage("islands parity/determinism/smoke FAILED (see BENCH_islands.json)");
             }
             emit!(result);
         }

@@ -220,7 +220,7 @@ impl Executor for SerialExecutor {
     }
 }
 
-/// An executor of either strategy behind one concrete type (enum
+/// An executor of any strategy behind one concrete type (enum
 /// dispatch, mirroring `AnyBackend`).
 #[derive(Debug)]
 pub enum AnyExecutor {
@@ -228,6 +228,9 @@ pub enum AnyExecutor {
     Serial(SerialExecutor),
     /// Persistent work-stealing pool.
     Pool(ThreadPoolExecutor),
+    /// A handle to a pool shared with other runs (multi-run
+    /// time-slicing; see [`crate::SharedExecutor`]).
+    Shared(crate::SharedExecutor),
 }
 
 impl AnyExecutor {
@@ -245,6 +248,18 @@ impl AnyExecutor {
             AnyExecutor::Pool(ThreadPoolExecutor::new(threads))
         }
     }
+
+    /// An executor for a sibling run: exclusive executors fork into a
+    /// *fresh* pool of the same width (worker pools are never shared
+    /// implicitly), while [`AnyExecutor::Shared`] forks into another
+    /// handle to the *same* pool — that sharing is the handle's whole
+    /// point.
+    pub fn fork(&self) -> Self {
+        match self {
+            AnyExecutor::Shared(e) => AnyExecutor::Shared(e.clone()),
+            other => AnyExecutor::new(other.workers()),
+        }
+    }
 }
 
 impl Executor for AnyExecutor {
@@ -252,6 +267,7 @@ impl Executor for AnyExecutor {
         match self {
             AnyExecutor::Serial(e) => e.workers(),
             AnyExecutor::Pool(e) => e.workers(),
+            AnyExecutor::Shared(e) => e.workers(),
         }
     }
 
@@ -268,6 +284,7 @@ impl Executor for AnyExecutor {
         match self {
             AnyExecutor::Serial(e) => e.run_shards(num_items, shard_size, task),
             AnyExecutor::Pool(e) => e.run_shards(num_items, shard_size, task),
+            AnyExecutor::Shared(e) => e.run_shards(num_items, shard_size, task),
         }
     }
 }

@@ -27,7 +27,9 @@
 //! calling thread) and [`ThreadPoolExecutor`] (a persistent
 //! work-stealing pool built on `crossbeam` deques/channels and
 //! `parking_lot`). [`AnyExecutor`] is the enum-dispatch wrapper the
-//! platform backends hold.
+//! platform backends hold, and [`SharedExecutor`] clones one pool
+//! into many concurrent runs (multi-run time-slicing for the islands
+//! service).
 //!
 //! Each worker keeps a [`DecodeCache`] of compiled `NetPlan`s so
 //! unchanged elites and champions skip genome→plan compilation across
@@ -40,6 +42,7 @@ mod cache;
 mod executor;
 mod pool;
 pub mod rng;
+mod shared;
 mod stats;
 
 pub use cache::{CacheCounters, DecodeCache};
@@ -47,4 +50,5 @@ pub use executor::{
     shard_plan, AnyExecutor, ExecError, Executor, SerialExecutor, ShardRun, WorkerScratch,
 };
 pub use pool::ThreadPoolExecutor;
+pub use shared::SharedExecutor;
 pub use stats::{ExecStats, ExecStatsState};

@@ -1,0 +1,170 @@
+//! One worker pool time-sliced across many concurrent runs.
+//!
+//! A long-running service hosts N runs (islands, experiments) at
+//! once, but spawning N thread pools would oversubscribe the machine
+//! N-fold. [`SharedExecutor`] is the multi-run answer: one underlying
+//! [`AnyExecutor`] behind an `Arc<Mutex<…>>`, cloned into every run's
+//! backend. Each `run_shards` call acquires the pool for exactly one
+//! population evaluation, so concurrent runs interleave at evaluation
+//! granularity — while one run's evaluation occupies the pool, other
+//! runs' evolve phases proceed on their own scheduler threads, which
+//! is precisely the evolve/evaluate overlap of CLAN-style
+//! asynchronous neuroevolution.
+//!
+//! Sharing never affects results: the determinism contract of
+//! [`Executor`] is per-call (index-ordered reduction, no cross-call
+//! state that can change values), so interleaving calls from many
+//! runs leaves every run's results bit-identical to running alone.
+//! Only the [`crate::stats::ExecStats`] — wall times, steal counts —
+//! reflect contention.
+
+use crate::executor::{AnyExecutor, ExecError, Executor, ShardRun, WorkerScratch};
+use parking_lot::Mutex;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cloneable handle to one executor shared by many runs.
+///
+/// ```
+/// use e3_exec::{Executor, SharedExecutor};
+///
+/// let shared = SharedExecutor::new(2);
+/// let mut a = shared.clone();
+/// let mut b = shared;
+/// let ra = a.run_shards(4, 2, |_, r| r.map(|i| i * 10).collect::<Vec<_>>()).unwrap();
+/// let rb = b.run_shards(4, 2, |_, r| r.map(|i| i + 1).collect::<Vec<_>>()).unwrap();
+/// assert_eq!(ra.results, vec![0, 10, 20, 30]);
+/// assert_eq!(rb.results, vec![1, 2, 3, 4]);
+/// ```
+#[derive(Clone)]
+pub struct SharedExecutor {
+    inner: Arc<Mutex<AnyExecutor>>,
+    workers: usize,
+}
+
+impl SharedExecutor {
+    /// Creates a shared pool with `threads` workers (serial for 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        SharedExecutor::from_executor(AnyExecutor::new(threads))
+    }
+
+    /// Wraps an existing executor for sharing.
+    pub fn from_executor(exec: AnyExecutor) -> Self {
+        let workers = exec.workers();
+        SharedExecutor {
+            inner: Arc::new(Mutex::new(exec)),
+            workers,
+        }
+    }
+
+    /// How many runs currently hold a handle to this pool (including
+    /// this one). Observability only.
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl fmt::Debug for SharedExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedExecutor")
+            .field("workers", &self.workers)
+            .field("handles", &self.handles())
+            .finish()
+    }
+}
+
+impl Executor for SharedExecutor {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run_shards<T, F>(
+        &mut self,
+        num_items: usize,
+        shard_size: usize,
+        task: F,
+    ) -> Result<ShardRun<T>, ExecError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut WorkerScratch, Range<usize>) -> Vec<T> + Send + Sync + 'static,
+    {
+        // Hold the pool for the whole call: one population evaluation
+        // is the time-slicing quantum.
+        self.inner.lock().run_shards(num_items, shard_size, task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_results_match_exclusive_results() {
+        let mut exclusive = AnyExecutor::new(2);
+        let mut shared = SharedExecutor::new(2);
+        let expected = exclusive
+            .run_shards(17, 4, |_, r| r.map(|i| i * 3 + 1).collect::<Vec<_>>())
+            .unwrap();
+        let got = shared
+            .run_shards(17, 4, |_, r| r.map(|i| i * 3 + 1).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(expected.results, got.results);
+        assert_eq!(shared.workers(), 2);
+    }
+
+    #[test]
+    fn interleaved_runs_stay_independent() {
+        // Two "runs" alternate calls on one pool; each sees exactly
+        // its own results, bit-identical to running alone.
+        let shared = SharedExecutor::new(2);
+        let mut run_a = shared.clone();
+        let mut run_b = shared.clone();
+        assert!(shared.handles() >= 3);
+        for step in 0..4u64 {
+            let a = run_a
+                .run_shards(8, 2, move |_, r| {
+                    r.map(|i| i as u64 * 100 + step).collect::<Vec<_>>()
+                })
+                .unwrap();
+            let b = run_b
+                .run_shards(8, 2, move |_, r| {
+                    r.map(|i| i as u64 + 1000 * step).collect::<Vec<_>>()
+                })
+                .unwrap();
+            assert_eq!(
+                a.results,
+                (0..8).map(|i| i * 100 + step).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                b.results,
+                (0..8).map(|i| i + 1000 * step).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_pool_is_send_across_threads() {
+        let shared = SharedExecutor::new(2);
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let mut exec = shared.clone();
+                std::thread::spawn(move || {
+                    exec.run_shards(10, 3, move |_, r| {
+                        r.map(|i| i as u64 * (t + 1)).collect::<Vec<_>>()
+                    })
+                    .unwrap()
+                    .results
+                })
+            })
+            .collect();
+        for (t, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().unwrap();
+            assert_eq!(got, (0..10).map(|i| i * (t as u64 + 1)).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The `repro islands` experiment: archipelago scaling sweep plus the
+//! correctness gates CI enforces.
+//!
+//! Three gates ride along with the sweep, and all must hold for
+//! [`IslandsBenchResult::parity_ok`]:
+//!
+//! * **single-island parity** — a 1-island archipelago is bit-identical
+//!   to a plain [`E3Platform`] run of the same config and seed (the
+//!   archipelago layer adds nothing but scheduling);
+//! * **determinism** — rerunning a multi-island config with different
+//!   driver counts and pickup orders reproduces every island's final
+//!   population bit for bit;
+//! * **service smoke** — the [`RunManager`] lifecycle works end to
+//!   end: submit, stream at least one island record, stop gracefully,
+//!   and the best genome is retrievable.
+
+use crate::config::IslandsConfig;
+use crate::scheduler::{population_fingerprint, run_islands, Pickup, RunOptions, SharedCollector};
+use crate::service::{RunManager, RunStatus, SubmitOptions};
+use e3_envs::EnvId;
+use e3_platform::experiments::Scale;
+use e3_platform::{BackendKind, E3Config, E3Platform, RunError};
+use e3_telemetry::TelemetryEvent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Island counts the sweep visits.
+pub const ISLAND_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Migration intervals the sweep visits (multi-island points only).
+pub const INTERVAL_SWEEP: [usize; 2] = [2, 5];
+
+/// One `(islands, migration interval)` measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandsBenchRow {
+    /// Number of islands.
+    pub islands: usize,
+    /// Migration interval `K` (generations between exchanges).
+    pub migration_interval: usize,
+    /// Migration merges performed across the run.
+    pub migrations: usize,
+    /// Best fitness over all islands.
+    pub best_fitness: f64,
+    /// Generations completed, summed over islands.
+    pub total_generations: usize,
+    /// Measured wall-clock seconds for the whole archipelago.
+    pub wall_seconds: f64,
+    /// Per-island final-population fingerprints (island-indexed) —
+    /// what the determinism gate compares.
+    pub population_fingerprints: Vec<u64>,
+}
+
+/// The sweep result plus the gate verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandsBenchResult {
+    /// Environment the sweep ran on.
+    pub env: EnvId,
+    /// One row per sweep point.
+    pub rows: Vec<IslandsBenchRow>,
+    /// A 1-island archipelago matched a plain platform run bit for bit.
+    pub single_island_parity_ok: bool,
+    /// Re-running with different drivers/pickup reproduced every
+    /// fingerprint.
+    pub determinism_ok: bool,
+    /// The run-manager submit/stream/stop lifecycle worked.
+    pub service_smoke_ok: bool,
+    /// All of the above.
+    pub parity_ok: bool,
+}
+
+fn base_config(env: EnvId, scale: Scale, threads: usize) -> E3Config {
+    E3Config::builder(env)
+        .population_size(scale.population())
+        .max_generations(scale.max_generations())
+        // Fixed-generation workload: every sweep point runs the same
+        // number of generations, so rows are comparable.
+        .target_fitness(f64::INFINITY)
+        .threads(threads)
+        .build()
+}
+
+fn sweep_config(
+    env: EnvId,
+    scale: Scale,
+    islands: usize,
+    interval: usize,
+    seed: u64,
+) -> IslandsConfig {
+    IslandsConfig::builder(base_config(env, scale, 2))
+        .backend(BackendKind::Cpu)
+        .islands(islands)
+        .migration_interval(interval)
+        .emigrants(2)
+        .seed(seed)
+        .build()
+}
+
+/// Runs the sweep and the gates on CartPole (the cheapest episode —
+/// the sweep measures scheduling, not environment cost).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any archipelago run fails.
+pub fn run(scale: Scale, seed: u64) -> Result<IslandsBenchResult, RunError> {
+    let env = EnvId::CartPole;
+    let mut rows = Vec::new();
+    for islands in ISLAND_SWEEP {
+        let intervals: &[usize] = if islands == 1 {
+            &[INTERVAL_SWEEP[0]]
+        } else {
+            &INTERVAL_SWEEP
+        };
+        for &interval in intervals {
+            let config = sweep_config(env, scale, islands, interval, seed);
+            let start = Instant::now();
+            let outcome = run_islands(
+                config,
+                &RunOptions::with_drivers(islands.min(2)),
+                &SharedCollector::null(),
+            )?;
+            let wall_seconds = start.elapsed().as_secs_f64();
+            rows.push(IslandsBenchRow {
+                islands,
+                migration_interval: interval,
+                migrations: outcome.migrations,
+                best_fitness: outcome
+                    .best
+                    .as_ref()
+                    .map_or(f64::NEG_INFINITY, |(_, b)| b.fitness),
+                total_generations: outcome.islands.iter().map(|i| i.generations_run).sum(),
+                wall_seconds,
+                population_fingerprints: outcome
+                    .islands
+                    .iter()
+                    .map(|i| i.population_fingerprint)
+                    .collect(),
+            });
+        }
+    }
+
+    let single_island_parity_ok = single_island_parity(env, scale, seed)?;
+    let determinism_ok = determinism(env, scale, seed)?;
+    let service_smoke_ok = service_smoke(env, scale, seed)?;
+
+    Ok(IslandsBenchResult {
+        env,
+        rows,
+        single_island_parity_ok,
+        determinism_ok,
+        service_smoke_ok,
+        parity_ok: single_island_parity_ok && determinism_ok && service_smoke_ok,
+    })
+}
+
+/// Gate 1: `islands(1)` ≡ plain `E3Platform`, fingerprint and fitness.
+fn single_island_parity(env: EnvId, scale: Scale, seed: u64) -> Result<bool, RunError> {
+    let outcome = run_islands(
+        sweep_config(env, scale, 1, INTERVAL_SWEEP[0], seed),
+        &RunOptions::with_drivers(1),
+        &SharedCollector::null(),
+    )?;
+    let mut plain = E3Platform::new(base_config(env, scale, 2), BackendKind::Cpu, seed);
+    for _ in 0..scale.max_generations() {
+        plain.step_generation()?;
+    }
+    let plain_fp = population_fingerprint(plain.population());
+    let plain_best = plain
+        .population()
+        .best()
+        .map_or(f64::NEG_INFINITY, |b| b.fitness);
+    let island = &outcome.islands[0];
+    Ok(island.population_fingerprint == plain_fp && island.best_fitness == plain_best)
+}
+
+/// Gate 2: fingerprints are invariant under drivers × pickup.
+fn determinism(env: EnvId, scale: Scale, seed: u64) -> Result<bool, RunError> {
+    let config = || sweep_config(env, scale, 2, INTERVAL_SWEEP[0], seed);
+    let reference = run_islands(
+        config(),
+        &RunOptions::with_drivers(1),
+        &SharedCollector::null(),
+    )?;
+    let fps = |o: &crate::scheduler::ArchipelagoOutcome| {
+        o.islands
+            .iter()
+            .map(|i| i.population_fingerprint)
+            .collect::<Vec<u64>>()
+    };
+    for (drivers, pickup) in [(2, Pickup::Fifo), (2, Pickup::Lifo)] {
+        let outcome = run_islands(
+            config(),
+            &RunOptions {
+                drivers,
+                pickup,
+                stop: None,
+            },
+            &SharedCollector::null(),
+        )?;
+        if fps(&outcome) != fps(&reference) || outcome.migrations != reference.migrations {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Gate 3: the daemon lifecycle — submit, stream one island record,
+/// graceful stop, best genome retrievable.
+fn service_smoke(env: EnvId, scale: Scale, seed: u64) -> Result<bool, RunError> {
+    // A long generation budget so the stop, not the cap, ends the run.
+    let base = E3Config::builder(env)
+        .population_size(scale.population())
+        .max_generations(10_000)
+        .target_fitness(f64::INFINITY)
+        .threads(2)
+        .build();
+    let config = IslandsConfig::builder(base)
+        .islands(2)
+        .migration_interval(2)
+        .seed(seed)
+        .build();
+    let mut manager = RunManager::new();
+    let id = manager.submit(config, SubmitOptions::default())?;
+    let Some(stream) = manager.subscribe(id) else {
+        return Ok(false);
+    };
+    let deadline = std::time::Duration::from_secs(120);
+    let start = Instant::now();
+    let mut saw_island_record = false;
+    while start.elapsed() < deadline {
+        match stream.recv_timeout(deadline) {
+            Ok(TelemetryEvent::Island(_)) => {
+                saw_island_record = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let stopped = match manager.stop(id) {
+        Some(Ok(outcome)) => !outcome.completed,
+        _ => false,
+    };
+    let status_ok = manager.status(id) == Some(RunStatus::Stopped);
+    let best_ok = manager.best(id).is_some();
+    Ok(saw_island_record && stopped && status_ok && best_ok)
+}
+
+impl fmt::Display for IslandsBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Island scaling on {} (per-island population x generations fixed):",
+            self.env
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>9} {:>11} {:>11} {:>11} {:>10}",
+            "islands", "K", "migrations", "best", "total gens", "wall s"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>9} {:>11} {:>11.2} {:>11} {:>10.3}",
+                row.islands,
+                row.migration_interval,
+                row.migrations,
+                row.best_fitness,
+                row.total_generations,
+                row.wall_seconds
+            )?;
+        }
+        writeln!(
+            f,
+            "single-island parity: {}",
+            if self.single_island_parity_ok {
+                "OK"
+            } else {
+                "FAILED"
+            }
+        )?;
+        writeln!(
+            f,
+            "determinism (drivers x pickup): {}",
+            if self.determinism_ok { "OK" } else { "FAILED" }
+        )?;
+        writeln!(
+            f,
+            "service smoke (submit/stream/stop): {}",
+            if self.service_smoke_ok {
+                "OK"
+            } else {
+                "FAILED"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_passes_every_gate() {
+        let result = run(Scale::Quick, 42).expect("bench runs");
+        assert!(result.single_island_parity_ok, "single-island parity");
+        assert!(result.determinism_ok, "determinism gate");
+        assert!(result.service_smoke_ok, "service smoke");
+        assert!(result.parity_ok);
+        assert_eq!(result.rows.len(), 1 + 2 * (ISLAND_SWEEP.len() - 1));
+        let solo = &result.rows[0];
+        assert_eq!(solo.migrations, 0);
+        assert!(result.rows[1..].iter().all(|r| r.migrations > 0));
+    }
+}

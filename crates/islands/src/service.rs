@@ -1,0 +1,335 @@
+//! The island-evolution run manager: a service boundary over the
+//! archipelago scheduler.
+//!
+//! A [`RunManager`] owns background runs. The lifecycle is:
+//!
+//! 1. [`RunManager::submit`] a config — the archipelago is built (or
+//!    resumed from its checkpoint directory) and starts evolving on a
+//!    background thread; you get a [`RunId`] back.
+//! 2. Stream telemetry: [`RunManager::subscribe`] hands out an
+//!    `mpsc::Receiver<TelemetryEvent>` fed live; with
+//!    [`SubmitOptions::ndjson`] the same stream is also appended to an
+//!    NDJSON file, flushed per record, so `tail -f` works while the
+//!    daemon runs.
+//! 3. Poll [`RunManager::status`] / [`RunManager::best`] for live
+//!    progress without blocking.
+//! 4. [`RunManager::stop`] for a graceful shutdown (islands finish the
+//!    generation in hand; checkpoints and migration sidecars make the
+//!    next submit resume bit-identically), or [`RunManager::join`] to
+//!    wait for completion. Both return the [`ArchipelagoOutcome`].
+//!
+//! The manager is deliberately transport-free: it *is* the daemon's
+//! core, and a network front-end (HTTP, gRPC, a Unix socket) would be
+//! a thin codec over these five calls.
+
+use crate::config::IslandsConfig;
+use crate::scheduler::{
+    Archipelago, ArchipelagoOutcome, Pickup, Progress, RunOptions, SharedCollector,
+};
+use e3_neat::population::EvaluatedGenome;
+use e3_platform::RunError;
+use e3_telemetry::{Collector, NdjsonWriter, TelemetryError, TelemetryEvent};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Handle to a submitted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunId(u64);
+
+impl std::fmt::Display for RunId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run-{:04}", self.0)
+    }
+}
+
+/// Where a run currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// Islands are evolving.
+    Running,
+    /// Every island retired; the outcome is available via
+    /// [`RunManager::join`].
+    Finished,
+    /// A graceful stop ended the run before every island retired.
+    Stopped,
+    /// An island failed; the message is the [`RunError`] display.
+    Failed(String),
+}
+
+/// Per-submit execution knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Driver threads (see [`RunOptions::drivers`]).
+    pub drivers: usize,
+    /// Queue discipline (wall-clock only, never results).
+    pub pickup: Pickup,
+    /// Append every telemetry record to this NDJSON file, flushed per
+    /// record for live tailing.
+    pub ndjson: Option<String>,
+}
+
+/// A collector that fans each event out to an optional NDJSON file and
+/// every live subscriber channel. Disconnected subscribers are dropped
+/// silently; a file write error fails the run.
+struct FanOut {
+    ndjson: Option<NdjsonWriter<BufWriter<File>>>,
+    subscribers: Arc<Mutex<Vec<mpsc::Sender<TelemetryEvent>>>>,
+}
+
+impl Collector for FanOut {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        if let Some(file) = &mut self.ndjson {
+            file.record(event)?;
+        }
+        let mut subscribers = self.subscribers.lock().expect("subscriber lock");
+        subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), TelemetryError> {
+        if let Some(file) = &mut self.ndjson {
+            file.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// One background run.
+struct RunHandle {
+    stop: Arc<AtomicBool>,
+    progress: Arc<Progress>,
+    subscribers: Arc<Mutex<Vec<mpsc::Sender<TelemetryEvent>>>>,
+    status: Arc<Mutex<RunStatus>>,
+    worker: Option<JoinHandle<Result<ArchipelagoOutcome, RunError>>>,
+}
+
+/// Owns and supervises island-evolution runs. See the module docs for
+/// the lifecycle.
+#[derive(Default)]
+pub struct RunManager {
+    runs: HashMap<RunId, RunHandle>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for RunManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunManager")
+            .field("runs", &self.runs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunManager {
+    /// A manager with no runs.
+    pub fn new() -> Self {
+        RunManager::default()
+    }
+
+    /// Builds the archipelago (resuming any checkpoints under the
+    /// configured directory) and starts it on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] if the archipelago cannot be built — a corrupt
+    /// store, a namespace bound to a different island, or an NDJSON
+    /// path that cannot be opened. Failures *after* submit surface
+    /// through [`RunManager::status`] and [`RunManager::join`].
+    pub fn submit(
+        &mut self,
+        config: IslandsConfig,
+        opts: SubmitOptions,
+    ) -> Result<RunId, RunError> {
+        let archipelago = Archipelago::new(config)?;
+        let ndjson = match &opts.ndjson {
+            Some(path) => Some(NdjsonWriter::create(path).map_err(RunError::Telemetry)?),
+            None => None,
+        };
+        let id = RunId(self.next_id);
+        self.next_id += 1;
+        let stop = Arc::new(AtomicBool::new(false));
+        let progress = archipelago.progress();
+        let subscribers: Arc<Mutex<Vec<mpsc::Sender<TelemetryEvent>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let status = Arc::new(Mutex::new(RunStatus::Running));
+        let run_opts = RunOptions {
+            drivers: opts.drivers,
+            pickup: opts.pickup,
+            stop: Some(Arc::clone(&stop)),
+        };
+        let collector = SharedCollector::new(FanOut {
+            ndjson,
+            subscribers: Arc::clone(&subscribers),
+        });
+        let worker_status = Arc::clone(&status);
+        let worker = std::thread::spawn(move || {
+            let result = archipelago.run(&run_opts, &collector);
+            let mut status = worker_status.lock().expect("status lock");
+            *status = match &result {
+                Ok(outcome) if outcome.completed => RunStatus::Finished,
+                Ok(_) => RunStatus::Stopped,
+                Err(err) => RunStatus::Failed(err.to_string()),
+            };
+            result
+        });
+        self.runs.insert(
+            id,
+            RunHandle {
+                stop,
+                progress,
+                subscribers,
+                status,
+                worker: Some(worker),
+            },
+        );
+        Ok(id)
+    }
+
+    /// The run's current status, or `None` for an unknown id.
+    pub fn status(&self, id: RunId) -> Option<RunStatus> {
+        self.runs
+            .get(&id)
+            .map(|run| run.status.lock().expect("status lock").clone())
+    }
+
+    /// Subscribes to the run's live telemetry stream. Events recorded
+    /// after this call arrive on the receiver; the channel closes when
+    /// the run ends.
+    pub fn subscribe(&self, id: RunId) -> Option<mpsc::Receiver<TelemetryEvent>> {
+        let run = self.runs.get(&id)?;
+        let (tx, rx) = mpsc::channel();
+        run.subscribers.lock().expect("subscriber lock").push(tx);
+        Some(rx)
+    }
+
+    /// The best individual seen so far and its home island — safe to
+    /// poll while the run is in flight.
+    pub fn best(&self, id: RunId) -> Option<(usize, EvaluatedGenome)> {
+        self.runs.get(&id)?.progress.best()
+    }
+
+    /// Total generations completed across all islands so far.
+    pub fn generations(&self, id: RunId) -> Option<usize> {
+        self.runs.get(&id).map(|run| run.progress.generations())
+    }
+
+    /// Requests a graceful stop and waits for the drivers to drain:
+    /// islands finish the generation in hand, checkpoints and
+    /// migration sidecars stay consistent, and resubmitting the same
+    /// config resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// The run's [`RunError`] if it had already failed.
+    pub fn stop(&mut self, id: RunId) -> Option<Result<ArchipelagoOutcome, RunError>> {
+        let run = self.runs.get_mut(&id)?;
+        run.stop.store(true, Ordering::Relaxed);
+        Self::finish(run)
+    }
+
+    /// Waits for the run to finish on its own.
+    ///
+    /// # Errors
+    ///
+    /// The run's [`RunError`] if any island failed.
+    pub fn join(&mut self, id: RunId) -> Option<Result<ArchipelagoOutcome, RunError>> {
+        Self::finish(self.runs.get_mut(&id)?)
+    }
+
+    /// Ids of all runs the manager knows, submission-ordered.
+    pub fn runs(&self) -> Vec<RunId> {
+        let mut ids: Vec<RunId> = self.runs.keys().copied().collect();
+        ids.sort_by_key(|id| id.0);
+        ids
+    }
+
+    fn finish(run: &mut RunHandle) -> Option<Result<ArchipelagoOutcome, RunError>> {
+        let worker = run.worker.take()?;
+        let result = worker.join().expect("archipelago thread panicked");
+        // Drop the senders so subscriber receivers see the end of
+        // stream.
+        run.subscribers.lock().expect("subscriber lock").clear();
+        Some(result)
+    }
+}
+
+impl Drop for RunManager {
+    /// Stops every still-running archipelago gracefully.
+    fn drop(&mut self) {
+        for run in self.runs.values_mut() {
+            run.stop.store(true, Ordering::Relaxed);
+            if let Some(worker) = run.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_envs::EnvId;
+    use e3_platform::E3Config;
+
+    fn config(max_generations: usize) -> IslandsConfig {
+        let base = E3Config::builder(EnvId::CartPole)
+            .population_size(16)
+            .max_generations(max_generations)
+            .target_fitness(f64::INFINITY)
+            .build();
+        IslandsConfig::builder(base)
+            .islands(2)
+            .migration_interval(2)
+            .build()
+    }
+
+    #[test]
+    fn submit_stream_join_lifecycle() {
+        let mut manager = RunManager::new();
+        let id = manager.submit(config(4), SubmitOptions::default()).unwrap();
+        let stream = manager.subscribe(id).expect("known run");
+        let outcome = manager.join(id).expect("known run").expect("clean run");
+        assert!(outcome.completed);
+        assert_eq!(manager.status(id), Some(RunStatus::Finished));
+        let events: Vec<TelemetryEvent> = stream.try_iter().collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TelemetryEvent::Island(_))),
+            "stream must carry island records"
+        );
+        assert!(manager.best(id).is_some());
+        // The channel is closed after join.
+        assert!(stream.recv().is_err());
+    }
+
+    #[test]
+    fn stop_is_graceful_and_reports_partial_progress() {
+        let mut manager = RunManager::new();
+        let id = manager
+            .submit(config(500), SubmitOptions::default())
+            .unwrap();
+        let stream = manager.subscribe(id).expect("known run");
+        // Wait for evidence of live progress before stopping.
+        let first = stream
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("some record arrives");
+        drop(first);
+        let outcome = manager.stop(id).expect("known run").expect("clean stop");
+        assert!(!outcome.completed);
+        assert_eq!(manager.status(id), Some(RunStatus::Stopped));
+    }
+
+    #[test]
+    fn unknown_runs_are_none() {
+        let mut manager = RunManager::new();
+        let ghost = RunId(99);
+        assert!(manager.status(ghost).is_none());
+        assert!(manager.subscribe(ghost).is_none());
+        assert!(manager.best(ghost).is_none());
+        assert!(manager.join(ghost).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! The archipelago determinism contract, property-tested.
+//!
+//! Final populations must be bit-identical for a fixed
+//! [`IslandsConfig`] across every wall-clock knob: worker-pool width,
+//! driver-thread count, and queue discipline (which together decide
+//! how evolve and evaluate phases of different islands interleave).
+
+use e3_envs::EnvId;
+use e3_islands::{run_islands, IslandsConfig, Pickup, RunOptions, SharedCollector, Topology};
+use e3_platform::E3Config;
+use proptest::prelude::*;
+
+fn config(
+    threads: usize,
+    islands: usize,
+    interval: usize,
+    topology: Topology,
+    seed: u64,
+) -> IslandsConfig {
+    let base = E3Config::builder(EnvId::CartPole)
+        .population_size(12)
+        .max_generations(5)
+        .target_fitness(f64::INFINITY)
+        .threads(threads)
+        .build();
+    IslandsConfig::builder(base)
+        .islands(islands)
+        .topology(topology)
+        .migration_interval(interval)
+        .emigrants(1)
+        .seed(seed)
+        .build()
+}
+
+fn signature(outcome: &e3_islands::ArchipelagoOutcome) -> (Vec<u64>, Vec<f64>, usize) {
+    (
+        outcome
+            .islands
+            .iter()
+            .map(|i| i.population_fingerprint)
+            .collect(),
+        outcome.islands.iter().map(|i| i.best_fitness).collect(),
+        outcome.migrations,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sweeps the archipelago shape AND the execution knobs: the
+    /// serial reference (1 worker, 1 driver, FIFO) must match a run
+    /// with arbitrary workers, drivers, and pickup order bit for bit.
+    #[test]
+    fn results_are_a_pure_function_of_the_config(
+        islands in 1usize..=3,
+        interval in 1usize..=3,
+        ring in any::<bool>(),
+        seed in 0u64..1000,
+        threads in 1usize..=4,
+        drivers in 1usize..=4,
+        lifo in any::<bool>(),
+    ) {
+        let topology = if ring { Topology::Ring } else { Topology::FullyConnected };
+        let reference = run_islands(
+            config(1, islands, interval, topology, seed),
+            &RunOptions::with_drivers(1),
+            &SharedCollector::null(),
+        )
+        .unwrap();
+        let opts = RunOptions {
+            drivers,
+            pickup: if lifo { Pickup::Lifo } else { Pickup::Fifo },
+            stop: None,
+        };
+        let outcome = run_islands(
+            config(threads, islands, interval, topology, seed),
+            &opts,
+            &SharedCollector::null(),
+        )
+        .unwrap();
+        prop_assert!(reference.completed && outcome.completed);
+        prop_assert_eq!(signature(&outcome), signature(&reference));
+    }
+}
+
+/// The adversarial interleaving, deterministic and always run: LIFO
+/// pickup with more drivers than islands and a wide pool, against the
+/// fully serial reference.
+#[test]
+fn lifo_oversubscribed_matches_serial_reference() {
+    for seed in [0u64, 7, 42] {
+        let reference = run_islands(
+            config(1, 3, 2, Topology::Ring, seed),
+            &RunOptions::with_drivers(1),
+            &SharedCollector::null(),
+        )
+        .unwrap();
+        let outcome = run_islands(
+            config(4, 3, 2, Topology::Ring, seed),
+            &RunOptions {
+                drivers: 4,
+                pickup: Pickup::Lifo,
+                stop: None,
+            },
+            &SharedCollector::null(),
+        )
+        .unwrap();
+        assert_eq!(
+            signature(&outcome),
+            signature(&reference),
+            "seed {seed} diverged"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Kill-and-resume: an archipelago daemon killed at an arbitrary
+//! point — including islands parked mid-migration-interval — must
+//! resume from its per-island checkpoints and finish bit-identically
+//! to a never-interrupted run.
+
+use e3_islands::{run_islands, ArchipelagoOutcome, IslandsConfig, RunOptions, SharedCollector};
+use e3_platform::{CheckpointPolicy, E3Config, RunError};
+use e3_telemetry::{Collector, TelemetryError, TelemetryEvent};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn base() -> E3Config {
+    E3Config::builder(e3_envs::EnvId::CartPole)
+        .population_size(12)
+        .max_generations(9)
+        .target_fitness(f64::INFINITY)
+        .build()
+}
+
+fn islands_config(checkpoint: Option<CheckpointPolicy>) -> IslandsConfig {
+    let mut builder = IslandsConfig::builder(base())
+        .islands(3)
+        .migration_interval(3)
+        .emigrants(2)
+        .seed(11);
+    if let Some(policy) = checkpoint {
+        builder = builder.checkpoint(policy);
+    }
+    builder.build()
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("e3-islands-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn signature(outcome: &ArchipelagoOutcome) -> Vec<(u64, f64, usize)> {
+    outcome
+        .islands
+        .iter()
+        .map(|i| (i.population_fingerprint, i.best_fitness, i.generations_run))
+        .collect()
+}
+
+/// Trips a stop flag after `limit` island records — a deterministic
+/// stand-in for `kill -9` at an arbitrary point of progress. With a
+/// migration interval of 3 and a limit of 1–2 generations the stop
+/// regularly lands with islands parked mid-interval awaiting packets.
+#[derive(Clone)]
+struct KillSwitch {
+    seen: Arc<AtomicUsize>,
+    limit: usize,
+    stop: Arc<AtomicBool>,
+}
+
+impl Collector for KillSwitch {
+    fn record(&mut self, event: &TelemetryEvent) -> Result<(), TelemetryError> {
+        if matches!(event, TelemetryEvent::Island(_))
+            && self.seen.fetch_add(1, Ordering::Relaxed) + 1 >= self.limit
+        {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn repeatedly_killed_run_finishes_bit_identical_to_uninterrupted() {
+    let reference = run_islands(
+        islands_config(None),
+        &RunOptions::with_drivers(2),
+        &SharedCollector::null(),
+    )
+    .unwrap();
+    assert!(reference.completed);
+    assert!(reference.migrations > 0, "boundaries must fire");
+
+    let dir = scratch_dir("kill-resume");
+    let policy = CheckpointPolicy::new(dir.to_string_lossy().to_string()).every(1);
+    let config = || islands_config(Some(policy.clone()));
+
+    let mut final_outcome = None;
+    for round in 0..32 {
+        let kill = KillSwitch {
+            seen: Arc::new(AtomicUsize::new(0)),
+            // Let a little more through each round so every kill point
+            // (mid-interval, at a boundary, after retirement) is hit.
+            limit: 1 + round % 3,
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        let opts = RunOptions {
+            drivers: 2,
+            pickup: e3_islands::Pickup::Fifo,
+            stop: Some(Arc::clone(&kill.stop)),
+        };
+        let outcome = run_islands(config(), &opts, &SharedCollector::new(kill.clone())).unwrap();
+        if outcome.completed {
+            final_outcome = Some(outcome);
+            break;
+        }
+    }
+    let resumed = final_outcome.expect("32 rounds of partial progress must finish a 9-gen run");
+    assert_eq!(
+        signature(&resumed),
+        signature(&reference),
+        "kill/resume cycles changed the result"
+    );
+    assert_eq!(
+        resumed.best.as_ref().map(|(i, b)| (*i, b.fitness)),
+        reference.best.as_ref().map(|(i, b)| (*i, b.fitness)),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resuming_a_finished_archipelago_is_a_no_op_with_the_same_result() {
+    let dir = scratch_dir("finished-resume");
+    let policy = CheckpointPolicy::new(dir.to_string_lossy().to_string()).every(1);
+    let first = run_islands(
+        islands_config(Some(policy.clone())),
+        &RunOptions::with_drivers(2),
+        &SharedCollector::null(),
+    )
+    .unwrap();
+    assert!(first.completed);
+    let again = run_islands(
+        islands_config(Some(policy)),
+        &RunOptions::with_drivers(2),
+        &SharedCollector::null(),
+    )
+    .unwrap();
+    assert!(again.completed);
+    assert_eq!(signature(&again), signature(&first));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_directory_is_a_typed_store_error() {
+    let dir = scratch_dir("mismatch");
+    let policy = CheckpointPolicy::new(dir.to_string_lossy().to_string()).every(1);
+    run_islands(
+        islands_config(Some(policy.clone())),
+        &RunOptions::with_drivers(1),
+        &SharedCollector::null(),
+    )
+    .unwrap();
+    // Same directory, different archipelago seed: every island's
+    // fingerprint changes, and the namespace registry must refuse.
+    let mut other = islands_config(Some(policy));
+    other.seed = 12;
+    let err = e3_islands::Archipelago::new(other).expect_err("seed mismatch must be typed");
+    assert!(matches!(err, RunError::Store(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -115,6 +115,21 @@ impl InnovationTracker {
     pub fn innovations_allocated(&self) -> u64 {
         self.next_innovation
     }
+
+    /// Raises the innovation and node-id counters to at least the
+    /// given values (never lowers them).
+    ///
+    /// Used when a genome minted by a *different* tracker joins this
+    /// population (island migration): the immigrant's numbers were
+    /// allocated on its home island, so this tracker's counters must
+    /// jump past them or a later structural mutation here would reuse
+    /// an id the immigrant already carries — two distinct structures
+    /// sharing one historical marking, which corrupts crossover
+    /// alignment and node identity.
+    pub fn absorb(&mut self, next_innovation: u64, next_node_id: usize) {
+        self.next_innovation = self.next_innovation.max(next_innovation);
+        self.next_node_id = self.next_node_id.max(next_node_id);
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +179,24 @@ mod tests {
         assert_eq!(t.innovations_allocated(), before + 2);
         assert!(node_a >= 5, "split node ids start after reserved range");
         assert_ne!(in_a, out_a);
+    }
+
+    #[test]
+    fn absorb_raises_counters_monotonically() {
+        let mut t = InnovationTracker::with_reserved_nodes(4);
+        let _ = t.connection_innovation(0, 1);
+        t.absorb(100, 50);
+        assert_eq!(t.innovations_allocated(), 100);
+        assert_eq!(t.fresh_node_id(), 50);
+        // Absorbing something already covered changes nothing.
+        t.absorb(10, 5);
+        assert_eq!(t.innovations_allocated(), 100);
+        assert_eq!(t.fresh_node_id(), 51);
+        let next = t.connection_innovation(2, 3);
+        assert!(
+            next.0 >= 100,
+            "new innovations allocate past the absorbed range"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A genome together with the fitness it achieved.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvaluatedGenome {
     /// The genome.
     pub genome: Genome,
@@ -326,6 +326,114 @@ impl Population {
         self.generation += 1;
     }
 
+    /// The current generation's `count` fittest evaluated genomes —
+    /// what a migration policy ships to neighboring islands.
+    ///
+    /// Deterministic: ranked by fitness descending with the genome
+    /// index as tie-break, so identical populations always emit
+    /// identical emigrant lists regardless of how they were evaluated.
+    /// The emigrants are clones; the population is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current generation has not been evaluated.
+    pub fn emigrants(&self, count: usize) -> Vec<EvaluatedGenome> {
+        assert!(
+            self.fitnesses.iter().all(|f| f.is_some()),
+            "emigrants() requires every genome to be evaluated first"
+        );
+        let fitness = |i: usize| self.fitnesses[i].expect("checked above");
+        let mut ranked: Vec<usize> = (0..self.genomes.len()).collect();
+        ranked.sort_by(|&a, &b| fitness(b).total_cmp(&fitness(a)).then(a.cmp(&b)));
+        ranked.truncate(count.min(self.genomes.len()));
+        ranked
+            .into_iter()
+            .map(|i| EvaluatedGenome {
+                genome: self.genomes[i].clone(),
+                fitness: fitness(i),
+            })
+            .collect()
+    }
+
+    /// Merges immigrant genomes from another island into this
+    /// population, replacing its worst members.
+    ///
+    /// The merge is an index-ordered, RNG-free procedure so that a
+    /// fixed immigrant list always produces a bit-identical result:
+    ///
+    /// 1. victims are the `immigrants.len()` worst genomes (fitness
+    ///    ascending, index ascending on ties);
+    /// 2. victim *k* is overwritten by immigrant *k*, keeping the
+    ///    immigrant's already-known fitness (it was evaluated on its
+    ///    home island under the same deterministic episode schedule);
+    /// 3. the innovation tracker absorbs the immigrants' id ranges so
+    ///    later mutations here cannot collide with markings minted on
+    ///    the source island;
+    /// 4. the population is re-speciated (speciation uses no
+    ///    randomness) and `best()` is updated.
+    ///
+    /// The evolve-phase RNG stream is untouched, so evolution after a
+    /// migration continues exactly as checkpoint/resume expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current generation has not been evaluated, if any
+    /// immigrant fitness is NaN, or if more immigrants arrive than the
+    /// population holds.
+    pub fn integrate_immigrants(&mut self, immigrants: &[EvaluatedGenome]) {
+        if immigrants.is_empty() {
+            return;
+        }
+        assert!(
+            self.fitnesses.iter().all(|f| f.is_some()),
+            "integrate_immigrants() requires every genome to be evaluated first"
+        );
+        assert!(
+            immigrants.iter().all(|im| !im.fitness.is_nan()),
+            "immigrant fitness must not be NaN"
+        );
+        assert!(
+            immigrants.len() <= self.genomes.len(),
+            "more immigrants ({}) than population slots ({})",
+            immigrants.len(),
+            self.genomes.len()
+        );
+        let fitness = |slots: &[Option<f64>], i: usize| slots[i].expect("checked above");
+        let mut victims: Vec<usize> = (0..self.genomes.len()).collect();
+        victims.sort_by(|&a, &b| {
+            fitness(&self.fitnesses, a)
+                .total_cmp(&fitness(&self.fitnesses, b))
+                .then(a.cmp(&b))
+        });
+        for (victim, immigrant) in victims.iter().zip(immigrants) {
+            self.genomes[*victim] = immigrant.genome.clone();
+            self.fitnesses[*victim] = Some(immigrant.fitness);
+            let next_node = immigrant
+                .genome
+                .nodes()
+                .iter()
+                .map(|n| n.id + 1)
+                .max()
+                .unwrap_or(0);
+            let next_innovation = immigrant
+                .genome
+                .connections()
+                .iter()
+                .map(|c| c.innovation.0 + 1)
+                .max()
+                .unwrap_or(0);
+            self.tracker.absorb(next_innovation, next_node);
+            let beats_best = self
+                .best_ever
+                .as_ref()
+                .is_none_or(|b| immigrant.fitness > b.fitness);
+            if beats_best {
+                self.best_ever = Some(immigrant.clone());
+            }
+        }
+        self.speciate();
+    }
+
     /// Captures the population's full state — including the evolve-
     /// phase RNG stream — for
     /// [`crate::checkpoint::PopulationSnapshot`] serialization.
@@ -491,6 +599,93 @@ mod tests {
             pop.best().unwrap().fitness
         };
         assert_eq!(run(33), run(33));
+    }
+
+    #[test]
+    fn emigrants_are_top_k_with_index_tie_break() {
+        let mut pop = Population::new(small_config(), 17);
+        // Distinct fitnesses: genome index doubles as fitness rank.
+        let n = pop.genomes().len();
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        pop.assign_fitnesses(values);
+        let top = pop.emigrants(3);
+        let fits: Vec<f64> = top.iter().map(|e| e.fitness).collect();
+        assert_eq!(fits, vec![(n - 1) as f64, (n - 2) as f64, (n - 3) as f64]);
+
+        // All-equal fitness: ties break by ascending genome index.
+        let mut flat = Population::new(small_config(), 17);
+        flat.assign_fitnesses(vec![1.0; n]);
+        let picked = flat.emigrants(2);
+        assert_eq!(
+            picked[0].genome.fingerprint(),
+            flat.genomes()[0].fingerprint()
+        );
+        assert_eq!(
+            picked[1].genome.fingerprint(),
+            flat.genomes()[1].fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires every genome to be evaluated")]
+    fn emigrants_require_evaluation() {
+        let pop = Population::new(small_config(), 1);
+        let _ = pop.emigrants(1);
+    }
+
+    #[test]
+    fn integrate_immigrants_replaces_worst_and_updates_best() {
+        let mut source = Population::new(small_config(), 3);
+        source.evaluate(|g| g.num_enabled_connections() as f64);
+        let mut immigrants = source.emigrants(2);
+        immigrants[0].fitness = 1000.0; // clearly beats everything local
+
+        let mut dest = Population::new(small_config(), 4);
+        let n = dest.genomes().len();
+        dest.assign_fitnesses((0..n).map(|i| i as f64).collect());
+        let worst_before = dest.genomes()[0].fingerprint();
+        dest.integrate_immigrants(&immigrants);
+        // Victims are the worst slots: indices 0 and 1 held fitness 0 and 1.
+        assert_ne!(dest.genomes()[0].fingerprint(), worst_before);
+        assert_eq!(dest.fitnesses()[0], Some(1000.0));
+        assert_eq!(dest.fitnesses()[1], Some(immigrants[1].fitness));
+        assert_eq!(dest.best().unwrap().fitness, 1000.0);
+        assert_eq!(dest.genomes().len(), n, "population size is preserved");
+        // Still evaluated: evolve proceeds normally.
+        dest.evolve();
+        assert_eq!(dest.genomes().len(), n);
+    }
+
+    #[test]
+    fn integrating_no_immigrants_is_a_no_op() {
+        let mut pop = Population::new(small_config(), 8);
+        pop.evaluate(|g| g.num_enabled_connections() as f64);
+        let before: Vec<u64> = pop.genomes().iter().map(|g| g.fingerprint()).collect();
+        pop.integrate_immigrants(&[]);
+        let after: Vec<u64> = pop.genomes().iter().map(|g| g.fingerprint()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn migration_merge_is_deterministic_and_rng_neutral() {
+        let mut source = Population::new(small_config(), 23);
+        source.evaluate(|g| g.num_enabled_connections() as f64);
+        let immigrants = source.emigrants(3);
+
+        let run = |mut pop: Population| {
+            pop.evaluate(|g| g.num_enabled_connections() as f64);
+            pop.integrate_immigrants(&immigrants);
+            pop.evolve();
+            pop.evaluate(|g| g.num_hidden() as f64);
+            pop.evolve();
+            pop.genomes()
+                .iter()
+                .map(|g| g.fingerprint())
+                .collect::<Vec<u64>>()
+        };
+        // Two clones, identical immigrant lists: bit-identical futures.
+        let template = Population::new(small_config(), 29);
+        assert_eq!(run(template.clone()), run(template));
     }
 
     #[test]

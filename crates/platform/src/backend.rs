@@ -18,7 +18,7 @@
 
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::{decode_action, Action, EnvId, Environment, StepBatch};
-use e3_exec::{AnyExecutor, ExecError, ExecStats, ExecStatsState, Executor};
+use e3_exec::{AnyExecutor, ExecError, ExecStats, ExecStatsState, Executor, SharedExecutor};
 use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet, UtilizationBreakdown};
 use e3_neat::{DecodeError, Genome, NetPlan, Network, PlanBatch};
 use e3_telemetry::Tracer;
@@ -516,9 +516,17 @@ impl CpuBackend {
     /// Panics if `threads == 0`.
     pub fn with_threads(model: SwCostModel, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
+        CpuBackend::with_executor(model, AnyExecutor::new(threads))
+    }
+
+    /// Creates the backend on a caller-supplied executor — typically an
+    /// [`AnyExecutor::Shared`] handle so many concurrent runs (islands)
+    /// time-slice one worker pool. Results are bit-identical to an
+    /// exclusive executor of the same width.
+    pub fn with_executor(model: SwCostModel, exec: AnyExecutor) -> Self {
         CpuBackend {
             model,
-            exec: AnyExecutor::new(threads),
+            exec,
             last_exec: None,
             tracer: Tracer::disabled(),
         }
@@ -531,11 +539,12 @@ impl CpuBackend {
 }
 
 impl Clone for CpuBackend {
-    /// Clones the configuration; the clone gets a fresh executor of
-    /// the same width (worker pools are never shared) and shares the
-    /// installed tracer.
+    /// Clones the configuration and shares the installed tracer. An
+    /// exclusive executor is re-created at the same width (private
+    /// pools are never shared implicitly); a shared-pool handle stays
+    /// attached to the same pool.
     fn clone(&self) -> Self {
-        let mut clone = CpuBackend::with_threads(self.model, self.exec.workers());
+        let mut clone = CpuBackend::with_executor(self.model, self.exec.fork());
         clone.tracer = self.tracer.clone();
         clone
     }
@@ -628,10 +637,16 @@ impl GpuBackend {
     /// Panics if `threads == 0`.
     pub fn with_threads(sw: SwCostModel, gpu: GpuCostModel, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
+        GpuBackend::with_executor(sw, gpu, AnyExecutor::new(threads))
+    }
+
+    /// Creates the backend on a caller-supplied executor (see
+    /// [`CpuBackend::with_executor`]).
+    pub fn with_executor(sw: SwCostModel, gpu: GpuCostModel, exec: AnyExecutor) -> Self {
         GpuBackend {
             sw,
             gpu,
-            exec: AnyExecutor::new(threads),
+            exec,
             last_exec: None,
             tracer: Tracer::disabled(),
         }
@@ -639,11 +654,12 @@ impl GpuBackend {
 }
 
 impl Clone for GpuBackend {
-    /// Clones the configuration; the clone gets a fresh executor of
-    /// the same width (worker pools are never shared) and shares the
-    /// installed tracer.
+    /// Clones the configuration and shares the installed tracer. An
+    /// exclusive executor is re-created at the same width (private
+    /// pools are never shared implicitly); a shared-pool handle stays
+    /// attached to the same pool.
     fn clone(&self) -> Self {
-        let mut clone = GpuBackend::with_threads(self.sw, self.gpu, self.exec.workers());
+        let mut clone = GpuBackend::with_executor(self.sw, self.gpu, self.exec.fork());
         clone.tracer = self.tracer.clone();
         clone
     }
@@ -755,10 +771,16 @@ impl InaxBackend {
     /// Panics if `threads == 0`.
     pub fn with_threads(config: InaxConfig, sw: SwCostModel, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
+        InaxBackend::with_executor(config, sw, AnyExecutor::new(threads))
+    }
+
+    /// Creates the backend on a caller-supplied executor (see
+    /// [`CpuBackend::with_executor`]).
+    pub fn with_executor(config: InaxConfig, sw: SwCostModel, exec: AnyExecutor) -> Self {
         InaxBackend {
             config,
             sw,
-            exec: AnyExecutor::new(threads),
+            exec,
             last_exec: None,
             tracer: Tracer::disabled(),
         }
@@ -1006,6 +1028,7 @@ pub struct BackendBuilder {
     gpu: GpuCostModel,
     inax: InaxConfig,
     threads: usize,
+    executor: Option<SharedExecutor>,
     tracer: Tracer,
 }
 
@@ -1019,6 +1042,7 @@ impl BackendBuilder {
             gpu: GpuCostModel::default(),
             inax: InaxConfig::default(),
             threads: 1,
+            executor: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -1050,6 +1074,16 @@ impl BackendBuilder {
         self
     }
 
+    /// Evaluates on a caller-supplied shared pool instead of a private
+    /// executor — many concurrent runs (islands) time-slice one pool
+    /// at population-evaluation granularity. Overrides
+    /// [`BackendBuilder::threads`]. Results are bit-identical to a
+    /// private executor of the same width.
+    pub fn executor(mut self, shared: SharedExecutor) -> Self {
+        self.executor = Some(shared);
+        self
+    }
+
     /// Installs a span tracer on the built backend (defaults to the
     /// zero-cost disabled tracer). Tracing is write-only: results are
     /// bit-identical with any tracer.
@@ -1064,13 +1098,18 @@ impl BackendBuilder {
     ///
     /// Panics if `threads == 0`.
     pub fn build(self) -> AnyBackend {
+        assert!(self.threads > 0, "need at least one worker thread");
+        let make_exec = || match &self.executor {
+            Some(shared) => AnyExecutor::Shared(shared.clone()),
+            None => AnyExecutor::new(self.threads),
+        };
         let mut backend = match self.kind {
-            BackendKind::Cpu => AnyBackend::Cpu(CpuBackend::with_threads(self.sw, self.threads)),
+            BackendKind::Cpu => AnyBackend::Cpu(CpuBackend::with_executor(self.sw, make_exec())),
             BackendKind::Gpu => {
-                AnyBackend::Gpu(GpuBackend::with_threads(self.sw, self.gpu, self.threads))
+                AnyBackend::Gpu(GpuBackend::with_executor(self.sw, self.gpu, make_exec()))
             }
             BackendKind::Inax => {
-                AnyBackend::Inax(InaxBackend::with_threads(self.inax, self.sw, self.threads))
+                AnyBackend::Inax(InaxBackend::with_executor(self.inax, self.sw, make_exec()))
             }
         };
         backend.set_tracer(self.tracer);

@@ -86,7 +86,7 @@ pub use backend::{
     AnyBackend, BackendBuilder, BackendKind, CpuBackend, EvalBackend, EvalError, EvalOutcome,
     GpuBackend, InaxBackend, ParseBackendKindError,
 };
-pub use checkpoint::RunState;
+pub use checkpoint::{fingerprint, RunState};
 pub use design_space::{sweep_design_space, sweep_design_space_with, DesignPoint, DesignSweep};
 pub use e3_exec as exec;
 pub use e3_store as store;

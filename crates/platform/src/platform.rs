@@ -14,7 +14,7 @@ use crate::checkpoint::{fingerprint, RunState};
 use crate::energy::PowerModel;
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::EnvId;
-use e3_exec::ExecStatsState;
+use e3_exec::{ExecStatsState, SharedExecutor};
 use e3_inax::{EpisodeRunReport, InaxConfig, UtilizationBreakdown};
 use e3_neat::checkpoint::PopulationSnapshot;
 use e3_neat::stats::ComplexityStats;
@@ -320,6 +320,22 @@ pub struct RunOutcome {
     pub complexity: ComplexityStats,
 }
 
+/// Eval-phase results carried across the eval/evolve phase boundary
+/// when a step is driven as two half-steps (see
+/// [`E3Platform::eval_phase_with`]).
+#[derive(Debug)]
+struct PendingEvolve {
+    /// Best fitness of the just-evaluated generation.
+    best: f64,
+    /// Mean fitness of the just-evaluated generation.
+    mean: f64,
+    /// Best fitness ever observed (after assigning this generation).
+    best_ever: f64,
+    /// The enclosing `generation` span, finished when the evolve phase
+    /// completes.
+    generation_span: e3_telemetry::SpanTimer,
+}
+
 /// The Eval-Evol-Engine: a NEAT population, an environment, and an
 /// evaluation backend.
 ///
@@ -353,18 +369,45 @@ pub struct E3Platform {
     last_step_best: Option<f64>,
     store: Option<RunStore>,
     pending_resume: Option<ResumeRecord>,
+    pending_evolve: Option<PendingEvolve>,
 }
 
 impl E3Platform {
     /// Creates a platform with the chosen backend and seed.
     pub fn new(config: E3Config, backend: BackendKind, seed: u64) -> Self {
-        let backend = backend
+        E3Platform::construct(config, backend, seed, None)
+    }
+
+    /// Creates a platform that evaluates on a caller-supplied shared
+    /// worker pool instead of a private executor, so many concurrent
+    /// platforms (islands) time-slice one pool at
+    /// population-evaluation granularity. Results are bit-identical to
+    /// [`E3Platform::new`] with any thread count.
+    pub fn new_with_executor(
+        config: E3Config,
+        backend: BackendKind,
+        seed: u64,
+        pool: SharedExecutor,
+    ) -> Self {
+        E3Platform::construct(config, backend, seed, Some(pool))
+    }
+
+    fn construct(
+        config: E3Config,
+        backend: BackendKind,
+        seed: u64,
+        pool: Option<SharedExecutor>,
+    ) -> Self {
+        let mut builder = backend
             .builder()
             .sw(config.sw)
             .gpu(config.gpu)
             .inax(config.inax.clone())
-            .threads(config.threads)
-            .build();
+            .threads(config.threads);
+        if let Some(pool) = pool {
+            builder = builder.executor(pool);
+        }
+        let backend = builder.build();
         let population = Population::new(config.neat.clone(), seed);
         E3Platform {
             config,
@@ -382,6 +425,7 @@ impl E3Platform {
             last_step_best: None,
             store: None,
             pending_resume: None,
+            pending_evolve: None,
         }
     }
 
@@ -411,6 +455,31 @@ impl E3Platform {
         backend: BackendKind,
         seed: u64,
     ) -> Result<Option<Self>, RunError> {
+        E3Platform::resume_on(config, backend, seed, None)
+    }
+
+    /// Like [`E3Platform::resume`], but the resumed platform evaluates
+    /// on the given shared worker pool (see
+    /// [`E3Platform::new_with_executor`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`E3Platform::resume`].
+    pub fn resume_with_executor(
+        config: E3Config,
+        backend: BackendKind,
+        seed: u64,
+        pool: SharedExecutor,
+    ) -> Result<Option<Self>, RunError> {
+        E3Platform::resume_on(config, backend, seed, Some(pool))
+    }
+
+    fn resume_on(
+        config: E3Config,
+        backend: BackendKind,
+        seed: u64,
+        pool: Option<SharedExecutor>,
+    ) -> Result<Option<Self>, RunError> {
         let Some(policy) = config.checkpoint.clone() else {
             return Ok(None);
         };
@@ -419,7 +488,7 @@ impl E3Platform {
         let Some(recovered) = store.recover::<RunState>()? else {
             return Ok(None);
         };
-        let mut platform = E3Platform::new(config, backend, seed);
+        let mut platform = E3Platform::construct(config, backend, seed, pool);
         platform.pending_resume = Some(ResumeRecord {
             generation: recovered.generation,
             backend: platform.backend.kind().name().to_string(),
@@ -458,15 +527,47 @@ impl E3Platform {
         &self.population
     }
 
+    /// Mutable access to the evolving population, for callers that
+    /// exchange individuals between runs (island migration). Mutating
+    /// the population voids the bit-identity contract with an
+    /// unmutated run — migration protocols must themselves be
+    /// deterministic to restore it.
+    pub fn population_mut(&mut self) -> &mut Population {
+        &mut self.population
+    }
+
+    /// `true` between [`E3Platform::eval_phase_with`] and the matching
+    /// [`E3Platform::evolve_phase_with`].
+    pub fn mid_generation(&self) -> bool {
+        self.pending_evolve.is_some()
+    }
+
     /// Generations completed so far (continues across resume).
     pub fn generation(&self) -> usize {
         self.generation
+    }
+
+    /// Accumulated per-function modeled seconds.
+    pub fn profile(&self) -> &FunctionProfile {
+        &self.profile
+    }
+
+    /// Best fitness of the most recently completed step, if any (used
+    /// by external drivers to apply the same stop rule as
+    /// [`E3Platform::run_with`]).
+    pub fn last_step_best(&self) -> Option<f64> {
+        self.last_step_best
     }
 
     /// Captures the complete resumable state of this platform. This
     /// is what checkpoints persist; restoring it (see
     /// [`E3Platform::resume`]) continues the run bit-identically.
     pub fn capture_state(&self) -> RunState {
+        assert!(
+            self.pending_evolve.is_none(),
+            "run state is only capturable on a generation boundary, \
+             not between eval and evolve phases"
+        );
         RunState {
             population: PopulationSnapshot::capture(&self.population),
             profile: self.profile,
@@ -551,6 +652,37 @@ impl E3Platform {
     /// population and [`RunError::Telemetry`] if the collector rejects
     /// a record.
     pub fn step_with(&mut self, collector: &mut dyn Collector) -> Result<f64, RunError> {
+        self.eval_phase_with(collector)?;
+        self.evolve_phase_with(collector)
+    }
+
+    /// First half of [`E3Platform::step_with`]: evaluates the current
+    /// population (CreateNet + inference + env stepping) and records
+    /// the `Eval`/`Exec` telemetry, leaving the platform
+    /// *mid-generation* — fitnesses assigned, reproduction not yet
+    /// run. Returns the best fitness of the evaluated generation.
+    ///
+    /// Splitting the step lets an external scheduler overlap phases
+    /// across concurrent platforms (while one island's evaluation
+    /// occupies a shared pool, another's evolve phase runs on the
+    /// CPU) and exchange individuals at the phase boundary. Calling
+    /// `eval_phase_with` then [`E3Platform::evolve_phase_with`]
+    /// back-to-back is bit-identical to one `step_with` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform is already mid-generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Eval`] if the backend rejects the
+    /// population and [`RunError::Telemetry`] if the collector rejects
+    /// a record.
+    pub fn eval_phase_with(&mut self, collector: &mut dyn Collector) -> Result<f64, RunError> {
+        assert!(
+            self.pending_evolve.is_none(),
+            "eval phase called while a generation is already mid-flight"
+        );
         // A resumed platform announces where it picked up before any
         // event of the continued run reaches the collector.
         if let Some(resume) = self.pending_resume.take() {
@@ -642,7 +774,41 @@ impl E3Platform {
         let best_ever = self.population.best().map_or(best, |b| b.fitness);
         self.trace.push((self.profile.total(), best_ever));
         eval_span.finish();
+        self.pending_evolve = Some(PendingEvolve {
+            best,
+            mean,
+            best_ever,
+            generation_span,
+        });
+        Ok(best)
+    }
 
+    /// Second half of [`E3Platform::step_with`]: reproduces the
+    /// population (speciate + mutate + crossover) and records the
+    /// `Generation` telemetry plus any due autocheckpoint — the
+    /// snapshot sits exactly on the generation boundary the next step
+    /// starts from. Returns the best fitness of the generation that
+    /// was evaluated by the matching [`E3Platform::eval_phase_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no eval phase is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Telemetry`] if the collector rejects a
+    /// record and [`RunError::Store`] if a due checkpoint cannot be
+    /// persisted.
+    pub fn evolve_phase_with(&mut self, collector: &mut dyn Collector) -> Result<f64, RunError> {
+        let PendingEvolve {
+            best,
+            mean,
+            best_ever,
+            generation_span,
+        } = self
+            .pending_evolve
+            .take()
+            .expect("evolve phase called without a pending eval phase");
         // --- Evolve phase (modeled costs; the actual work runs too). ---
         let evolve_span = self.tracer.start("evolve", "platform");
         let pop = self.config.neat.population_size as f64;
@@ -818,6 +984,71 @@ mod tests {
             "evolve must be light, got {}",
             outcome.profile.evolve_fraction()
         );
+    }
+
+    #[test]
+    fn split_phases_match_whole_steps_bit_for_bit() {
+        let config = E3Config::builder(EnvId::CartPole)
+            .population_size(20)
+            .max_generations(4)
+            .target_fitness(f64::INFINITY)
+            .build();
+        let mut whole = E3Platform::new(config.clone(), BackendKind::Cpu, 11);
+        let mut split = E3Platform::new(config, BackendKind::Cpu, 11);
+        for _ in 0..4 {
+            let a = whole.step_with(&mut NullCollector).unwrap();
+            assert!(!split.mid_generation());
+            let eval_best = split.eval_phase_with(&mut NullCollector).unwrap();
+            assert!(split.mid_generation());
+            let b = split.evolve_phase_with(&mut NullCollector).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, eval_best);
+        }
+        assert_eq!(whole.generation(), split.generation());
+        assert_eq!(whole.trace, split.trace);
+        assert_eq!(
+            whole.population().genomes().len(),
+            split.population().genomes().len()
+        );
+        let fp = |p: &E3Platform| {
+            p.population()
+                .genomes()
+                .iter()
+                .map(|g| g.fingerprint())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fp(&whole), fp(&split));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending eval phase")]
+    fn evolve_phase_requires_a_pending_eval() {
+        let mut platform = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 5);
+        let _ = platform.evolve_phase_with(&mut NullCollector);
+    }
+
+    #[test]
+    fn shared_pool_platforms_match_private_pool_platforms() {
+        let config = E3Config::builder(EnvId::CartPole)
+            .population_size(20)
+            .max_generations(3)
+            .threads(2)
+            .target_fitness(f64::INFINITY)
+            .build();
+        let pool = SharedExecutor::new(2);
+        // Two platforms time-slice one pool; each matches its own
+        // private-pool twin bit-for-bit.
+        for seed in [5u64, 6] {
+            let private = E3Platform::new(config.clone(), BackendKind::Cpu, seed)
+                .run()
+                .unwrap();
+            let shared =
+                E3Platform::new_with_executor(config.clone(), BackendKind::Cpu, seed, pool.clone())
+                    .run()
+                    .unwrap();
+            assert_eq!(private.best_fitness, shared.best_fitness);
+            assert_eq!(private.trace, shared.trace);
+        }
     }
 
     #[test]

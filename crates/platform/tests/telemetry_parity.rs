@@ -405,6 +405,8 @@ fn collector_forwarding_preserves_order() {
             TelemetryEvent::Utilization(_) => "utilization",
             TelemetryEvent::Checkpoint(_) => "checkpoint",
             TelemetryEvent::Resume(_) => "resume",
+            TelemetryEvent::Island(_) => "island",
+            TelemetryEvent::Migration(_) => "migration",
             TelemetryEvent::Summary(_) => "summary",
         })
         .collect();

@@ -43,10 +43,12 @@
 pub mod fault;
 pub mod format;
 pub mod manifest;
+pub mod multi;
 
 pub use fault::StoreFault;
 pub use format::{FormatError, RunFingerprint, SnapshotHeader, FORMAT_VERSION};
 pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE};
+pub use multi::{MultiStore, NAMESPACE_REGISTRY_FILE};
 
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -114,6 +116,18 @@ pub enum StoreError {
         /// File whose fingerprint disagreed.
         path: String,
     },
+    /// A namespace inside a shared parent directory is already bound
+    /// to a different run — e.g. island 1's snapshots offered to
+    /// island 2, or a parent directory reused with a different island
+    /// layout. Distinct from [`StoreError::FingerprintMismatch`] so
+    /// multi-run callers can tell "wrong file in my directory" from
+    /// "wrong directory entirely".
+    NamespaceMismatch {
+        /// The namespace (subdirectory) whose binding disagreed.
+        namespace: String,
+        /// The registry or snapshot path that exposed the mixup.
+        path: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -126,6 +140,13 @@ impl std::fmt::Display for StoreError {
                 write!(
                     f,
                     "{path} belongs to a different run (config/backend/seed mismatch)"
+                )
+            }
+            StoreError::NamespaceMismatch { namespace, path } => {
+                write!(
+                    f,
+                    "namespace {namespace} at {path} is bound to a different run \
+                     (cross-island snapshot mixup)"
                 )
             }
         }
@@ -192,7 +213,7 @@ fn parse_snapshot_file_name(name: &str) -> Option<usize> {
     digits.parse().ok()
 }
 
-fn io_err(path: &Path, err: std::io::Error) -> StoreError {
+pub(crate) fn io_err(path: &Path, err: std::io::Error) -> StoreError {
     StoreError::Io {
         path: path.display().to_string(),
         message: err.to_string(),
@@ -414,25 +435,29 @@ impl RunStore {
         self.write_atomic(MANIFEST_FILE, json.as_bytes())
     }
 
-    /// Temp file + `fsync` + rename + directory sync. After this
-    /// returns, either the old file or the complete new file is on
-    /// disk — never a mix.
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
-        let tmp = self.dir.join(format!(".tmp.{name}"));
-        {
-            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-            f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
-            f.sync_all().map_err(|e| io_err(&tmp, e))?;
-        }
-        let target = self.dir.join(name);
-        fs::rename(&tmp, &target).map_err(|e| io_err(&target, e))?;
-        // Sync the directory so the rename survives a crash too.
-        // Best-effort: not every filesystem supports opening a dir.
-        if let Ok(d) = fs::File::open(&self.dir) {
-            d.sync_all().ok();
-        }
-        Ok(())
+        write_atomic_in(&self.dir, name, bytes)
     }
+}
+
+/// Temp file + `fsync` + rename + directory sync. After this returns,
+/// either the old file or the complete new file is on disk — never a
+/// mix. Shared by snapshot, manifest, and sidecar writes.
+pub(crate) fn write_atomic_in(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(format!(".tmp.{name}"));
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    let target = dir.join(name);
+    fs::rename(&tmp, &target).map_err(|e| io_err(&target, e))?;
+    // Sync the directory so the rename survives a crash too.
+    // Best-effort: not every filesystem supports opening a dir.
+    if let Ok(d) = fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -364,6 +364,51 @@ pub struct ResumeRecord {
     pub skipped_corrupt: usize,
 }
 
+/// Progress of one island inside an island-evolution run (`e3-islands`).
+/// Emitted once per island generation, wrapping the per-island
+/// [`GenerationRecord`] stream with the island's identity so many
+/// islands can share one NDJSON sink.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IslandRecord {
+    /// Island index within the archipelago (zero-based).
+    pub island: usize,
+    /// Total islands in the run.
+    pub islands: usize,
+    /// Zero-based generation index the island just completed.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// Best fitness of this island's latest evaluated generation.
+    pub best_fitness: f64,
+    /// Best fitness this island has ever seen.
+    pub best_ever: f64,
+    /// Number of species on this island after speciation.
+    pub species: usize,
+    /// Whether the island reached its fitness target and retired.
+    pub retired: bool,
+}
+
+/// One migration event: emigrants from a source island merged into a
+/// destination island at a generation-indexed exchange boundary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Destination island (the one that received immigrants).
+    pub island: usize,
+    /// Generation boundary the exchange is indexed by.
+    pub generation: usize,
+    /// Source islands that contributed emigrants, ascending.
+    pub sources: Vec<usize>,
+    /// Number of immigrant genomes merged in.
+    pub immigrants: usize,
+    /// Number of this island's own genomes published as emigrants at
+    /// the same boundary.
+    pub emigrants: usize,
+    /// Best fitness among the immigrants, when any arrived.
+    pub best_immigrant_fitness: Option<f64>,
+}
+
 /// Whole-run summary emitted once when a run finishes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -402,6 +447,10 @@ pub enum TelemetryEvent {
     Checkpoint(CheckpointRecord),
     /// The run resumed from a store snapshot.
     Resume(ResumeRecord),
+    /// An island completed a generation (island-evolution runs).
+    Island(IslandRecord),
+    /// An island received immigrants at a migration boundary.
+    Migration(MigrationRecord),
     /// A run finished.
     Summary(RunSummary),
 }
@@ -497,6 +546,22 @@ impl MemoryCollector {
         })
     }
 
+    /// The buffered island progress records.
+    pub fn islands(&self) -> impl Iterator<Item = &IslandRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Island(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered migration records.
+    pub fn migrations(&self) -> impl Iterator<Item = &MigrationRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Migration(record) => Some(record),
+            _ => None,
+        })
+    }
+
     /// The buffered run summaries.
     pub fn summaries(&self) -> impl Iterator<Item = &RunSummary> {
         self.events.iter().filter_map(|event| match event {
@@ -519,6 +584,13 @@ impl Collector for MemoryCollector {
 }
 
 /// Streams events as newline-delimited JSON to a [`Write`] sink.
+///
+/// Each record is flushed as soon as its line is written, so a live
+/// stream (`tail -f` on an island's NDJSON file, or a pipe into
+/// another process) sees every event promptly instead of whenever a
+/// buffer happens to fill. The underlying writer may still buffer
+/// *within* a line; the flush guarantees the line reaches the sink
+/// before `record` returns.
 #[derive(Debug)]
 pub struct NdjsonWriter<W: Write> {
     writer: W,
@@ -550,6 +622,10 @@ impl<W: Write> Collector for NdjsonWriter<W> {
             .map_err(|err| TelemetryError::Serialize(err.to_string()))?;
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
+        // Line-buffered contract: the completed line is pushed to the
+        // sink immediately so live followers see it without waiting
+        // for the BufWriter to fill or the run to finish.
+        self.writer.flush()?;
         Ok(())
     }
 
@@ -748,6 +824,86 @@ mod tests {
         assert_eq!(collector.resumes().count(), 1);
         assert_eq!(collector.checkpoints().next().unwrap().bytes, 48_213);
         assert_eq!(collector.resumes().next().unwrap().skipped_corrupt, 1);
+    }
+
+    #[test]
+    fn island_and_migration_records_round_trip_and_collect() {
+        let island = IslandRecord {
+            island: 2,
+            islands: 4,
+            generation: 9,
+            backend: "E3-INAX".to_string(),
+            env: "cartpole".to_string(),
+            best_fitness: 120.0,
+            best_ever: 180.0,
+            species: 5,
+            retired: false,
+        };
+        let migration = MigrationRecord {
+            island: 2,
+            generation: 9,
+            sources: vec![1],
+            immigrants: 3,
+            emigrants: 3,
+            best_immigrant_fitness: Some(175.5),
+        };
+        for event in [
+            TelemetryEvent::Island(island.clone()),
+            TelemetryEvent::Migration(migration.clone()),
+        ] {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: TelemetryEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+        }
+
+        let mut collector = MemoryCollector::new();
+        collector.record(&TelemetryEvent::Island(island)).unwrap();
+        collector
+            .record(&TelemetryEvent::Migration(migration))
+            .unwrap();
+        assert_eq!(collector.islands().count(), 1);
+        assert_eq!(collector.migrations().count(), 1);
+        assert_eq!(collector.islands().next().unwrap().island, 2);
+        assert_eq!(collector.migrations().next().unwrap().sources, vec![1]);
+    }
+
+    /// A writer that only exposes bytes written before the last flush,
+    /// modelling what an external `tail -f` observer can see.
+    #[derive(Default)]
+    struct FlushVisible {
+        buffered: Vec<u8>,
+        visible: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+    }
+
+    impl Write for FlushVisible {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.buffered.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.visible.borrow_mut().extend(self.buffered.drain(..));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ndjson_records_are_visible_without_an_explicit_flush() {
+        let visible = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = FlushVisible {
+            buffered: Vec::new(),
+            visible: visible.clone(),
+        };
+        let mut writer = NdjsonWriter::new(sink);
+        writer
+            .record(&TelemetryEvent::Generation(GenerationRecord::default()))
+            .unwrap();
+        // No writer.flush() here: the record itself must have pushed
+        // the full line through to the observer.
+        let seen = String::from_utf8(visible.borrow().clone()).unwrap();
+        assert!(seen.ends_with('\n'), "line incomplete: {seen:?}");
+        let value: serde_json::Value = serde_json::from_str(seen.trim()).unwrap();
+        assert!(value.get("Generation").is_some());
     }
 
     #[test]

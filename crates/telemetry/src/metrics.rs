@@ -226,6 +226,24 @@ impl MetricsRegistry {
                     resume.skipped_corrupt as u64,
                 );
             }
+            TelemetryEvent::Island(island) => {
+                let label = format!("{{island=\"{}\"}}", island.island);
+                self.counter_add(&format!("e3_island_generations_total{label}"), 1);
+                self.gauge_set(&format!("e3_island_best_fitness{label}"), island.best_ever);
+                self.gauge_set(&format!("e3_island_species{label}"), island.species as f64);
+                self.gauge_set(
+                    &format!("e3_island_retired{label}"),
+                    if island.retired { 1.0 } else { 0.0 },
+                );
+            }
+            TelemetryEvent::Migration(migration) => {
+                let label = format!("{{island=\"{}\"}}", migration.island);
+                self.counter_add(&format!("e3_migrations_total{label}"), 1);
+                self.counter_add(
+                    &format!("e3_immigrants_total{label}"),
+                    migration.immigrants as u64,
+                );
+            }
             TelemetryEvent::Summary(summary) => {
                 self.counter_add("e3_runs_total", 1);
                 self.gauge_set("e3_solved", if summary.solved { 1.0 } else { 0.0 });

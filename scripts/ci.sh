@@ -38,6 +38,15 @@ echo "== batched eval: bitwise parity vs scalar serial, threads 1/4/8 =="
 # BENCH_batch.json.
 cargo run --release --offline -q -p e3-bench --bin repro -- batch >/dev/null
 
+echo "== islands: archipelago sweep, parity/determinism gates, daemon smoke =="
+# `repro islands` sweeps island count x migration interval, gates
+# single-island parity against a plain platform run, determinism across
+# driver counts and pickup orders, and the run-manager daemon lifecycle
+# (start, submit, stream one generation's records, graceful shutdown);
+# the binary exits nonzero on any gate failure. Results land in
+# BENCH_islands.json.
+cargo run --release --offline -q -p e3-bench --bin repro -- islands >/dev/null
+
 echo "== fast-math: off by default, approximate kernel still in bounds =="
 # The fast-math feature forfeits batched/scalar bit-exactness, so it
 # must never be a default feature; the gated test suites then verify

@@ -23,7 +23,11 @@
 //!   threads ("virtual PUs") with results bit-identical to serial;
 //! * [`telemetry`] — typed instrumentation of the evolve/evaluate loop
 //!   (per-eval, per-exec, per-generation, per-run records; in-memory
-//!   or NDJSON sinks).
+//!   or NDJSON sinks);
+//! * [`islands`] — asynchronous island evolution: N platforms over one
+//!   shared worker pool with generation-indexed migration, per-island
+//!   checkpoints, and a run-manager service boundary with streaming
+//!   telemetry.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +65,7 @@
 pub use e3_envs as envs;
 pub use e3_exec as exec;
 pub use e3_inax as inax;
+pub use e3_islands as islands;
 pub use e3_neat as neat;
 pub use e3_platform as platform;
 pub use e3_rl as rl;
