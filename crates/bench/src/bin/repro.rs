@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation exec plan batch islands, plus `run` (a
+//! fig9b fig10a fig10b fig11 ablation exec plan batch islands serve, plus `run` (a
 //! single evolve/evaluate run on one env/backend; `--threads N` shards
 //! the evaluation across N worker threads with bit-identical results).
 //! `exec` sweeps the worker-thread count and writes the measured
@@ -21,7 +21,13 @@
 //! parity against a plain run, determinism across driver counts and
 //! pickup orders, and the run-manager submit/stream/stop lifecycle,
 //! and writes `BENCH_islands.json` (nonzero exit on any gate
-//! failure). `--full` uses paper-scale
+//! failure); `serve` mounts the HTTP observability plane on a live
+//! run, scrapes `/metrics` mid-flight, exercises `/healthz`, `/runs`,
+//! and the NDJSON event stream, gates bit-identical populations and
+//! telemetry versus a server-less run, and writes `BENCH_serve.json`
+//! (nonzero exit on any gate failure; `--scrape-out FILE` saves the
+//! final scrape for exposition-format validation). `--full` uses
+//! paper-scale
 //! parameters (population 200, full step budgets); the default quick
 //! scale finishes in seconds per experiment. `--svg DIR` additionally
 //! writes figure images for the sweep experiments. `--telemetry FILE`
@@ -72,6 +78,9 @@ struct Options {
     /// Simulate a crash: stop `run` after N generations without a
     /// summary (`--crash-after`, for the kill-and-resume smoke test).
     crash_after: Option<usize>,
+    /// Write the final `/metrics` scrape of the `serve` experiment to
+    /// this file (`--scrape-out`, for CI exposition validation).
+    scrape_out: Option<PathBuf>,
 }
 
 fn main() -> ExitCode {
@@ -90,6 +99,7 @@ fn main() -> ExitCode {
         checkpoint_every: 1,
         resume: false,
         crash_after: None,
+        scrape_out: None,
     };
     let mut telemetry_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -167,6 +177,12 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage("--checkpoint-every needs a positive integer"));
             }
             "--resume" => opts.resume = true,
+            "--scrape-out" => {
+                opts.scrape_out = Some(PathBuf::from(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--scrape-out needs a file path")),
+                ));
+            }
             "--crash-after" => {
                 opts.crash_after = Some(
                     iter.next()
@@ -216,11 +232,19 @@ fn main() -> ExitCode {
     // Tee every record through the metrics registry; the inner
     // collector sees the identical stream.
     let mut sink = MeteredCollector::new(inner);
+    // Keep running artifacts (metrics, trace, telemetry) flushable
+    // even when an experiment fails mid-way: record the failure, dump
+    // everything collected so far, then exit nonzero.
+    let mut failure: Option<String> = None;
     for target in targets {
-        run_experiment(target, &opts, &mut sink);
+        if let Err(message) = run_experiment(target, &opts, &mut sink) {
+            failure = Some(message);
+            break;
+        }
     }
     if let Err(e) = sink.flush() {
-        usage(&format!("telemetry flush failed: {e}"));
+        eprintln!("warning: telemetry flush failed: {e}");
+        failure.get_or_insert_with(|| format!("telemetry flush failed: {e}"));
     }
     if let Some(path) = &telemetry_path {
         eprintln!("wrote telemetry to {}", path.display());
@@ -245,10 +269,16 @@ fn main() -> ExitCode {
             path.display()
         );
     }
-    ExitCode::SUCCESS
+    match failure {
+        Some(message) => usage(&message),
+        None => ExitCode::SUCCESS,
+    }
 }
 
-fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
+/// Runs one experiment; a failure comes back as `Err` (instead of
+/// exiting) so `main` can still flush `--metrics`/`--trace` artifacts
+/// collected up to the failure point.
+fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) -> Result<(), String> {
     let Options {
         scale, seed, json, ..
     } = *opts;
@@ -268,7 +298,10 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
     }
     macro_rules! try_run {
         ($result:expr) => {
-            $result.unwrap_or_else(|e| usage(&format!("{name} failed: {e}")))
+            match $result {
+                Ok(value) => value,
+                Err(e) => return Err(format!("{name} failed: {e}")),
+            }
         };
     }
     match name {
@@ -325,7 +358,7 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                     "simulated crash after generation {} (no summary written)",
                     platform.generation()
                 );
-                return;
+                return Ok(());
             }
             let outcome = try_run!(platform.run_with(collector));
             if json {
@@ -505,7 +538,7 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 // A parity break means the plan executor drifted from
                 // the reference or the threaded repro changed fitness —
                 // fail loudly so CI catches it.
-                usage("plan executor parity FAILED (see BENCH_plan.json)");
+                return Err("plan executor parity FAILED (see BENCH_plan.json)".to_string());
             }
             emit!(result);
         }
@@ -522,7 +555,9 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 // results (vs the plain platform, across schedules, or
                 // through the service boundary) — a correctness bug,
                 // so fail loudly for CI.
-                usage("islands parity/determinism/smoke FAILED (see BENCH_islands.json)");
+                return Err(
+                    "islands parity/determinism/smoke FAILED (see BENCH_islands.json)".to_string(),
+                );
             }
             emit!(result);
         }
@@ -538,12 +573,37 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) {
                 // The batched eval contract is bit-identity with the
                 // scalar serial path — a drift is a correctness bug,
                 // not a perf regression; fail loudly so CI catches it.
-                usage("batched evaluation parity FAILED (see BENCH_batch.json)");
+                return Err("batched evaluation parity FAILED (see BENCH_batch.json)".to_string());
+            }
+            emit!(result);
+        }
+        "serve" => {
+            let output = try_run!(e3_serve::bench::run(scale, seed));
+            let result = output.result;
+            let json_text = serde_json::to_string_pretty(&result).expect("bench results serialize");
+            if let Err(e) = std::fs::write("BENCH_serve.json", &json_text) {
+                eprintln!("warning: could not write BENCH_serve.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_serve.json");
+            }
+            if let Some(path) = &opts.scrape_out {
+                if let Err(e) = std::fs::write(path, &output.scraped_metrics) {
+                    return Err(format!("--scrape-out {}: {e}", path.display()));
+                }
+                eprintln!("wrote scraped metrics to {}", path.display());
+            }
+            if !result.parity_ok {
+                // The observability plane must be inert: scraping a
+                // run mid-flight cannot change its populations or its
+                // telemetry stream. A failed gate is a correctness
+                // bug, so fail loudly for CI.
+                return Err("serve observability parity FAILED (see BENCH_serve.json)".to_string());
             }
             emit!(result);
         }
         other => usage(&format!("unknown experiment: {other}")),
     }
+    Ok(())
 }
 
 fn write_svg(dir: &Path, file: &str, svg: &str) {
@@ -573,6 +633,7 @@ fn print_usage() {
     eprintln!("  --checkpoint-every snapshot every N generations (default 1)");
     eprintln!("  --resume           resume `run` from the newest intact snapshot");
     eprintln!("  --crash-after      stop `run` after N generations without a summary");
+    eprintln!("  --scrape-out       write the `serve` experiment's final /metrics scrape to FILE");
 }
 
 fn usage(msg: &str) -> ! {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! trace_check TRACE.json [METRICS.prom]
+//! trace_check --metrics METRICS.prom
 //! ```
 //!
 //! Checks that `TRACE.json` is a well-formed Chrome trace-event file
@@ -16,7 +17,9 @@
 //! With a second argument, also checks that `METRICS.prom` parses as
 //! Prometheus text exposition: every line is either a `# TYPE`/`# HELP`
 //! comment or a `name value` sample with a finite numeric value, and
-//! at least one sample is present.
+//! at least one sample is present. `--metrics FILE` runs the
+//! exposition check alone (no trace file) — CI uses it to validate
+//! scrapes fetched from the live `/metrics` endpoint.
 //!
 //! Exits 0 when everything holds, 1 with a diagnostic on stderr
 //! otherwise. CI runs this after a short traced `repro` run.
@@ -26,19 +29,22 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (trace_path, metrics_path) = match args.as_slice() {
-        [trace] => (trace.as_str(), None),
-        [trace, metrics] => (trace.as_str(), Some(metrics.as_str())),
+        [flag, metrics] if flag == "--metrics" => (None, Some(metrics.as_str())),
+        [trace] => (Some(trace.as_str()), None),
+        [trace, metrics] => (Some(trace.as_str()), Some(metrics.as_str())),
         _ => {
-            eprintln!("usage: trace_check TRACE.json [METRICS.prom]");
+            eprintln!("usage: trace_check TRACE.json [METRICS.prom] | trace_check --metrics FILE");
             return ExitCode::from(2);
         }
     };
 
-    if let Err(msg) = check_trace(trace_path) {
-        eprintln!("trace_check: {trace_path}: {msg}");
-        return ExitCode::FAILURE;
+    if let Some(trace_path) = trace_path {
+        if let Err(msg) = check_trace(trace_path) {
+            eprintln!("trace_check: {trace_path}: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("{trace_path}: OK");
     }
-    println!("{trace_path}: OK");
     if let Some(path) = metrics_path {
         if let Err(msg) = check_metrics(path) {
             eprintln!("trace_check: {path}: {msg}");

@@ -50,5 +50,5 @@ pub use executor::{
     shard_plan, AnyExecutor, ExecError, Executor, SerialExecutor, ShardRun, WorkerScratch,
 };
 pub use pool::ThreadPoolExecutor;
-pub use shared::SharedExecutor;
+pub use shared::{PoolSnapshot, SharedExecutor};
 pub use stats::{ExecStats, ExecStatsState};

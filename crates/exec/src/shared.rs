@@ -22,7 +22,42 @@ use crate::executor::{AnyExecutor, ExecError, Executor, ShardRun, WorkerScratch}
 use parking_lot::Mutex;
 use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Live pool gauges every clone of a [`SharedExecutor`] updates —
+/// what an observability plane samples on a ticker to see queue
+/// pressure while evaluations are in flight, without waiting for the
+/// post-hoc [`crate::stats::ExecStats`] record.
+#[derive(Debug, Default)]
+struct PoolGauges {
+    /// `run_shards` calls currently holding the pool (0 or 1 per
+    /// pool, summed over clones — >1 means callers are queued on the
+    /// pool mutex).
+    evals_in_flight: AtomicUsize,
+    /// Total `run_shards` calls completed over the pool's lifetime.
+    evals_total: AtomicU64,
+    /// Per-worker shard queue depths from the most recent call.
+    last_queue_depths: Mutex<Vec<usize>>,
+}
+
+/// A point-in-time copy of the live pool gauges — see
+/// [`SharedExecutor::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PoolSnapshot {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Handles currently pointing at the pool (runs + observers).
+    pub handles: usize,
+    /// `run_shards` calls in flight right now (callers queued on the
+    /// pool count too).
+    pub evals_in_flight: usize,
+    /// `run_shards` calls completed since the pool was built.
+    pub evals_total: u64,
+    /// Per-worker shard queue depths of the most recent call (empty
+    /// before the first call).
+    pub last_queue_depths: Vec<usize>,
+}
 
 /// A cloneable handle to one executor shared by many runs.
 ///
@@ -40,6 +75,7 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct SharedExecutor {
     inner: Arc<Mutex<AnyExecutor>>,
+    gauges: Arc<PoolGauges>,
     workers: usize,
 }
 
@@ -58,6 +94,7 @@ impl SharedExecutor {
         let workers = exec.workers();
         SharedExecutor {
             inner: Arc::new(Mutex::new(exec)),
+            gauges: Arc::new(PoolGauges::default()),
             workers,
         }
     }
@@ -66,6 +103,19 @@ impl SharedExecutor {
     /// this one). Observability only.
     pub fn handles(&self) -> usize {
         Arc::strong_count(&self.inner)
+    }
+
+    /// A point-in-time copy of the live pool gauges. Safe to call
+    /// from any thread at any rate: reading never takes the pool
+    /// mutex, so a scraper can never delay an evaluation.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            workers: self.workers,
+            handles: self.handles(),
+            evals_in_flight: self.gauges.evals_in_flight.load(Ordering::Relaxed),
+            evals_total: self.gauges.evals_total.load(Ordering::Relaxed),
+            last_queue_depths: self.gauges.last_queue_depths.lock().clone(),
+        }
     }
 }
 
@@ -95,7 +145,14 @@ impl Executor for SharedExecutor {
     {
         // Hold the pool for the whole call: one population evaluation
         // is the time-slicing quantum.
-        self.inner.lock().run_shards(num_items, shard_size, task)
+        self.gauges.evals_in_flight.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.lock().run_shards(num_items, shard_size, task);
+        self.gauges.evals_in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Ok(run) = &result {
+            self.gauges.evals_total.fetch_add(1, Ordering::Relaxed);
+            *self.gauges.last_queue_depths.lock() = run.stats.queue_depths.clone();
+        }
+        result
     }
 }
 
@@ -145,6 +202,25 @@ mod tests {
                 (0..8).map(|i| i + 1000 * step).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn snapshot_tracks_live_pool_gauges() {
+        let shared = SharedExecutor::new(2);
+        let before = shared.snapshot();
+        assert_eq!(before.workers, 2);
+        assert_eq!(before.evals_total, 0);
+        assert_eq!(before.evals_in_flight, 0);
+        assert!(before.last_queue_depths.is_empty());
+        let mut run = shared.clone();
+        run.run_shards(8, 2, |_, r| r.collect::<Vec<_>>()).unwrap();
+        run.run_shards(8, 2, |_, r| r.collect::<Vec<_>>()).unwrap();
+        // The clone and the original see the same gauges.
+        let after = shared.snapshot();
+        assert_eq!(after.evals_total, 2);
+        assert_eq!(after.evals_in_flight, 0);
+        // 8 items / shard_size 2 = 4 shards over 2 workers.
+        assert_eq!(after.last_queue_depths, vec![2, 2]);
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub mod service;
 pub use config::{island_seed, namespace, IslandsConfig, IslandsConfigBuilder, Topology};
 pub use migration::{Exchange, MigrationPacket, PacketState, Retirement};
 pub use scheduler::{
-    population_fingerprint, run_islands, Archipelago, ArchipelagoOutcome, IslandOutcome, Pickup,
-    Progress, RunOptions, SharedCollector,
+    population_fingerprint, run_islands, Archipelago, ArchipelagoOutcome, IslandOutcome,
+    IslandProgress, Pickup, Progress, RunOptions, SharedCollector,
 };
-pub use service::{RunId, RunManager, RunStatus, SubmitOptions};
+pub use service::{
+    RunId, RunManager, RunSnapshot, RunStatus, SubmitOptions, DEFAULT_FLIGHT_RECORDER,
+    DEFAULT_SAMPLE_INTERVAL,
+};

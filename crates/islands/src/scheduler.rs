@@ -134,6 +134,24 @@ pub fn population_fingerprint(population: &Population) -> u64 {
     hash
 }
 
+/// One island's live position, as last reported by the scheduler —
+/// the per-island row of a status endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IslandProgress {
+    /// Island index.
+    pub island: usize,
+    /// Generations the island has completed.
+    pub generation: usize,
+    /// Best fitness the island ever saw; `None` until the first
+    /// generation reports (kept as an `Option` so JSON encoders never
+    /// meet a non-finite float).
+    pub best_fitness: Option<f64>,
+    /// Species alive in the island's population.
+    pub species: usize,
+    /// Whether the island has retired (solved or hit its budget).
+    pub retired: bool,
+}
+
 /// Live progress shared between the scheduler and a service front-end:
 /// safe to poll from any thread while the run is in flight.
 #[derive(Debug, Default)]
@@ -141,9 +159,26 @@ pub struct Progress {
     best: Mutex<Option<(usize, EvaluatedGenome)>>,
     generations: AtomicUsize,
     migrations: AtomicUsize,
+    islands: Mutex<Vec<IslandProgress>>,
 }
 
 impl Progress {
+    /// Progress for an archipelago of `islands` islands, all rows at
+    /// generation zero.
+    pub fn new(islands: usize) -> Self {
+        Progress {
+            islands: Mutex::new(
+                (0..islands)
+                    .map(|island| IslandProgress {
+                        island,
+                        ..IslandProgress::default()
+                    })
+                    .collect(),
+            ),
+            ..Progress::default()
+        }
+    }
+
     /// The best individual seen so far and its home island.
     pub fn best(&self) -> Option<(usize, EvaluatedGenome)> {
         self.best.lock().expect("progress lock").clone()
@@ -157,6 +192,21 @@ impl Progress {
     /// Migration merges performed so far.
     pub fn migrations(&self) -> usize {
         self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every island's last reported position,
+    /// island-indexed.
+    pub fn islands(&self) -> Vec<IslandProgress> {
+        self.islands.lock().expect("progress lock").clone()
+    }
+
+    /// Overwrites one island's row (no-op for an out-of-range index,
+    /// which only an inconsistent caller could produce).
+    fn update_island(&self, row: IslandProgress) {
+        let mut islands = self.islands.lock().expect("progress lock");
+        if let Some(slot) = islands.get_mut(row.island) {
+            *slot = row;
+        }
     }
 
     /// Offers a candidate champion; kept if strictly fitter, or
@@ -290,6 +340,7 @@ pub struct Archipelago {
     core: Mutex<Core>,
     runnable: Condvar,
     progress: Arc<Progress>,
+    pool: e3_exec::SharedExecutor,
 }
 
 impl Archipelago {
@@ -389,7 +440,8 @@ impl Archipelago {
                 stopped: false,
             }),
             runnable: Condvar::new(),
-            progress: Arc::new(Progress::default()),
+            progress: Arc::new(Progress::new(islands)),
+            pool,
         })
     }
 
@@ -397,6 +449,13 @@ impl Archipelago {
     /// thread, live for the duration of [`Archipelago::run`]).
     pub fn progress(&self) -> Arc<Progress> {
         Arc::clone(&self.progress)
+    }
+
+    /// A handle to the shared worker pool every island evaluates on —
+    /// cheap to clone, and its [`e3_exec::SharedExecutor::snapshot`]
+    /// gauges stay live for the duration of [`Archipelago::run`].
+    pub fn pool(&self) -> e3_exec::SharedExecutor {
+        self.pool.clone()
     }
 
     /// The configuration this archipelago was built from.
@@ -672,6 +731,13 @@ impl Archipelago {
             .map(|b| b.fitness)
             .or(best)
             .unwrap_or(f64::NEG_INFINITY);
+        self.progress.update_island(IslandProgress {
+            island: state.island,
+            generation: platform.generation(),
+            best_fitness: best_ever.is_finite().then_some(best_ever),
+            species: platform.population().species().len(),
+            retired,
+        });
         collector.record(&TelemetryEvent::Island(IslandRecord {
             island: state.island,
             islands: self.config.islands,

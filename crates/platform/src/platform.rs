@@ -36,6 +36,11 @@ pub enum RunError {
     Telemetry(TelemetryError),
     /// The checkpoint store failed to persist or recover run state.
     Store(StoreError),
+    /// A service-layer failure replayed from a cached record (e.g. a
+    /// run manager reporting a previous failure a second time) — the
+    /// message is the original error's display, the typed source is
+    /// gone.
+    Service(String),
 }
 
 impl fmt::Display for RunError {
@@ -44,6 +49,7 @@ impl fmt::Display for RunError {
             RunError::Eval(err) => write!(f, "evaluation failed: {err}"),
             RunError::Telemetry(err) => write!(f, "telemetry failed: {err}"),
             RunError::Store(err) => write!(f, "checkpoint store failed: {err}"),
+            RunError::Service(message) => write!(f, "service failed: {message}"),
         }
     }
 }
@@ -54,6 +60,7 @@ impl std::error::Error for RunError {
             RunError::Eval(err) => Some(err),
             RunError::Telemetry(err) => Some(err),
             RunError::Store(err) => Some(err),
+            RunError::Service(_) => None,
         }
     }
 }

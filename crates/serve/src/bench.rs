@@ -1,0 +1,370 @@
+//! The `repro serve` experiment: scrape latency plus the
+//! serving-is-inert parity gate CI enforces.
+//!
+//! The gate runs the same archipelago config twice through the
+//! [`RunManager`] — once bare, once with the HTTP observability plane
+//! attached and actively scraped mid-run — and requires:
+//!
+//! * **population parity** — every island's final population
+//!   fingerprint is bit-identical between the two runs (serving must
+//!   not perturb evolution);
+//! * **telemetry parity** — the NDJSON telemetry files are
+//!   byte-identical (single-driver runs have a deterministic event
+//!   stream, and the server must not inject or reorder records);
+//! * **endpoint liveness** — `/healthz`, `/runs`, `/runs/{id}`, and a
+//!   tailed `/runs/{id}/events` stream all answer correctly while the
+//!   run is in flight;
+//! * **metrics coverage** — the final `/metrics` scrape carries the
+//!   live per-island and per-run gauges this PR threads through the
+//!   stack.
+//!
+//! Scrape latencies are recorded (mean and max) but not gated — CI
+//! machines are too noisy for wall-clock bounds.
+
+use crate::client::{http_get, tail_events};
+use crate::server::{serve, Health, ServeOptions, Server};
+use e3_envs::EnvId;
+use e3_islands::{IslandsConfig, Pickup, RunManager, RunSnapshot, RunStatus, SubmitOptions};
+use e3_platform::experiments::Scale;
+use e3_platform::{BackendKind, E3Config, RunError};
+use e3_telemetry::SharedRegistry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Client timeout for every bench request.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The measurements and gate verdicts of one `repro serve` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchResult {
+    /// Environment the gate ran on.
+    pub env: EnvId,
+    /// Islands in the archipelago.
+    pub islands: usize,
+    /// `/metrics` scrapes performed (mid-run plus one final).
+    pub scrapes: usize,
+    /// Mean scrape latency in milliseconds.
+    pub scrape_mean_ms: f64,
+    /// Worst scrape latency in milliseconds.
+    pub scrape_max_ms: f64,
+    /// `/healthz` answered with `status == "ok"` and the run listed.
+    pub healthz_ok: bool,
+    /// `/runs` listed exactly the submitted run.
+    pub runs_listing_ok: bool,
+    /// `/runs/{id}` returned a well-formed snapshot for the run.
+    pub run_status_ok: bool,
+    /// `/runs/{id}/events` streamed parseable NDJSON records.
+    pub events_ok: bool,
+    /// The final scrape carried the live per-island/per-run series.
+    pub metrics_ok: bool,
+    /// Final population fingerprints identical with and without the
+    /// server attached.
+    pub fingerprints_identical: bool,
+    /// NDJSON telemetry files byte-identical with and without the
+    /// server attached.
+    pub ndjson_identical: bool,
+    /// Wall seconds for the bare run (submit to join).
+    pub baseline_wall_seconds: f64,
+    /// Wall seconds for the served, actively scraped run.
+    pub served_wall_seconds: f64,
+    /// All gates above.
+    pub parity_ok: bool,
+}
+
+/// [`run`]'s full output: the serializable result plus the final
+/// `/metrics` body (for `trace_check --metrics` validation in CI).
+#[derive(Debug, Clone)]
+pub struct ServeBenchOutput {
+    /// The gate verdicts and measurements (what `BENCH_serve.json`
+    /// records).
+    pub result: ServeBenchResult,
+    /// The final `/metrics` scrape, verbatim Prometheus text.
+    pub scraped_metrics: String,
+}
+
+fn service_error(context: &str, err: impl fmt::Display) -> RunError {
+    RunError::Service(format!("{context}: {err}"))
+}
+
+fn bench_config(scale: Scale, seed: u64) -> IslandsConfig {
+    let base = E3Config::builder(EnvId::CartPole)
+        .population_size(scale.population())
+        .max_generations(scale.max_generations())
+        // Fixed-generation workload so both runs do identical work.
+        .target_fitness(f64::INFINITY)
+        .threads(2)
+        .build();
+    IslandsConfig::builder(base)
+        .backend(BackendKind::Cpu)
+        .islands(2)
+        .migration_interval(2)
+        .emigrants(2)
+        .seed(seed)
+        .build()
+}
+
+/// Single-driver submit options: one driver makes the NDJSON event
+/// order deterministic, which is what lets the gate require
+/// byte-identical telemetry files.
+fn submit_options(ndjson: &Path) -> SubmitOptions {
+    SubmitOptions {
+        drivers: 1,
+        pickup: Pickup::Fifo,
+        ndjson: Some(ndjson.to_string_lossy().into_owned()),
+        flight_recorder: None,
+        sample_interval: Some(Duration::from_millis(20)),
+    }
+}
+
+/// The bare reference run: no server anywhere near it.
+fn baseline_run(scale: Scale, seed: u64, ndjson: &Path) -> Result<(Vec<u64>, f64), RunError> {
+    let mut manager = RunManager::new();
+    let start = Instant::now();
+    let id = manager.submit(bench_config(scale, seed), submit_options(ndjson))?;
+    let outcome = manager.join(id).expect("submitted run is known")?;
+    let wall = start.elapsed().as_secs_f64();
+    Ok((
+        outcome
+            .islands
+            .iter()
+            .map(|island| island.population_fingerprint)
+            .collect(),
+        wall,
+    ))
+}
+
+struct ServedRun {
+    fingerprints: Vec<u64>,
+    wall_seconds: f64,
+    scrape_ms: Vec<f64>,
+    healthz_ok: bool,
+    runs_listing_ok: bool,
+    run_status_ok: bool,
+    events_ok: bool,
+    scraped_metrics: String,
+}
+
+fn scrape_metrics(addr: SocketAddr, latencies: &mut Vec<f64>) -> Result<String, RunError> {
+    let start = Instant::now();
+    let response =
+        http_get(addr, "/metrics", CLIENT_TIMEOUT).map_err(|e| service_error("GET /metrics", e))?;
+    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+    if response.status != 200 {
+        return Err(RunError::Service(format!(
+            "GET /metrics returned status {}",
+            response.status
+        )));
+    }
+    Ok(response.body)
+}
+
+/// The same run with the observability plane attached and exercised
+/// mid-flight.
+fn served_run(scale: Scale, seed: u64, ndjson: &Path) -> Result<ServedRun, RunError> {
+    let registry = SharedRegistry::new();
+    let manager = Arc::new(Mutex::new(RunManager::with_registry(registry)));
+    let mut server: Server = serve(Arc::clone(&manager), ServeOptions::default())
+        .map_err(|e| service_error("server bind", e))?;
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let id = {
+        let mut manager = manager.lock().expect("manager lock");
+        manager.submit(bench_config(scale, seed), submit_options(ndjson))?
+    };
+    let events_path = format!("/runs/{id}/events?limit=5");
+    let run_path = format!("/runs/{id}");
+
+    // Exercise every endpoint while the run is (likely) in flight —
+    // the point of the gate is concurrent scraping, and each check
+    // stays valid after completion too.
+    let mut scrape_ms = Vec::new();
+    let healthz =
+        http_get(addr, "/healthz", CLIENT_TIMEOUT).map_err(|e| service_error("GET /healthz", e))?;
+    let healthz_ok = healthz.status == 200
+        && serde_json::from_str::<Health>(&healthz.body)
+            .map(|h| h.status == "ok" && h.runs.len() == 1 && h.runs[0].id == id.to_string())
+            .unwrap_or(false);
+    let listing =
+        http_get(addr, "/runs", CLIENT_TIMEOUT).map_err(|e| service_error("GET /runs", e))?;
+    let runs_listing_ok = listing.status == 200
+        && serde_json::from_str::<Vec<RunSnapshot>>(&listing.body)
+            .map(|runs| runs.len() == 1 && runs[0].id == id.to_string())
+            .unwrap_or(false);
+    let status = http_get(addr, &run_path, CLIENT_TIMEOUT)
+        .map_err(|e| service_error("GET /runs/{id}", e))?;
+    let run_status_ok = status.status == 200
+        && serde_json::from_str::<RunSnapshot>(&status.body)
+            .map(|snapshot| snapshot.id == id.to_string() && snapshot.islands.len() == 2)
+            .unwrap_or(false);
+    let events = tail_events(addr, &events_path, 5, CLIENT_TIMEOUT)
+        .map_err(|e| service_error("GET /runs/{id}/events", e))?;
+    let events_ok = !events.is_empty()
+        && events
+            .iter()
+            .all(|line| serde_json::from_str::<serde_json::Value>(line).is_ok());
+
+    // Scrape in a loop until the run ends (every quick run gets at
+    // least one mid-run or immediately-after scrape).
+    loop {
+        scrape_metrics(addr, &mut scrape_ms)?;
+        let status = manager.lock().expect("manager lock").status(id);
+        if !matches!(status, Some(RunStatus::Running)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let outcome = manager
+        .lock()
+        .expect("manager lock")
+        .join(id)
+        .expect("submitted run is known")?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    // One final scrape after completion so the dump carries the
+    // end-of-run totals; this is the body CI validates.
+    let scraped_metrics = scrape_metrics(addr, &mut scrape_ms)?;
+    server.shutdown();
+    Ok(ServedRun {
+        fingerprints: outcome
+            .islands
+            .iter()
+            .map(|island| island.population_fingerprint)
+            .collect(),
+        wall_seconds,
+        scrape_ms,
+        healthz_ok,
+        runs_listing_ok,
+        run_status_ok,
+        events_ok,
+        scraped_metrics,
+    })
+}
+
+fn bench_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("e3-serve-bench-{}-{seed}", std::process::id()))
+}
+
+/// Runs the parity gate and latency measurement.
+///
+/// # Errors
+///
+/// [`RunError`] if either run fails or an endpoint cannot be reached
+/// (endpoint failures surface as [`RunError::Service`]).
+pub fn run(scale: Scale, seed: u64) -> Result<ServeBenchOutput, RunError> {
+    let dir = bench_dir(seed);
+    std::fs::create_dir_all(&dir).map_err(|e| service_error("bench dir", e))?;
+    let baseline_path = dir.join("baseline.ndjson");
+    let served_path = dir.join("served.ndjson");
+
+    let (baseline_fingerprints, baseline_wall_seconds) = baseline_run(scale, seed, &baseline_path)?;
+    let served = served_run(scale, seed, &served_path)?;
+
+    let baseline_bytes =
+        std::fs::read(&baseline_path).map_err(|e| service_error("baseline ndjson", e))?;
+    let served_bytes =
+        std::fs::read(&served_path).map_err(|e| service_error("served ndjson", e))?;
+    let ndjson_identical = baseline_bytes == served_bytes;
+    let fingerprints_identical = baseline_fingerprints == served.fingerprints;
+    let metrics_ok = [
+        "e3_island_generation{",
+        "e3_island_best_fitness{",
+        "e3_run_up{",
+    ]
+    .iter()
+    .all(|series| served.scraped_metrics.contains(series));
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let scrapes = served.scrape_ms.len();
+    let scrape_mean_ms = served.scrape_ms.iter().sum::<f64>() / scrapes.max(1) as f64;
+    let scrape_max_ms = served.scrape_ms.iter().copied().fold(0.0, f64::max);
+    let result = ServeBenchResult {
+        env: EnvId::CartPole,
+        islands: 2,
+        scrapes,
+        scrape_mean_ms,
+        scrape_max_ms,
+        healthz_ok: served.healthz_ok,
+        runs_listing_ok: served.runs_listing_ok,
+        run_status_ok: served.run_status_ok,
+        events_ok: served.events_ok,
+        metrics_ok,
+        fingerprints_identical,
+        ndjson_identical,
+        baseline_wall_seconds,
+        served_wall_seconds: served.wall_seconds,
+        parity_ok: served.healthz_ok
+            && served.runs_listing_ok
+            && served.run_status_ok
+            && served.events_ok
+            && metrics_ok
+            && fingerprints_identical
+            && ndjson_identical,
+    };
+    Ok(ServeBenchOutput {
+        result,
+        scraped_metrics: served.scraped_metrics,
+    })
+}
+
+impl fmt::Display for ServeBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Observability plane on {} ({} islands), scraped mid-run:",
+            self.env, self.islands
+        )?;
+        writeln!(
+            f,
+            "scrapes: {}  mean {:.3} ms  max {:.3} ms",
+            self.scrapes, self.scrape_mean_ms, self.scrape_max_ms
+        )?;
+        writeln!(
+            f,
+            "wall: baseline {:.3} s  served {:.3} s",
+            self.baseline_wall_seconds, self.served_wall_seconds
+        )?;
+        let verdict = |ok: bool| if ok { "OK" } else { "FAILED" };
+        writeln!(f, "healthz: {}", verdict(self.healthz_ok))?;
+        writeln!(f, "runs listing: {}", verdict(self.runs_listing_ok))?;
+        writeln!(f, "run status: {}", verdict(self.run_status_ok))?;
+        writeln!(f, "event stream: {}", verdict(self.events_ok))?;
+        writeln!(f, "live metric series: {}", verdict(self.metrics_ok))?;
+        writeln!(
+            f,
+            "population parity (served vs bare): {}",
+            verdict(self.fingerprints_identical)
+        )?;
+        writeln!(
+            f,
+            "ndjson parity (served vs bare): {}",
+            verdict(self.ndjson_identical)
+        )?;
+        writeln!(f, "parity: {}", verdict(self.parity_ok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_passes_every_gate() {
+        let output = run(Scale::Quick, 42).expect("bench runs");
+        let result = &output.result;
+        assert!(result.healthz_ok, "healthz");
+        assert!(result.runs_listing_ok, "runs listing");
+        assert!(result.run_status_ok, "run status");
+        assert!(result.events_ok, "event stream");
+        assert!(result.metrics_ok, "live metric series");
+        assert!(result.fingerprints_identical, "population parity");
+        assert!(result.ndjson_identical, "ndjson parity");
+        assert!(result.parity_ok);
+        assert!(result.scrapes >= 1);
+        assert!(output.scraped_metrics.contains("# TYPE"));
+    }
+}

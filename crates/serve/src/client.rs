@@ -1,0 +1,176 @@
+//! A tiny blocking HTTP/1.1 client — just enough to scrape and test
+//! the observability server without external tooling: fixed-length
+//! and chunked bodies, one request per connection.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A fetched response: status code and full body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, ...).
+    pub status: u16,
+    /// The body, decoded from fixed-length or chunked framing.
+    pub body: String,
+}
+
+struct Head {
+    status: u16,
+    content_length: Option<usize>,
+    chunked: bool,
+}
+
+fn send_request(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<BufReader<TcpStream>> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()?;
+    Ok(BufReader::new(stream))
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<Head> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let mut content_length = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    Ok(Head {
+        status,
+        content_length,
+        chunked,
+    })
+}
+
+/// Reads one chunk of a chunked body; `None` at the terminator chunk.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<u8>>> {
+    let mut size_line = String::new();
+    if reader.read_line(&mut size_line)? == 0 {
+        return Ok(None); // connection closed
+    }
+    let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad chunk size: {size_line:?}"),
+        )
+    })?;
+    if size == 0 {
+        return Ok(None);
+    }
+    let mut data = vec![0u8; size];
+    reader.read_exact(&mut data)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    Ok(Some(data))
+}
+
+/// Fetches `path` from the server at `addr`, decoding fixed-length or
+/// chunked bodies.
+///
+/// # Errors
+///
+/// Connect/read/write failures (including timeouts) and malformed
+/// responses surface as [`io::Error`].
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<HttpResponse> {
+    let mut reader = send_request(addr, path, timeout)?;
+    let head = read_head(&mut reader)?;
+    let mut body = Vec::new();
+    if head.chunked {
+        while let Some(chunk) = read_chunk(&mut reader)? {
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some(length) = head.content_length {
+        body.resize(length, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(HttpResponse {
+        status: head.status,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Tails a chunked NDJSON event stream, returning up to `max_lines`
+/// complete lines. Stops early when the stream ends; a read timeout
+/// returns the lines collected so far instead of an error (tailing a
+/// quiet stream is not a failure).
+///
+/// # Errors
+///
+/// Connect failures, malformed responses, and non-200 statuses
+/// surface as [`io::Error`].
+pub fn tail_events(
+    addr: SocketAddr,
+    path: &str,
+    max_lines: usize,
+    timeout: Duration,
+) -> io::Result<Vec<String>> {
+    let mut reader = send_request(addr, path, timeout)?;
+    let head = read_head(&mut reader)?;
+    if head.status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("event stream returned status {}", head.status),
+        ));
+    }
+    let mut lines = Vec::new();
+    let mut pending = String::new();
+    while lines.len() < max_lines {
+        let chunk = match read_chunk(&mut reader) {
+            Ok(Some(chunk)) => chunk,
+            Ok(None) => break,
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(err) => return Err(err),
+        };
+        pending.push_str(&String::from_utf8_lossy(&chunk));
+        while let Some(newline) = pending.find('\n') {
+            let line: String = pending.drain(..=newline).collect();
+            lines.push(line.trim_end().to_string());
+            if lines.len() >= max_lines {
+                break;
+            }
+        }
+    }
+    Ok(lines)
+}

@@ -1,0 +1,306 @@
+//! The observability server: a background accept loop over a
+//! [`RunManager`], serving Prometheus metrics, health, JSON run
+//! status, and streaming NDJSON telemetry.
+//!
+//! Isolation guarantees (what makes serving safe to leave attached to
+//! a production run):
+//!
+//! * **`/metrics` never touches the manager lock** — the shared
+//!   registry handle is captured at construction, and rendering takes
+//!   only the registry's own short-lived mutex.
+//! * **Status endpoints hold the manager lock for one snapshot** —
+//!   subscriptions and snapshots are taken under the lock, streaming
+//!   happens outside it.
+//! * **A stalled scraper cannot back-pressure the scheduler** — event
+//!   fan-out goes through unbounded channels (send never blocks), and
+//!   every connection has a bounded write timeout, after which the
+//!   connection is dropped.
+//! * **Graceful shutdown** — [`Server::shutdown`] sets a stop flag;
+//!   the acceptor notices within one poll interval, in-flight event
+//!   streams write their terminator chunk and close, and every
+//!   connection thread is joined before `shutdown` returns.
+
+use crate::http;
+use e3_islands::{RunId, RunManager, RunStatus};
+use e3_telemetry::SharedRegistry;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Prometheus text exposition content type.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// NDJSON event-stream content type.
+pub const EVENTS_CONTENT_TYPE: &str = "application/x-ndjson";
+const JSON: &str = "application/json";
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Per-connection read timeout (time to produce a request line).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout — the bound on how long a stalled
+    /// scraper can hold a connection thread.
+    pub write_timeout: Duration,
+    /// How often the accept loop polls the stop flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The `/healthz` body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Health {
+    /// `"ok"` while the daemon is serving.
+    pub status: String,
+    /// One row per known run.
+    pub runs: Vec<RunHealth>,
+}
+
+/// One run's liveness row inside [`Health`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHealth {
+    /// Canonical `run-NNNN` id.
+    pub id: String,
+    /// [`RunStatus::name`] of the run.
+    pub status: String,
+}
+
+/// A running observability server. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop, closes in-flight
+/// streams, and joins every connection thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port` for the bound address.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stops accepting, closes in-flight streams cleanly, and joins
+    /// every connection thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Mounts the observability plane on `manager` and starts serving in
+/// the background.
+///
+/// Endpoints:
+///
+/// | Path | Body |
+/// |------|------|
+/// | `GET /` | JSON endpoint index |
+/// | `GET /metrics` | Prometheus text exposition of the manager's registry |
+/// | `GET /healthz` | [`Health`] JSON: daemon + per-run liveness |
+/// | `GET /runs` | JSON array of [`e3_islands::RunSnapshot`] |
+/// | `GET /runs/{id}` | One [`e3_islands::RunSnapshot`] |
+/// | `GET /runs/{id}/events` | Chunked NDJSON event stream (`?limit=N` to bound it) |
+///
+/// # Errors
+///
+/// [`io::Error`] if the listener cannot bind `opts.addr`.
+pub fn serve(manager: Arc<Mutex<RunManager>>, opts: ServeOptions) -> io::Result<Server> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    // Nonblocking accept + stop-flag polling: portable graceful
+    // shutdown without signals or self-pipes.
+    listener.set_nonblocking(true)?;
+    let registry = manager.lock().expect("manager lock").registry().clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor_stop = Arc::clone(&stop);
+    let acceptor = std::thread::spawn(move || {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let manager = Arc::clone(&manager);
+                    let registry = registry.clone();
+                    let stop = Arc::clone(&acceptor_stop);
+                    let opts = opts.clone();
+                    connections.push(std::thread::spawn(move || {
+                        // Connection-level errors (timeouts, resets,
+                        // malformed requests) just drop the connection.
+                        let _ = handle_connection(stream, &manager, &registry, &stop, &opts);
+                    }));
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if acceptor_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    connections.retain(|handle| !handle.is_finished());
+                    std::thread::sleep(opts.poll_interval);
+                }
+                Err(_) => {
+                    // Accept errors (EMFILE, aborted handshakes) are
+                    // transient; keep serving unless stopped.
+                    if acceptor_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(opts.poll_interval);
+                }
+            }
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+    });
+    Ok(Server {
+        addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    manager: &Arc<Mutex<RunManager>>,
+    registry: &SharedRegistry,
+    stop: &Arc<AtomicBool>,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    stream.set_write_timeout(Some(opts.write_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = http::read_request(&mut reader)?;
+    let mut writer = BufWriter::new(stream);
+    if request.method != "GET" {
+        return http::method_not_allowed(&mut writer);
+    }
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        [] => http::ok(
+            &mut writer,
+            JSON,
+            br#"{"endpoints":["/metrics","/healthz","/runs","/runs/{id}","/runs/{id}/events"]}"#,
+        ),
+        ["metrics"] => http::ok(
+            &mut writer,
+            METRICS_CONTENT_TYPE,
+            registry.prometheus_text().as_bytes(),
+        ),
+        ["healthz"] => {
+            let health = {
+                let manager = manager.lock().expect("manager lock");
+                Health {
+                    status: "ok".to_string(),
+                    runs: manager
+                        .runs()
+                        .into_iter()
+                        .map(|id| RunHealth {
+                            id: id.to_string(),
+                            status: manager
+                                .status(id)
+                                .as_ref()
+                                .map_or("unknown", RunStatus::name)
+                                .to_string(),
+                        })
+                        .collect(),
+                }
+            };
+            http::ok(&mut writer, JSON, to_json(&health).as_bytes())
+        }
+        ["runs"] => {
+            let snapshots = manager.lock().expect("manager lock").snapshots();
+            http::ok(&mut writer, JSON, to_json(&snapshots).as_bytes())
+        }
+        ["runs", id] => match parse_run_id(id) {
+            Some(id) => match manager.lock().expect("manager lock").snapshot(id) {
+                Some(snapshot) => http::ok(&mut writer, JSON, to_json(&snapshot).as_bytes()),
+                None => http::not_found(&mut writer, &id.to_string()),
+            },
+            None => http::not_found(&mut writer, &request.path),
+        },
+        ["runs", id, "events"] => match parse_run_id(id) {
+            Some(id) => {
+                // Subscribe under the manager lock, stream outside it.
+                let events = manager.lock().expect("manager lock").subscribe(id);
+                match events {
+                    Some(events) => stream_events(&mut writer, &events, &request, stop, opts),
+                    None => http::not_found(&mut writer, &id.to_string()),
+                }
+            }
+            None => http::not_found(&mut writer, &request.path),
+        },
+        _ => http::not_found(&mut writer, &request.path),
+    }
+}
+
+/// Streams the subscription as chunked NDJSON: one event per line, one
+/// line per chunk, flushed per record. Ends with a clean terminator
+/// chunk when the run's stream closes, the optional `?limit=N` is
+/// reached, or the server shuts down.
+fn stream_events(
+    writer: &mut impl Write,
+    events: &mpsc::Receiver<e3_telemetry::TelemetryEvent>,
+    request: &http::Request,
+    stop: &Arc<AtomicBool>,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    let limit: usize = request
+        .query_param("limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    http::start_chunked(writer, EVENTS_CONTENT_TYPE)?;
+    let mut sent = 0usize;
+    while sent < limit {
+        match events.recv_timeout(opts.poll_interval.max(Duration::from_millis(50))) {
+            Ok(event) => {
+                let mut line = serde_json::to_string(&event).expect("telemetry events serialize");
+                line.push('\n');
+                http::write_chunk(writer, line.as_bytes())?;
+                sent += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    http::finish_chunks(writer)
+}
+
+fn parse_run_id(raw: &str) -> Option<RunId> {
+    raw.parse().ok()
+}
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("observability types serialize")
+}

@@ -1,0 +1,128 @@
+//! End-to-end observability round trip: submit a real run through the
+//! manager, hit every endpoint over real TCP, and shut down cleanly.
+
+use e3_envs::EnvId;
+use e3_islands::{IslandsConfig, Pickup, RunManager, RunSnapshot, SubmitOptions};
+use e3_platform::{BackendKind, E3Config};
+use e3_serve::{http_get, serve, tail_events, Health, ServeOptions};
+use e3_telemetry::SharedRegistry;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn tiny_config(seed: u64) -> IslandsConfig {
+    let base = E3Config::builder(EnvId::CartPole)
+        .population_size(12)
+        .max_generations(3)
+        .target_fitness(f64::INFINITY)
+        .threads(2)
+        .build();
+    IslandsConfig::builder(base)
+        .backend(BackendKind::Cpu)
+        .islands(2)
+        .migration_interval(2)
+        .emigrants(1)
+        .seed(seed)
+        .build()
+}
+
+fn submit_options() -> SubmitOptions {
+    SubmitOptions {
+        drivers: 1,
+        pickup: Pickup::Fifo,
+        ndjson: None,
+        flight_recorder: None,
+        sample_interval: Some(Duration::from_millis(10)),
+    }
+}
+
+#[test]
+fn every_endpoint_round_trips_over_tcp() {
+    let manager = Arc::new(Mutex::new(RunManager::with_registry(SharedRegistry::new())));
+    let mut server = serve(Arc::clone(&manager), ServeOptions::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let index = http_get(addr, "/", TIMEOUT).expect("GET /");
+    assert_eq!(index.status, 200);
+    assert!(index.body.contains("/metrics"));
+
+    // Before any run: healthy daemon, empty listings, empty registry.
+    let health = http_get(addr, "/healthz", TIMEOUT).expect("GET /healthz");
+    assert_eq!(health.status, 200);
+    let health: Health = serde_json::from_str(&health.body).expect("health JSON");
+    assert_eq!(health.status, "ok");
+    assert!(health.runs.is_empty());
+    assert_eq!(
+        http_get(addr, "/runs", TIMEOUT).expect("GET /runs").body,
+        "[]"
+    );
+    assert_eq!(
+        http_get(addr, "/runs/run-0099", TIMEOUT)
+            .expect("unknown run")
+            .status,
+        404
+    );
+    assert_eq!(
+        http_get(addr, "/runs/run-0099/events", TIMEOUT)
+            .expect("unknown stream")
+            .status,
+        404
+    );
+
+    let id = manager
+        .lock()
+        .expect("manager lock")
+        .submit(tiny_config(7), submit_options())
+        .expect("submit");
+
+    // The stream replays the flight recorder, so tailing is race-free
+    // even if the run already finished.
+    let events =
+        tail_events(addr, &format!("/runs/{id}/events?limit=3"), 3, TIMEOUT).expect("tail events");
+    assert!(!events.is_empty());
+    for line in &events {
+        let record: serde_json::Value = serde_json::from_str(line).expect("NDJSON record");
+        assert!(matches!(record, serde_json::Value::Object(_)));
+    }
+
+    manager
+        .lock()
+        .expect("manager lock")
+        .join(id)
+        .expect("known run")
+        .expect("run succeeds");
+
+    let health: Health =
+        serde_json::from_str(&http_get(addr, "/healthz", TIMEOUT).expect("healthz").body)
+            .expect("health JSON");
+    assert_eq!(health.runs.len(), 1);
+    assert_eq!(health.runs[0].status, "finished");
+
+    let listing: Vec<RunSnapshot> =
+        serde_json::from_str(&http_get(addr, "/runs", TIMEOUT).expect("runs").body)
+            .expect("runs JSON");
+    assert_eq!(listing.len(), 1);
+    assert_eq!(listing[0].status, "finished");
+
+    let snapshot: RunSnapshot = serde_json::from_str(
+        &http_get(addr, &format!("/runs/{id}"), TIMEOUT)
+            .expect("run snapshot")
+            .body,
+    )
+    .expect("snapshot JSON");
+    assert_eq!(snapshot.id, id.to_string());
+    assert_eq!(snapshot.islands.len(), 2);
+    assert!(snapshot.islands.iter().all(|row| row.generation == 3));
+
+    let metrics = http_get(addr, "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("# TYPE"));
+    assert!(metrics.body.contains(&format!(
+        "e3_island_generation{{run=\"{id}\",island=\"0\"}}"
+    )));
+
+    server.shutdown();
+    // After shutdown the listener is gone: new connections fail.
+    assert!(http_get(addr, "/metrics", Duration::from_millis(500)).is_err());
+}

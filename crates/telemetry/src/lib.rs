@@ -27,7 +27,9 @@
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{Histogram, MeteredCollector, MetricsRegistry};
+pub use metrics::{
+    escape_label_value, labeled, Histogram, MeteredCollector, MetricsRegistry, SharedRegistry,
+};
 pub use span::{SpanArg, SpanGuard, SpanRecord, SpanTimer, Tracer};
 
 use serde::{Deserialize, Serialize};

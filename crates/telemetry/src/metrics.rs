@@ -17,6 +17,47 @@
 use crate::{Collector, TelemetryError, TelemetryEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`
+/// so any string — paths, error messages, env names — is safe inside
+/// the `label="value"` quotes of a metric name.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a metric name with an inline label set,
+/// `base{key="value",...}`, escaping every value via
+/// [`escape_label_value`]. With no labels the base name is returned
+/// unchanged. This is the one sanctioned way to construct labeled
+/// metric names — values that bypass it and carry raw `"`/`\`/newline
+/// would corrupt the exposition dump.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
+    }
+    out.push('}');
+    out
+}
 
 /// Smallest histogram bucket upper bound, as a power of two
 /// (`2^-20` ≈ 1 µs when observing seconds).
@@ -175,105 +216,157 @@ impl MetricsRegistry {
 
     /// The canonical [`TelemetryEvent`] → metrics mapping.
     pub fn observe(&mut self, event: &TelemetryEvent) {
+        self.observe_scoped(&[], event);
+    }
+
+    /// [`MetricsRegistry::observe`] with an extra label scope merged
+    /// into every metric the event produces — how a multi-run daemon
+    /// keeps N concurrent runs apart in one registry (e.g.
+    /// `scope = [("run", "run-0003")]` turns `e3_evals_total` into
+    /// `e3_evals_total{run="run-0003"}`). Scope labels come first;
+    /// event-intrinsic labels (island, pu, pe) are appended after.
+    pub fn observe_scoped(&mut self, scope: &[(&str, &str)], event: &TelemetryEvent) {
+        // Name builders: `plain` applies only the scope, `with` appends
+        // one event-intrinsic label after the scope labels.
+        let plain = |base: &str| labeled(base, scope);
+        let with = |base: &str, key: &'static str, value: &str| {
+            let mut labels: Vec<(&str, &str)> = scope.to_vec();
+            labels.push((key, value));
+            labeled(base, &labels)
+        };
         match event {
             TelemetryEvent::Eval(eval) => {
-                self.counter_add("e3_evals_total", 1);
-                self.counter_add("e3_env_steps_total", eval.total_steps);
-                self.gauge_set("e3_best_fitness", eval.best_fitness);
-                self.gauge_set("e3_mean_fitness", eval.mean_fitness);
-                self.histogram_observe("e3_eval_seconds", eval.eval_seconds);
-                self.histogram_observe("e3_env_seconds", eval.env_seconds);
+                self.counter_add(&plain("e3_evals_total"), 1);
+                self.counter_add(&plain("e3_env_steps_total"), eval.total_steps);
+                self.gauge_set(&plain("e3_best_fitness"), eval.best_fitness);
+                self.gauge_set(&plain("e3_mean_fitness"), eval.mean_fitness);
+                self.histogram_observe(&plain("e3_eval_seconds"), eval.eval_seconds);
+                self.histogram_observe(&plain("e3_env_seconds"), eval.env_seconds);
                 if let Some(hw) = &eval.hw {
-                    self.counter_add("e3_inax_cycles_total", hw.total_cycles);
-                    self.counter_add("e3_inax_setup_cycles_total", hw.setup_cycles);
-                    self.counter_add("e3_inax_pe_active_cycles_total", hw.pe_active_cycles);
-                    self.counter_add("e3_inax_dma_cycles_total", hw.dma_cycles);
-                    self.gauge_set("e3_inax_pu_utilization", hw.pu_utilization);
-                    self.gauge_set("e3_inax_pe_utilization", hw.pe_utilization);
+                    self.counter_add(&plain("e3_inax_cycles_total"), hw.total_cycles);
+                    self.counter_add(&plain("e3_inax_setup_cycles_total"), hw.setup_cycles);
+                    self.counter_add(
+                        &plain("e3_inax_pe_active_cycles_total"),
+                        hw.pe_active_cycles,
+                    );
+                    self.counter_add(&plain("e3_inax_dma_cycles_total"), hw.dma_cycles);
+                    self.gauge_set(&plain("e3_inax_pu_utilization"), hw.pu_utilization);
+                    self.gauge_set(&plain("e3_inax_pe_utilization"), hw.pe_utilization);
                 }
             }
             TelemetryEvent::Exec(exec) => {
-                self.counter_add("e3_exec_steals_total", exec.steal_count);
-                self.counter_add("e3_exec_cache_hits_total", exec.cache_hits);
-                self.counter_add("e3_exec_cache_misses_total", exec.cache_misses);
-                self.counter_add("e3_exec_cache_evictions_total", exec.cache_evictions);
-                self.gauge_set("e3_exec_workers", exec.workers as f64);
-                self.gauge_set("e3_exec_cache_entries", exec.cache_entries as f64);
-                self.gauge_set("e3_exec_cache_hit_rate", exec.cache_hit_rate);
-                self.gauge_set("e3_exec_worker_utilization", exec.worker_utilization);
+                self.counter_add(&plain("e3_exec_steals_total"), exec.steal_count);
+                self.counter_add(&plain("e3_exec_cache_hits_total"), exec.cache_hits);
+                self.counter_add(&plain("e3_exec_cache_misses_total"), exec.cache_misses);
+                self.counter_add(
+                    &plain("e3_exec_cache_evictions_total"),
+                    exec.cache_evictions,
+                );
+                self.gauge_set(&plain("e3_exec_workers"), exec.workers as f64);
+                self.gauge_set(&plain("e3_exec_cache_entries"), exec.cache_entries as f64);
+                self.gauge_set(&plain("e3_exec_cache_hit_rate"), exec.cache_hit_rate);
+                self.gauge_set(
+                    &plain("e3_exec_worker_utilization"),
+                    exec.worker_utilization,
+                );
                 if let Some(&depth) = exec.queue_depths.iter().max() {
-                    self.gauge_set("e3_exec_queue_depth_max", depth as f64);
+                    self.gauge_set(&plain("e3_exec_queue_depth_max"), depth as f64);
                 }
                 for &seconds in &exec.shard_seconds {
-                    self.histogram_observe("e3_exec_shard_seconds", seconds);
+                    self.histogram_observe(&plain("e3_exec_shard_seconds"), seconds);
                 }
-                self.histogram_observe("e3_exec_wall_seconds", exec.wall_seconds);
+                self.histogram_observe(&plain("e3_exec_wall_seconds"), exec.wall_seconds);
             }
             TelemetryEvent::Generation(generation) => {
-                self.counter_add("e3_generations_total", 1);
-                self.gauge_set("e3_species", generation.species as f64);
-                self.gauge_set("e3_modeled_seconds", generation.modeled_seconds);
+                self.counter_add(&plain("e3_generations_total"), 1);
+                self.gauge_set(&plain("e3_species"), generation.species as f64);
+                self.gauge_set(&plain("e3_modeled_seconds"), generation.modeled_seconds);
             }
             TelemetryEvent::Checkpoint(checkpoint) => {
-                self.counter_add("e3_store_snapshots_written_total", 1);
-                self.counter_add("e3_store_bytes_written_total", checkpoint.bytes);
-                self.gauge_set("e3_store_latest_generation", checkpoint.generation as f64);
+                self.counter_add(&plain("e3_store_snapshots_written_total"), 1);
+                self.counter_add(&plain("e3_store_bytes_written_total"), checkpoint.bytes);
+                self.gauge_set(
+                    &plain("e3_store_latest_generation"),
+                    checkpoint.generation as f64,
+                );
             }
             TelemetryEvent::Resume(resume) => {
-                self.counter_add("e3_store_recoveries_total", 1);
+                self.counter_add(&plain("e3_store_recoveries_total"), 1);
                 self.counter_add(
-                    "e3_store_corrupt_skipped_total",
+                    &plain("e3_store_corrupt_skipped_total"),
                     resume.skipped_corrupt as u64,
                 );
             }
             TelemetryEvent::Island(island) => {
-                let label = format!("{{island=\"{}\"}}", island.island);
-                self.counter_add(&format!("e3_island_generations_total{label}"), 1);
-                self.gauge_set(&format!("e3_island_best_fitness{label}"), island.best_ever);
-                self.gauge_set(&format!("e3_island_species{label}"), island.species as f64);
+                let index = island.island.to_string();
+                self.counter_add(&with("e3_island_generations_total", "island", &index), 1);
                 self.gauge_set(
-                    &format!("e3_island_retired{label}"),
+                    &with("e3_island_generation", "island", &index),
+                    island.generation as f64,
+                );
+                self.gauge_set(
+                    &with("e3_island_best_fitness", "island", &index),
+                    island.best_ever,
+                );
+                self.gauge_set(
+                    &with("e3_island_species", "island", &index),
+                    island.species as f64,
+                );
+                self.gauge_set(
+                    &with("e3_island_retired", "island", &index),
                     if island.retired { 1.0 } else { 0.0 },
                 );
             }
             TelemetryEvent::Migration(migration) => {
-                let label = format!("{{island=\"{}\"}}", migration.island);
-                self.counter_add(&format!("e3_migrations_total{label}"), 1);
+                let index = migration.island.to_string();
+                self.counter_add(&with("e3_migrations_total", "island", &index), 1);
                 self.counter_add(
-                    &format!("e3_immigrants_total{label}"),
+                    &with("e3_immigrants_total", "island", &index),
                     migration.immigrants as u64,
                 );
             }
             TelemetryEvent::Summary(summary) => {
-                self.counter_add("e3_runs_total", 1);
-                self.gauge_set("e3_solved", if summary.solved { 1.0 } else { 0.0 });
+                self.counter_add(&plain("e3_runs_total"), 1);
+                self.gauge_set(&plain("e3_solved"), if summary.solved { 1.0 } else { 0.0 });
                 if let Some(joules) = summary.energy_joules {
-                    self.gauge_set("e3_energy_joules", joules);
+                    self.gauge_set(&plain("e3_energy_joules"), joules);
                 }
             }
             TelemetryEvent::Utilization(report) => {
-                self.counter_add("e3_inax_dma_bytes_total", report.dma_bytes);
+                self.counter_add(&plain("e3_inax_dma_bytes_total"), report.dma_bytes);
                 self.gauge_set(
-                    "e3_inax_weight_buffer_hwm_bytes",
+                    &plain("e3_inax_weight_buffer_hwm_bytes"),
                     report.weight_buffer_hwm_bytes as f64,
                 );
                 self.gauge_set(
-                    "e3_inax_value_buffer_hwm_slots",
+                    &plain("e3_inax_value_buffer_hwm_slots"),
                     report.value_buffer_hwm_slots as f64,
                 );
                 for row in &report.per_pu {
-                    let label = format!("{{pu=\"{}\"}}", row.pu);
-                    self.counter_add(&format!("e3_pu_busy_cycles_total{label}"), row.busy_cycles);
-                    self.counter_add(&format!("e3_pu_idle_cycles_total{label}"), row.idle_cycles);
+                    let index = row.pu.to_string();
                     self.counter_add(
-                        &format!("e3_pu_stall_cycles_total{label}"),
+                        &with("e3_pu_busy_cycles_total", "pu", &index),
+                        row.busy_cycles,
+                    );
+                    self.counter_add(
+                        &with("e3_pu_idle_cycles_total", "pu", &index),
+                        row.idle_cycles,
+                    );
+                    self.counter_add(
+                        &with("e3_pu_stall_cycles_total", "pu", &index),
                         row.stall_cycles,
                     );
                 }
                 for row in &report.per_pe {
-                    let label = format!("{{pe=\"{}\"}}", row.pe);
-                    self.counter_add(&format!("e3_pe_busy_cycles_total{label}"), row.busy_cycles);
-                    self.counter_add(&format!("e3_pe_idle_cycles_total{label}"), row.idle_cycles);
+                    let index = row.pe.to_string();
+                    self.counter_add(
+                        &with("e3_pe_busy_cycles_total", "pe", &index),
+                        row.busy_cycles,
+                    );
+                    self.counter_add(
+                        &with("e3_pe_idle_cycles_total", "pe", &index),
+                        row.idle_cycles,
+                    );
                 }
             }
         }
@@ -416,6 +509,69 @@ impl<C: Collector> Collector for MeteredCollector<C> {
     }
 }
 
+/// A clonable, thread-safe handle to one [`MetricsRegistry`] — the
+/// live registry a daemon shares between the runs that update it and
+/// the observability plane that scrapes it. Every clone points at the
+/// same registry; updates are visible to all holders immediately.
+///
+/// Lock discipline: every method takes the lock for one short,
+/// non-blocking operation (a map update or a text render), so a slow
+/// scraper can never hold up a recording run for longer than one
+/// exposition dump.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl SharedRegistry {
+    /// A handle to a fresh, empty registry.
+    pub fn new() -> Self {
+        SharedRegistry::default()
+    }
+
+    /// Applies the canonical event → metrics mapping
+    /// ([`MetricsRegistry::observe`]) under the lock.
+    pub fn observe(&self, event: &TelemetryEvent) {
+        self.lock().observe(event);
+    }
+
+    /// [`MetricsRegistry::observe_scoped`] under the lock.
+    pub fn observe_scoped(&self, scope: &[(&str, &str)], event: &TelemetryEvent) {
+        self.lock().observe_scoped(scope, event);
+    }
+
+    /// Runs `f` with exclusive access to the registry — for direct
+    /// gauge/counter updates that have no [`TelemetryEvent`] shape
+    /// (e.g. sampled pool queue depths).
+    pub fn with<T>(&self, f: impl FnOnce(&mut MetricsRegistry) -> T) -> T {
+        f(&mut self.lock())
+    }
+
+    /// A point-in-time copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.lock().clone()
+    }
+
+    /// Prometheus text exposition of the current state.
+    pub fn prometheus_text(&self) -> String {
+        self.lock().prometheus_text()
+    }
+
+    /// True when no metric has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        // A poisoned registry still holds valid metric maps (every
+        // update is a single map operation), so keep serving.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +699,72 @@ mod tests {
         let table = registry.summary_table();
         assert!(table.contains("e3_evals_total"));
         assert!(table.contains("e3_exec_shard_seconds"));
+    }
+
+    #[test]
+    fn label_values_with_quotes_backslashes_and_newlines_are_escaped() {
+        assert_eq!(
+            escape_label_value("say \"hi\"\\path\nnext"),
+            "say \\\"hi\\\"\\\\path\\nnext"
+        );
+        let name = labeled("e3_runs_total", &[("env", "Cart\"Pole\"\n\\v2")]);
+        assert_eq!(name, "e3_runs_total{env=\"Cart\\\"Pole\\\"\\n\\\\v2\"}");
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add(&name, 1);
+        let text = registry.prometheus_text();
+        // The exposition dump stays one sample per line — the raw
+        // newline never leaks through — and the quotes stay balanced.
+        assert!(text.contains("e3_runs_total{env=\"Cart\\\"Pole\\\"\\n\\\\v2\"} 1\n"));
+        assert_eq!(text.lines().count(), 2, "TYPE line plus one sample");
+    }
+
+    #[test]
+    fn labeled_with_no_labels_is_the_base_name() {
+        assert_eq!(labeled("e3_evals_total", &[]), "e3_evals_total");
+    }
+
+    #[test]
+    fn observe_scoped_prefixes_every_metric_with_the_scope() {
+        let mut registry = MetricsRegistry::new();
+        let scope = [("run", "run-0003")];
+        registry.observe_scoped(&scope, &TelemetryEvent::Summary(RunSummary::default()));
+        registry.observe_scoped(
+            &scope,
+            &TelemetryEvent::Island(crate::IslandRecord {
+                island: 1,
+                generation: 7,
+                best_ever: 42.0,
+                ..Default::default()
+            }),
+        );
+        assert_eq!(registry.counter("e3_runs_total{run=\"run-0003\"}"), 1);
+        assert_eq!(
+            registry.counter("e3_island_generations_total{run=\"run-0003\",island=\"1\"}"),
+            1
+        );
+        assert_eq!(
+            registry.gauge("e3_island_generation{run=\"run-0003\",island=\"1\"}"),
+            Some(7.0)
+        );
+        assert_eq!(
+            registry.gauge("e3_island_best_fitness{run=\"run-0003\",island=\"1\"}"),
+            Some(42.0)
+        );
+        // Unscoped names stay untouched.
+        assert_eq!(registry.counter("e3_runs_total"), 0);
+    }
+
+    #[test]
+    fn shared_registry_clones_point_at_one_registry() {
+        let shared = SharedRegistry::new();
+        assert!(shared.is_empty());
+        let clone = shared.clone();
+        clone.observe(&TelemetryEvent::Summary(RunSummary::default()));
+        shared.with(|registry| registry.gauge_set("e3_pool_evals_in_flight", 3.0));
+        let snapshot = shared.snapshot();
+        assert_eq!(snapshot.counter("e3_runs_total"), 1);
+        assert_eq!(snapshot.gauge("e3_pool_evals_in_flight"), Some(3.0));
+        assert!(shared.prometheus_text().contains("e3_runs_total 1"));
     }
 
     #[test]

@@ -69,6 +69,17 @@ cargo run --release --offline -q -p e3-bench --bin repro -- \
 cargo run --release --offline -q -p e3-bench --bin trace_check -- \
     "$trace_tmp/trace.json" "$trace_tmp/metrics.prom"
 
+echo "== serve: HTTP observability plane is inert, live scrape validates =="
+# `repro serve` mounts the HTTP server on a live run manager, hits
+# /healthz, /runs, /runs/{id}, and the NDJSON event stream, scrapes
+# /metrics mid-flight, and exits nonzero unless the served run's final
+# populations and telemetry are bit-identical to a server-less run.
+# The saved final scrape must then parse as Prometheus text exposition.
+cargo run --release --offline -q -p e3-bench --bin repro -- \
+    serve --scrape-out "$trace_tmp/scrape.prom" >/dev/null
+cargo run --release --offline -q -p e3-bench --bin trace_check -- \
+    --metrics "$trace_tmp/scrape.prom"
+
 echo "== crash-safe store: kill-and-resume reproduces the uninterrupted run =="
 # A seeded CartPole run is checkpointed every generation and killed
 # after two; resuming from the newest intact snapshot must produce the

@@ -69,5 +69,6 @@ pub use e3_islands as islands;
 pub use e3_neat as neat;
 pub use e3_platform as platform;
 pub use e3_rl as rl;
+pub use e3_serve as serve;
 pub use e3_systolic as systolic;
 pub use e3_telemetry as telemetry;
