@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation exec plan batch islands serve, plus `run` (a
+//! fig9b fig10a fig10b fig11 ablation exec plan batch islands serve
+//! generalize, plus `run` (a
 //! single evolve/evaluate run on one env/backend; `--threads N` shards
 //! the evaluation across N worker threads with bit-identical results).
 //! `exec` sweeps the worker-thread count and writes the measured
@@ -26,7 +27,12 @@
 //! and the NDJSON event stream, gates bit-identical populations and
 //! telemetry versus a server-less run, and writes `BENCH_serve.json`
 //! (nonzero exit on any gate failure; `--scrape-out FILE` saves the
-//! final scrape for exposition-format validation). `--full` uses
+//! final scrape for exposition-format validation); `generalize`
+//! evolves on a sampled scenario distribution at K ∈ {1, 4, 8}
+//! scenarios per evaluation, scores champions on a held-out shifted
+//! distribution, gates thread-schedule determinism and per-generation
+//! `Generalization` telemetry, and writes `BENCH_generalize.json`
+//! (nonzero exit on any gate failure). `--full` uses
 //! paper-scale
 //! parameters (population 200, full step budgets); the default quick
 //! scale finishes in seconds per experiment. `--svg DIR` additionally
@@ -46,8 +52,8 @@ use e3_bench::svg::{LineChart, Series};
 use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
 use e3_envs::EnvId;
 use e3_platform::experiments::{
-    ablation, batch, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, plan, table4,
-    table5, Scale,
+    ablation, batch, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, generalize,
+    plan, table4, table5, Scale,
 };
 use e3_platform::telemetry::{Collector, MeteredCollector, NdjsonWriter, NullCollector, Tracer};
 use e3_platform::{BackendKind, CheckpointPolicy, E3Config, E3Platform, PowerModel};
@@ -574,6 +580,26 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) -> 
                 // scalar serial path — a drift is a correctness bug,
                 // not a perf regression; fail loudly so CI catches it.
                 return Err("batched evaluation parity FAILED (see BENCH_batch.json)".to_string());
+            }
+            emit!(result);
+        }
+        "generalize" => {
+            let result = try_run!(generalize::run(scale, seed, collector));
+            let json = serde_json::to_string_pretty(&result).expect("bench results serialize");
+            if let Err(e) = std::fs::write("BENCH_generalize.json", &json) {
+                eprintln!("warning: could not write BENCH_generalize.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_generalize.json");
+            }
+            if !result.parity_ok {
+                // Scenario sampling is seeded per (run, generation,
+                // genome, scenario): a thread-count-dependent result or
+                // a missing Generalization record is a correctness bug,
+                // so fail loudly for CI.
+                return Err(
+                    "generalize determinism/coverage FAILED (see BENCH_generalize.json)"
+                        .to_string(),
+                );
             }
             emit!(result);
         }

@@ -3,6 +3,7 @@
 //! ```text
 //! trace_check TRACE.json [METRICS.prom]
 //! trace_check --metrics METRICS.prom
+//! trace_check --ndjson TELEMETRY.ndjson
 //! ```
 //!
 //! Checks that `TRACE.json` is a well-formed Chrome trace-event file
@@ -21,6 +22,13 @@
 //! exposition check alone (no trace file) — CI uses it to validate
 //! scrapes fetched from the live `/metrics` endpoint.
 //!
+//! `--ndjson FILE` validates an NDJSON telemetry export (the
+//! `--telemetry` stream of `repro`): every line must be a JSON object
+//! wrapping exactly one known record kind, and every `Generalization`
+//! record must carry the full pinned key set with finite fitness
+//! numbers and a positive held-out scenario count — a malformed
+//! generalization report fails CI here.
+//!
 //! Exits 0 when everything holds, 1 with a diagnostic on stderr
 //! otherwise. CI runs this after a short traced `repro` run.
 
@@ -28,12 +36,16 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_path, metrics_path) = match args.as_slice() {
-        [flag, metrics] if flag == "--metrics" => (None, Some(metrics.as_str())),
-        [trace] => (Some(trace.as_str()), None),
-        [trace, metrics] => (Some(trace.as_str()), Some(metrics.as_str())),
+    let (trace_path, metrics_path, ndjson_path) = match args.as_slice() {
+        [flag, metrics] if flag == "--metrics" => (None, Some(metrics.as_str()), None),
+        [flag, ndjson] if flag == "--ndjson" => (None, None, Some(ndjson.as_str())),
+        [trace] => (Some(trace.as_str()), None, None),
+        [trace, metrics] => (Some(trace.as_str()), Some(metrics.as_str()), None),
         _ => {
-            eprintln!("usage: trace_check TRACE.json [METRICS.prom] | trace_check --metrics FILE");
+            eprintln!(
+                "usage: trace_check TRACE.json [METRICS.prom] | \
+                 trace_check --metrics FILE | trace_check --ndjson FILE"
+            );
             return ExitCode::from(2);
         }
     };
@@ -52,7 +64,117 @@ fn main() -> ExitCode {
         }
         println!("{path}: OK");
     }
+    if let Some(path) = ndjson_path {
+        if let Err(msg) = check_ndjson(path) {
+            eprintln!("trace_check: {path}: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("{path}: OK");
+    }
     ExitCode::SUCCESS
+}
+
+/// Record kinds the NDJSON telemetry stream may carry, mirroring
+/// `e3_telemetry::TelemetryEvent`.
+const NDJSON_KINDS: &[&str] = &[
+    "Eval",
+    "Exec",
+    "Generation",
+    "Utilization",
+    "Checkpoint",
+    "Resume",
+    "Island",
+    "Migration",
+    "Generalization",
+    "Summary",
+];
+
+/// Keys every `Generalization` record must carry on the wire.
+const GENERALIZATION_KEYS: &[&str] = &[
+    "generation",
+    "backend",
+    "env",
+    "train_fitness",
+    "holdout_fitness",
+    "holdout_scenarios",
+    "holdout_min",
+    "holdout_max",
+    "holdout_std",
+    "gap",
+];
+
+/// Validates an NDJSON telemetry export; returns a diagnostic on the
+/// first violation.
+fn check_ndjson(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut records = 0usize;
+    let mut generalizations = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not valid JSON: {e}", lineno + 1))?;
+        let serde_json::Value::Object(fields) = &value else {
+            return Err(format!("line {}: record is not an object", lineno + 1));
+        };
+        let [(kind, record)] = fields.as_slice() else {
+            return Err(format!(
+                "line {}: record must wrap exactly one kind: {line}",
+                lineno + 1
+            ));
+        };
+        if !NDJSON_KINDS.contains(&kind.as_str()) {
+            return Err(format!("line {}: unknown record kind: {line}", lineno + 1));
+        }
+        if kind == "Generalization" {
+            for key in GENERALIZATION_KEYS {
+                record.get(key).ok_or(format!(
+                    "line {}: Generalization record missing {key}",
+                    lineno + 1
+                ))?;
+            }
+            for key in [
+                "train_fitness",
+                "holdout_fitness",
+                "holdout_min",
+                "holdout_max",
+                "holdout_std",
+                "gap",
+            ] {
+                let number = record.get(key).and_then(|v| v.as_f64()).ok_or(format!(
+                    "line {}: Generalization {key} is not a number",
+                    lineno + 1
+                ))?;
+                if !number.is_finite() {
+                    return Err(format!(
+                        "line {}: Generalization {key} is not finite",
+                        lineno + 1
+                    ));
+                }
+            }
+            let scenarios = record
+                .get("holdout_scenarios")
+                .and_then(|v| v.as_u64())
+                .ok_or(format!(
+                    "line {}: Generalization holdout_scenarios is not an integer",
+                    lineno + 1
+                ))?;
+            if scenarios == 0 {
+                return Err(format!(
+                    "line {}: Generalization pass scored zero held-out scenarios",
+                    lineno + 1
+                ));
+            }
+            generalizations += 1;
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err("no records — the telemetry stream is empty".to_string());
+    }
+    println!("  {records} records ({generalizations} generalization passes)");
+    Ok(())
 }
 
 /// Validates a Chrome trace-event JSON file; returns a diagnostic on

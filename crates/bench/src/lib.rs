@@ -25,8 +25,26 @@ pub use e3_platform::experiments::Scale;
 
 /// The experiment names `repro` accepts, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "table4", "table5", "fig1b", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9a", "fig9b",
-    "fig10a", "fig10b", "fig11", "ablation", "exec", "plan", "batch", "islands", "serve",
+    "table4",
+    "table5",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig9a",
+    "fig9b",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "ablation",
+    "exec",
+    "plan",
+    "batch",
+    "islands",
+    "serve",
+    "generalize",
 ];
 
 /// Default seed used by `repro` (any seed works; results are

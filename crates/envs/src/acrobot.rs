@@ -1,7 +1,13 @@
 //! Acrobot (Gym `Acrobot-v1`): swing a two-link pendulum's tip above a
 //! target height by torquing the middle joint. The paper's **Env2**.
+//!
+//! Scenario physics ([`ScenarioParams`]) can scale gravity, link
+//! masses/lengths, and torque gain, and add a constant tip torque
+//! (wind); the default parameters reproduce the classic constants
+//! bit-identically.
 
 use crate::env::{expect_discrete, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
@@ -18,6 +24,35 @@ const DT: f64 = 0.2;
 const TORQUES: [f64; 3] = [-1.0, 0.0, 1.0];
 const GRAVITY: f64 = 9.8;
 
+/// Scenario-resolved physics (defaults are IEEE-exact against the
+/// classic constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AcrobotPhys {
+    gravity: f64,
+    m1: f64,
+    m2: f64,
+    l1: f64,
+    lc1: f64,
+    lc2: f64,
+    torque_gain: f64,
+    wind: f64,
+}
+
+impl AcrobotPhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        AcrobotPhys {
+            gravity: GRAVITY * params.gravity_scale,
+            m1: LINK_MASS_1 * params.mass_scale,
+            m2: LINK_MASS_2 * params.mass_scale,
+            l1: LINK_LENGTH_1 * params.length_scale,
+            lc1: LINK_COM_1 * params.length_scale,
+            lc2: LINK_COM_2 * params.length_scale,
+            torque_gain: params.force_scale,
+            wind: params.wind,
+        }
+    }
+}
+
 /// The Acrobot swing-up task.
 ///
 /// Observation: `[cos θ1, sin θ1, cos θ2, sin θ2, ω1, ω2]`. Actions:
@@ -26,6 +61,7 @@ const GRAVITY: f64 = 9.8;
 /// RK4 integration like Gym.
 #[derive(Debug, Clone)]
 pub struct Acrobot {
+    phys: AcrobotPhys,
     /// `[θ1, θ2, ω1, ω2]`
     state: [f64; 4],
     steps: usize,
@@ -41,7 +77,20 @@ impl Acrobot {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and the Gym step
+    /// limit (500).
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 500)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         Acrobot {
+            phys: AcrobotPhys::from_params(params),
             state: [0.0; 4],
             steps: 0,
             done: true,
@@ -59,16 +108,17 @@ impl Acrobot {
         -self.state[0].cos() - (self.state[0] + self.state[1]).cos()
     }
 
-    fn dynamics(state: [f64; 4], torque: f64) -> [f64; 4] {
-        let (m1, m2) = (LINK_MASS_1, LINK_MASS_2);
-        let (l1, lc1, lc2) = (LINK_LENGTH_1, LINK_COM_1, LINK_COM_2);
+    fn dynamics(phys: &AcrobotPhys, state: [f64; 4], torque: f64) -> [f64; 4] {
+        let (m1, m2) = (phys.m1, phys.m2);
+        let (l1, lc1, lc2) = (phys.l1, phys.lc1, phys.lc2);
         let (i1, i2) = (LINK_MOI, LINK_MOI);
+        let gravity = phys.gravity;
         let [t1, t2, w1, w2] = state;
         let d1 = m1 * lc1 * lc1 + m2 * (l1 * l1 + lc2 * lc2 + 2.0 * l1 * lc2 * t2.cos()) + i1 + i2;
         let d2 = m2 * (lc2 * lc2 + l1 * lc2 * t2.cos()) + i2;
-        let phi2 = m2 * lc2 * GRAVITY * (t1 + t2 - PI / 2.0).cos();
+        let phi2 = m2 * lc2 * gravity * (t1 + t2 - PI / 2.0).cos();
         let phi1 = -m2 * l1 * lc2 * w2 * w2 * t2.sin() - 2.0 * m2 * l1 * lc2 * w2 * w1 * t2.sin()
-            + (m1 * lc1 + m2 * l1) * GRAVITY * (t1 - PI / 2.0).cos()
+            + (m1 * lc1 + m2 * l1) * gravity * (t1 - PI / 2.0).cos()
             + phi2;
         // "Book" (Sutton & Barto) formulation, as in Gym.
         let ddt2 = (torque + d2 / d1 * phi1 - m2 * l1 * lc2 * w1 * w1 * t2.sin() - phi2)
@@ -77,7 +127,7 @@ impl Acrobot {
         [w1, w2, ddt1, ddt2]
     }
 
-    fn rk4(state: [f64; 4], torque: f64, dt: f64) -> [f64; 4] {
+    fn rk4(phys: &AcrobotPhys, state: [f64; 4], torque: f64, dt: f64) -> [f64; 4] {
         let add = |a: [f64; 4], b: [f64; 4], s: f64| {
             [
                 a[0] + b[0] * s,
@@ -86,10 +136,10 @@ impl Acrobot {
                 a[3] + b[3] * s,
             ]
         };
-        let k1 = Self::dynamics(state, torque);
-        let k2 = Self::dynamics(add(state, k1, dt / 2.0), torque);
-        let k3 = Self::dynamics(add(state, k2, dt / 2.0), torque);
-        let k4 = Self::dynamics(add(state, k3, dt), torque);
+        let k1 = Self::dynamics(phys, state, torque);
+        let k2 = Self::dynamics(phys, add(state, k1, dt / 2.0), torque);
+        let k3 = Self::dynamics(phys, add(state, k2, dt / 2.0), torque);
+        let k4 = Self::dynamics(phys, add(state, k3, dt), torque);
         let mut out = state;
         for i in 0..4 {
             out[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
@@ -138,8 +188,11 @@ impl Environment for Acrobot {
     /// not `Discrete(0..=2)`.
     fn step(&mut self, action: &Action) -> Step {
         assert!(!self.done, "acrobot: step() called on a finished episode");
-        let torque = TORQUES[expect_discrete(action, 3, "acrobot")];
-        let next = Self::rk4(self.state, torque, DT);
+        let torque = TORQUES[expect_discrete(action, 3, "acrobot")] * self.phys.torque_gain;
+        let mut next = Self::rk4(&self.phys, self.state, torque, DT);
+        if self.phys.wind != 0.0 {
+            next[3] += self.phys.wind * DT;
+        }
         self.state = [
             wrap_angle(next[0]),
             wrap_angle(next[1]),
@@ -245,6 +298,39 @@ mod tests {
         env.reset(2);
         let s = env.step(&Action::Discrete(0));
         assert_eq!(s.reward, -1.0);
+    }
+
+    #[test]
+    fn default_scenario_matches_legacy_physics_bitwise() {
+        let mut legacy = Acrobot::new();
+        let mut scenario = Acrobot::with_scenario(&ScenarioParams::default());
+        assert_eq!(legacy.reset(13), scenario.reset(13));
+        for i in 0..100 {
+            let a = Action::Discrete(i % 3);
+            let sa = legacy.step(&a);
+            let sb = scenario.step(&a);
+            for (x, y) in sa.observation.iter().zip(&sb.observation) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            if sa.done() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_links_change_the_swing() {
+        let heavy = ScenarioParams {
+            mass_scale: 1.5,
+            ..ScenarioParams::default()
+        };
+        let mut base = Acrobot::new();
+        let mut scenario = Acrobot::with_scenario(&heavy);
+        base.reset(13);
+        scenario.reset(13);
+        let a = base.step(&Action::Discrete(2));
+        let b = scenario.step(&Action::Discrete(2));
+        assert_ne!(a.observation[5].to_bits(), b.observation[5].to_bits());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! demands (see DESIGN.md, substitutions).
 
 use crate::env::{expect_continuous, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,6 +31,30 @@ const FALL_ANGLE: f64 = 0.9;
 const TRACK_LENGTH: f64 = 60.0;
 const LIDAR_RAYS: usize = 10;
 
+/// Scenario-resolved physics (defaults are IEEE-exact against the
+/// classic constants). `roughness` adds surface drag and `wind` is a
+/// constant headwind (negative) or tailwind (positive) on the hull.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WalkerPhys {
+    torque_gain: f64,
+    drag: f64,
+    wind: f64,
+}
+
+impl WalkerPhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        WalkerPhys {
+            torque_gain: TORQUE_GAIN * params.force_scale,
+            drag: if params.roughness != 0.0 {
+                DRAG + params.roughness
+            } else {
+                DRAG
+            },
+            wind: params.wind,
+        }
+    }
+}
+
 /// The bipedal walking task.
 ///
 /// Observation (24): hull angle & angular velocity, hull x/y velocity,
@@ -38,6 +63,7 @@ const LIDAR_RAYS: usize = 10;
 /// hip and knee torques for both legs in `[-1, 1]`.
 #[derive(Debug, Clone)]
 pub struct BipedalWalker {
+    phys: WalkerPhys,
     hull_angle: f64,
     hull_omega: f64,
     /// Forward velocity of the hull.
@@ -60,7 +86,20 @@ impl BipedalWalker {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and the Gym step
+    /// limit (1600).
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 1600)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         BipedalWalker {
+            phys: WalkerPhys::from_params(params),
             hull_angle: 0.0,
             hull_omega: 0.0,
             vx: 0.0,
@@ -170,7 +209,7 @@ impl Environment for BipedalWalker {
         // Joint dynamics: torque-driven spring-damper, clamped range.
         let limits = [HIP_LIMIT, KNEE_LIMIT, HIP_LIMIT, KNEE_LIMIT];
         for i in 0..4 {
-            let accel = TORQUE_GAIN * torques[i]
+            let accel = self.phys.torque_gain * torques[i]
                 - JOINT_DAMPING * self.joint_speeds[i]
                 - JOINT_SPRING * self.joints[i];
             self.joint_speeds[i] += accel * DT;
@@ -193,7 +232,10 @@ impl Environment for BipedalWalker {
         if c1 {
             push += PUSH_GAIN * (-self.joint_speeds[2]).max(0.0);
         }
-        self.vx += (push - DRAG * self.vx) * DT / 0.3;
+        if self.phys.wind != 0.0 {
+            push += self.phys.wind;
+        }
+        self.vx += (push - self.phys.drag * self.vx) * DT / 0.3;
         self.position += self.vx * DT;
         // Vertical bounce from gait (cosmetic but feeds obs[3]).
         self.vy = 0.3 * (self.joint_speeds[0] + self.joint_speeds[2]);
@@ -355,5 +397,54 @@ mod tests {
             let act = Action::Continuous(vec![(t as f64 * 0.1).sin(), 0.1, -0.2, 0.0]);
             assert_eq!(a.step(&act), b.step(&act));
         }
+    }
+
+    #[test]
+    fn default_scenario_matches_legacy_physics_bitwise() {
+        let mut legacy = BipedalWalker::new();
+        let mut scenario = BipedalWalker::with_scenario(&ScenarioParams::default());
+        assert_eq!(legacy.reset(9), scenario.reset(9));
+        for t in 0..200 {
+            let act = Action::Continuous(vec![(t as f64 * 0.15).sin(), 0.1, -0.2, 0.0]);
+            let sa = legacy.step(&act);
+            let sb = scenario.step(&act);
+            for (x, y) in sa.observation.iter().zip(&sb.observation) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(sa.reward.to_bits(), sb.reward.to_bits());
+        }
+    }
+
+    #[test]
+    fn rough_terrain_slows_the_gait() {
+        let rough = ScenarioParams {
+            roughness: 1.5,
+            ..ScenarioParams::default()
+        };
+        let gait = |t: usize| {
+            let phase = t as f64 * 0.15;
+            Action::Continuous(vec![
+                phase.sin(),
+                0.3 * phase.cos(),
+                -phase.sin(),
+                -0.3 * phase.cos(),
+            ])
+        };
+        let run = |params: &ScenarioParams| {
+            let mut env = BipedalWalker::with_scenario_max_steps(params, 600);
+            env.reset(1);
+            for t in 0..600 {
+                if env.step(&gait(t)).done() {
+                    break;
+                }
+            }
+            env.position()
+        };
+        let smooth_pos = run(&ScenarioParams::default());
+        let rough_pos = run(&rough);
+        assert!(
+            rough_pos < smooth_pos,
+            "roughness must slow progress: {rough_pos} vs {smooth_pos}"
+        );
     }
 }

@@ -1,21 +1,84 @@
 //! CartPole (Gym `CartPole-v1`): balance a pole on a force-controlled
 //! cart. This is the paper's **Env1**.
+//!
+//! The physics constants can be perturbed per scenario via
+//! [`ScenarioParams`] — pole mass/length, gravity, push force, and a
+//! lateral wind disturbance — while the default parameter set
+//! reproduces the classic Gym constants bit-identically.
 
 use crate::batch::{BatchEnv, StepBatch};
 use crate::env::{expect_discrete, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const GRAVITY: f64 = 9.8;
 const MASS_CART: f64 = 1.0;
 const MASS_POLE: f64 = 0.1;
-const TOTAL_MASS: f64 = MASS_CART + MASS_POLE;
 const HALF_POLE_LENGTH: f64 = 0.5;
-const POLE_MASS_LENGTH: f64 = MASS_POLE * HALF_POLE_LENGTH;
 const FORCE_MAG: f64 = 10.0;
 const TAU: f64 = 0.02;
 const THETA_THRESHOLD: f64 = 12.0 * std::f64::consts::PI / 180.0;
 const X_THRESHOLD: f64 = 2.4;
+
+/// Scenario-resolved physics. Built once per episode from
+/// [`ScenarioParams`]; the default parameters produce exactly the
+/// classic constants (scales multiply by `1.0`, which is IEEE-exact,
+/// and zero wind skips the disturbance branch entirely).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CartPolePhys {
+    gravity: f64,
+    mass_pole: f64,
+    total_mass: f64,
+    half_pole_length: f64,
+    pole_mass_length: f64,
+    force_mag: f64,
+    wind: f64,
+}
+
+impl CartPolePhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        let mass_pole = MASS_POLE * params.mass_scale;
+        let half_pole_length = HALF_POLE_LENGTH * params.length_scale;
+        CartPolePhys {
+            gravity: GRAVITY * params.gravity_scale,
+            mass_pole,
+            total_mass: MASS_CART + mass_pole,
+            half_pole_length,
+            pole_mass_length: mass_pole * half_pole_length,
+            force_mag: FORCE_MAG * params.force_scale,
+            wind: params.wind,
+        }
+    }
+
+    /// One Euler step of the cart-pole dynamics. Scalar and batched
+    /// environments both call this, so their floating-point operation
+    /// order is identical by construction.
+    fn advance(&self, state: [f64; 4], a: usize) -> [f64; 4] {
+        let force = if a == 1 {
+            self.force_mag
+        } else {
+            -self.force_mag
+        };
+        let [x, x_dot, theta, theta_dot] = state;
+        let (sin_t, cos_t) = theta.sin_cos();
+        let temp =
+            (force + self.pole_mass_length * theta_dot * theta_dot * sin_t) / self.total_mass;
+        let theta_acc = (self.gravity * sin_t - cos_t * temp)
+            / (self.half_pole_length
+                * (4.0 / 3.0 - self.mass_pole * cos_t * cos_t / self.total_mass));
+        let mut x_acc = temp - self.pole_mass_length * theta_acc * cos_t / self.total_mass;
+        if self.wind != 0.0 {
+            x_acc += self.wind;
+        }
+        [
+            x + TAU * x_dot,
+            x_dot + TAU * x_acc,
+            theta + TAU * theta_dot,
+            theta_dot + TAU * theta_acc,
+        ]
+    }
+}
 
 /// The CartPole balancing task.
 ///
@@ -35,6 +98,7 @@ const X_THRESHOLD: f64 = 2.4;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CartPole {
+    phys: CartPolePhys,
     state: [f64; 4],
     steps: usize,
     done: bool,
@@ -49,7 +113,20 @@ impl CartPole {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and the Gym v1
+    /// step limit (500).
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 500)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         CartPole {
+            phys: CartPolePhys::from_params(params),
             state: [0.0; 4],
             steps: 0,
             done: true,
@@ -96,19 +173,7 @@ impl Environment for CartPole {
     fn step(&mut self, action: &Action) -> Step {
         assert!(!self.done, "cartpole: step() called on a finished episode");
         let a = expect_discrete(action, 2, "cartpole");
-        let force = if a == 1 { FORCE_MAG } else { -FORCE_MAG };
-        let [x, x_dot, theta, theta_dot] = self.state;
-        let (sin_t, cos_t) = theta.sin_cos();
-        let temp = (force + POLE_MASS_LENGTH * theta_dot * theta_dot * sin_t) / TOTAL_MASS;
-        let theta_acc = (GRAVITY * sin_t - cos_t * temp)
-            / (HALF_POLE_LENGTH * (4.0 / 3.0 - MASS_POLE * cos_t * cos_t / TOTAL_MASS));
-        let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_t / TOTAL_MASS;
-        self.state = [
-            x + TAU * x_dot,
-            x_dot + TAU * x_acc,
-            theta + TAU * theta_dot,
-            theta_dot + TAU * theta_acc,
-        ];
+        self.state = self.phys.advance(self.state, a);
         self.steps += 1;
         let terminated = self.state[0].abs() > X_THRESHOLD || self.state[2].abs() > THETA_THRESHOLD;
         let truncated = !terminated && self.steps >= self.max_steps;
@@ -138,9 +203,11 @@ impl Environment for CartPole {
 /// dispatch. Each lane performs the exact floating-point operations of
 /// the scalar [`CartPole`] in the same order, so trajectories are
 /// bit-identical to the scalar environment given the same seed and
-/// actions.
+/// actions. Lanes may carry heterogeneous scenario physics (see
+/// [`CartPoleBatch::with_scenarios`]).
 #[derive(Debug, Clone)]
 pub struct CartPoleBatch {
+    phys: Vec<CartPolePhys>,
     x: Vec<f64>,
     x_dot: Vec<f64>,
     theta: Vec<f64>,
@@ -165,8 +232,30 @@ impl CartPoleBatch {
     ///
     /// Panics if `lanes == 0`.
     pub fn with_max_steps(lanes: usize, max_steps: usize) -> Self {
-        assert!(lanes > 0, "a batch needs at least one lane");
+        Self::with_scenarios_max_steps(&vec![ScenarioParams::default(); lanes], max_steps)
+    }
+
+    /// Creates one lane per scenario parameter set, with the Gym v1
+    /// step limit (500). Lanes may be heterogeneous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn with_scenarios(params: &[ScenarioParams]) -> Self {
+        Self::with_scenarios_max_steps(params, 500)
+    }
+
+    /// Creates one lane per scenario parameter set with a custom step
+    /// limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn with_scenarios_max_steps(params: &[ScenarioParams], max_steps: usize) -> Self {
+        assert!(!params.is_empty(), "a batch needs at least one lane");
+        let lanes = params.len();
         CartPoleBatch {
+            phys: params.iter().map(CartPolePhys::from_params).collect(),
             x: vec![0.0; lanes],
             x_dot: vec![0.0; lanes],
             theta: vec![0.0; lanes],
@@ -232,28 +321,22 @@ impl BatchEnv for CartPoleBatch {
                 continue;
             }
             let a = expect_discrete(action, 2, "cartpole");
-            let force = if a == 1 { FORCE_MAG } else { -FORCE_MAG };
-            let (x, x_dot) = (self.x[lane], self.x_dot[lane]);
-            let (theta, theta_dot) = (self.theta[lane], self.theta_dot[lane]);
-            let (sin_t, cos_t) = theta.sin_cos();
-            let temp = (force + POLE_MASS_LENGTH * theta_dot * theta_dot * sin_t) / TOTAL_MASS;
-            let theta_acc = (GRAVITY * sin_t - cos_t * temp)
-                / (HALF_POLE_LENGTH * (4.0 / 3.0 - MASS_POLE * cos_t * cos_t / TOTAL_MASS));
-            let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_t / TOTAL_MASS;
-            self.x[lane] = x + TAU * x_dot;
-            self.x_dot[lane] = x_dot + TAU * x_acc;
-            self.theta[lane] = theta + TAU * theta_dot;
-            self.theta_dot[lane] = theta_dot + TAU * theta_acc;
-            self.steps[lane] += 1;
-            let terminated =
-                self.x[lane].abs() > X_THRESHOLD || self.theta[lane].abs() > THETA_THRESHOLD;
-            let truncated = !terminated && self.steps[lane] >= self.max_steps;
-            batch.obs_row_mut(lane).copy_from_slice(&[
+            let state = [
                 self.x[lane],
                 self.x_dot[lane],
                 self.theta[lane],
                 self.theta_dot[lane],
-            ]);
+            ];
+            let next = self.phys[lane].advance(state, a);
+            self.x[lane] = next[0];
+            self.x_dot[lane] = next[1];
+            self.theta[lane] = next[2];
+            self.theta_dot[lane] = next[3];
+            self.steps[lane] += 1;
+            let terminated =
+                self.x[lane].abs() > X_THRESHOLD || self.theta[lane].abs() > THETA_THRESHOLD;
+            let truncated = !terminated && self.steps[lane] >= self.max_steps;
+            batch.obs_row_mut(lane).copy_from_slice(&next);
             batch.rewards[lane] = 1.0;
             batch.terminated[lane] = terminated;
             batch.truncated[lane] = truncated;
@@ -353,6 +436,58 @@ mod tests {
     }
 
     #[test]
+    fn default_scenario_matches_legacy_physics_bitwise() {
+        let mut legacy = CartPole::new();
+        let mut scenario = CartPole::with_scenario(&ScenarioParams::default());
+        assert_eq!(legacy.reset(42), scenario.reset(42));
+        for _ in 0..100 {
+            let a = legacy.step(&Action::Discrete(1));
+            let b = scenario.step(&Action::Discrete(1));
+            for (x, y) in a.observation.iter().zip(&b.observation) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.terminated, b.terminated);
+            if a.done() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_physics_change_the_trajectory() {
+        let params = ScenarioParams {
+            length_scale: 1.5,
+            ..ScenarioParams::default()
+        };
+        let mut base = CartPole::new();
+        let mut long = CartPole::with_scenario(&params);
+        base.reset(7);
+        long.reset(7);
+        let a = base.step(&Action::Discrete(1));
+        let b = long.step(&Action::Discrete(1));
+        assert_ne!(
+            a.observation[3].to_bits(),
+            b.observation[3].to_bits(),
+            "a longer pole must change theta_dot"
+        );
+    }
+
+    #[test]
+    fn wind_pushes_the_cart() {
+        let params = ScenarioParams {
+            wind: 0.5,
+            ..ScenarioParams::default()
+        };
+        let mut calm = CartPole::new();
+        let mut windy = CartPole::with_scenario(&params);
+        calm.reset(7);
+        windy.reset(7);
+        let a = calm.step(&Action::Discrete(1));
+        let b = windy.step(&Action::Discrete(1));
+        assert!(b.observation[1] > a.observation[1], "wind adds x velocity");
+    }
+
+    #[test]
     #[should_panic(expected = "finished episode")]
     fn step_after_done_panics() {
         let mut env = CartPole::new();
@@ -410,6 +545,54 @@ mod tests {
             }
         }
         assert!(done.iter().any(|&d| d), "odd lanes tip early");
+    }
+
+    #[test]
+    fn heterogeneous_scenario_lanes_match_their_scalar_twins() {
+        let params = [
+            ScenarioParams::default(),
+            ScenarioParams {
+                gravity_scale: 1.2,
+                ..ScenarioParams::default()
+            },
+            ScenarioParams {
+                mass_scale: 0.8,
+                wind: 0.1,
+                ..ScenarioParams::default()
+            },
+        ];
+        let lanes = params.len();
+        let mut soa = CartPoleBatch::with_scenarios(&params);
+        let mut batch = StepBatch::new(lanes, 4);
+        let seeds: Vec<u64> = (0..lanes as u64).map(|s| s * 31 + 5).collect();
+        soa.reset_batch(&seeds, &mut batch);
+        let mut scalars: Vec<CartPole> = params.iter().map(CartPole::with_scenario).collect();
+        for (lane, env) in scalars.iter_mut().enumerate() {
+            assert_eq!(batch.obs_row(lane), env.reset(seeds[lane]).as_slice());
+        }
+        let mut done = vec![false; lanes];
+        for _ in 0..600 {
+            let actions: Vec<Action> = (0..lanes)
+                .map(|l| {
+                    let o = batch.obs_row(l);
+                    Action::Discrete(usize::from(o[2] + o[3] > 0.0))
+                })
+                .collect();
+            soa.step_batch(&actions, &mut batch);
+            for (lane, env) in scalars.iter_mut().enumerate() {
+                if done[lane] {
+                    continue;
+                }
+                let s = env.step(&actions[lane]);
+                for (a, b) in batch.obs_row(lane).iter().zip(&s.observation) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "scenario lane {lane} diverged");
+                }
+                done[lane] = s.done();
+            }
+            if batch.all_parked() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod lunar_lander;
 pub mod mountain_car;
 pub mod pendulum;
 pub mod pong;
+pub mod scenario;
 pub mod suite;
 pub mod wrappers;
 
@@ -54,4 +55,5 @@ pub use lunar_lander::{LunarLander, LunarLanderBatch};
 pub use mountain_car::MountainCar;
 pub use pendulum::Pendulum;
 pub use pong::Pong;
+pub use scenario::{ParamRange, ScenarioDistribution, ScenarioParams};
 pub use suite::{EnvId, ParseEnvIdError};

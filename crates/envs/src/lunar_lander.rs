@@ -10,6 +10,7 @@
 
 use crate::batch::{BatchEnv, StepBatch};
 use crate::env::{expect_discrete, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,6 +25,31 @@ const SAFE_VX: f64 = 0.35;
 const SAFE_ANGLE: f64 = 0.35;
 const X_LIMIT: f64 = 1.0;
 
+/// Scenario-resolved physics (defaults are IEEE-exact against the
+/// classic constants). Thruster accelerations scale with engine force
+/// and inversely with hull mass; wind is a constant lateral
+/// acceleration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LanderPhys {
+    gravity: f64,
+    main_accel: f64,
+    side_accel: f64,
+    side_torque: f64,
+    wind: f64,
+}
+
+impl LanderPhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        LanderPhys {
+            gravity: GRAVITY * params.gravity_scale,
+            main_accel: MAIN_ACCEL * params.force_scale / params.mass_scale,
+            side_accel: SIDE_ACCEL * params.force_scale / params.mass_scale,
+            side_torque: SIDE_TORQUE * params.force_scale / params.mass_scale,
+            wind: params.wind,
+        }
+    }
+}
+
 /// The lunar landing task.
 ///
 /// Observation: `[x, y, vx, vy, angle, angular_velocity,
@@ -36,6 +62,7 @@ const X_LIMIT: f64 = 1.0;
 /// pad) or −100 (crash or drifting off-screen).
 #[derive(Debug, Clone)]
 pub struct LunarLander {
+    phys: LanderPhys,
     x: f64,
     y: f64,
     vx: f64,
@@ -54,9 +81,22 @@ impl LunarLander {
         Self::with_max_steps(1000)
     }
 
+    /// Creates the environment with scenario physics and the Gym step
+    /// limit (1000).
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 1000)
+    }
+
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         LunarLander {
+            phys: LanderPhys::from_params(params),
             x: 0.0,
             y: 0.0,
             vx: 0.0,
@@ -148,25 +188,28 @@ impl Environment for LunarLander {
         // thrusters push laterally and spin the hull.
         let (sin_a, cos_a) = self.angle.sin_cos();
         let mut fuel_cost = 0.0;
-        let (mut ax, mut ay, mut alpha) = (0.0, -GRAVITY, -ANGULAR_DAMPING * self.omega);
+        let (mut ax, mut ay, mut alpha) = (0.0, -self.phys.gravity, -ANGULAR_DAMPING * self.omega);
+        if self.phys.wind != 0.0 {
+            ax += self.phys.wind;
+        }
         match a {
             0 => {}
             1 => {
                 // Left thruster fires rightward and yaws one way.
-                ax += SIDE_ACCEL * cos_a;
-                ay += SIDE_ACCEL * sin_a;
-                alpha += SIDE_TORQUE;
+                ax += self.phys.side_accel * cos_a;
+                ay += self.phys.side_accel * sin_a;
+                alpha += self.phys.side_torque;
                 fuel_cost = 0.03;
             }
             2 => {
-                ax += -MAIN_ACCEL * sin_a;
-                ay += MAIN_ACCEL * cos_a;
+                ax += -self.phys.main_accel * sin_a;
+                ay += self.phys.main_accel * cos_a;
                 fuel_cost = 0.3;
             }
             3 => {
-                ax += -SIDE_ACCEL * cos_a;
-                ay += -SIDE_ACCEL * sin_a;
-                alpha += -SIDE_TORQUE;
+                ax += -self.phys.side_accel * cos_a;
+                ay += -self.phys.side_accel * sin_a;
+                alpha += -self.phys.side_torque;
                 fuel_cost = 0.03;
             }
             _ => unreachable!("validated by expect_discrete"),
@@ -229,6 +272,7 @@ impl Environment for LunarLander {
 /// bit-identical given the same seed and actions.
 #[derive(Debug, Clone)]
 pub struct LunarLanderBatch {
+    phys: Vec<LanderPhys>,
     x: Vec<f64>,
     y: Vec<f64>,
     vx: Vec<f64>,
@@ -250,14 +294,36 @@ impl LunarLanderBatch {
         Self::with_max_steps(lanes, 1000)
     }
 
+    /// Creates one lane per scenario parameter set, with the Gym step
+    /// limit (1000). Lanes may be heterogeneous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn with_scenarios(params: &[ScenarioParams]) -> Self {
+        Self::with_scenarios_max_steps(params, 1000)
+    }
+
     /// Creates `lanes` episodes with a custom step limit.
     ///
     /// # Panics
     ///
     /// Panics if `lanes == 0`.
     pub fn with_max_steps(lanes: usize, max_steps: usize) -> Self {
-        assert!(lanes > 0, "a batch needs at least one lane");
+        Self::with_scenarios_max_steps(&vec![ScenarioParams::default(); lanes], max_steps)
+    }
+
+    /// Creates one lane per scenario parameter set with a custom step
+    /// limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn with_scenarios_max_steps(params: &[ScenarioParams], max_steps: usize) -> Self {
+        assert!(!params.is_empty(), "a batch needs at least one lane");
+        let lanes = params.len();
         LunarLanderBatch {
+            phys: params.iter().map(LanderPhys::from_params).collect(),
             x: vec![0.0; lanes],
             y: vec![0.0; lanes],
             vx: vec![0.0; lanes],
@@ -351,26 +417,31 @@ impl BatchEnv for LunarLanderBatch {
                 continue;
             }
             let a = expect_discrete(action, 4, "lunar_lander");
+            let phys = self.phys[lane];
             let (sin_a, cos_a) = self.angle[lane].sin_cos();
             let mut fuel_cost = 0.0;
-            let (mut ax, mut ay, mut alpha) = (0.0, -GRAVITY, -ANGULAR_DAMPING * self.omega[lane]);
+            let (mut ax, mut ay, mut alpha) =
+                (0.0, -phys.gravity, -ANGULAR_DAMPING * self.omega[lane]);
+            if phys.wind != 0.0 {
+                ax += phys.wind;
+            }
             match a {
                 0 => {}
                 1 => {
-                    ax += SIDE_ACCEL * cos_a;
-                    ay += SIDE_ACCEL * sin_a;
-                    alpha += SIDE_TORQUE;
+                    ax += phys.side_accel * cos_a;
+                    ay += phys.side_accel * sin_a;
+                    alpha += phys.side_torque;
                     fuel_cost = 0.03;
                 }
                 2 => {
-                    ax += -MAIN_ACCEL * sin_a;
-                    ay += MAIN_ACCEL * cos_a;
+                    ax += -phys.main_accel * sin_a;
+                    ay += phys.main_accel * cos_a;
                     fuel_cost = 0.3;
                 }
                 3 => {
-                    ax += -SIDE_ACCEL * cos_a;
-                    ay += -SIDE_ACCEL * sin_a;
-                    alpha += -SIDE_TORQUE;
+                    ax += -phys.side_accel * cos_a;
+                    ay += -phys.side_accel * sin_a;
+                    alpha += -phys.side_torque;
                     fuel_cost = 0.03;
                 }
                 _ => unreachable!("validated by expect_discrete"),
@@ -561,6 +632,57 @@ mod tests {
             }
         }
         assert!(batch.all_parked(), "every lander comes down eventually");
+    }
+
+    #[test]
+    fn heterogeneous_scenario_lanes_match_their_scalar_twins() {
+        let params = [
+            ScenarioParams::default(),
+            ScenarioParams {
+                gravity_scale: 1.3,
+                wind: 0.05,
+                ..ScenarioParams::default()
+            },
+            ScenarioParams {
+                force_scale: 0.8,
+                mass_scale: 1.2,
+                ..ScenarioParams::default()
+            },
+        ];
+        let lanes = params.len();
+        let mut soa = LunarLanderBatch::with_scenarios(&params);
+        let mut batch = crate::batch::StepBatch::new(lanes, 8);
+        let seeds: Vec<u64> = (0..lanes as u64).map(|s| s * 17 + 3).collect();
+        soa.reset_batch(&seeds, &mut batch);
+        let mut scalars: Vec<LunarLander> = params.iter().map(LunarLander::with_scenario).collect();
+        for (lane, env) in scalars.iter_mut().enumerate() {
+            assert_eq!(batch.obs_row(lane), env.reset(seeds[lane]).as_slice());
+        }
+        let mut done = vec![false; lanes];
+        for _ in 0..1100 {
+            let actions: Vec<Action> = (0..lanes)
+                .map(|l| {
+                    let o = batch.obs_row(l);
+                    Action::Discrete(if o[3] < -0.3 { 2 } else { 0 })
+                })
+                .collect();
+            soa.step_batch(&actions, &mut batch);
+            for (lane, env) in scalars.iter_mut().enumerate() {
+                if done[lane] {
+                    continue;
+                }
+                let s = env.step(&actions[lane]);
+                for (a, b) in batch.obs_row(lane).iter().zip(&s.observation) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "scenario lane {lane} diverged");
+                }
+                assert_eq!(batch.rewards[lane].to_bits(), s.reward.to_bits());
+                done[lane] = s.done();
+            }
+            if batch.all_parked() {
+                break;
+            }
+        }
+        assert!(batch.all_parked());
     }
 
     #[test]

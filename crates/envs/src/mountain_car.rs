@@ -1,7 +1,12 @@
 //! MountainCar (Gym `MountainCar-v0`): drive an under-powered car out
 //! of a valley by building momentum. The paper's **Env3**.
+//!
+//! Scenario physics ([`ScenarioParams`]) can scale motor force and
+//! hill gravity and add a constant lateral wind; the default
+//! parameters reproduce the classic constants bit-identically.
 
 use crate::env::{expect_discrete, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -12,12 +17,32 @@ const GOAL_POSITION: f64 = 0.5;
 const FORCE: f64 = 0.001;
 const GRAVITY: f64 = 0.0025;
 
+/// Scenario-resolved physics (defaults are IEEE-exact against the
+/// classic constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MountainCarPhys {
+    force: f64,
+    gravity: f64,
+    wind: f64,
+}
+
+impl MountainCarPhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        MountainCarPhys {
+            force: FORCE * params.force_scale,
+            gravity: GRAVITY * params.gravity_scale,
+            wind: params.wind,
+        }
+    }
+}
+
 /// The MountainCar task.
 ///
 /// Observation: `[position, velocity]`. Actions: 0 push left, 1 coast,
 /// 2 push right. Reward −1 per step; terminates at the goal position.
 #[derive(Debug, Clone)]
 pub struct MountainCar {
+    phys: MountainCarPhys,
     position: f64,
     velocity: f64,
     steps: usize,
@@ -33,7 +58,20 @@ impl MountainCar {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and the Gym step
+    /// limit (200).
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 200)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         MountainCar {
+            phys: MountainCarPhys::from_params(params),
             position: 0.0,
             velocity: 0.0,
             steps: 0,
@@ -83,7 +121,11 @@ impl Environment for MountainCar {
             "mountain_car: step() called on a finished episode"
         );
         let a = expect_discrete(action, 3, "mountain_car") as f64;
-        self.velocity += (a - 1.0) * FORCE + (3.0 * self.position).cos() * (-GRAVITY);
+        self.velocity +=
+            (a - 1.0) * self.phys.force + (3.0 * self.position).cos() * (-self.phys.gravity);
+        if self.phys.wind != 0.0 {
+            self.velocity += self.phys.wind;
+        }
         self.velocity = self.velocity.clamp(-MAX_SPEED, MAX_SPEED);
         self.position = (self.position + self.velocity).clamp(MIN_POSITION, MAX_POSITION);
         if self.position <= MIN_POSITION && self.velocity < 0.0 {
@@ -160,6 +202,40 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn default_scenario_matches_legacy_physics_bitwise() {
+        let mut legacy = MountainCar::new();
+        let mut scenario = MountainCar::with_scenario(&ScenarioParams::default());
+        assert_eq!(legacy.reset(5), scenario.reset(5));
+        for i in 0..200 {
+            let a = Action::Discrete(i % 3);
+            let sa = legacy.step(&a);
+            let sb = scenario.step(&a);
+            assert_eq!(sa.observation[0].to_bits(), sb.observation[0].to_bits());
+            assert_eq!(sa.observation[1].to_bits(), sb.observation[1].to_bits());
+            if sa.done() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_motor_climbs_where_stock_cannot() {
+        let strong = ScenarioParams {
+            force_scale: 4.0,
+            ..ScenarioParams::default()
+        };
+        let mut env = MountainCar::with_scenario(&strong);
+        env.reset(1);
+        for _ in 0..200 {
+            let s = env.step(&Action::Discrete(2));
+            if s.terminated {
+                return; // a 4x motor drives straight up
+            }
+        }
+        panic!("4x motor should reach the goal directly");
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Pendulum (Gym `Pendulum-v1`): swing a torque-limited pendulum
 //! upright and hold it. The paper's **Env6** and its only classic
 //! continuous-action task.
+//!
+//! Scenario physics ([`ScenarioParams`]) can scale gravity, bob mass,
+//! rod length, and torque gain, and add a constant angular wind; the
+//! default parameters reproduce the classic constants bit-identically.
 
 use crate::env::{expect_continuous, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
@@ -14,6 +19,31 @@ const GRAVITY: f64 = 10.0;
 const MASS: f64 = 1.0;
 const LENGTH: f64 = 1.0;
 
+/// Scenario-resolved physics (defaults are IEEE-exact against the
+/// classic constants). The *action space* stays `[-2, 2]` regardless
+/// of scenario — `torque_gain` scales the applied torque, not the
+/// policy's output bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PendulumPhys {
+    gravity: f64,
+    mass: f64,
+    length: f64,
+    torque_gain: f64,
+    wind: f64,
+}
+
+impl PendulumPhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        PendulumPhys {
+            gravity: GRAVITY * params.gravity_scale,
+            mass: MASS * params.mass_scale,
+            length: LENGTH * params.length_scale,
+            torque_gain: params.force_scale,
+            wind: params.wind,
+        }
+    }
+}
+
 /// The Pendulum swing-up task.
 ///
 /// Observation: `[cos θ, sin θ, θ̇]`. Action: one torque in
@@ -21,6 +51,7 @@ const LENGTH: f64 = 1.0;
 /// to `[-π, π]`; the episode never terminates, only truncates.
 #[derive(Debug, Clone)]
 pub struct Pendulum {
+    phys: PendulumPhys,
     theta: f64,
     theta_dot: f64,
     steps: usize,
@@ -36,7 +67,20 @@ impl Pendulum {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and the Gym step
+    /// limit (200).
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 200)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         Pendulum {
+            phys: PendulumPhys::from_params(params),
             theta: 0.0,
             theta_dot: 0.0,
             steps: 0,
@@ -94,11 +138,15 @@ impl Environment for Pendulum {
     fn step(&mut self, action: &Action) -> Step {
         assert!(!self.done, "pendulum: step() called on a finished episode");
         let u = expect_continuous(action, &[-MAX_TORQUE], &[MAX_TORQUE], "pendulum")[0];
+        let u = u * self.phys.torque_gain;
         let angle = self.normalized_angle();
         let cost = angle * angle + 0.1 * self.theta_dot * self.theta_dot + 0.001 * u * u;
-        self.theta_dot += (3.0 * GRAVITY / (2.0 * LENGTH) * self.theta.sin()
-            + 3.0 / (MASS * LENGTH * LENGTH) * u)
+        self.theta_dot += (3.0 * self.phys.gravity / (2.0 * self.phys.length) * self.theta.sin()
+            + 3.0 / (self.phys.mass * self.phys.length * self.phys.length) * u)
             * DT;
+        if self.phys.wind != 0.0 {
+            self.theta_dot += self.phys.wind * DT;
+        }
         self.theta_dot = self.theta_dot.clamp(-MAX_SPEED, MAX_SPEED);
         self.theta += self.theta_dot * DT;
         self.steps += 1;
@@ -193,5 +241,35 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn default_scenario_matches_legacy_physics_bitwise() {
+        let mut legacy = Pendulum::new();
+        let mut scenario = Pendulum::with_scenario(&ScenarioParams::default());
+        assert_eq!(legacy.reset(9), scenario.reset(9));
+        for _ in 0..50 {
+            let a = legacy.step(&Action::Continuous(vec![1.0]));
+            let b = scenario.step(&Action::Continuous(vec![1.0]));
+            for (x, y) in a.observation.iter().zip(&b.observation) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+        }
+    }
+
+    #[test]
+    fn weaker_motor_swings_slower() {
+        let weak = ScenarioParams {
+            force_scale: 0.5,
+            ..ScenarioParams::default()
+        };
+        let mut full = Pendulum::new();
+        let mut half = Pendulum::with_scenario(&weak);
+        full.reset(11);
+        half.reset(11);
+        let a = full.step(&Action::Continuous(vec![2.0]));
+        let b = half.step(&Action::Continuous(vec![2.0]));
+        assert_ne!(a.observation[2].to_bits(), b.observation[2].to_bits());
     }
 }

@@ -8,6 +8,7 @@
 //! device (pixel stacks are out of scope for 10-node networks).
 
 use crate::env::{expect_discrete, Action, ActionSpace, Environment, Step};
+use crate::scenario::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,6 +20,24 @@ const COURT_HALF: f64 = 0.5;
 const BALL_SPEED: f64 = 0.03;
 const WIN_SCORE: i32 = 5;
 
+/// Scenario-resolved physics (defaults are IEEE-exact against the
+/// classic constants). `force_scale` scales the player's paddle speed;
+/// `wind` is a constant vertical drift on the ball.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PongPhys {
+    paddle_speed: f64,
+    wind: f64,
+}
+
+impl PongPhys {
+    fn from_params(params: &ScenarioParams) -> Self {
+        PongPhys {
+            paddle_speed: PADDLE_SPEED * params.force_scale,
+            wind: params.wind,
+        }
+    }
+}
+
 /// A planar Pong rally against a built-in tracking opponent.
 ///
 /// Observation: `[ball_x, ball_y, ball_vx, ball_vy, own_paddle_y,
@@ -27,6 +46,7 @@ const WIN_SCORE: i32 = 5;
 /// (shaping). The episode ends at 5 points either way.
 #[derive(Debug, Clone)]
 pub struct Pong {
+    phys: PongPhys,
     ball: [f64; 4],
     own_y: f64,
     opp_y: f64,
@@ -46,7 +66,20 @@ impl Pong {
 
     /// Creates the environment with a custom step limit.
     pub fn with_max_steps(max_steps: usize) -> Self {
+        Self::with_scenario_max_steps(&ScenarioParams::default(), max_steps)
+    }
+
+    /// Creates the environment with scenario physics and the default
+    /// 3000-step limit.
+    pub fn with_scenario(params: &ScenarioParams) -> Self {
+        Self::with_scenario_max_steps(params, 3000)
+    }
+
+    /// Creates the environment with scenario physics and a custom step
+    /// limit.
+    pub fn with_scenario_max_steps(params: &ScenarioParams, max_steps: usize) -> Self {
         Pong {
+            phys: PongPhys::from_params(params),
             ball: [0.0; 4],
             own_y: 0.0,
             opp_y: 0.0,
@@ -123,8 +156,8 @@ impl Environment for Pong {
         assert!(!self.done, "pong: step() called on a finished episode");
         let a = expect_discrete(action, 3, "pong");
         match a {
-            1 => self.own_y = (self.own_y + PADDLE_SPEED * DT).min(COURT_HALF),
-            2 => self.own_y = (self.own_y - PADDLE_SPEED * DT).max(-COURT_HALF),
+            1 => self.own_y = (self.own_y + self.phys.paddle_speed * DT).min(COURT_HALF),
+            2 => self.own_y = (self.own_y - self.phys.paddle_speed * DT).max(-COURT_HALF),
             _ => {}
         }
         // Opponent: slow tracker of the ball (beatable).
@@ -133,6 +166,9 @@ impl Environment for Pong {
         self.opp_y = (self.opp_y + delta).clamp(-COURT_HALF, COURT_HALF);
 
         // Ball physics: own paddle lives at x = +0.5, opponent at -0.5.
+        if self.phys.wind != 0.0 {
+            self.ball[3] += self.phys.wind * BALL_SPEED * DT;
+        }
         self.ball[0] += self.ball[2] * DT;
         self.ball[1] += self.ball[3] * DT;
         if self.ball[1].abs() > COURT_HALF {
@@ -261,5 +297,40 @@ mod tests {
     fn episode_terminates_at_win_score() {
         let (_, own, opp) = play(|_| 0, 9);
         assert!(own == WIN_SCORE || opp == WIN_SCORE);
+    }
+
+    #[test]
+    fn default_scenario_matches_legacy_physics_bitwise() {
+        let mut legacy = Pong::new();
+        let mut scenario = Pong::with_scenario(&ScenarioParams::default());
+        assert_eq!(legacy.reset(7), scenario.reset(7));
+        for _ in 0..300 {
+            let sa = legacy.step(&Action::Discrete(1));
+            let sb = scenario.step(&Action::Discrete(1));
+            for (x, y) in sa.observation.iter().zip(&sb.observation) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            if sa.done() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn slower_paddle_changes_the_rally() {
+        let slow = ScenarioParams {
+            force_scale: 0.25,
+            ..ScenarioParams::default()
+        };
+        let mut full = Pong::new();
+        let mut crippled = Pong::with_scenario(&slow);
+        full.reset(7);
+        crippled.reset(7);
+        let a = full.step(&Action::Discrete(1));
+        let b = crippled.step(&Action::Discrete(1));
+        assert!(
+            b.observation[4] < a.observation[4],
+            "slower paddle moves less"
+        );
     }
 }

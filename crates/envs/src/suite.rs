@@ -7,6 +7,7 @@ use crate::batch::{BatchEnv, ScalarBatch};
 use crate::cartpole::CartPoleBatch;
 use crate::env::Environment;
 use crate::lunar_lander::LunarLanderBatch;
+use crate::scenario::ScenarioParams;
 use crate::{Acrobot, BipedalWalker, CartPole, LunarLander, MountainCar, Pendulum, Pong};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -56,16 +57,23 @@ impl EnvId {
         EnvId::Pong,
     ];
 
-    /// Instantiates the environment.
+    /// Instantiates the environment with default (legacy) physics.
     pub fn make(self) -> Box<dyn Environment> {
+        self.make_scenario(&ScenarioParams::default())
+    }
+
+    /// Instantiates the environment with scenario physics. With
+    /// [`ScenarioParams::default`] this is bit-identical to
+    /// [`EnvId::make`].
+    pub fn make_scenario(self, params: &ScenarioParams) -> Box<dyn Environment> {
         match self {
-            EnvId::CartPole => Box::new(CartPole::new()),
-            EnvId::Acrobot => Box::new(Acrobot::new()),
-            EnvId::MountainCar => Box::new(MountainCar::new()),
-            EnvId::Bipedal => Box::new(BipedalWalker::new()),
-            EnvId::LunarLander => Box::new(LunarLander::new()),
-            EnvId::Pendulum => Box::new(Pendulum::new()),
-            EnvId::Pong => Box::new(Pong::new()),
+            EnvId::CartPole => Box::new(CartPole::with_scenario(params)),
+            EnvId::Acrobot => Box::new(Acrobot::with_scenario(params)),
+            EnvId::MountainCar => Box::new(MountainCar::with_scenario(params)),
+            EnvId::Bipedal => Box::new(BipedalWalker::with_scenario(params)),
+            EnvId::LunarLander => Box::new(LunarLander::with_scenario(params)),
+            EnvId::Pendulum => Box::new(Pendulum::with_scenario(params)),
+            EnvId::Pong => Box::new(Pong::with_scenario(params)),
         }
     }
 
@@ -85,6 +93,25 @@ impl EnvId {
             EnvId::CartPole => Box::new(CartPoleBatch::new(lanes)),
             EnvId::LunarLander => Box::new(LunarLanderBatch::new(lanes)),
             other => Box::new(ScalarBatch::from_fn(lanes, |_| other.make())),
+        }
+    }
+
+    /// Instantiates a lockstep batch with one lane per scenario
+    /// parameter set — how multi-scenario fitness packs heterogeneous
+    /// physics into the SoA stepping path. A lane built from
+    /// [`ScenarioParams::default`] is bit-identical to the matching
+    /// [`EnvId::make_batch`] lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn make_batch_scenarios(self, params: &[ScenarioParams]) -> Box<dyn BatchEnv> {
+        match self {
+            EnvId::CartPole => Box::new(CartPoleBatch::with_scenarios(params)),
+            EnvId::LunarLander => Box::new(LunarLanderBatch::with_scenarios(params)),
+            other => Box::new(ScalarBatch::from_fn(params.len(), |i| {
+                other.make_scenario(&params[i])
+            })),
         }
     }
 
@@ -269,6 +296,55 @@ mod tests {
             assert_eq!(batch.observation_size(), env.observation_size(), "{id}");
             assert_eq!(batch.action_space(), env.action_space(), "{id}");
             assert_eq!(batch.max_episode_steps(), env.max_episode_steps(), "{id}");
+            assert_eq!(batch.name(), env.name(), "{id}");
+        }
+    }
+
+    #[test]
+    fn make_scenario_default_matches_make_bitwise() {
+        use crate::env::Action;
+        for id in EnvId::ALL_WITH_ATARI {
+            let mut legacy = id.make();
+            let mut scenario = id.make_scenario(&ScenarioParams::default());
+            let a = legacy.reset(17);
+            let b = scenario.reset(17);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{id} reset diverged");
+            }
+            let action = match legacy.action_space() {
+                crate::env::ActionSpace::Discrete(_) => Action::Discrete(0),
+                crate::env::ActionSpace::Continuous { low, .. } => {
+                    Action::Continuous(vec![0.0; low.len()])
+                }
+            };
+            for _ in 0..25 {
+                let sa = legacy.step(&action);
+                let sb = scenario.step(&action);
+                for (x, y) in sa.observation.iter().zip(&sb.observation) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{id} step diverged");
+                }
+                if sa.done() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn make_batch_scenarios_mirrors_scalar_metadata() {
+        let params = vec![
+            ScenarioParams::default(),
+            ScenarioParams {
+                gravity_scale: 1.1,
+                ..ScenarioParams::default()
+            },
+        ];
+        for id in EnvId::ALL {
+            let env = id.make();
+            let batch = id.make_batch_scenarios(&params);
+            assert_eq!(batch.lanes(), 2, "{id}");
+            assert_eq!(batch.observation_size(), env.observation_size(), "{id}");
+            assert_eq!(batch.action_space(), env.action_space(), "{id}");
             assert_eq!(batch.name(), env.name(), "{id}");
         }
     }

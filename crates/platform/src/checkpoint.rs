@@ -51,18 +51,21 @@ pub struct RunState {
 
 /// The identity a checkpoint directory is bound to.
 ///
-/// Hashes the canonical configuration JSON with the two
+/// Hashes the canonical configuration JSON with the
 /// result-irrelevant fields neutralized: `threads` (results are
-/// bit-identical at any thread count) and the checkpoint policy
-/// itself (tuning retention or cadence must not orphan existing
-/// snapshots). Everything else — env, NEAT hyperparameters, cost
-/// models, INAX geometry, generation cap, target — participates, so
+/// bit-identical at any thread count), the checkpoint policy itself
+/// (tuning retention or cadence must not orphan existing snapshots),
+/// and the held-out scenario pass (strictly read-only telemetry —
+/// toggling it must not orphan snapshots either). Everything else —
+/// env, NEAT hyperparameters, cost models, INAX geometry, generation
+/// cap, target, the *train* scenario distribution — participates, so
 /// a snapshot from a differently configured run is refused at
 /// recovery.
 pub fn fingerprint(config: &E3Config, backend: BackendKind, seed: u64) -> RunFingerprint {
     let mut canonical = config.clone();
     canonical.threads = 1;
     canonical.checkpoint = None;
+    canonical.scenario.holdout = None;
     let json = serde_json::to_string(&canonical).expect("E3Config serializes");
     RunFingerprint {
         config_hash: fnv1a(json.as_bytes()),

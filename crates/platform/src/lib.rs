@@ -80,6 +80,7 @@ pub mod energy;
 pub mod experiments;
 pub mod fpga;
 pub mod platform;
+pub mod scenario;
 pub mod timing;
 
 pub use backend::{
@@ -95,4 +96,8 @@ pub use e3_telemetry as telemetry;
 pub use energy::{EnergyReport, PowerModel};
 pub use fpga::{FpgaBudget, FpgaResources};
 pub use platform::{E3Config, E3ConfigBuilder, E3Platform, FunctionProfile, RunError, RunOutcome};
+pub use scenario::{
+    aggregate_fitness, holdout_plan, FitnessAggregation, HoldoutConfig, ScenarioConfig,
+    ScenarioSpec, HOLDOUT_EPISODE_STREAM, HOLDOUT_PARAM_STREAM, PARAM_STREAM,
+};
 pub use timing::{GpuCostModel, SwCostModel};

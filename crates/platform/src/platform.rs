@@ -9,9 +9,10 @@
 //! results are bit-identical whichever sink is attached (see the
 //! property tests in `tests/telemetry_parity.rs`).
 
-use crate::backend::{AnyBackend, BackendKind, EvalBackend, EvalError};
+use crate::backend::{run_software_episode, AnyBackend, BackendKind, EvalBackend, EvalError};
 use crate::checkpoint::{fingerprint, RunState};
 use crate::energy::PowerModel;
+use crate::scenario::{holdout_plan, ScenarioConfig, ScenarioSpec};
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::EnvId;
 use e3_exec::{ExecStatsState, SharedExecutor};
@@ -21,8 +22,9 @@ use e3_neat::stats::ComplexityStats;
 use e3_neat::{NeatConfig, Population};
 use e3_store::{CheckpointPolicy, RunStore, StoreError};
 use e3_telemetry::{
-    CheckpointRecord, Collector, EvalRecord, ExecRecord, FunctionSplit, GenerationRecord,
-    HwCounters, NullCollector, ResumeRecord, RunSummary, TelemetryError, TelemetryEvent, Tracer,
+    CheckpointRecord, Collector, EvalRecord, ExecRecord, FunctionSplit, GeneralizationRecord,
+    GenerationRecord, HwCounters, NullCollector, ResumeRecord, RunSummary, TelemetryError,
+    TelemetryEvent, Tracer,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -197,6 +199,16 @@ pub struct E3Config {
     /// [`E3Platform::resume`] continues bit-identically after a crash.
     /// Like `threads`, this never affects results.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Scenario-distribution evaluation: how many scenarios each
+    /// genome faces per generation, which distribution they are drawn
+    /// from, how per-scenario fitnesses aggregate, and the optional
+    /// held-out generalization pass. The default is *vanilla* —
+    /// `K = 1` with default [`e3_envs::ScenarioParams`] — which takes
+    /// the legacy evaluation path and is bit-identical to
+    /// configurations that predate this field (old JSON deserializes
+    /// via `serde(default)`).
+    #[serde(default)]
+    pub scenario: ScenarioConfig,
 }
 
 impl E3Config {
@@ -222,6 +234,7 @@ impl E3Config {
                 gpu: GpuCostModel::default(),
                 threads: 1,
                 checkpoint: None,
+                scenario: ScenarioConfig::default(),
             },
         }
     }
@@ -276,6 +289,14 @@ impl E3ConfigBuilder {
         self
     }
 
+    /// Configures scenario-distribution evaluation (train
+    /// distribution, scenarios per evaluation, aggregation, and the
+    /// held-out generalization pass).
+    pub fn scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.config.scenario = scenario;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -296,6 +317,10 @@ impl E3ConfigBuilder {
         );
         assert!(c.max_generations > 0, "need at least one generation");
         assert!(c.threads > 0, "need at least one evaluation thread");
+        assert!(
+            c.scenario.scenarios_per_eval > 0,
+            "need at least one scenario per evaluation"
+        );
         c
     }
 }
@@ -712,12 +737,30 @@ impl E3Platform {
         // MountainCar where a single fixed condition stalls progress.
         // The batched entry point is bit-identical to the scalar one
         // (software backends run the population-major kernel, INAX its
-        // wave loop), so the platform always takes it.
-        let outcome = self.backend.try_evaluate_population_batched(
-            &genomes,
-            self.config.env,
-            self.episode_seed,
-        )?;
+        // wave loop), so the platform always takes it. A vanilla
+        // scenario config (K = 1, default params, mean aggregation)
+        // keeps the legacy path verbatim so pre-scenario runs stay
+        // bit-identical; anything else builds a per-generation
+        // ScenarioSpec and routes through the scenario kernels. The
+        // legacy episode-seed counter advances either way so toggling
+        // the holdout pass (or a later config edit) never shifts the
+        // vanilla schedule.
+        let outcome = if self.config.scenario.is_vanilla() {
+            self.backend.try_evaluate_population_batched(
+                &genomes,
+                self.config.env,
+                self.episode_seed,
+            )?
+        } else {
+            let spec = ScenarioSpec::for_generation(
+                &self.config.scenario,
+                self.seed,
+                self.generation as u64,
+                genomes.len(),
+            );
+            self.backend
+                .try_evaluate_population_scenarios(&genomes, self.config.env, &spec)?
+        };
         self.episode_seed = self.episode_seed.wrapping_add(1);
         self.profile.evaluate += outcome.eval_seconds;
         self.profile.env += outcome.env_seconds;
@@ -776,6 +819,60 @@ impl E3Platform {
                 queue_depths: exec.queue_depths.clone(),
                 wall_seconds: exec.wall_seconds,
             }))?;
+        }
+        // --- Held-out generalization pass (read-only). ---
+        // Replays the generation's champion against scenarios drawn
+        // from the held-out distribution. Strictly observational: it
+        // touches no profile counters, no RNG state, and no fitness
+        // the evolver sees, so enabling it never perturbs the run.
+        if let Some(holdout) = &self.config.scenario.holdout {
+            if holdout.scenarios > 0 && self.generation.is_multiple_of(holdout.every.max(1)) {
+                let best_index = outcome
+                    .fitnesses
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(i, _)| i);
+                let mut net =
+                    genomes[best_index]
+                        .decode()
+                        .map_err(|reason| EvalError::NotFeedForward {
+                            genome_index: best_index,
+                            reason,
+                        })?;
+                let plan = holdout_plan(holdout, self.seed, self.generation as u64);
+                let per_scenario: Vec<f64> = plan
+                    .iter()
+                    .map(|(params, seed)| {
+                        let mut env = self.config.env.make_scenario(params);
+                        run_software_episode(&mut net, env.as_mut(), *seed).0
+                    })
+                    .collect();
+                let count = per_scenario.len();
+                let holdout_fitness = per_scenario.iter().sum::<f64>() / count as f64;
+                let holdout_min = per_scenario.iter().cloned().fold(f64::INFINITY, f64::min);
+                let holdout_max = per_scenario
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let variance = per_scenario
+                    .iter()
+                    .map(|f| (f - holdout_fitness).powi(2))
+                    .sum::<f64>()
+                    / count as f64;
+                collector.record(&TelemetryEvent::Generalization(GeneralizationRecord {
+                    generation: self.generation,
+                    backend: self.backend.kind().name().to_string(),
+                    env: self.config.env.name().to_string(),
+                    train_fitness: best,
+                    holdout_fitness,
+                    holdout_scenarios: count,
+                    holdout_min,
+                    holdout_max,
+                    holdout_std: variance.sqrt(),
+                    gap: best - holdout_fitness,
+                }))?;
+            }
         }
         self.population.assign_fitnesses(outcome.fitnesses);
         let best_ever = self.population.best().map_or(best, |b| b.fitness);
@@ -1241,5 +1338,124 @@ mod tests {
         assert_eq!(resumed_collector.generations().count(), 0);
         assert_eq!(resumed_collector.summaries().count(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_scenario_config_reproduces_legacy_run_bitwise() {
+        // The scenario field defaults to vanilla; a config that spells
+        // the default out explicitly must reproduce the implicit one
+        // bit-for-bit (both take the legacy evaluation path).
+        let implicit = E3Platform::new(small(EnvId::CartPole), BackendKind::Cpu, 5)
+            .run()
+            .unwrap();
+        let mut config = small(EnvId::CartPole);
+        config.scenario = ScenarioConfig::default();
+        let explicit = E3Platform::new(config, BackendKind::Cpu, 5).run().unwrap();
+        assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    fn scenario_training_changes_results_but_stays_deterministic() {
+        use crate::scenario::FitnessAggregation;
+        use e3_envs::ScenarioDistribution;
+        let scenario = ScenarioConfig::default()
+            .train(ScenarioDistribution::moderate())
+            .scenarios_per_eval(3)
+            .aggregation(FitnessAggregation::CVaR { alpha: 0.5 });
+        let mut config = small(EnvId::CartPole);
+        config.target_fitness = f64::INFINITY;
+        config.scenario = scenario;
+        let a = E3Platform::new(config.clone(), BackendKind::Cpu, 5)
+            .run()
+            .unwrap();
+        let b = E3Platform::new(config.clone(), BackendKind::Cpu, 5)
+            .run()
+            .unwrap();
+        assert_eq!(a, b, "scenario training must be deterministic");
+        let mut vanilla = small(EnvId::CartPole);
+        vanilla.target_fitness = f64::INFINITY;
+        let c = E3Platform::new(vanilla, BackendKind::Cpu, 5).run().unwrap();
+        assert_ne!(
+            a.trace, c.trace,
+            "multi-scenario training must actually change the run"
+        );
+    }
+
+    #[test]
+    fn holdout_pass_emits_generalization_without_perturbing_the_run() {
+        use crate::scenario::HoldoutConfig;
+        use e3_envs::ScenarioDistribution;
+        use e3_telemetry::MemoryCollector;
+        let mut plain = small(EnvId::CartPole);
+        plain.target_fitness = f64::INFINITY;
+        let mut probed = plain.clone();
+        probed.scenario = ScenarioConfig::default()
+            .holdout(HoldoutConfig::new(ScenarioDistribution::shifted()).scenarios(4));
+        assert!(probed.scenario.is_vanilla(), "holdout alone stays vanilla");
+
+        let baseline = E3Platform::new(plain, BackendKind::Cpu, 5).run().unwrap();
+        let mut collector = MemoryCollector::new();
+        let outcome = E3Platform::new(probed, BackendKind::Cpu, 5)
+            .run_with(&mut collector)
+            .unwrap();
+        // Read-only: the probed run reproduces the plain run exactly.
+        assert_eq!(baseline, outcome);
+        let records: Vec<_> = collector.generalizations().collect();
+        assert_eq!(
+            records.len(),
+            outcome.generations_run,
+            "one pass per generation"
+        );
+        for record in records {
+            assert_eq!(record.holdout_scenarios, 4);
+            assert!(record.holdout_fitness.is_finite());
+            assert!(record.holdout_min <= record.holdout_fitness);
+            assert!(record.holdout_fitness <= record.holdout_max);
+            assert!(record.holdout_std >= 0.0);
+            assert_eq!(record.gap, record.train_fitness - record.holdout_fitness);
+        }
+    }
+
+    #[test]
+    fn holdout_cadence_skips_generations() {
+        use crate::scenario::HoldoutConfig;
+        use e3_envs::ScenarioDistribution;
+        use e3_telemetry::MemoryCollector;
+        let mut config = small(EnvId::CartPole);
+        config.max_generations = 4;
+        config.target_fitness = f64::INFINITY;
+        config.scenario = ScenarioConfig::default()
+            .holdout(HoldoutConfig::new(ScenarioDistribution::moderate()).every(2));
+        let mut collector = MemoryCollector::new();
+        E3Platform::new(config, BackendKind::Cpu, 5)
+            .run_with(&mut collector)
+            .unwrap();
+        // Generations 0..4 evaluate; passes run at generations 0 and 2.
+        let generations: Vec<usize> = collector.generalizations().map(|g| g.generation).collect();
+        assert_eq!(generations, vec![0, 2]);
+    }
+
+    #[test]
+    fn scenario_config_round_trips_through_e3_config_json() {
+        use crate::scenario::{FitnessAggregation, HoldoutConfig};
+        use e3_envs::ScenarioDistribution;
+        let mut config = small(EnvId::Pendulum);
+        config.scenario = ScenarioConfig::default()
+            .train(ScenarioDistribution::moderate())
+            .scenarios_per_eval(4)
+            .aggregation(FitnessAggregation::CVaR { alpha: 0.25 })
+            .holdout(HoldoutConfig::new(ScenarioDistribution::shifted()).scenarios(6));
+        let json = serde_json::to_string(&config).unwrap();
+        let back: E3Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        // A pre-scenario config JSON (no `scenario` key at all) loads
+        // as vanilla.
+        let mut value = small(EnvId::Pendulum).to_value();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(key, _)| key != "scenario");
+        }
+        let legacy: E3Config = Deserialize::from_value(&value).unwrap();
+        assert!(legacy.scenario.is_vanilla());
+        assert_eq!(legacy, small(EnvId::Pendulum));
     }
 }

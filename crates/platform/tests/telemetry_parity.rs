@@ -243,6 +243,34 @@ fn validate_ndjson_stream(text: &str) -> Vec<&'static str> {
                 );
             }
             kinds.push("Resume");
+        } else if let Some(generalization) = value.get("Generalization") {
+            for key in [
+                "generation",
+                "backend",
+                "env",
+                "train_fitness",
+                "holdout_fitness",
+                "holdout_scenarios",
+                "holdout_min",
+                "holdout_max",
+                "holdout_std",
+                "gap",
+            ] {
+                assert!(
+                    generalization.get(key).is_some(),
+                    "Generalization record missing {key}: {line}"
+                );
+            }
+            assert!(
+                generalization
+                    .get("holdout_scenarios")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap_or(0)
+                    > 0,
+                "generalization passes sample at least one scenario"
+            );
+            kinds.push("Generalization");
         } else if let Some(summary) = value.get("Summary") {
             for key in [
                 "backend",
@@ -347,6 +375,45 @@ fn ndjson_schema_is_stable() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Pins the `Generalization` record on the wire: a run with a held-out
+/// distribution streams one schema-valid record per holdout cadence
+/// tick, placed between the Exec and Generation records of its
+/// generation, and the rest of the stream keeps its shape.
+#[test]
+fn ndjson_schema_covers_generalization_records() {
+    use e3_envs::ScenarioDistribution;
+    use e3_platform::{HoldoutConfig, ScenarioConfig};
+
+    let mut config = quick_config(EnvId::CartPole);
+    config.scenario = ScenarioConfig::default()
+        .train(ScenarioDistribution::moderate())
+        .scenarios_per_eval(2)
+        .holdout(HoldoutConfig::new(ScenarioDistribution::shifted()).scenarios(4));
+
+    let mut sink = NdjsonWriter::new(Vec::new());
+    E3Platform::new(config, BackendKind::Inax, 7)
+        .run_with(&mut sink)
+        .unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let kinds = validate_ndjson_stream(&text);
+
+    let generalizations = kinds.iter().filter(|k| **k == "Generalization").count();
+    let generations = kinds.iter().filter(|k| **k == "Generation").count();
+    assert_eq!(
+        generalizations, generations,
+        "default cadence emits one generalization pass per generation"
+    );
+    for window in kinds.windows(2) {
+        if window[1] == "Generalization" {
+            assert_eq!(
+                window[0], "Exec",
+                "generalization follows the generation's exec record"
+            );
+        }
+    }
+    assert_eq!(kinds.last(), Some(&"Summary"), "summary closes the stream");
+}
+
 /// A recurrent genome is reported as a typed error end-to-end through
 /// `E3Platform::run`, not a panic (regression test for the fallible
 /// backend API).
@@ -407,6 +474,7 @@ fn collector_forwarding_preserves_order() {
             TelemetryEvent::Resume(_) => "resume",
             TelemetryEvent::Island(_) => "island",
             TelemetryEvent::Migration(_) => "migration",
+            TelemetryEvent::Generalization(_) => "generalization",
             TelemetryEvent::Summary(_) => "summary",
         })
         .collect();

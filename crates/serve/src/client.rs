@@ -23,6 +23,7 @@ struct Head {
 
 fn send_request(
     addr: SocketAddr,
+    method: &str,
     path: &str,
     timeout: Duration,
 ) -> io::Result<BufReader<TcpStream>> {
@@ -32,7 +33,7 @@ fn send_request(
     let mut writer = stream.try_clone()?;
     write!(
         writer,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )?;
     writer.flush()?;
     Ok(BufReader::new(stream))
@@ -107,7 +108,23 @@ fn read_chunk(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<u8>>> 
 /// Connect/read/write failures (including timeouts) and malformed
 /// responses surface as [`io::Error`].
 pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<HttpResponse> {
-    let mut reader = send_request(addr, path, timeout)?;
+    http_request(addr, "GET", path, timeout)
+}
+
+/// Sends a bodyless request with an arbitrary method (`DELETE`,
+/// `POST`, ...) and decodes the response like [`http_get`].
+///
+/// # Errors
+///
+/// Connect/read/write failures (including timeouts) and malformed
+/// responses surface as [`io::Error`].
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let mut reader = send_request(addr, method, path, timeout)?;
     let head = read_head(&mut reader)?;
     let mut body = Vec::new();
     if head.chunked {
@@ -141,7 +158,7 @@ pub fn tail_events(
     max_lines: usize,
     timeout: Duration,
 ) -> io::Result<Vec<String>> {
-    let mut reader = send_request(addr, path, timeout)?;
+    let mut reader = send_request(addr, "GET", path, timeout)?;
     let head = read_head(&mut reader)?;
     if head.status != 200 {
         return Err(io::Error::new(

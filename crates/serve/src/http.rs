@@ -119,7 +119,18 @@ pub fn method_not_allowed(stream: &mut impl Write) -> io::Result<()> {
         405,
         "Method Not Allowed",
         "text/plain; charset=utf-8",
-        b"only GET is supported\n",
+        b"method not allowed for this endpoint\n",
+    )
+}
+
+/// Convenience: a plain-text `500 Internal Server Error`.
+pub fn server_error(stream: &mut impl Write, what: &str) -> io::Result<()> {
+    write_response(
+        stream,
+        500,
+        "Internal Server Error",
+        "text/plain; charset=utf-8",
+        format!("error: {what}\n").as_bytes(),
     )
 }
 

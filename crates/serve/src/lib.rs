@@ -39,7 +39,7 @@ pub mod http;
 pub mod server;
 
 pub use bench::{ServeBenchOutput, ServeBenchResult};
-pub use client::{http_get, tail_events, HttpResponse};
+pub use client::{http_get, http_request, tail_events, HttpResponse};
 pub use server::{
     serve, Health, RunHealth, ServeOptions, Server, EVENTS_CONTENT_TYPE, METRICS_CONTENT_TYPE,
 };

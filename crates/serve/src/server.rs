@@ -131,6 +131,8 @@ impl Drop for Server {
 /// | `GET /runs` | JSON array of [`e3_islands::RunSnapshot`] |
 /// | `GET /runs/{id}` | One [`e3_islands::RunSnapshot`] |
 /// | `GET /runs/{id}/events` | Chunked NDJSON event stream (`?limit=N` to bound it) |
+/// | `DELETE /runs/{id}` | Stops the run ([`RunManager::stop`]), returns its final [`e3_islands::RunSnapshot`] |
+/// | `POST /runs/{id}/stop` | Alias for `DELETE /runs/{id}` (for clients without DELETE) |
 ///
 /// # Errors
 ///
@@ -199,22 +201,19 @@ fn handle_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let request = http::read_request(&mut reader)?;
     let mut writer = BufWriter::new(stream);
-    if request.method != "GET" {
-        return http::method_not_allowed(&mut writer);
-    }
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    match segments.as_slice() {
-        [] => http::ok(
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) => http::ok(
             &mut writer,
             JSON,
-            br#"{"endpoints":["/metrics","/healthz","/runs","/runs/{id}","/runs/{id}/events"]}"#,
+            br#"{"endpoints":["GET /metrics","GET /healthz","GET /runs","GET /runs/{id}","GET /runs/{id}/events","DELETE /runs/{id}","POST /runs/{id}/stop"]}"#,
         ),
-        ["metrics"] => http::ok(
+        ("GET", ["metrics"]) => http::ok(
             &mut writer,
             METRICS_CONTENT_TYPE,
             registry.prometheus_text().as_bytes(),
         ),
-        ["healthz"] => {
+        ("GET", ["healthz"]) => {
             let health = {
                 let manager = manager.lock().expect("manager lock");
                 Health {
@@ -235,18 +234,18 @@ fn handle_connection(
             };
             http::ok(&mut writer, JSON, to_json(&health).as_bytes())
         }
-        ["runs"] => {
+        ("GET", ["runs"]) => {
             let snapshots = manager.lock().expect("manager lock").snapshots();
             http::ok(&mut writer, JSON, to_json(&snapshots).as_bytes())
         }
-        ["runs", id] => match parse_run_id(id) {
+        ("GET", ["runs", id]) => match parse_run_id(id) {
             Some(id) => match manager.lock().expect("manager lock").snapshot(id) {
                 Some(snapshot) => http::ok(&mut writer, JSON, to_json(&snapshot).as_bytes()),
                 None => http::not_found(&mut writer, &id.to_string()),
             },
             None => http::not_found(&mut writer, &request.path),
         },
-        ["runs", id, "events"] => match parse_run_id(id) {
+        ("GET", ["runs", id, "events"]) => match parse_run_id(id) {
             Some(id) => {
                 // Subscribe under the manager lock, stream outside it.
                 let events = manager.lock().expect("manager lock").subscribe(id);
@@ -257,7 +256,38 @@ fn handle_connection(
             }
             None => http::not_found(&mut writer, &request.path),
         },
-        _ => http::not_found(&mut writer, &request.path),
+        ("DELETE", ["runs", id]) | ("POST", ["runs", id, "stop"]) => match parse_run_id(id) {
+            Some(id) => stop_run(&mut writer, manager, id),
+            None => http::not_found(&mut writer, &request.path),
+        },
+        ("GET", _) => http::not_found(&mut writer, &request.path),
+        _ => http::method_not_allowed(&mut writer),
+    }
+}
+
+/// Stops a run and reports its final state: `404` for an unknown id,
+/// `200` with the post-stop [`e3_islands::RunSnapshot`] when the run
+/// wound down cleanly, `500` with the run's error when it failed.
+/// Idempotent like [`RunManager::stop`] — stopping a finished run
+/// replays its cached outcome.
+fn stop_run(
+    writer: &mut impl Write,
+    manager: &Arc<Mutex<RunManager>>,
+    id: RunId,
+) -> io::Result<()> {
+    // Stop + snapshot under one lock acquisition so the snapshot
+    // reflects the stopped state; the response is written outside it.
+    let (result, snapshot) = {
+        let mut manager = manager.lock().expect("manager lock");
+        let result = manager
+            .stop(id)
+            .map(|outcome| outcome.map_err(|err| err.to_string()));
+        (result, manager.snapshot(id))
+    };
+    match (result, snapshot) {
+        (Some(Ok(_)), Some(snapshot)) => http::ok(writer, JSON, to_json(&snapshot).as_bytes()),
+        (Some(Err(message)), _) => http::server_error(writer, &message),
+        _ => http::not_found(writer, &id.to_string()),
     }
 }
 

@@ -4,7 +4,7 @@
 use e3_envs::EnvId;
 use e3_islands::{IslandsConfig, Pickup, RunManager, RunSnapshot, SubmitOptions};
 use e3_platform::{BackendKind, E3Config};
-use e3_serve::{http_get, serve, tail_events, Health, ServeOptions};
+use e3_serve::{http_get, http_request, serve, tail_events, Health, ServeOptions};
 use e3_telemetry::SharedRegistry;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -125,4 +125,65 @@ fn every_endpoint_round_trips_over_tcp() {
     server.shutdown();
     // After shutdown the listener is gone: new connections fail.
     assert!(http_get(addr, "/metrics", Duration::from_millis(500)).is_err());
+}
+
+#[test]
+fn stop_endpoints_round_trip_over_tcp() {
+    let manager = Arc::new(Mutex::new(RunManager::with_registry(SharedRegistry::new())));
+    let mut server = serve(Arc::clone(&manager), ServeOptions::default()).expect("bind");
+    let addr = server.local_addr();
+
+    // Unknown / malformed ids: 404 on both routes.
+    assert_eq!(
+        http_request(addr, "DELETE", "/runs/run-0099", TIMEOUT)
+            .expect("DELETE unknown")
+            .status,
+        404
+    );
+    assert_eq!(
+        http_request(addr, "POST", "/runs/nonsense/stop", TIMEOUT)
+            .expect("POST malformed")
+            .status,
+        404
+    );
+    // Methods that match no route: 405.
+    assert_eq!(
+        http_request(addr, "PUT", "/runs/run-0001", TIMEOUT)
+            .expect("PUT")
+            .status,
+        405
+    );
+    assert_eq!(
+        http_request(addr, "POST", "/metrics", TIMEOUT)
+            .expect("POST metrics")
+            .status,
+        405
+    );
+
+    let id = manager
+        .lock()
+        .expect("manager lock")
+        .submit(tiny_config(11), submit_options())
+        .expect("submit");
+
+    // DELETE /runs/{id} stops the run and returns its final snapshot.
+    let stopped = http_request(addr, "DELETE", &format!("/runs/{id}"), TIMEOUT).expect("DELETE");
+    assert_eq!(stopped.status, 200);
+    let snapshot: RunSnapshot = serde_json::from_str(&stopped.body).expect("snapshot JSON");
+    assert_eq!(snapshot.id, id.to_string());
+    assert!(
+        snapshot.status == "finished" || snapshot.status == "stopped",
+        "run must have wound down, got {:?}",
+        snapshot.status
+    );
+
+    // The POST alias replays the cached outcome idempotently.
+    let again =
+        http_request(addr, "POST", &format!("/runs/{id}/stop"), TIMEOUT).expect("POST stop");
+    assert_eq!(again.status, 200);
+    let replay: RunSnapshot = serde_json::from_str(&again.body).expect("snapshot JSON");
+    assert_eq!(replay.id, snapshot.id);
+    assert_eq!(replay.status, snapshot.status);
+
+    server.shutdown();
 }

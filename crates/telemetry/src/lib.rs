@@ -411,6 +411,37 @@ pub struct MigrationRecord {
     pub best_immigrant_fitness: Option<f64>,
 }
 
+/// Train-versus-held-out fitness of the incumbent best genome under
+/// scenario distributions (`e3-platform`'s generalization harness).
+/// Emitted once per holdout pass, after the generation's [`EvalRecord`]
+/// and before its [`GenerationRecord`], when the run is configured
+/// with a held-out [`ScenarioDistribution`] — never for vanilla
+/// fixed-env runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GeneralizationRecord {
+    /// Zero-based generation index the pass evaluated.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Environment name.
+    pub env: String,
+    /// The best genome's (aggregated) training fitness this generation.
+    pub train_fitness: f64,
+    /// Mean fitness of the same genome over the held-out scenarios.
+    pub holdout_fitness: f64,
+    /// Number of held-out scenarios evaluated.
+    pub holdout_scenarios: usize,
+    /// Worst per-scenario fitness in the held-out pass.
+    pub holdout_min: f64,
+    /// Best per-scenario fitness in the held-out pass.
+    pub holdout_max: f64,
+    /// Population standard deviation of the per-scenario fitnesses.
+    pub holdout_std: f64,
+    /// Generalization gap, `train_fitness - holdout_fitness` (positive
+    /// means the genome overfits the training distribution).
+    pub gap: f64,
+}
+
 /// Whole-run summary emitted once when a run finishes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -453,6 +484,9 @@ pub enum TelemetryEvent {
     Island(IslandRecord),
     /// An island received immigrants at a migration boundary.
     Migration(MigrationRecord),
+    /// A held-out scenario pass measured the best genome's
+    /// generalization.
+    Generalization(GeneralizationRecord),
     /// A run finished.
     Summary(RunSummary),
 }
@@ -560,6 +594,14 @@ impl MemoryCollector {
     pub fn migrations(&self) -> impl Iterator<Item = &MigrationRecord> {
         self.events.iter().filter_map(|event| match event {
             TelemetryEvent::Migration(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered generalization records.
+    pub fn generalizations(&self) -> impl Iterator<Item = &GeneralizationRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Generalization(record) => Some(record),
             _ => None,
         })
     }
@@ -867,6 +909,36 @@ mod tests {
         assert_eq!(collector.migrations().count(), 1);
         assert_eq!(collector.islands().next().unwrap().island, 2);
         assert_eq!(collector.migrations().next().unwrap().sources, vec![1]);
+    }
+
+    #[test]
+    fn generalization_records_round_trip_and_collect() {
+        let record = GeneralizationRecord {
+            generation: 6,
+            backend: "E3-CPU".to_string(),
+            env: "cartpole".to_string(),
+            train_fitness: 480.0,
+            holdout_fitness: 410.0,
+            holdout_scenarios: 8,
+            holdout_min: 220.0,
+            holdout_max: 500.0,
+            holdout_std: 85.5,
+            gap: 70.0,
+        };
+        let event = TelemetryEvent::Generalization(record.clone());
+        let json = serde_json::to_string(&event).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+
+        let mut collector = MemoryCollector::new();
+        collector.record(&event).unwrap();
+        collector
+            .record(&TelemetryEvent::Generation(GenerationRecord::default()))
+            .unwrap();
+        assert_eq!(collector.generalizations().count(), 1);
+        let seen = collector.generalizations().next().unwrap();
+        assert_eq!(seen.holdout_scenarios, 8);
+        assert_eq!(seen.gap, 70.0);
     }
 
     /// A writer that only exposes bytes written before the last flush,

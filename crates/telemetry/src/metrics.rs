@@ -325,6 +325,16 @@ impl MetricsRegistry {
                     migration.immigrants as u64,
                 );
             }
+            TelemetryEvent::Generalization(gen) => {
+                self.counter_add(&plain("e3_generalization_passes_total"), 1);
+                self.gauge_set(&plain("e3_generalization_train_fitness"), gen.train_fitness);
+                self.gauge_set(
+                    &plain("e3_generalization_holdout_fitness"),
+                    gen.holdout_fitness,
+                );
+                self.gauge_set(&plain("e3_generalization_gap"), gen.gap);
+                self.gauge_set(&plain("e3_generalization_spread"), gen.holdout_std);
+            }
             TelemetryEvent::Summary(summary) => {
                 self.counter_add(&plain("e3_runs_total"), 1);
                 self.gauge_set(&plain("e3_solved"), if summary.solved { 1.0 } else { 0.0 });
@@ -671,6 +681,16 @@ mod tests {
             skipped_corrupt: 2,
             ..Default::default()
         }));
+        registry.observe(&TelemetryEvent::Generalization(
+            crate::GeneralizationRecord {
+                generation: 4,
+                train_fitness: 480.0,
+                holdout_fitness: 420.0,
+                gap: 60.0,
+                holdout_std: 12.5,
+                ..Default::default()
+            },
+        ));
         registry.observe(&TelemetryEvent::Summary(RunSummary {
             solved: true,
             ..Default::default()
@@ -696,6 +716,17 @@ mod tests {
         assert_eq!(registry.counter("e3_store_recoveries_total"), 1);
         assert_eq!(registry.counter("e3_store_corrupt_skipped_total"), 2);
         assert_eq!(registry.gauge("e3_store_latest_generation"), Some(10.0));
+        assert_eq!(registry.counter("e3_generalization_passes_total"), 1);
+        assert_eq!(
+            registry.gauge("e3_generalization_train_fitness"),
+            Some(480.0)
+        );
+        assert_eq!(
+            registry.gauge("e3_generalization_holdout_fitness"),
+            Some(420.0)
+        );
+        assert_eq!(registry.gauge("e3_generalization_gap"), Some(60.0));
+        assert_eq!(registry.gauge("e3_generalization_spread"), Some(12.5));
         let table = registry.summary_table();
         assert!(table.contains("e3_evals_total"));
         assert!(table.contains("e3_exec_shard_seconds"));

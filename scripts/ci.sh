@@ -80,6 +80,24 @@ cargo run --release --offline -q -p e3-bench --bin repro -- \
 cargo run --release --offline -q -p e3-bench --bin trace_check -- \
     --metrics "$trace_tmp/scrape.prom"
 
+echo "== generalize: scenario distributions, held-out gap, determinism gate =="
+# `repro generalize` evolves on a sampled scenario distribution at
+# K ∈ {1,4,8} scenarios per evaluation, scores each champion on a
+# held-out shifted distribution, and exits nonzero unless every
+# configuration reproduces bit-identically across worker-thread counts
+# and emits one Generalization record per generation. Results land in
+# BENCH_generalize.json; the NDJSON telemetry (including the new
+# Generalization records) must then validate against the pinned wire
+# format.
+cargo run --release --offline -q -p e3-bench --bin repro -- \
+    generalize --telemetry "$trace_tmp/generalize.ndjson" >/dev/null
+cargo run --release --offline -q -p e3-bench --bin trace_check -- \
+    --ndjson "$trace_tmp/generalize.ndjson"
+if ! grep -q '"Generalization"' "$trace_tmp/generalize.ndjson"; then
+    echo "error: generalize telemetry carries no Generalization records" >&2
+    exit 1
+fi
+
 echo "== crash-safe store: kill-and-resume reproduces the uninterrupted run =="
 # A seeded CartPole run is checkpointed every generation and killed
 # after two; resuming from the newest intact snapshot must produce the
