@@ -1,0 +1,68 @@
+//! jit_activate bench: the `e3-jit` native tier vs the `NetPlan`
+//! interpreter it compiles from.
+//!
+//! Times single-genome forward passes on evolved genomes at two size
+//! classes (CartPole-small, LunarLander-medium) through both
+//! executors. The native tier is contractually bit-identical to the
+//! interpreter (asserted before timing); its win is dispatch-free
+//! straight-line code, so the gap widens with genome size while tiny
+//! nets stay pinned to the activation-function floor. On targets the
+//! emitter cannot serve only the interpreter series is registered —
+//! `repro -- jit` separately asserts the fallback engaged there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e3_envs::EnvId;
+use e3_jit::CompiledPlan;
+use e3_neat::{Genome, NeatConfig, Network, Population};
+use std::hint::black_box;
+
+/// Evolves one genome with `env`-shaped IO and grown hidden structure
+/// — the same workload class `repro -- jit` measures.
+fn evolved_genome(env: EnvId, seed: u64) -> Genome {
+    let config = NeatConfig::builder(env.observation_size(), env.policy_outputs())
+        .population_size(32)
+        .build();
+    let mut pop = Population::new(config, seed);
+    for _ in 0..10 {
+        pop.evaluate(|g| (g.num_enabled_connections() + g.nodes().len()) as f64);
+        pop.evolve();
+    }
+    pop.genomes()
+        .iter()
+        .max_by_key(|g| g.num_enabled_connections())
+        .expect("population is non-empty")
+        .clone()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jit_activate");
+    for env in [EnvId::CartPole, EnvId::LunarLander] {
+        let genome = evolved_genome(env, 7);
+        let mut net = Network::from_genome(&genome).expect("evolved genomes decode");
+        let inputs: Vec<f64> = (0..env.observation_size())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("interpreter", env),
+            &inputs,
+            |b, inputs| b.iter(|| black_box(net.activate_into(black_box(inputs))).len()),
+        );
+        if let Ok(mut jit) = CompiledPlan::compile(net.plan()) {
+            let want = net.activate(&inputs);
+            let got = jit.activate(&inputs);
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "native tier drifted from interpreter on {env}"
+            );
+            group.bench_with_input(BenchmarkId::new("jit", env), &inputs, |b, inputs| {
+                b.iter(|| black_box(jit.activate_into(black_box(inputs))).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Experiments: table4 table5 fig1b fig2 fig3 fig4 fig6 fig7 fig9a
-//! fig9b fig10a fig10b fig11 ablation exec plan batch islands serve
-//! generalize, plus `run` (a
+//! fig9b fig10a fig10b fig11 ablation exec plan jit batch islands
+//! serve generalize, plus `run` (a
 //! single evolve/evaluate run on one env/backend; `--threads N` shards
 //! the evaluation across N worker threads with bit-identical results).
 //! `exec` sweeps the worker-thread count and writes the measured
@@ -17,7 +17,13 @@
 //! on parity failure); `batch` times the population-major batched
 //! evaluation against the scalar path across thread counts, re-checks
 //! bitwise parity, and writes `BENCH_batch.json` (nonzero exit on
-//! parity failure); `islands` sweeps the asynchronous archipelago
+//! parity failure); `jit` times natively compiled hot plans against
+//! the interpreter on every environment, re-runs the seeded repro
+//! with the tier on and off at 1 and 4 threads gating exact
+//! `RunOutcome` equality, and writes `BENCH_jit.json` (nonzero exit
+//! when parity, tier engagement — fallback engagement off x86-64 —
+//! or the hot-plan speedup gate fails); `islands` sweeps the
+//! asynchronous archipelago
 //! over island counts and migration intervals, gates single-island
 //! parity against a plain run, determinism across driver counts and
 //! pickup orders, and the run-manager submit/stream/stop lifecycle,
@@ -53,7 +59,7 @@ use e3_bench::{DEFAULT_SEED, EXPERIMENTS};
 use e3_envs::EnvId;
 use e3_platform::experiments::{
     ablation, batch, exec, fig10, fig11, fig1b, fig2, fig3, fig4, fig6, fig7, fig9, generalize,
-    plan, table4, table5, Scale,
+    jit, plan, table4, table5, Scale,
 };
 use e3_platform::telemetry::{Collector, MeteredCollector, NdjsonWriter, NullCollector, Tracer};
 use e3_platform::{BackendKind, CheckpointPolicy, E3Config, E3Platform, PowerModel};
@@ -87,6 +93,12 @@ struct Options {
     /// Write the final `/metrics` scrape of the `serve` experiment to
     /// this file (`--scrape-out`, for CI exposition validation).
     scrape_out: Option<PathBuf>,
+    /// Enable the tiered native execution path for `run` (`--jit`);
+    /// bit-identical to the interpreter, off by default.
+    jit: bool,
+    /// Promotion threshold for `--jit` (`--jit-threshold`, default 3):
+    /// decode-cache uses before a plan compiles to native code.
+    jit_threshold: u64,
 }
 
 fn main() -> ExitCode {
@@ -106,6 +118,8 @@ fn main() -> ExitCode {
         resume: false,
         crash_after: None,
         scrape_out: None,
+        jit: false,
+        jit_threshold: e3_platform::JitConfig::default().hot_threshold,
     };
     let mut telemetry_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -183,6 +197,14 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage("--checkpoint-every needs a positive integer"));
             }
             "--resume" => opts.resume = true,
+            "--jit" => opts.jit = true,
+            "--jit-threshold" => {
+                opts.jit_threshold = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--jit-threshold needs a positive integer"));
+            }
             "--scrape-out" => {
                 opts.scrape_out = Some(PathBuf::from(
                     iter.next()
@@ -320,6 +342,12 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) -> 
                 .population_size(scale.population())
                 .max_generations(scale.max_generations())
                 .threads(opts.threads);
+            if opts.jit {
+                builder = builder.jit(e3_platform::JitConfig {
+                    enabled: true,
+                    hot_threshold: opts.jit_threshold,
+                });
+            }
             if let Some(dir) = &opts.checkpoint_dir {
                 builder = builder.checkpoint(
                     CheckpointPolicy::new(dir.to_string_lossy().into_owned())
@@ -548,6 +576,24 @@ fn run_experiment(name: &str, opts: &Options, collector: &mut dyn Collector) -> 
             }
             emit!(result);
         }
+        "jit" => {
+            let result = try_run!(jit::run(scale, seed));
+            let json = serde_json::to_string_pretty(&result).expect("bench results serialize");
+            if let Err(e) = std::fs::write("BENCH_jit.json", &json) {
+                eprintln!("warning: could not write BENCH_jit.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_jit.json");
+            }
+            if !result.gate_ok() {
+                // The native tier is contractually bit-identical to
+                // the interpreter, must demonstrably engage (or, off
+                // x86-64, demonstrably fall back — never silently
+                // skip), and must beat the interpreter on hot plans —
+                // fail loudly so CI catches any of the three breaking.
+                return Err("jit tier parity/speedup gate FAILED (see BENCH_jit.json)".to_string());
+            }
+            emit!(result);
+        }
         "islands" => {
             let result = try_run!(e3_islands::bench::run(scale, seed));
             let json = serde_json::to_string_pretty(&result).expect("bench results serialize");
@@ -646,7 +692,8 @@ fn print_usage() {
         "usage: repro <experiment|run|all> [--full] [--json] [--seed N] \
          [--envs LIST] [--backend KIND] [--threads N] [--telemetry FILE] \
          [--trace FILE] [--metrics FILE] [--svg DIR] [--checkpoint-dir DIR] \
-         [--checkpoint-every N] [--resume] [--crash-after N]"
+         [--checkpoint-every N] [--resume] [--crash-after N] \
+         [--jit] [--jit-threshold N]"
     );
     eprintln!("experiments: {} run", EXPERIMENTS.join(" "));
     eprintln!("  --envs      comma-separated env names/indices (default: paper suite)");
@@ -660,6 +707,9 @@ fn print_usage() {
     eprintln!("  --resume           resume `run` from the newest intact snapshot");
     eprintln!("  --crash-after      stop `run` after N generations without a summary");
     eprintln!("  --scrape-out       write the `serve` experiment's final /metrics scrape to FILE");
+    eprintln!("  --jit              enable tiered native execution for `run` (cpu/gpu software");
+    eprintln!("                     eval; bit-identical to the interpreter, off by default)");
+    eprintln!("  --jit-threshold    decode-cache uses before a plan compiles natively (default 3)");
 }
 
 fn usage(msg: &str) -> ! {

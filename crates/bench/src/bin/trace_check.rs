@@ -79,6 +79,7 @@ fn main() -> ExitCode {
 const NDJSON_KINDS: &[&str] = &[
     "Eval",
     "Exec",
+    "Jit",
     "Generation",
     "Utilization",
     "Checkpoint",
@@ -87,6 +88,31 @@ const NDJSON_KINDS: &[&str] = &[
     "Migration",
     "Generalization",
     "Summary",
+];
+
+/// Keys every `Jit` record must carry on the wire. A `Jit` record is
+/// only ever emitted when the tier did work, so an all-zero record is
+/// itself a violation.
+const JIT_KEYS: &[&str] = &[
+    "generation",
+    "backend",
+    "compiled",
+    "bytes",
+    "compile_seconds",
+    "fallbacks",
+    "activations",
+    "resident",
+];
+
+/// The `e3_jit_*` series a scrape must carry as a set: seeing one of
+/// them without the others means the exporter dropped counters.
+const JIT_METRICS: &[&str] = &[
+    "e3_jit_plans_compiled_total",
+    "e3_jit_bytes_emitted_total",
+    "e3_jit_fallbacks_total",
+    "e3_jit_hot_activations_total",
+    "e3_jit_resident_plans",
+    "e3_jit_compile_seconds",
 ];
 
 /// Keys every `Generalization` record must carry on the wire.
@@ -167,6 +193,42 @@ fn check_ndjson(path: &str) -> Result<(), String> {
                 ));
             }
             generalizations += 1;
+        }
+        if kind == "Jit" {
+            for key in JIT_KEYS {
+                record
+                    .get(key)
+                    .ok_or(format!("line {}: Jit record missing {key}", lineno + 1))?;
+            }
+            let seconds = record
+                .get("compile_seconds")
+                .and_then(|v| v.as_f64())
+                .ok_or(format!(
+                    "line {}: Jit compile_seconds is not a number",
+                    lineno + 1
+                ))?;
+            if !seconds.is_finite() || seconds < 0.0 {
+                return Err(format!(
+                    "line {}: Jit compile_seconds is not a finite non-negative number",
+                    lineno + 1
+                ));
+            }
+            let activity: u64 = ["compiled", "bytes", "fallbacks", "activations", "resident"]
+                .iter()
+                .map(|key| {
+                    record.get(key).and_then(|v| v.as_u64()).ok_or(format!(
+                        "line {}: Jit {key} is not an unsigned integer",
+                        lineno + 1
+                    ))
+                })
+                .sum::<Result<u64, String>>()?;
+            if activity == 0 {
+                return Err(format!(
+                    "line {}: all-zero Jit record — the platform only emits \
+                     these when the tier did work",
+                    lineno + 1
+                ));
+            }
         }
         records += 1;
     }
@@ -250,6 +312,7 @@ fn check_trace(path: &str) -> Result<(), String> {
 fn check_metrics(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let mut samples = 0usize;
+    let mut jit_seen: Vec<&'static str> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim_end();
         if line.is_empty() {
@@ -293,10 +356,28 @@ fn check_metrics(path: &str) -> Result<(), String> {
                 lineno + 1
             ));
         }
+        for series in JIT_METRICS {
+            if name.starts_with(series) && !jit_seen.contains(series) {
+                jit_seen.push(series);
+            }
+        }
         samples += 1;
     }
     if samples == 0 {
         return Err("no samples — the metrics registry recorded nothing".to_string());
+    }
+    // The JIT series travel as a set: one of them without the rest
+    // means the exporter dropped counters mid-family.
+    if !jit_seen.is_empty() && jit_seen.len() != JIT_METRICS.len() {
+        let missing: Vec<&str> = JIT_METRICS
+            .iter()
+            .filter(|series| !jit_seen.contains(series))
+            .copied()
+            .collect();
+        return Err(format!(
+            "scrape carries some e3_jit_* series but is missing {}",
+            missing.join(", ")
+        ));
     }
     println!("  {samples} samples");
     Ok(())

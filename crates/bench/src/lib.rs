@@ -41,6 +41,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation",
     "exec",
     "plan",
+    "jit",
     "batch",
     "islands",
     "serve",

@@ -4,6 +4,7 @@
 use crate::cache::DecodeCache;
 use crate::pool::ThreadPoolExecutor;
 use crate::stats::ExecStats;
+use e3_jit::JitConfig;
 use std::fmt;
 use std::ops::Range;
 use std::time::Instant;
@@ -114,6 +115,14 @@ pub trait Executor {
     /// Number of workers (virtual PUs) this executor runs shards on.
     fn workers(&self) -> usize;
 
+    /// Installs the tiered-execution policy on every worker's decode
+    /// cache (see [`crate::TierExec`]). Takes effect before the next
+    /// `run_shards` call. The default ignores the policy — executors
+    /// without decode caches stay valid — and because both tiers are
+    /// bit-identical, whether a policy is installed can never change
+    /// results.
+    fn set_jit(&mut self, _config: JitConfig) {}
+
     /// Runs `task` over every shard of `0..num_items` and reduces the
     /// results in index order.
     ///
@@ -172,6 +181,10 @@ impl Executor for SerialExecutor {
         1
     }
 
+    fn set_jit(&mut self, config: JitConfig) {
+        self.scratch.cache.set_jit(config);
+    }
+
     fn run_shards<T, F>(
         &mut self,
         num_items: usize,
@@ -212,6 +225,12 @@ impl Executor for SerialExecutor {
                 cache_misses: cache.misses,
                 cache_entries: self.scratch.cache.len() as u64,
                 cache_evictions: cache.evictions,
+                jit_compiled: cache.jit_compiled,
+                jit_bytes: cache.jit_bytes,
+                jit_compile_seconds: cache.jit_compile_nanos as f64 / 1e9,
+                jit_fallbacks: cache.jit_fallbacks,
+                jit_activations: cache.jit_activations,
+                jit_resident: self.scratch.cache.jit_resident() as u64,
                 busy_seconds: vec![busy],
                 queue_depths: vec![plan.len()],
                 wall_seconds: t0.elapsed().as_secs_f64(),
@@ -268,6 +287,14 @@ impl Executor for AnyExecutor {
             AnyExecutor::Serial(e) => e.workers(),
             AnyExecutor::Pool(e) => e.workers(),
             AnyExecutor::Shared(e) => e.workers(),
+        }
+    }
+
+    fn set_jit(&mut self, config: JitConfig) {
+        match self {
+            AnyExecutor::Serial(e) => e.set_jit(config),
+            AnyExecutor::Pool(e) => e.set_jit(config),
+            AnyExecutor::Shared(e) => e.set_jit(config),
         }
     }
 

@@ -34,7 +34,11 @@
 //! Each worker keeps a [`DecodeCache`] of compiled `NetPlan`s so
 //! unchanged elites and champions skip genome→plan compilation across
 //! generations — the same cache feeds the software executors and the
-//! hardware lowering paths.
+//! hardware lowering paths. Under an enabled [`JitConfig`] the cache
+//! additionally *tiers* execution: entries that stay hot across
+//! lookups are promoted to natively compiled code ([`TierExec`],
+//! backed by `e3-jit`), with the interpreter remaining the bit-exact
+//! oracle and permanent fallback.
 
 #![warn(missing_docs)]
 
@@ -45,7 +49,8 @@ pub mod rng;
 mod shared;
 mod stats;
 
-pub use cache::{CacheCounters, DecodeCache};
+pub use cache::{CacheCounters, DecodeCache, TierExec};
+pub use e3_jit::JitConfig;
 pub use executor::{
     shard_plan, AnyExecutor, ExecError, Executor, SerialExecutor, ShardRun, WorkerScratch,
 };

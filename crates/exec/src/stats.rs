@@ -35,6 +35,21 @@ pub struct ExecStats {
     /// summed across workers.
     #[serde(default)]
     pub cache_evictions: u64,
+    /// Plans promoted to the native (JIT) tier during this call, summed
+    /// across workers. All `jit_*` fields are zero when the tier is
+    /// disabled or unsupported.
+    pub jit_compiled: u64,
+    /// Machine-code bytes emitted by this call's promotions.
+    pub jit_bytes: u64,
+    /// Seconds spent compiling plans to native code during this call.
+    pub jit_compile_seconds: f64,
+    /// Promotion attempts that failed and kept the interpreter.
+    pub jit_fallbacks: u64,
+    /// Forward passes executed on the native tier during this call.
+    pub jit_activations: u64,
+    /// Natively compiled plans resident across all workers' caches at
+    /// the end of this call (a gauge, like `cache_entries`).
+    pub jit_resident: u64,
     /// Seconds each worker spent running shard bodies, by worker index.
     pub busy_seconds: Vec<f64>,
     /// Shards enqueued on each worker's home queue at submit time
@@ -159,6 +174,12 @@ mod tests {
             cache_misses: 22,
             cache_entries: 16,
             cache_evictions: 3,
+            jit_compiled: 5,
+            jit_bytes: 4096,
+            jit_compile_seconds: 0.001,
+            jit_fallbacks: 1,
+            jit_activations: 900,
+            jit_resident: 4,
             busy_seconds: vec![0.2; 4],
             queue_depths: vec![2; 4],
             wall_seconds: 0.3,

@@ -1,0 +1,202 @@
+//! x86-64 machine-code emission for a [`NetPlan`].
+//!
+//! The emitted function is straight-line SSE2 scalar code with the
+//! System V calling convention:
+//!
+//! ```text
+//! extern "C" fn(inputs: *const f64, values: *mut f64, table: *const ActivationFn)
+//! ```
+//!
+//! Register plan (all callee-saved, so activation calls cannot clobber
+//! them):
+//!
+//! * `r13` — the inputs pointer (`rdi` on entry),
+//! * `rbx` — the value buffer pointer (`rsi` on entry),
+//! * `r12` — the activation function table (`rdx` on entry).
+//!
+//! Per compute node the code mirrors [`NetPlan`]'s `fill` loop exactly
+//! — bias into `xmm0`, then each CSR edge as `movsd`+`mulsd`+`addsd`
+//! in the plan's sorted order, then the activation — so the FP
+//! operation sequence, and therefore every result bit, matches the
+//! interpreter. Activations go through the function table (one `call
+//! qword ptr [r12 + 8*index]`) so the exact `Activation::apply`
+//! routines run; only `Identity` is inlined (the call is simply
+//! skipped), because for every other variant even an "obvious" native
+//! equivalent (e.g. `maxsd` for relu) has different NaN/signed-zero
+//! semantics than the Rust source and would break bit-identity.
+//!
+//! Unlike the interpreter, the emitted code never copies the inputs
+//! into the value buffer: loads pick their base register at emit time
+//! (`r13` for input slots, `rbx` for compute slots), which is safe
+//! because every slot index is a compile-time constant of the plan.
+//!
+//! Bias and weight constants live in an 8-byte-aligned pool appended
+//! after the code and are addressed RIP-relative; the `disp32` fields
+//! are back-patched once the pool base is known.
+
+use crate::{activation_index, JitError};
+use e3_neat::{Activation, NetPlan};
+use std::collections::HashMap;
+
+/// Cap on the emitted buffer (code + constant pool). Far below the
+/// ±2 GiB reach of a `disp32`, so every RIP-relative patch below is
+/// guaranteed to fit; a plan too big for this is not worth compiling
+/// anyway and falls back to the interpreter.
+const MAX_CODE_BYTES: usize = 1 << 24;
+
+/// Emits the native function body for `plan` (code followed by its
+/// constant pool), ready to be copied into an executable page.
+///
+/// Pure byte emission — runs on any host, which keeps the encoder
+/// testable off-x86; only mapping the result is target-gated.
+pub(crate) fn emit(plan: &NetPlan) -> Result<Vec<u8>, JitError> {
+    let mut code: Vec<u8> = Vec::new();
+    // Constant pool as f64 bit patterns, deduplicated bitwise (0.0
+    // biases and repeated weights are common in evolved genomes).
+    let mut consts: Vec<u64> = Vec::new();
+    let mut const_index: HashMap<u64, usize> = HashMap::new();
+    // (offset of a disp32 in `code`, constant index) to back-patch.
+    let mut patches: Vec<(usize, usize)> = Vec::new();
+    let mut intern = |bits: u64| -> usize {
+        *const_index.entry(bits).or_insert_with(|| {
+            consts.push(bits);
+            consts.len() - 1
+        })
+    };
+
+    // Prologue: save rbx/r12/r13, park the three arguments in them.
+    // Three pushes put rsp back on a 16-byte boundary, so activation
+    // calls below are ABI-aligned with no extra adjustment.
+    code.extend_from_slice(&[
+        0x53, // push rbx
+        0x41, 0x54, // push r12
+        0x41, 0x55, // push r13
+        0x48, 0x89, 0xF3, // mov rbx, rsi   (values)
+        0x49, 0x89, 0xD4, // mov r12, rdx   (activation table)
+        0x49, 0x89, 0xFD, // mov r13, rdi   (inputs)
+    ]);
+
+    let num_inputs = plan.num_inputs();
+    for i in 0..plan.num_compute_nodes() {
+        // movsd xmm0, [rip + bias]
+        code.extend_from_slice(&[0xF2, 0x0F, 0x10, 0x05]);
+        patches.push((code.len(), intern(plan.bias(i).to_bits())));
+        code.extend_from_slice(&[0; 4]);
+        for &(source, weight) in plan.node_edges(i) {
+            let src = source as usize;
+            if src < num_inputs {
+                // movsd xmm1, [r13 + 8*src]  (input slot)
+                code.extend_from_slice(&[0xF2, 0x41, 0x0F, 0x10, 0x8D]);
+                code.extend_from_slice(&disp32(8 * src)?);
+            } else {
+                // movsd xmm1, [rbx + 8*src]  (earlier compute slot)
+                code.extend_from_slice(&[0xF2, 0x0F, 0x10, 0x8B]);
+                code.extend_from_slice(&disp32(8 * src)?);
+            }
+            // mulsd xmm1, [rip + weight]
+            code.extend_from_slice(&[0xF2, 0x0F, 0x59, 0x0D]);
+            patches.push((code.len(), intern(weight.to_bits())));
+            code.extend_from_slice(&[0; 4]);
+            // addsd xmm0, xmm1
+            code.extend_from_slice(&[0xF2, 0x0F, 0x58, 0xC1]);
+        }
+        let activation = plan.activation(i);
+        if activation != Activation::Identity {
+            // call qword ptr [r12 + 8*index]  — f64 in/out through xmm0
+            code.extend_from_slice(&[0x41, 0xFF, 0x94, 0x24]);
+            code.extend_from_slice(&disp32(8 * activation_index(activation))?);
+        }
+        // movsd [rbx + 8*slot], xmm0
+        code.extend_from_slice(&[0xF2, 0x0F, 0x11, 0x83]);
+        code.extend_from_slice(&disp32(8 * (num_inputs + i))?);
+    }
+
+    // Epilogue.
+    code.extend_from_slice(&[
+        0x41, 0x5D, // pop r13
+        0x41, 0x5C, // pop r12
+        0x5B, // pop rbx
+        0xC3, // ret
+    ]);
+
+    // Constant pool: 8-byte aligned, padded with int3 so a stray jump
+    // into the gap traps instead of executing data.
+    while !code.len().is_multiple_of(8) {
+        code.push(0xCC);
+    }
+    let pool_start = code.len();
+    let total = pool_start + 8 * consts.len();
+    if total > MAX_CODE_BYTES {
+        return Err(JitError::PlanTooLarge { bytes: total });
+    }
+    for bits in &consts {
+        code.extend_from_slice(&bits.to_le_bytes());
+    }
+
+    // Back-patch every RIP-relative constant load: the displacement is
+    // measured from the end of the 4-byte field (= next instruction).
+    for (at, index) in patches {
+        let target = pool_start + 8 * index;
+        let disp = target as i64 - (at as i64 + 4);
+        code[at..at + 4].copy_from_slice(&(disp as i32).to_le_bytes());
+    }
+    Ok(code)
+}
+
+/// A value-buffer or table byte offset as a little-endian `disp32`.
+fn disp32(offset: usize) -> Result<[u8; 4], JitError> {
+    i32::try_from(offset)
+        .map(|v| v.to_le_bytes())
+        .map_err(|_| JitError::PlanTooLarge { bytes: offset })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_neat::{Genome, InnovationTracker};
+
+    fn tiny_plan() -> NetPlan {
+        let mut tracker = InnovationTracker::with_reserved_nodes(3);
+        let mut g = Genome::bare(2, 1);
+        g.add_connection(0, 2, 0.5, &mut tracker).unwrap();
+        g.add_connection(1, 2, -0.25, &mut tracker).unwrap();
+        NetPlan::compile(&g).unwrap()
+    }
+
+    #[test]
+    fn emitted_code_has_prologue_epilogue_and_pool() {
+        let code = emit(&tiny_plan()).unwrap();
+        assert_eq!(&code[..5], &[0x53, 0x41, 0x54, 0x41, 0x55]);
+        // The epilogue sits right before the (aligned) constant pool.
+        let ret = code.iter().position(|&b| b == 0xC3).expect("ret emitted");
+        assert_eq!(&code[ret - 5..ret], &[0x41, 0x5D, 0x41, 0x5C, 0x5B]);
+        // Pool holds the deduplicated constants: bias 0.0, 0.5, -0.25.
+        let tail = &code[code.len() - 24..];
+        let pool: Vec<f64> = tail
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert!(pool.contains(&0.5) && pool.contains(&-0.25));
+    }
+
+    #[test]
+    fn constants_are_interned_bitwise() {
+        let mut tracker = InnovationTracker::with_reserved_nodes(4);
+        let mut g = Genome::bare(2, 2);
+        g.add_connection(0, 2, 0.5, &mut tracker).unwrap();
+        g.add_connection(1, 3, 0.5, &mut tracker).unwrap();
+        let plan = NetPlan::compile(&g).unwrap();
+        let code = emit(&plan).unwrap();
+        let half = 0.5f64.to_le_bytes();
+        let occurrences = code.windows(8).filter(|w| *w == half).count();
+        assert_eq!(occurrences, 1, "repeated weight 0.5 must be pooled once");
+    }
+
+    #[test]
+    fn oversized_offsets_report_plan_too_large() {
+        assert!(matches!(
+            disp32(usize::MAX),
+            Err(JitError::PlanTooLarge { .. })
+        ));
+    }
+}

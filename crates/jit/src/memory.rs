@@ -1,0 +1,130 @@
+//! W^X-correct executable-page management.
+//!
+//! Emitted machine code is staged into an anonymous private mapping
+//! created read+write, then flipped to read+execute with `mprotect`
+//! before the first call — the page is never writable and executable
+//! at the same time. Dropping the page unmaps it.
+//!
+//! The syscall surface (`mmap`/`mprotect`/`munmap`) is hand-declared:
+//! `std` already links the platform libc on Linux, so no external
+//! crate is needed. On any target that is not x86-64 Linux the stub
+//! implementation refuses with [`JitError::UnsupportedTarget`], which
+//! is what keeps the interpreter tier in charge there.
+
+use crate::JitError;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod native {
+    use core::ffi::c_void;
+
+    pub(super) const PROT_READ: i32 = 1;
+    pub(super) const PROT_WRITE: i32 = 2;
+    pub(super) const PROT_EXEC: i32 = 4;
+    pub(super) const MAP_PRIVATE: i32 = 2;
+    pub(super) const MAP_ANONYMOUS: i32 = 0x20;
+
+    extern "C" {
+        pub(super) fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub(super) fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+        pub(super) fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// An executable code page holding one compiled plan.
+///
+/// Immutable after construction: the backing mapping is read+execute
+/// only, so sharing the page across threads is sound.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[derive(Debug)]
+pub(crate) struct ExecPage {
+    ptr: *mut u8,
+    len: usize,
+}
+
+/// Stub on targets without the native backend: never constructible,
+/// so the compiled tier transparently falls back to the interpreter.
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+#[derive(Debug)]
+pub(crate) struct ExecPage {
+    _private: (),
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+impl ExecPage {
+    /// Maps `code` into a fresh read+execute page (staged RW, flipped
+    /// RX — never writable-and-executable).
+    pub(crate) fn new(code: &[u8]) -> Result<ExecPage, JitError> {
+        use native::*;
+        let len = code.len().max(1);
+        let errno = || std::io::Error::last_os_error().raw_os_error().unwrap_or(-1);
+        // SAFETY: anonymous private mapping with no address hint; the
+        // kernel picks the placement and `fd`/`offset` are ignored for
+        // MAP_ANONYMOUS.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(JitError::MapFailed { errno: errno() });
+        }
+        let ptr = ptr as *mut u8;
+        // SAFETY: the mapping is `len` bytes, writable, and disjoint
+        // from `code` (freshly mapped).
+        unsafe { std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len()) };
+        // SAFETY: `ptr` is the live mapping created above.
+        let rc = unsafe { mprotect(ptr.cast(), len, PROT_READ | PROT_EXEC) };
+        if rc != 0 {
+            let e = errno();
+            // SAFETY: the mapping is still owned by this function.
+            unsafe { munmap(ptr.cast(), len) };
+            return Err(JitError::ProtectFailed { errno: e });
+        }
+        Ok(ExecPage { ptr, len })
+    }
+
+    /// Entry address of the mapped code.
+    pub(crate) fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+impl Drop for ExecPage {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe the mapping created in `new`,
+        // unmapped exactly once here.
+        unsafe { native::munmap(self.ptr.cast(), self.len) };
+    }
+}
+
+// SAFETY: the page is read+execute only after construction — no
+// mutation is possible through it, so moving or sharing the owner
+// across threads cannot race.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe impl Send for ExecPage {}
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe impl Sync for ExecPage {}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+impl ExecPage {
+    pub(crate) fn new(_code: &[u8]) -> Result<ExecPage, JitError> {
+        Err(JitError::UnsupportedTarget)
+    }
+
+    pub(crate) fn as_ptr(&self) -> *const u8 {
+        unreachable!("ExecPage cannot be constructed on unsupported targets")
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests for the native tier: the interpreter is the
+//! permanent bit-identity oracle.
+//!
+//! [`CompiledPlan`] execution must produce the **same f64 bit
+//! patterns** as [`Network::activate`] on arbitrary evolved genomes
+//! across every supported activation function — not just close values.
+//! Malformed genomes must be rejected before the JIT can ever see
+//! them, with the same error the legacy decode raises, and on targets
+//! the emitter cannot serve compilation must fail loudly with
+//! [`JitError::UnsupportedTarget`] rather than produce wrong code.
+
+use e3_jit::{CompiledPlan, JitError};
+use e3_neat::{Activation, Genome, InnovationTracker, NeatConfig, NetPlan, Network};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evolves a genome with every activation function in play, so the
+/// proptests sweep the full emitter function table rather than the
+/// default three-activation palette.
+fn evolved_genome(num_inputs: usize, num_outputs: usize, seed: u64, mutations: usize) -> Genome {
+    let mut config = NeatConfig::builder(num_inputs, num_outputs)
+        .initial_connection_density(0.6)
+        .activation_mutate_rate(0.5)
+        .build();
+    config.activation_options = Activation::ALL.to_vec();
+    let mut tracker = InnovationTracker::with_reserved_nodes(num_inputs + num_outputs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut genome = Genome::initial(&config, &mut tracker, &mut rng);
+    for _ in 0..mutations {
+        genome.mutate(&config, &mut tracker, &mut rng);
+    }
+    genome
+}
+
+/// A genome with one hidden node per activation kind, chained between
+/// the inputs and the single output: every entry of the emitter's
+/// activation table is exercised in one network. Each split targets
+/// the freshly created `hidden -> output` edge, so every
+/// `(from, to)` pair is distinct and the innovation tracker's split
+/// memoization never collides.
+fn all_activations_genome() -> Genome {
+    let mut tracker = InnovationTracker::with_reserved_nodes(3);
+    let mut genome = Genome::bare(2, 1);
+    let mut innovation = genome
+        .add_connection(0, 2, 0.9, &mut tracker)
+        .expect("input->output edge is addable");
+    for (i, activation) in Activation::ALL.into_iter().enumerate() {
+        let hidden = genome
+            .split_connection(innovation, activation, &mut tracker)
+            .expect("chain edges are fresh");
+        genome
+            .set_bias(hidden, 0.35 - 0.2 * i as f64)
+            .expect("hidden node exists");
+        innovation = genome
+            .connection_between(hidden, 2)
+            .expect("split created hidden->output")
+            .innovation;
+    }
+    // A second input path so both inputs matter.
+    genome
+        .add_connection(1, 2, -0.6, &mut tracker)
+        .expect("second input edge is addable");
+    genome
+}
+
+fn assert_bit_identical(genome: &Genome, inputs: &[Vec<f64>]) {
+    let mut net = Network::from_genome(genome).expect("feed-forward genome decodes");
+    match CompiledPlan::compile(net.plan()) {
+        Ok(mut jit) => {
+            for x in inputs {
+                let want = net.activate(x);
+                let got = jit.activate(x);
+                assert_eq!(want.len(), got.len());
+                for (w, g) in want.iter().zip(&got) {
+                    assert_eq!(
+                        w.to_bits(),
+                        g.to_bits(),
+                        "native tier drifted on {x:?}: interpreter {w} vs native {g}"
+                    );
+                }
+            }
+        }
+        Err(JitError::UnsupportedTarget) => {
+            if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+                panic!("native target refused a well-formed plan");
+            }
+        }
+        Err(other) => panic!("unexpected compile failure: {other}"),
+    }
+}
+
+#[test]
+fn every_activation_kind_is_bit_identical() {
+    let genome = all_activations_genome();
+    // All eight activations really are present.
+    let kinds: std::collections::BTreeSet<_> = genome
+        .nodes()
+        .iter()
+        .map(|node| format!("{:?}", node.activation))
+        .collect();
+    for activation in Activation::ALL {
+        assert!(
+            kinds.contains(&format!("{activation:?}")),
+            "genome is missing {activation:?}"
+        );
+    }
+    let probes: Vec<Vec<f64>> = [
+        [0.0, 0.0],
+        [1.0, -1.0],
+        [-3.5, 7.25],
+        [1e-12, -1e-12],
+        [1e6, -1e6],
+        [f64::MIN_POSITIVE, -f64::MIN_POSITIVE],
+        [0.1, 0.9],
+    ]
+    .iter()
+    .map(|p| p.to_vec())
+    .collect();
+    assert_bit_identical(&genome, &probes);
+}
+
+#[test]
+fn cyclic_genomes_never_reach_the_jit() {
+    // A cycle is rejected at plan compilation with the same error the
+    // legacy decode raises — the JIT only ever sees validated plans.
+    let mut tracker = InnovationTracker::with_reserved_nodes(2);
+    let mut genome = Genome::bare(1, 1);
+    let innovation = genome.add_connection(0, 1, 1.0, &mut tracker).unwrap();
+    let hidden = genome
+        .split_connection(innovation, Activation::Tanh, &mut tracker)
+        .unwrap();
+    genome
+        .add_connection_unchecked(hidden, hidden, 0.5, &mut tracker)
+        .unwrap();
+    let plan_err = NetPlan::compile(&genome).expect_err("cycle must not compile");
+    let decode_err = genome.decode().expect_err("legacy decode must also reject");
+    assert_eq!(
+        plan_err, decode_err,
+        "plan and decode disagree on the error"
+    );
+}
+
+#[test]
+fn compile_outcome_matches_target() {
+    let genome = evolved_genome(3, 2, 7, 20);
+    let net = Network::from_genome(&genome).expect("decodes");
+    let result = CompiledPlan::compile(net.plan());
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        let compiled = result.expect("native target compiles well-formed plans");
+        assert!(compiled.code_bytes() > 0);
+    } else {
+        assert!(
+            matches!(result, Err(JitError::UnsupportedTarget)),
+            "non-native target must refuse, not miscompile"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary evolved genomes (all activation kinds in the mutation
+    /// palette) execute bit-identically on the native tier, across IO
+    /// shapes covering every environment in the suite.
+    #[test]
+    fn evolved_genomes_are_bit_identical(
+        seed in any::<u64>(),
+        num_inputs in 1usize..9,
+        num_outputs in 1usize..5,
+        mutations in 0usize..60,
+        x in -10.0f64..10.0,
+    ) {
+        let genome = evolved_genome(num_inputs, num_outputs, seed, mutations);
+        let inputs: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                (0..num_inputs)
+                    .map(|i| x * (i as f64 + 1.0) - k as f64 * 1.75)
+                    .collect()
+            })
+            .collect();
+        assert_bit_identical(&genome, &inputs);
+    }
+
+    /// Repeated native activations are pure: the same input produces
+    /// the same bits every call (scratch state fully reset), and the
+    /// activation counter advances.
+    #[test]
+    fn native_execution_is_pure(
+        seed in any::<u64>(),
+        mutations in 0usize..40,
+    ) {
+        let genome = evolved_genome(4, 2, seed, mutations);
+        let net = Network::from_genome(&genome).expect("decodes");
+        if let Ok(mut jit) = CompiledPlan::compile(net.plan()) {
+            let x = [0.25, -1.5, 3.0, -0.125];
+            let first = jit.activate(&x);
+            for _ in 0..3 {
+                let again = jit.activate(&x);
+                for (a, b) in first.iter().zip(&again) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "native call is not pure");
+                }
+            }
+            prop_assert_eq!(jit.take_activations(), 4);
+            prop_assert_eq!(jit.take_activations(), 0, "take drains the counter");
+        }
+    }
+}

@@ -60,6 +60,7 @@
 pub mod activation;
 pub mod checkpoint;
 pub mod config;
+pub mod forward;
 pub mod genome;
 pub mod innovation;
 pub mod lineage;
@@ -78,6 +79,7 @@ pub use activation::Activation;
 pub use checkpoint::PopulationSnapshot;
 pub use config::{NeatConfig, NeatConfigBuilder};
 pub use error::{DecodeError, GenomeError};
+pub use forward::ForwardPass;
 pub use genome::{ConnectionGene, Genome, NodeGene, NodeId, NodeKind};
 pub use innovation::{Innovation, InnovationTracker};
 pub use lineage::SpeciesHistory;

@@ -19,9 +19,11 @@
 use crate::scenario::{aggregate_fitness, FitnessAggregation, ScenarioSpec};
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::{decode_action, Action, EnvId, Environment, ScenarioParams, StepBatch};
-use e3_exec::{AnyExecutor, ExecError, ExecStats, ExecStatsState, Executor, SharedExecutor};
+use e3_exec::{
+    AnyExecutor, ExecError, ExecStats, ExecStatsState, Executor, JitConfig, SharedExecutor,
+};
 use e3_inax::{EpisodeRunReport, InaxAccelerator, InaxConfig, IrregularNet, UtilizationBreakdown};
-use e3_neat::{DecodeError, Genome, NetPlan, Network, PlanBatch};
+use e3_neat::{DecodeError, ForwardPass, Genome, NetPlan, Network, PlanBatch};
 use e3_telemetry::Tracer;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -226,12 +228,23 @@ pub trait EvalBackend {
     /// tracer (backends without instrumentation stay valid). Tracing is
     /// write-only: results are bit-identical with any tracer installed.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Installs the tiered-execution (JIT) policy on the backend's
+    /// executor, affecting scalar evaluations from the next call on.
+    /// The default ignores the policy — backends without a software
+    /// scalar path (e.g. INAX) stay valid — and because the native
+    /// tier is bit-identical to the interpreter, installing a policy
+    /// can never change results, only speed and telemetry.
+    fn set_jit(&mut self, _config: JitConfig) {}
 }
 
-/// Runs one decoded network's episode in software, returning
-/// `(fitness, steps)`.
+/// Runs one network's episode in software, returning
+/// `(fitness, steps)`. Generic over the [`ForwardPass`] seam so the
+/// same kernel drives the interpreted [`Network`] and the JIT tier's
+/// `CompiledPlan` — which are bit-identical by contract, so the episode
+/// trajectory cannot depend on the tier.
 pub(crate) fn run_software_episode(
-    net: &mut Network,
+    net: &mut dyn ForwardPass,
     env: &mut dyn Environment,
     episode_seed: u64,
 ) -> (f64, u64) {
@@ -298,13 +311,17 @@ where
             .map(|i| -> SoftwareRow {
                 let mut individual_span = tracer.span("individual", "eval");
                 individual_span.arg("genome_index", i as f64);
-                let net = scratch
+                // Tier selection: the interpreted network, or (for hot
+                // entries under an enabled JIT policy) its natively
+                // compiled twin — bit-identical either way.
+                let mut tier = scratch
                     .cache()
-                    .get_or_decode(&pop[i])
+                    .get_or_tiered(&pop[i])
                     .map_err(|reason| (i, reason))?;
-                let per_inference = cost(net);
+                let per_inference = cost(tier.net());
                 let mut episode_span = tracer.start("episode", "env");
-                let (fitness, steps) = run_software_episode(net, env.as_mut(), episode_seed);
+                let (fitness, steps) =
+                    run_software_episode(tier.forward(), env.as_mut(), episode_seed);
                 episode_span.arg("steps", steps as f64);
                 episode_span.finish();
                 Ok((fitness, steps, per_inference * steps as f64))
@@ -527,19 +544,22 @@ where
             .map(|i| -> SoftwareRow {
                 let mut individual_span = tracer.span("individual", "eval");
                 individual_span.arg("genome_index", i as f64);
-                let net = scratch
+                let mut tier = scratch
                     .cache()
-                    .get_or_decode(&pop[i])
+                    .get_or_tiered(&pop[i])
                     .map_err(|reason| (i, reason))?;
-                let per_inference = cost(net);
+                let per_inference = cost(tier.net());
                 let mut fits = Vec::with_capacity(k);
                 let mut genome_steps = 0u64;
                 for s in 0..k {
                     let mut env = env_id.make_scenario(&shared.params[s]);
                     let mut episode_span = tracer.start("episode", "env");
                     episode_span.arg("scenario", s as f64);
-                    let (fitness, steps) =
-                        run_software_episode(net, env.as_mut(), shared.episode_seeds[i * k + s]);
+                    let (fitness, steps) = run_software_episode(
+                        tier.forward(),
+                        env.as_mut(),
+                        shared.episode_seeds[i * k + s],
+                    );
                     episode_span.arg("steps", steps as f64);
                     episode_span.finish();
                     fits.push(fitness);
@@ -903,6 +923,10 @@ impl EvalBackend for CpuBackend {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
+
+    fn set_jit(&mut self, config: JitConfig) {
+        self.exec.set_jit(config);
+    }
 }
 
 /// E3-GPU: functionally identical to software evaluation, but timed
@@ -1069,6 +1093,10 @@ impl EvalBackend for GpuBackend {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_jit(&mut self, config: JitConfig) {
+        self.exec.set_jit(config);
     }
 }
 
@@ -1461,6 +1489,28 @@ impl AnyBackend {
             AnyBackend::Inax(b) => b.try_evaluate_population_scenarios(genomes, env, spec),
         }
     }
+
+    /// Like [`AnyBackend::try_evaluate_population_scenarios`], but the
+    /// software backends take the scalar per-genome loop — the route
+    /// the platform picks when the JIT tier is enabled, since only the
+    /// scalar loop consults the tiered decode cache. Bit-identical to
+    /// the batched dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EvalBackend::try_evaluate_population`].
+    pub fn try_evaluate_population_scenarios_scalar(
+        &mut self,
+        genomes: &[Genome],
+        env: EnvId,
+        spec: &ScenarioSpec,
+    ) -> Result<EvalOutcome, EvalError> {
+        match self {
+            AnyBackend::Cpu(b) => b.try_evaluate_population_scenarios(genomes, env, spec),
+            AnyBackend::Gpu(b) => b.try_evaluate_population_scenarios(genomes, env, spec),
+            AnyBackend::Inax(b) => b.try_evaluate_population_scenarios(genomes, env, spec),
+        }
+    }
 }
 
 impl EvalBackend for AnyBackend {
@@ -1513,6 +1563,16 @@ impl EvalBackend for AnyBackend {
             AnyBackend::Cpu(b) => b.set_tracer(tracer),
             AnyBackend::Gpu(b) => b.set_tracer(tracer),
             AnyBackend::Inax(b) => b.set_tracer(tracer),
+        }
+    }
+
+    fn set_jit(&mut self, config: JitConfig) {
+        match self {
+            AnyBackend::Cpu(b) => b.set_jit(config),
+            AnyBackend::Gpu(b) => b.set_jit(config),
+            // INAX lowers plans to hardware; it has no software scalar
+            // path to tier (the trait default ignores the policy).
+            AnyBackend::Inax(_) => {}
         }
     }
 }

@@ -1,0 +1,470 @@
+//! jit — tiered NetPlan execution: native-code speedup and the
+//! interpreter-oracle parity gate.
+//!
+//! Reproduction-specific companion to [`crate::experiments::plan`]:
+//! measures the `e3-jit` straight-line x86-64 compilation of evolved
+//! [`e3_neat::NetPlan`]s against the interpreter they were compiled
+//! from, on genomes evolved to every environment's size class, and
+//! then re-runs the seeded repro end to end with the tier on and off
+//! at 1 and 4 worker threads — the [`crate::platform::RunOutcome`]s
+//! must match **exactly** (fitness bits, modeled seconds, traces),
+//! because the native tier is contractually bit-identical to the
+//! interpreter.
+//!
+//! On targets the emitter cannot serve (non-x86-64, non-Linux) the
+//! benchmark does not silently skip: it asserts the fallback engaged
+//! (compile attempts counted, zero plans compiled, zero native
+//! activations) and that the end-to-end runs still agree — the
+//! disabled tier must be a perfect no-op everywhere.
+
+use crate::backend::BackendKind;
+use crate::experiments::plan::{evolved_genome_for, probe_inputs};
+use crate::experiments::Scale;
+use crate::platform::{E3Config, E3Platform, RunError};
+use crate::JitConfig;
+use e3_envs::EnvId;
+use e3_jit::CompiledPlan;
+use e3_neat::Network;
+use e3_telemetry::MemoryCollector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Thread counts the end-to-end parity gate visits.
+pub const THREAD_PARITY: [usize; 2] = [1, 4];
+
+/// Hot-threshold used by the parity runs: 1, so every genome promotes
+/// on first decode and the whole run executes natively — the harshest
+/// possible setting for the bit-identity gate (work stealing means a
+/// genome may visit a different worker's cache each generation, so
+/// higher thresholds leave most of the population interpreted).
+pub const PARITY_HOT_THRESHOLD: u64 = 1;
+
+/// The ns/activate improvement `BENCH_jit.json` must demonstrate on
+/// hot plans (geometric mean over qualifying environments).
+pub const SPEEDUP_GATE: f64 = 1.3;
+
+/// A plan counts as *hot* for the speedup gate when its genome has at
+/// least this many enabled connections. Small nets are bound by the
+/// bit-contractual activation floor (`repro plan` quantifies it) that
+/// no executor may reduce; the tier targets the large evolved genomes
+/// where inference time actually concentrates.
+pub const HOT_PLAN_CONNECTIONS: usize = 48;
+
+/// One microbenchmark row: the interpreter vs the natively compiled
+/// plan on a genome evolved to this environment's size class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JitBenchRow {
+    /// Environment whose IO dimensions sized the genome.
+    pub env: EnvId,
+    /// Genome node genes.
+    pub nodes: usize,
+    /// Enabled connection genes.
+    pub connections: usize,
+    /// Mean nanoseconds per interpreted `Network::activate_into`.
+    pub interp_ns_per_activate: f64,
+    /// Mean nanoseconds per `CompiledPlan::activate_into`; `None` when
+    /// the target cannot JIT.
+    pub jit_ns_per_activate: Option<f64>,
+    /// `interp / jit`; `None` when the target cannot JIT.
+    pub speedup: Option<f64>,
+    /// Machine-code bytes the emitter produced for this plan.
+    pub code_bytes: Option<u64>,
+    /// Wall-clock nanoseconds one compilation took (median of 5).
+    pub compile_ns: Option<f64>,
+    /// Activations after which the compile cost is paid back:
+    /// `compile_ns / (interp_ns - jit_ns)`. `None` when the target
+    /// cannot JIT or the native path was not faster.
+    pub amortize_activations: Option<u64>,
+    /// The same payback expressed in generations of the quick repro
+    /// (one activation per genome per environment step, steps measured
+    /// on this genome's episode). Fractional: `0.1` means the compile
+    /// pays for itself ten times over within the genome's first
+    /// generation of episodes.
+    pub amortize_generations: Option<f64>,
+    /// Every probed input produced the same f64 bit pattern on the
+    /// interpreter and the native tier (vacuously true when the target
+    /// cannot JIT).
+    pub bit_identical: bool,
+}
+
+/// One end-to-end parity measurement: the same seeded run with the
+/// tier off and on at a given worker-thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JitParityRow {
+    /// Environment.
+    pub env: EnvId,
+    /// Worker threads.
+    pub threads: usize,
+    /// Best fitness with the tier disabled (the oracle).
+    pub best_fitness: f64,
+    /// The full [`crate::platform::RunOutcome`]s compared equal
+    /// (fitness bits, modeled seconds, convergence trace, complexity).
+    pub outcome_identical: bool,
+    /// Plans the tiered run promoted to native code.
+    pub jit_compiled: u64,
+    /// Activations the tiered run served natively.
+    pub jit_activations: u64,
+    /// Compile attempts that fell back to the interpreter.
+    pub jit_fallbacks: u64,
+}
+
+/// The tiered-execution benchmark result (`BENCH_jit.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JitBenchResult {
+    /// Whether this host can execute the native tier at all.
+    pub native_target: bool,
+    /// One microbenchmark row per environment size class.
+    pub rows: Vec<JitBenchRow>,
+    /// End-to-end tier-off vs tier-on comparison per
+    /// `(environment, thread count)`.
+    pub parity: Vec<JitParityRow>,
+    /// Every microbenchmark row was bit-identical and every end-to-end
+    /// pair of outcomes matched exactly.
+    pub parity_ok: bool,
+    /// On a native target: the tier engaged in the end-to-end runs
+    /// (plans compiled, native activations served). On a non-native
+    /// target: the fallback engaged (compile attempts counted, nothing
+    /// compiled) — never a silent skip.
+    pub tier_exercised: bool,
+    /// Geometric-mean ns/activate speedup over **all** rows that
+    /// compiled (`1.0` when none could). Reported for transparency;
+    /// diluted by tiny genomes whose runtime is mostly the
+    /// bit-contractual activation floor.
+    pub mean_speedup: f64,
+    /// Geometric-mean ns/activate speedup over the *hot* rows — those
+    /// with at least [`HOT_PLAN_CONNECTIONS`] enabled connections,
+    /// where inference time concentrates and the tier promotes. Falls
+    /// back to [`Self::mean_speedup`] if no row qualifies at this
+    /// scale.
+    pub hot_speedup: f64,
+    /// `hot_speedup >= SPEEDUP_GATE` (only required on native
+    /// targets).
+    pub speedup_ok: bool,
+}
+
+impl JitBenchResult {
+    /// The single gate CI trips on: parity everywhere, the tier (or
+    /// its fallback) demonstrably exercised, and — on native targets —
+    /// the ns/activate improvement over the interpreter.
+    pub fn gate_ok(&self) -> bool {
+        self.parity_ok && self.tier_exercised && (!self.native_target || self.speedup_ok)
+    }
+}
+
+fn bench_row(env: EnvId, scale: Scale, seed: u64) -> JitBenchRow {
+    let genome = evolved_genome_for(env, scale, seed);
+    let mut net = Network::from_genome(&genome).expect("evolved genomes decode");
+    // Median-of-5 compile time: compilation is microseconds, so one
+    // sample is all scheduler noise.
+    let mut compile_ns_samples = Vec::with_capacity(5);
+    let mut jit = None;
+    for _ in 0..5 {
+        let start = Instant::now();
+        match CompiledPlan::compile(net.plan()) {
+            Ok(compiled) => {
+                compile_ns_samples.push(start.elapsed().as_secs_f64() * 1e9);
+                jit = Some(compiled);
+            }
+            Err(_) => break,
+        }
+    }
+    compile_ns_samples.sort_by(f64::total_cmp);
+    let compile_ns =
+        (!compile_ns_samples.is_empty()).then(|| compile_ns_samples[compile_ns_samples.len() / 2]);
+    let inputs = probe_inputs(env.observation_size(), 16);
+    let bit_identical = jit.as_mut().is_none_or(|jit| {
+        inputs.iter().all(|x| {
+            let interp = net.activate(x);
+            let native = jit.activate(x);
+            interp.len() == native.len()
+                && interp
+                    .iter()
+                    .zip(&native)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+    });
+    let (reps, rounds) = match scale {
+        Scale::Quick => (20_000, 8),
+        Scale::Full => (100_000, 16),
+    };
+    // Warm, then keep each executor's minimum per-call time across
+    // alternating rounds (robust against scheduler/frequency noise).
+    for x in &inputs {
+        black_box(net.activate_into(x));
+    }
+    let mut interp_ns = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for i in 0..reps {
+            black_box(net.activate_into(&inputs[i % inputs.len()]));
+        }
+        interp_ns = interp_ns.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
+    }
+    let jit_ns = jit.as_mut().map(|jit| {
+        for x in &inputs {
+            black_box(jit.activate_into(x));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for i in 0..reps {
+                black_box(jit.activate_into(&inputs[i % inputs.len()]));
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
+        }
+        best
+    });
+    let amortize_activations = match (compile_ns, jit_ns) {
+        (Some(compile), Some(jit_ns)) if interp_ns > jit_ns => {
+            Some((compile / (interp_ns - jit_ns)).ceil() as u64)
+        }
+        _ => None,
+    };
+    // Activations per generation for this genome ≈ steps of one
+    // episode (one forward pass per step); measured, not assumed.
+    let amortize_generations = amortize_activations.map(|activations| {
+        let mut probe = env.make();
+        let (_, steps) = crate::backend::run_software_episode(&mut net, probe.as_mut(), seed);
+        activations as f64 / (steps.max(1) as f64)
+    });
+    JitBenchRow {
+        env,
+        nodes: genome.nodes().len(),
+        connections: genome.num_enabled_connections(),
+        interp_ns_per_activate: interp_ns,
+        jit_ns_per_activate: jit_ns,
+        speedup: jit_ns.map(|ns| if ns > 0.0 { interp_ns / ns } else { 1.0 }),
+        code_bytes: jit.as_ref().map(|jit| jit.code_bytes() as u64),
+        compile_ns,
+        amortize_activations,
+        amortize_generations,
+        bit_identical,
+    }
+}
+
+/// One seeded end-to-end run with the given tier policy; returns the
+/// outcome plus the run's cumulative JIT telemetry counters
+/// `(compiled, activations, fallbacks)`.
+fn parity_run(
+    env: EnvId,
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    jit: JitConfig,
+) -> Result<(crate::platform::RunOutcome, (u64, u64, u64)), RunError> {
+    let config = E3Config::builder(env)
+        .population_size(scale.population())
+        .max_generations(scale.max_generations())
+        .threads(threads)
+        .jit(jit)
+        .build();
+    let mut collector = MemoryCollector::new();
+    let outcome = E3Platform::new(config, BackendKind::Cpu, seed).run_with(&mut collector)?;
+    let counters = collector.jits().fold((0, 0, 0), |acc, record| {
+        (
+            acc.0 + record.compiled,
+            acc.1 + record.activations,
+            acc.2 + record.fallbacks,
+        )
+    });
+    Ok((outcome, counters))
+}
+
+/// Runs the microbenchmark and the end-to-end tier-on/tier-off parity
+/// gate on `envs`.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if one of the end-to-end runs fails.
+pub fn run_on(envs: &[EnvId], scale: Scale, seed: u64) -> Result<JitBenchResult, RunError> {
+    let native_target = cfg!(all(target_arch = "x86_64", target_os = "linux"));
+    let rows: Vec<JitBenchRow> = envs.iter().map(|&e| bench_row(e, scale, seed)).collect();
+    let mut parity = Vec::with_capacity(envs.len() * THREAD_PARITY.len());
+    let mut parity_ok = rows.iter().all(|r| r.bit_identical);
+    let mut compiled_total = 0u64;
+    let mut activations_total = 0u64;
+    let mut fallbacks_total = 0u64;
+    for &env in envs {
+        for threads in THREAD_PARITY {
+            let (oracle, oracle_counters) =
+                parity_run(env, scale, seed, threads, JitConfig::default())?;
+            let tiered_config = JitConfig {
+                enabled: true,
+                hot_threshold: PARITY_HOT_THRESHOLD,
+            };
+            let (tiered, counters) = parity_run(env, scale, seed, threads, tiered_config)?;
+            // The oracle runs with the tier disabled and must emit no
+            // JIT telemetry at all.
+            parity_ok &= oracle_counters == (0, 0, 0);
+            let outcome_identical = oracle == tiered;
+            parity_ok &= outcome_identical;
+            compiled_total += counters.0;
+            activations_total += counters.1;
+            fallbacks_total += counters.2;
+            parity.push(JitParityRow {
+                env,
+                threads,
+                best_fitness: oracle.best_fitness,
+                outcome_identical,
+                jit_compiled: counters.0,
+                jit_activations: counters.1,
+                jit_fallbacks: counters.2,
+            });
+        }
+    }
+    // Not a skip either way: native targets must demonstrably promote
+    // and serve activations natively; everything else must demonstrably
+    // take the fallback.
+    let tier_exercised = if native_target {
+        compiled_total > 0 && activations_total > 0
+    } else {
+        fallbacks_total > 0 && compiled_total == 0 && activations_total == 0
+    };
+    let geomean = |speedups: &[f64]| {
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
+    };
+    let speedups: Vec<f64> = rows.iter().filter_map(|r| r.speedup).collect();
+    let mean_speedup = if speedups.is_empty() {
+        1.0
+    } else {
+        geomean(&speedups)
+    };
+    let hot: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.connections >= HOT_PLAN_CONNECTIONS)
+        .filter_map(|r| r.speedup)
+        .collect();
+    let hot_speedup = if hot.is_empty() {
+        mean_speedup
+    } else {
+        geomean(&hot)
+    };
+    Ok(JitBenchResult {
+        native_target,
+        rows,
+        parity,
+        parity_ok,
+        tier_exercised,
+        mean_speedup,
+        hot_speedup,
+        speedup_ok: hot_speedup >= SPEEDUP_GATE,
+    })
+}
+
+/// Runs on every environment of the suite, Atari included — the tier
+/// must be bit-exact on all of them.
+pub fn run(scale: Scale, seed: u64) -> Result<JitBenchResult, RunError> {
+    run_on(&EnvId::ALL_WITH_ATARI, scale, seed)
+}
+
+impl fmt::Display for JitBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "jit — tiered NetPlan execution ({} target)",
+            if self.native_target {
+                "native x86-64"
+            } else {
+                "fallback-only"
+            }
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>10} {:>9} {:>5}",
+            "env",
+            "nodes",
+            "conns",
+            "interp ns",
+            "jit ns",
+            "speedup",
+            "bytes",
+            "compile ns",
+            "amort gen",
+            "bits"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<22} {:>6} {:>6} {:>9.1} {:>9} {:>8} {:>7} {:>10} {:>9} {:>5}",
+                row.env.to_string(),
+                row.nodes,
+                row.connections,
+                row.interp_ns_per_activate,
+                row.jit_ns_per_activate
+                    .map_or("n/a".to_string(), |ns| format!("{ns:.1}")),
+                row.speedup
+                    .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
+                row.code_bytes.map_or("n/a".to_string(), |b| b.to_string()),
+                row.compile_ns
+                    .map_or("n/a".to_string(), |ns| format!("{ns:.0}")),
+                row.amortize_generations
+                    .map_or("n/a".to_string(), |g| format!("{g:.3}")),
+                if row.bit_identical { "ok" } else { "DRIFT" }
+            )?;
+        }
+        writeln!(f, "  end-to-end tier-off vs tier-on (CPU backend):")?;
+        for row in &self.parity {
+            writeln!(
+                f,
+                "    {:<22} threads={} best={} outcome={} compiled={} native_acts={} fallbacks={}",
+                row.env.to_string(),
+                row.threads,
+                row.best_fitness,
+                if row.outcome_identical { "ok" } else { "DRIFT" },
+                row.jit_compiled,
+                row.jit_activations,
+                row.jit_fallbacks
+            )?;
+        }
+        writeln!(
+            f,
+            "  parity {}, tier {}, geomean speedup {:.2}x all / {:.2}x hot \
+             (≥{HOT_PLAN_CONNECTIONS} conns; gate ≥{SPEEDUP_GATE}x hot on native targets) — gate {}",
+            if self.parity_ok { "OK" } else { "FAILED" },
+            if self.tier_exercised {
+                "exercised"
+            } else {
+                "NOT EXERCISED"
+            },
+            self.mean_speedup,
+            self.hot_speedup,
+            if self.gate_ok() { "OK" } else { "FAILED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_are_bit_identical_and_timed() {
+        let row = bench_row(EnvId::CartPole, Scale::Quick, 11);
+        assert!(row.bit_identical, "native tier drifted from interpreter");
+        assert!(row.interp_ns_per_activate > 0.0);
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            assert!(row.jit_ns_per_activate.expect("native target compiles") > 0.0);
+            assert!(row.code_bytes.expect("native target compiles") > 0);
+            assert!(row.compile_ns.expect("native target compiles") > 0.0);
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            assert!(row.jit_ns_per_activate.is_none());
+            assert!(row.speedup.is_none());
+        }
+    }
+
+    #[test]
+    fn parity_gate_holds_on_quick_cartpole() {
+        let result = run_on(&[EnvId::CartPole], Scale::Quick, 5).expect("runs");
+        assert!(result.parity_ok, "tiered run drifted from oracle: {result}");
+        assert!(
+            result.tier_exercised,
+            "tier (or its fallback) never engaged: {result}"
+        );
+        assert_eq!(result.parity.len(), THREAD_PARITY.len());
+    }
+}

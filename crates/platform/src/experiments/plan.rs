@@ -13,6 +13,7 @@ use crate::backend::BackendKind;
 use crate::experiments::Scale;
 use crate::platform::{E3Config, E3Platform, RunError};
 use e3_envs::EnvId;
+use e3_jit::CompiledPlan;
 use e3_neat::{Genome, NeatConfig, Network, Population, ReferenceNetwork};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -49,8 +50,16 @@ pub struct PlanBenchRow {
     /// `(reference - floor) / (plan - floor)`. This is what the CSR
     /// layout actually buys.
     pub addressable_speedup: f64,
+    /// Mean nanoseconds per [`e3_jit::CompiledPlan::activate_into`] on
+    /// the same genome — the tier-2 native path `repro jit` studies in
+    /// depth, carried here so `BENCH_plan.json` and `BENCH_jit.json`
+    /// stay cross-comparable. `None` when the target cannot JIT.
+    pub jit_ns_per_activate: Option<f64>,
+    /// `plan_ns_per_activate / jit_ns_per_activate`; `None` when the
+    /// target cannot JIT.
+    pub jit_speedup: Option<f64>,
     /// Every probed input produced the same f64 bit pattern on both
-    /// executors.
+    /// executors (and the native tier, where supported).
     pub bit_identical: bool,
 }
 
@@ -91,8 +100,10 @@ impl PlanBenchResult {
 
 /// Evolves a genome whose IO dimensions match `env` and whose hidden
 /// structure grew under a complexity-rewarding fitness — a stand-in
-/// for the topologies NEAT reaches mid-run on that task.
-fn evolved_genome_for(env: EnvId, scale: Scale, seed: u64) -> Genome {
+/// for the topologies NEAT reaches mid-run on that task. Shared with
+/// [`crate::experiments::jit`] so `BENCH_plan.json` and
+/// `BENCH_jit.json` time the same workloads.
+pub(crate) fn evolved_genome_for(env: EnvId, scale: Scale, seed: u64) -> Genome {
     let (population, generations) = match scale {
         Scale::Quick => (32, 10),
         Scale::Full => (96, 40),
@@ -114,7 +125,7 @@ fn evolved_genome_for(env: EnvId, scale: Scale, seed: u64) -> Genome {
 
 /// Deterministic probe inputs (no RNG: the bench must not perturb any
 /// seeded state and must time the same workload on every run).
-fn probe_inputs(dim: usize, count: usize) -> Vec<Vec<f64>> {
+pub(crate) fn probe_inputs(dim: usize, count: usize) -> Vec<Vec<f64>> {
     (0..count)
         .map(|i| {
             (0..dim)
@@ -128,8 +139,9 @@ fn bench_row(env: EnvId, scale: Scale, seed: u64) -> PlanBenchRow {
     let genome = evolved_genome_for(env, scale, seed);
     let mut reference = ReferenceNetwork::from_genome(&genome).expect("evolved genomes decode");
     let mut net = Network::from_genome(&genome).expect("evolved genomes decode");
+    let mut jit = CompiledPlan::compile(net.plan()).ok();
     let inputs = probe_inputs(env.observation_size(), 16);
-    let bit_identical = inputs.iter().all(|x| {
+    let mut bit_identical = inputs.iter().all(|x| {
         let a = reference.activate(x);
         let b = net.activate(x);
         let c = net.activate_into(x).to_vec();
@@ -138,6 +150,17 @@ fn bench_row(env: EnvId, scale: Scale, seed: u64) -> PlanBenchRow {
                 .zip(b.iter().zip(&c))
                 .all(|(va, (vb, vc))| va.to_bits() == vb.to_bits() && vb.to_bits() == vc.to_bits())
     });
+    if let Some(jit) = jit.as_mut() {
+        bit_identical &= inputs.iter().all(|x| {
+            let interp = net.activate(x);
+            let native = jit.activate(x);
+            interp.len() == native.len()
+                && interp
+                    .iter()
+                    .zip(&native)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+    }
     let (reps, rounds) = match scale {
         Scale::Quick => (20_000, 8),
         Scale::Full => (100_000, 16),
@@ -165,6 +188,20 @@ fn bench_row(env: EnvId, scale: Scale, seed: u64) -> PlanBenchRow {
         }
         plan_ns = plan_ns.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
     }
+    let jit_ns = jit.as_mut().map(|jit| {
+        for x in &inputs {
+            black_box(jit.activate_into(x));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for i in 0..reps {
+                black_box(jit.activate_into(&inputs[i % inputs.len()]));
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1e9 / reps as f64);
+        }
+        best
+    });
     // Per-pass activation-function floor: one independent apply per
     // compute node (summed so none is dead code). Independent calls
     // pipeline like the executors' per-level applies do; a chained
@@ -203,6 +240,8 @@ fn bench_row(env: EnvId, scale: Scale, seed: u64) -> PlanBenchRow {
         } else {
             1.0
         },
+        jit_ns_per_activate: jit_ns,
+        jit_speedup: jit_ns.map(|ns| if ns > 0.0 { plan_ns / ns } else { 1.0 }),
         bit_identical,
     }
 }
@@ -255,31 +294,37 @@ impl fmt::Display for PlanBenchResult {
         writeln!(f, "plan — CSR NetPlan executor vs per-node reference")?;
         writeln!(
             f,
-            "  {:<22} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7} {:>5}",
+            "  {:<22} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>5}",
             "env",
             "nodes",
             "conns",
             "lvls",
             "ref ns",
             "plan ns",
+            "jit ns",
             "tanh ns",
             "speedup",
             "addr",
+            "jit",
             "bits"
         )?;
         for row in &self.rows {
             writeln!(
                 f,
-                "  {:<22} {:>6} {:>6} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>7.2}x {:>6.2}x {:>5}",
+                "  {:<22} {:>6} {:>6} {:>6} {:>9.1} {:>9.1} {:>9} {:>9.1} {:>7.2}x {:>6.2}x {:>7} {:>5}",
                 row.env.to_string(),
                 row.nodes,
                 row.connections,
                 row.levels,
                 row.reference_ns_per_activate,
                 row.plan_ns_per_activate,
+                row.jit_ns_per_activate
+                    .map_or("n/a".to_string(), |ns| format!("{ns:.1}")),
                 row.activation_floor_ns,
                 row.speedup,
                 row.addressable_speedup,
+                row.jit_speedup
+                    .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
                 if row.bit_identical { "ok" } else { "DRIFT" }
             )?;
         }

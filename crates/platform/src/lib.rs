@@ -90,6 +90,7 @@ pub use backend::{
 pub use checkpoint::{fingerprint, RunState};
 pub use design_space::{sweep_design_space, sweep_design_space_with, DesignPoint, DesignSweep};
 pub use e3_exec as exec;
+pub use e3_exec::JitConfig;
 pub use e3_store as store;
 pub use e3_store::CheckpointPolicy;
 pub use e3_telemetry as telemetry;

@@ -15,7 +15,7 @@ use crate::energy::PowerModel;
 use crate::scenario::{holdout_plan, ScenarioConfig, ScenarioSpec};
 use crate::timing::{GpuCostModel, SwCostModel};
 use e3_envs::EnvId;
-use e3_exec::{ExecStatsState, SharedExecutor};
+use e3_exec::{ExecStatsState, JitConfig, SharedExecutor};
 use e3_inax::{EpisodeRunReport, InaxConfig, UtilizationBreakdown};
 use e3_neat::checkpoint::PopulationSnapshot;
 use e3_neat::stats::ComplexityStats;
@@ -23,8 +23,8 @@ use e3_neat::{NeatConfig, Population};
 use e3_store::{CheckpointPolicy, RunStore, StoreError};
 use e3_telemetry::{
     CheckpointRecord, Collector, EvalRecord, ExecRecord, FunctionSplit, GeneralizationRecord,
-    GenerationRecord, HwCounters, NullCollector, ResumeRecord, RunSummary, TelemetryError,
-    TelemetryEvent, Tracer,
+    GenerationRecord, HwCounters, JitRecord, NullCollector, ResumeRecord, RunSummary,
+    TelemetryError, TelemetryEvent, Tracer,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -209,6 +209,15 @@ pub struct E3Config {
     /// via `serde(default)`).
     #[serde(default)]
     pub scenario: ScenarioConfig,
+    /// Tiered-execution policy: when enabled, genomes that stay hot in
+    /// the decode cache are promoted to natively compiled code
+    /// (`e3-jit`), with the interpreter as the bit-exact oracle and
+    /// permanent fallback. Never affects results — only speed and
+    /// telemetry. The default is disabled, and configs predating this
+    /// field deserialize to the default (`JitConfig::from_value`
+    /// accepts a missing field).
+    #[serde(default)]
+    pub jit: JitConfig,
 }
 
 impl E3Config {
@@ -235,6 +244,7 @@ impl E3Config {
                 threads: 1,
                 checkpoint: None,
                 scenario: ScenarioConfig::default(),
+                jit: JitConfig::default(),
             },
         }
     }
@@ -294,6 +304,13 @@ impl E3ConfigBuilder {
     /// held-out generalization pass).
     pub fn scenario(mut self, scenario: ScenarioConfig) -> Self {
         self.config.scenario = scenario;
+        self
+    }
+
+    /// Configures the tiered-execution (JIT) policy. Bit-identity
+    /// between tiers means this can never change results.
+    pub fn jit(mut self, jit: JitConfig) -> Self {
+        self.config.jit = jit;
         self
     }
 
@@ -439,7 +456,13 @@ impl E3Platform {
         if let Some(pool) = pool {
             builder = builder.executor(pool);
         }
-        let backend = builder.build();
+        let mut backend = builder.build();
+        if config.jit.enabled {
+            // Install the tier policy before the first evaluation.
+            // Disabled configs skip the call entirely, so their
+            // executors never see a policy message.
+            backend.set_jit(config.jit);
+        }
         let population = Population::new(config.neat.clone(), seed);
         E3Platform {
             config,
@@ -745,12 +768,26 @@ impl E3Platform {
         // legacy episode-seed counter advances either way so toggling
         // the holdout pass (or a later config edit) never shifts the
         // vanilla schedule.
+        // With the JIT tier enabled the vanilla route takes the scalar
+        // per-genome entry point instead: the batched SoA kernel runs
+        // plans lockstep and cannot host per-genome native code, while
+        // the scalar loop consults the tiered decode cache. The two
+        // entry points are bit-identical (see `repro batch`), so the
+        // switch shifts only speed and telemetry.
         let outcome = if self.config.scenario.is_vanilla() {
-            self.backend.try_evaluate_population_batched(
-                &genomes,
-                self.config.env,
-                self.episode_seed,
-            )?
+            if self.config.jit.enabled {
+                self.backend.try_evaluate_population(
+                    &genomes,
+                    self.config.env,
+                    self.episode_seed,
+                )?
+            } else {
+                self.backend.try_evaluate_population_batched(
+                    &genomes,
+                    self.config.env,
+                    self.episode_seed,
+                )?
+            }
         } else {
             let spec = ScenarioSpec::for_generation(
                 &self.config.scenario,
@@ -758,8 +795,16 @@ impl E3Platform {
                 self.generation as u64,
                 genomes.len(),
             );
-            self.backend
-                .try_evaluate_population_scenarios(&genomes, self.config.env, &spec)?
+            if self.config.jit.enabled {
+                self.backend.try_evaluate_population_scenarios_scalar(
+                    &genomes,
+                    self.config.env,
+                    &spec,
+                )?
+            } else {
+                self.backend
+                    .try_evaluate_population_scenarios(&genomes, self.config.env, &spec)?
+            }
         };
         self.episode_seed = self.episode_seed.wrapping_add(1);
         self.profile.evaluate += outcome.eval_seconds;
@@ -819,6 +864,27 @@ impl E3Platform {
                 queue_depths: exec.queue_depths.clone(),
                 wall_seconds: exec.wall_seconds,
             }))?;
+            // The JIT record rides along only when the tier actually
+            // did something this evaluation — disabled (or
+            // unsupported-target) runs emit no `Jit` events, keeping
+            // their NDJSON byte-identical to pre-tier runs.
+            let jit_active = exec.jit_compiled != 0
+                || exec.jit_bytes != 0
+                || exec.jit_fallbacks != 0
+                || exec.jit_activations != 0
+                || exec.jit_resident != 0;
+            if jit_active {
+                collector.record(&TelemetryEvent::Jit(JitRecord {
+                    generation: self.generation,
+                    backend: self.backend.kind().name().to_string(),
+                    compiled: exec.jit_compiled,
+                    bytes: exec.jit_bytes,
+                    compile_seconds: exec.jit_compile_seconds,
+                    fallbacks: exec.jit_fallbacks,
+                    activations: exec.jit_activations,
+                    resident: exec.jit_resident,
+                }))?;
+            }
         }
         // --- Held-out generalization pass (read-only). ---
         // Replays the generation's champion against scenarios drawn

@@ -468,6 +468,7 @@ fn collector_forwarding_preserves_order() {
         .map(|event| match event {
             TelemetryEvent::Eval(_) => "eval",
             TelemetryEvent::Exec(_) => "exec",
+            TelemetryEvent::Jit(_) => "jit",
             TelemetryEvent::Generation(_) => "generation",
             TelemetryEvent::Utilization(_) => "utilization",
             TelemetryEvent::Checkpoint(_) => "checkpoint",

@@ -191,6 +191,37 @@ pub struct ExecRecord {
     pub wall_seconds: f64,
 }
 
+/// Tiered-execution (JIT) counters for one population evaluation,
+/// mirrored from `e3-exec`'s `ExecStats`. Emitted **only** when at
+/// least one counter is nonzero — disabled or unsupported-target runs
+/// produce no `Jit` events, so their NDJSON streams stay byte-identical
+/// to runs that predate the tier.
+///
+/// Like [`ExecRecord`], every field describes the execution schedule
+/// (what got compiled, when, how fast), never the results: the native
+/// tier is bit-identical to the interpreter by construction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JitRecord {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Plans promoted to native code during the call.
+    pub compiled: u64,
+    /// Machine-code bytes emitted during the call.
+    pub bytes: u64,
+    /// Wall-clock seconds spent compiling during the call.
+    pub compile_seconds: f64,
+    /// Compilations that failed and fell back to the interpreter
+    /// (never retried for the same cache entry).
+    pub fallbacks: u64,
+    /// Activations served by the native tier during the call.
+    pub activations: u64,
+    /// Natively compiled plans resident across all workers' caches at
+    /// the end of the call (a gauge).
+    pub resident: u64,
+}
+
 /// Cycle accounting for one processing unit over a whole run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PuCycleRow {
@@ -472,6 +503,9 @@ pub enum TelemetryEvent {
     Eval(EvalRecord),
     /// Host-side executor counters for a population evaluation.
     Exec(ExecRecord),
+    /// Tiered-execution (JIT) counters for a population evaluation.
+    /// Only emitted when the tier actually did something.
+    Jit(JitRecord),
     /// A generation finished.
     Generation(GenerationRecord),
     /// Cycle-level accelerator utilization for a whole run.
@@ -546,6 +580,14 @@ impl MemoryCollector {
     pub fn execs(&self) -> impl Iterator<Item = &ExecRecord> {
         self.events.iter().filter_map(|event| match event {
             TelemetryEvent::Exec(record) => Some(record),
+            _ => None,
+        })
+    }
+
+    /// The buffered tiered-execution (JIT) records.
+    pub fn jits(&self) -> impl Iterator<Item = &JitRecord> {
+        self.events.iter().filter_map(|event| match event {
+            TelemetryEvent::Jit(record) => Some(record),
             _ => None,
         })
     }

@@ -277,6 +277,14 @@ impl MetricsRegistry {
                 }
                 self.histogram_observe(&plain("e3_exec_wall_seconds"), exec.wall_seconds);
             }
+            TelemetryEvent::Jit(jit) => {
+                self.counter_add(&plain("e3_jit_plans_compiled_total"), jit.compiled);
+                self.counter_add(&plain("e3_jit_bytes_emitted_total"), jit.bytes);
+                self.counter_add(&plain("e3_jit_fallbacks_total"), jit.fallbacks);
+                self.counter_add(&plain("e3_jit_hot_activations_total"), jit.activations);
+                self.gauge_set(&plain("e3_jit_resident_plans"), jit.resident as f64);
+                self.histogram_observe(&plain("e3_jit_compile_seconds"), jit.compile_seconds);
+            }
             TelemetryEvent::Generation(generation) => {
                 self.counter_add(&plain("e3_generations_total"), 1);
                 self.gauge_set(&plain("e3_species"), generation.species as f64);
@@ -645,10 +653,21 @@ mod tests {
         registry.observe(&TelemetryEvent::Exec(ExecRecord {
             steal_count: 3,
             cache_hits: 7,
+            cache_misses: 2,
             cache_entries: 12,
             cache_evictions: 4,
             queue_depths: vec![2, 5, 1],
             shard_seconds: vec![0.1, 0.2],
+            ..Default::default()
+        }));
+        registry.observe(&TelemetryEvent::Jit(crate::JitRecord {
+            generation: 3,
+            compiled: 5,
+            bytes: 9000,
+            compile_seconds: 0.002,
+            fallbacks: 1,
+            activations: 4400,
+            resident: 5,
             ..Default::default()
         }));
         registry.observe(&TelemetryEvent::Utilization(UtilizationReport {
@@ -699,6 +718,8 @@ mod tests {
         assert_eq!(registry.counter("e3_env_steps_total"), 500);
         assert_eq!(registry.counter("e3_inax_cycles_total"), 1000);
         assert_eq!(registry.counter("e3_exec_steals_total"), 3);
+        assert_eq!(registry.counter("e3_exec_cache_hits_total"), 7);
+        assert_eq!(registry.counter("e3_exec_cache_misses_total"), 2);
         assert_eq!(registry.counter("e3_exec_cache_evictions_total"), 4);
         assert_eq!(registry.gauge("e3_exec_cache_entries"), Some(12.0));
         assert_eq!(registry.gauge("e3_exec_queue_depth_max"), Some(5.0));
@@ -727,6 +748,14 @@ mod tests {
         );
         assert_eq!(registry.gauge("e3_generalization_gap"), Some(60.0));
         assert_eq!(registry.gauge("e3_generalization_spread"), Some(12.5));
+        assert_eq!(registry.counter("e3_jit_plans_compiled_total"), 5);
+        assert_eq!(registry.counter("e3_jit_bytes_emitted_total"), 9000);
+        assert_eq!(registry.counter("e3_jit_fallbacks_total"), 1);
+        assert_eq!(registry.counter("e3_jit_hot_activations_total"), 4400);
+        assert_eq!(registry.gauge("e3_jit_resident_plans"), Some(5.0));
+        let compile = registry.histogram("e3_jit_compile_seconds").unwrap();
+        assert_eq!(compile.count(), 1);
+        assert!((compile.sum() - 0.002).abs() < 1e-12);
         let table = registry.summary_table();
         assert!(table.contains("e3_evals_total"));
         assert!(table.contains("e3_exec_shard_seconds"));

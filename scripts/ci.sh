@@ -38,6 +38,18 @@ echo "== batched eval: bitwise parity vs scalar serial, threads 1/4/8 =="
 # BENCH_batch.json.
 cargo run --release --offline -q -p e3-bench --bin repro -- batch >/dev/null
 
+echo "== jit: tiered native execution, interpreter-oracle parity gate =="
+# `repro jit` microbenchmarks the e3-jit x86-64 tier against the
+# NetPlan interpreter on evolved genomes (bit-identical outputs
+# required, >=1.3x ns/activate on hot plans), then re-runs the seeded
+# repro end to end with the tier off and on at 1 and 4 worker threads;
+# outcomes must match bit for bit. On non-x86-64 hosts this is NOT a
+# skip: the binary asserts the fallback engaged (compile attempts
+# counted, zero plans compiled, zero native activations) and that
+# parity still holds, and the speedup gate is waived. Results land in
+# BENCH_jit.json.
+cargo run --release --offline -q -p e3-bench --bin repro -- jit >/dev/null
+
 echo "== islands: archipelago sweep, parity/determinism gates, daemon smoke =="
 # `repro islands` sweeps island count x migration interval, gates
 # single-island parity against a plain platform run, determinism across
@@ -68,6 +80,23 @@ cargo run --release --offline -q -p e3-bench --bin repro -- \
     --metrics "$trace_tmp/metrics.prom" >/dev/null
 cargo run --release --offline -q -p e3-bench --bin trace_check -- \
     "$trace_tmp/trace.json" "$trace_tmp/metrics.prom"
+# A jit-enabled run must export the full e3_jit_* series set (counters,
+# resident gauge, compile-time histogram) and well-formed Jit telemetry
+# records; trace_check rejects a partial series set or malformed
+# records. MountainCar never solves at quick scale, so promotions are
+# guaranteed at threshold 1.
+cargo run --release --offline -q -p e3-bench --bin repro -- \
+    run --env mountain_car --backend cpu --jit --jit-threshold 1 \
+    --telemetry "$trace_tmp/jit.ndjson" \
+    --metrics "$trace_tmp/jit_metrics.prom" >/dev/null
+cargo run --release --offline -q -p e3-bench --bin trace_check -- \
+    --metrics "$trace_tmp/jit_metrics.prom"
+cargo run --release --offline -q -p e3-bench --bin trace_check -- \
+    --ndjson "$trace_tmp/jit.ndjson"
+if [ "$(uname -m)" = "x86_64" ] && ! grep -q '^e3_jit_plans_compiled_total' "$trace_tmp/jit_metrics.prom"; then
+    echo "error: jit-enabled run exported no e3_jit_* metrics" >&2
+    exit 1
+fi
 
 echo "== serve: HTTP observability plane is inert, live scrape validates =="
 # `repro serve` mounts the HTTP server on a live run manager, hits

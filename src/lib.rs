@@ -66,6 +66,7 @@ pub use e3_envs as envs;
 pub use e3_exec as exec;
 pub use e3_inax as inax;
 pub use e3_islands as islands;
+pub use e3_jit as jit;
 pub use e3_neat as neat;
 pub use e3_platform as platform;
 pub use e3_rl as rl;
